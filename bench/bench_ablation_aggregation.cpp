@@ -1,0 +1,94 @@
+// Ablation (Section VI-A): flow-definition aggregation level.
+//
+// The paper reports that /24 aggregation cuts tracked flows by about an
+// order of magnitude and suggests going further with "routable" prefixes
+// from the forwarding table (/8, /16 mixes). This bench classifies one
+// trace under five definitions and reports flow counts, mean durations,
+// model inputs, and the shot power that matches the measured variance —
+// showing how aggregation pushes the optimal shot toward the rectangle.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fitting.hpp"
+#include "flow/classifier.hpp"
+#include "flow/interval.hpp"
+#include "net/lpm.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+struct Row {
+  const char* label;
+  std::vector<fbm::flow::FlowRecord> flows;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Ablation: flow aggregation level (5-tuple .. routable prefixes)");
+
+  const auto scale = bench::default_scale();
+  const auto cfg = trace::make_config(4, scale);
+  const auto packets = trace::generate_packets(cfg);
+  const double horizon = cfg.duration_s;
+
+  flow::ClassifierOptions opt;
+  opt.timeout = 60.0 * scale.time_scale;
+  opt.interval = horizon;  // single interval for this study
+  opt.record_discards = true;
+
+  // A synthetic FIB covering the generator's 10.0.0.0/8 destination space:
+  // the most popular /24s get specific routes, the rest fall to the /8 —
+  // roughly how a provider's table covers hot customer prefixes.
+  net::RoutingTable fib;
+  std::uint32_t route = 0;
+  fib.insert(net::Prefix(net::Ipv4Address(10, 0, 0, 0), 8), route++);
+  for (std::size_t rank = 0; rank < 48; ++rank) {
+    fib.insert(trace::dst_prefix_for_rank(rank), route++);
+  }
+
+  std::vector<Row> rows;
+  rows.push_back({"5-tuple",
+                  flow::classify_all<flow::FiveTupleKey>(packets, opt)});
+  rows.push_back({"/24 prefix",
+                  flow::classify_all<flow::PrefixKey<24>>(packets, opt)});
+  rows.push_back({"/16 prefix",
+                  flow::classify_all<flow::PrefixKey<16>>(packets, opt)});
+  rows.push_back({"/8 prefix",
+                  flow::classify_all<flow::PrefixKey<8>>(packets, opt)});
+  rows.push_back({"routable (FIB)",
+                  flow::classify_all_with(flow::RoutableKey(&fib), packets,
+                                          opt)});
+
+  // Measured variance is the same for every definition.
+  const auto series =
+      measure::measure_rate(packets, 0.0, horizon, measure::kPaperDelta);
+  const auto mm = measure::rate_moments(series);
+
+  std::printf("measured: mean %.2f Mbps, CoV %.1f%%\n\n", mm.mean_bps / 1e6,
+              100.0 * mm.cov);
+  std::printf("%-16s %10s %12s %12s %10s %10s\n", "definition", "flows",
+              "vs 5-tuple", "mean D (s)", "lambda", "fitted b");
+  const double base =
+      static_cast<double>(rows.front().flows.size());
+  for (const auto& row : rows) {
+    const auto intervals =
+        flow::group_by_interval(row.flows, horizon, horizon);
+    const auto in = flow::estimate_inputs(intervals[0]);
+    stats::RunningStats dur;
+    for (const auto& f : row.flows) dur.add(f.duration());
+    const auto b = core::fit_power_b(mm.variance, in);
+    std::printf("%-16s %10zu %11.1fx %12.2f %10.1f %10.2f\n", row.label,
+                row.flows.size(),
+                base / std::max(1.0, static_cast<double>(row.flows.size())),
+                dur.mean(), in.lambda, b.value_or(-1.0));
+  }
+
+  std::printf("\ncheck: flow state shrinks ~5-10x at /24 and FIB level and "
+              "~100x at /16; at high aggregation (/16, /8) the aggregates "
+              "are smooth enough that the rectangular shot (b=0) already "
+              "matches the measured variance\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (Section VIII): how much does the Poisson arrival assumption
+// matter?
+//
+// The model's variance formula assumes Poisson flow arrivals. This bench
+// generates traffic with the same flow population under (a) Poisson and
+// (b) increasingly bursty two-state Markov-modulated arrivals with the same
+// average rate, and compares the realised variance against the model's
+// prediction. The model should be exact for (a) and progressively
+// under-estimate for (b) — quantifying the paper's closing remark about
+// "more complex flow arrival processes than Poisson".
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/model.hpp"
+#include "gen/traffic_gen.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Ablation: Poisson vs Markov-modulated flow arrivals (Section VIII)");
+
+  const auto run = bench::run_profile(4, bench::default_scale());
+  if (run.five_tuple.empty()) {
+    std::printf("no intervals generated\n");
+    return 1;
+  }
+  const auto model = core::ShotNoiseModel::from_interval(
+      run.five_tuple[0].interval, core::triangular_shot());
+  const double predicted_var = model.variance();
+
+  auto base_cfg = gen::from_model(model, 900.0, 0.2);
+  base_cfg.seed = 2024;
+
+  struct Scenario {
+    const char* label;
+    gen::ArrivalModulation mod;
+  };
+  const Scenario scenarios[] = {
+      {"Poisson", {}},
+      {"MMPP mild (1.5x / 0.5x)", {1.5, 0.5, 5.0}},
+      {"MMPP moderate (2x / 0.25x)", {2.0, 0.25, 5.0}},
+      {"MMPP strong (3x / 0.05x)", {3.0, 0.05, 5.0}},
+  };
+
+  std::printf("model-predicted variance (Poisson assumption): %.4g\n\n",
+              predicted_var);
+  std::printf("%-30s %14s %12s %10s\n", "arrival process", "realised var",
+              "vs model", "CoV");
+  for (const auto& s : scenarios) {
+    auto cfg = base_cfg;
+    cfg.modulation = s.mod;
+    const auto out = gen::generate(cfg);
+    const double var = stats::population_variance(out.series.values);
+    const double mean = stats::mean(out.series.values);
+    std::printf("%-30s %14.4g %11.2fx %9.1f%%\n", s.label, var,
+                var / predicted_var,
+                mean > 0.0 ? 100.0 * std::sqrt(var) / mean : 0.0);
+  }
+
+  std::printf("\ncheck: the Poisson row sits near 1.0x (the model is exact "
+              "for its own assumptions); modulated arrivals push realised "
+              "variance above the prediction, growing with burstiness — the "
+              "cost of Assumption 1 when it fails\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: Theorem 3 — the rectangular flow-rate function achieves the
+// lowest total-rate variance among all shots, and the variance ordering of
+// the power family matches (b+1)^2/(2b+1).
+//
+// Runs on a measured flow population (not just closed forms): variances are
+// evaluated by ShotNoiseModel over the empirical (S, D) sample with several
+// shot shapes, including a non-power custom shot.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/model.hpp"
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Ablation (Theorem 3): shot shape vs total-rate variance");
+
+  const auto run = bench::run_profile(4, bench::default_scale());
+  if (run.five_tuple.empty()) {
+    std::printf("no intervals generated\n");
+    return 1;
+  }
+  const auto& iv = run.five_tuple[0].interval;
+
+  const auto rect = core::ShotNoiseModel::from_interval(
+      iv, core::rectangular_shot());
+  const double floor_var = rect.variance();
+  const double measured_var = run.five_tuple[0].measured.variance;
+
+  std::printf("%-28s %14s %12s %10s\n", "shot", "variance", "vs rect",
+              "CoV");
+  const auto report = [&](const core::ShotNoiseModel& m) {
+    std::printf("%-28s %14.4g %11.3fx %9.1f%%\n", m.shot().name().c_str(),
+                m.variance(), m.variance() / floor_var, 100.0 * m.cov());
+  };
+  report(rect);
+  for (double b : {0.5, 1.0, 2.0, 4.0}) {
+    report(rect.with_shot(core::power_shot(b)));
+  }
+  // A non-power shot: symmetric tent profile (ramp up then down).
+  const auto tent = std::make_shared<core::CustomShot>(
+      [](double x) { return x < 0.5 ? 4.0 * x : 4.0 * (1.0 - x); }, "tent");
+  report(rect.with_shot(tent));
+
+  std::printf("\nmeasured variance at Delta=200ms: %.4g (%.3fx rectangular "
+              "bound)\n", measured_var, measured_var / floor_var);
+  std::printf("check: every non-rectangular shot sits above 1.000x; power-"
+              "family ratios equal (b+1)^2/(2b+1); measured variance >= "
+              "bound (up to averaging loss)\n");
+  return 0;
+}

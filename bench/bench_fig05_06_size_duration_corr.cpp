@@ -1,0 +1,49 @@
+// Figures 5 and 6: auto-correlation of the flow-size sequence {S_n} and the
+// flow-duration sequence {D_n}, for 5-tuple (Fig 5) and /24 (Fig 6) flows.
+//
+// Paper: the correlation drops to ~0 immediately after lag 0, supporting
+// Assumption 2 (iid flow-rate functions).
+#include <cstdio>
+
+#include "common.hpp"
+#include "flow/flow_stats.hpp"
+
+namespace {
+
+void report(const char* title, const fbm::flow::IntervalData& iv) {
+  using namespace fbm;
+  const auto d = flow::diagnose_population(iv.flows, 10, 20);
+  std::printf("\n--- %s: %zu flows (band +-%.3f) ---\n", title,
+              iv.flows.size(), d.white_noise_band);
+  std::printf("  lag:       ");
+  for (std::size_t lag = 0; lag <= 20; lag += 2) std::printf("%6zu", lag);
+  std::printf("\n  durations: ");
+  for (std::size_t lag = 0; lag <= 20; lag += 2) {
+    std::printf("%6.2f", d.duration_acf[lag]);
+  }
+  std::printf("\n  sizes:     ");
+  for (std::size_t lag = 0; lag <= 20; lag += 2) {
+    std::printf("%6.2f", d.size_acf[lag]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Figures 5-6: serial correlation of flow sizes and durations");
+
+  const auto run = bench::run_profile(4, bench::default_scale());
+  if (run.five_tuple.empty() || run.prefix24.empty()) {
+    std::printf("no intervals generated\n");
+    return 1;
+  }
+  report("Figure 5: 5-tuple flows", run.five_tuple[0].interval);
+  report("Figure 6: /24 prefix flows", run.prefix24[0].interval);
+
+  std::printf("\ncheck: acf ~ 1 at lag 0 and ~0 beyond, for both sequences "
+              "and both definitions (iid assumption holds)\n");
+  return 0;
+}

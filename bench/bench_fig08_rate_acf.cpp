@@ -1,0 +1,70 @@
+// Figure 8: auto-correlation coefficient of the total rate r(tau)/r(0) for
+// tau in [0, 400] ms, computed by Theorem 2 for b = 0, 1, 2, for both flow
+// definitions.
+//
+// Paper: the coefficient decreases slowly over [0, 400] ms — especially for
+// /24 prefix flows whose durations are longer — which justifies using the
+// instantaneous variance as a stand-in for the 200 ms-averaged variance.
+// A second section evaluates eq. (7) directly: sigma_Delta^2 / sigma^2.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/model.hpp"
+
+namespace {
+
+void report(const char* title, const fbm::flow::IntervalData& iv) {
+  using namespace fbm;
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%8s", "tau(ms)");
+  for (double b : {0.0, 1.0, 2.0}) std::printf("      b=%.0f", b);
+  std::printf("\n");
+
+  std::vector<double> taus;
+  for (double t = 0.0; t <= 0.4001; t += 0.05) taus.push_back(t);
+
+  std::vector<std::vector<double>> rows(taus.size());
+  for (double b : {0.0, 1.0, 2.0}) {
+    const auto model =
+        core::ShotNoiseModel::from_interval(iv, core::power_shot(b));
+    const auto rho = model.autocorrelation(taus);
+    for (std::size_t i = 0; i < taus.size(); ++i) rows[i].push_back(rho[i]);
+  }
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    std::printf("%8.0f", taus[i] * 1e3);
+    for (double v : rows[i]) std::printf("%9.3f", v);
+    std::printf("\n");
+  }
+
+  // Section V-F, eq. (7): averaging-interval effect on the variance.
+  std::printf("  averaged-variance ratio sigma_Delta^2/sigma^2 (b=1): ");
+  const auto model = core::ShotNoiseModel::from_interval(iv, core::triangular_shot());
+  const double var = model.variance();
+  for (double delta : {0.05, 0.2, 1.0}) {
+    std::printf(" Delta=%.2fs: %.3f ", delta,
+                model.averaged_variance(delta) / var);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Figure 8: auto-correlation of the total rate (Theorem 2)");
+
+  const auto run = bench::run_profile(4, bench::default_scale());
+  if (run.five_tuple.empty() || run.prefix24.empty()) {
+    std::printf("no intervals generated\n");
+    return 1;
+  }
+  report("5-tuple flows", run.five_tuple[0].interval);
+  report("/24 prefix flows", run.prefix24[0].interval);
+
+  std::printf("\ncheck: rho decreases slowly on [0, 400] ms; /24 flows decay "
+              "slower (longer durations); larger b decays faster at small "
+              "tau\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark): throughput of the pipeline stages an
+// operator would run online — packet classification, parameter estimation,
+// model evaluation, prediction, and traffic generation.
+#include <benchmark/benchmark.h>
+
+#include "core/fitting.hpp"
+#include "core/model.hpp"
+#include "flow/classifier.hpp"
+#include "gen/traffic_gen.hpp"
+#include "measure/rate_meter.hpp"
+#include "predict/predictor.hpp"
+#include "predict/toeplitz.hpp"
+#include "stats/autocorrelation.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace fbm;
+
+const std::vector<net::PacketRecord>& shared_packets() {
+  static const auto packets = [] {
+    trace::SyntheticConfig cfg;
+    cfg.duration_s = 30.0;
+    cfg.apply_defaults();
+    cfg.target_utilization_bps(10e6);
+    return trace::generate_packets(cfg);
+  }();
+  return packets;
+}
+
+const std::vector<flow::FlowRecord>& shared_flows() {
+  static const auto flows =
+      flow::classify_all<flow::FiveTupleKey>(shared_packets());
+  return flows;
+}
+
+void BM_Classify5Tuple(benchmark::State& state) {
+  const auto& packets = shared_packets();
+  for (auto _ : state) {
+    flow::FiveTupleClassifier c;
+    for (const auto& p : packets) c.add(p);
+    c.flush();
+    benchmark::DoNotOptimize(c.flows().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_Classify5Tuple)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyPrefix24(benchmark::State& state) {
+  const auto& packets = shared_packets();
+  for (auto _ : state) {
+    flow::Prefix24Classifier c;
+    for (const auto& p : packets) c.add(p);
+    c.flush();
+    benchmark::DoNotOptimize(c.flows().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_ClassifyPrefix24)->Unit(benchmark::kMillisecond);
+
+void BM_RateBinning(benchmark::State& state) {
+  const auto& packets = shared_packets();
+  for (auto _ : state) {
+    const auto series = measure::measure_rate(packets, 0.0, 30.0, 0.2);
+    benchmark::DoNotOptimize(series.values.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(packets.size()));
+}
+BENCHMARK(BM_RateBinning)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineEstimator(benchmark::State& state) {
+  const auto& flows = shared_flows();
+  for (auto _ : state) {
+    core::OnlineEstimator est(0.05);
+    for (const auto& f : flows) est.observe(f);
+    benchmark::DoNotOptimize(est.inputs().lambda);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(flows.size()));
+}
+BENCHMARK(BM_OnlineEstimator)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelVariance(benchmark::State& state) {
+  const auto samples = core::to_samples(shared_flows());
+  const core::ShotNoiseModel model(100.0, samples,
+                                   core::power_shot(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.variance());
+  }
+}
+BENCHMARK(BM_ModelVariance)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ModelAutocovariance(benchmark::State& state) {
+  const auto samples = core::to_samples(shared_flows());
+  const core::ShotNoiseModel model(100.0, samples, core::triangular_shot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.autocovariance(0.2));
+  }
+}
+BENCHMARK(BM_ModelAutocovariance)->Unit(benchmark::kMicrosecond);
+
+void BM_LevinsonDurbin(benchmark::State& state) {
+  const std::size_t order = static_cast<std::size_t>(state.range(0));
+  std::vector<double> acf(order + 1);
+  for (std::size_t k = 0; k <= order; ++k) {
+    acf[k] = std::pow(0.85, static_cast<double>(k));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict::levinson_durbin(acf, order));
+  }
+}
+BENCHMARK(BM_LevinsonDurbin)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TrafficGeneration(benchmark::State& state) {
+  gen::GeneratorConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.lambda = 200.0;
+  cfg.shot = core::triangular_shot();
+  cfg.resample_pool = core::to_samples(shared_flows());
+  for (auto _ : state) {
+    const auto out = gen::generate(cfg);
+    benchmark::DoNotOptimize(out.series.values.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 150 *
+                          30);
+}
+BENCHMARK(BM_TrafficGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticTraceGeneration(benchmark::State& state) {
+  trace::SyntheticConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.apply_defaults();
+  cfg.target_utilization_bps(10e6);
+  for (auto _ : state) {
+    trace::GenerationReport rep;
+    const auto packets = trace::generate_packets(cfg, &rep);
+    benchmark::DoNotOptimize(packets.size());
+  }
+}
+BENCHMARK(BM_SyntheticTraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Table II: performance of the Moving-Average predictor for different
+// prediction intervals iota, comparing coefficients derived from the
+// measured rate samples {R_k} against coefficients derived from the model's
+// auto-correlation (Theorem 2, triangular shots).
+//
+// Paper (iota = 2, 5, 10, 30, 60 s): both predictors achieve ~4-6% error;
+// the model-driven predictor degrades more slowly as iota grows because its
+// ACF comes from flow statistics rather than the shrinking sample set.
+// Scaled run: the analysis window is 240 s instead of 30 min, so we use
+// iota = 0.4..8 s (same iota/window ratios).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/model.hpp"
+#include "measure/rate_meter.hpp"
+#include "predict/predictor.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace fbm;
+  bench::print_header(
+      "Table II: Moving-Average prediction of the total rate");
+
+  // One long trace (profile 1: 180 Mbps paper scale) as in the paper.
+  // Prediction error is relative to the mean, so it scales with the CoV;
+  // run this bench at a higher rate scale (less lambda down-scaling) to be
+  // in the paper's low-CoV regime.
+  auto scale = bench::default_scale();
+  scale.rate_scale = 1.0;
+  scale.max_length_s = 240.0;
+  const auto run = bench::run_profile(1, scale);
+  if (run.five_tuple.empty()) {
+    std::printf("no intervals generated\n");
+    return 1;
+  }
+
+  // Model over the first interval's flows; rate series over the whole trace.
+  const auto model = core::ShotNoiseModel::from_interval(
+      run.five_tuple[0].interval, core::triangular_shot());
+  const auto base = measure::measure_rate(run.packets, 0.0, run.horizon, 0.2);
+
+  std::printf("%10s | %18s | %18s\n", "iota (s)", "measured {R_k} ACF",
+              "model ACF (Thm 2)");
+  std::printf("%10s | %4s %12s | %4s %12s\n", "", "M", "error (%)", "M",
+              "error (%)");
+
+  for (std::size_t factor : {2u, 5u, 10u, 20u, 40u}) {
+    const auto series = stats::resample(base, factor);
+    if (series.values.size() < 12) continue;
+    const double iota = series.delta;
+    const double mean = stats::mean(series.values);
+    const std::size_t max_order =
+        std::min<std::size_t>(8, series.values.size() / 4);
+
+    const auto data_acf =
+        stats::autocorrelation_series(series.values, max_order);
+    const auto m_data =
+        predict::select_order(data_acf, series.values, max_order);
+    const auto rep_data = predict::evaluate_predictor(
+        predict::MovingAveragePredictor(data_acf, m_data, mean),
+        series.values);
+
+    std::vector<double> taus;
+    for (std::size_t k = 0; k <= max_order; ++k) taus.push_back(k * iota);
+    const auto model_acf = model.autocorrelation(taus);
+    const auto m_model =
+        predict::select_order(model_acf, series.values, max_order);
+    const auto rep_model = predict::evaluate_predictor(
+        predict::MovingAveragePredictor(model_acf, m_model, mean),
+        series.values);
+
+    std::printf("%10.1f | %4zu %12.2f | %4zu %12.2f\n", iota, m_data,
+                100.0 * rep_data.relative_error, m_model,
+                100.0 * rep_model.relative_error);
+  }
+
+  std::printf("\ncheck: errors in the paper's ballpark (single digits to "
+              "low teens) for both methods, with the model-driven ACF "
+              "competitive throughout; at large iota {R_k} has few samples, "
+              "which is where flow-derived coefficients are most useful\n");
+  return 0;
+}

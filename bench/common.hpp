@@ -1,0 +1,57 @@
+// Shared machinery for the paper-reproduction benches.
+//
+// Each bench regenerates one table or figure. They share the scaled Sprint
+// profiles (trace/sprint_profiles) and this pipeline: synthetic trace ->
+// 5-tuple and /24 classification (60 s timeout, interval splitting) ->
+// per-interval model inputs + measured rate moments at Delta = 200 ms.
+//
+// Scaling relative to the paper (documented in EXPERIMENTS.md): the 30-min
+// analysis interval becomes 30 s (time_scale = 1/60), trace lengths are
+// capped at 240 s, and utilizations are divided by 10 (26-262 Mbps ->
+// 2.6-26.2 Mbps) so every bench finishes in seconds on a laptop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/classifier.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
+#include "net/packet.hpp"
+#include "trace/sprint_profiles.hpp"
+
+namespace fbm::bench {
+
+/// Default scaling for all benches.
+[[nodiscard]] trace::ScaleOptions default_scale();
+
+/// One analysis interval, fully measured, for one flow definition.
+struct IntervalResult {
+  flow::ModelInputs inputs;
+  measure::RateMoments measured;       ///< Delta = 200 ms moments
+  flow::IntervalData interval;         ///< the flows themselves
+};
+
+/// One generated + analysed trace.
+struct ProfileRun {
+  std::size_t profile_index = 0;
+  trace::SprintProfile profile;        ///< paper-scale metadata
+  std::vector<net::PacketRecord> packets;
+  double horizon = 0.0;
+  double interval_s = 0.0;
+  std::vector<IntervalResult> five_tuple;
+  std::vector<IntervalResult> prefix24;
+};
+
+/// Generates and analyses one Table-I profile.
+[[nodiscard]] ProfileRun run_profile(std::size_t index,
+                                     const trace::ScaleOptions& scale);
+
+/// All seven profiles (the full evaluation corpus).
+[[nodiscard]] std::vector<ProfileRun> run_all_profiles(
+    const trace::ScaleOptions& scale);
+
+/// Pretty header for bench output.
+void print_header(const std::string& title);
+
+}  // namespace fbm::bench

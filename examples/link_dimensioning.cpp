@@ -1,0 +1,73 @@
+// Link dimensioning and what-if analysis (paper Section VII-A).
+//
+// An operator collects flow statistics (here: from a synthetic trace) and
+// asks: how much bandwidth does this link need so that congestion occurs
+// less than eps of the time? What happens if a new customer doubles the
+// flow arrival rate, or a new application doubles transfer sizes?
+//
+// Run:  ./examples/link_dimensioning
+#include <cstdio>
+
+#include "dimension/provisioning.hpp"
+#include "flow/classifier.hpp"
+#include "flow/interval.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+void print_plan(const char* label, const fbm::dimension::ProvisioningPlan& p) {
+  std::printf("%-34s %8.2f Mbps %7.2f Mbps %6.1f%% %9.2f Mbps %7.2fx\n",
+              label, p.mean_bps / 1e6, p.stddev_bps / 1e6, 100.0 * p.cov,
+              p.capacity_bps / 1e6, p.headroom);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fbm;
+
+  trace::SyntheticConfig cfg;
+  cfg.duration_s = 45.0;
+  cfg.apply_defaults();
+  cfg.target_utilization_bps(12e6);
+  const auto packets = trace::generate_packets(cfg);
+  const auto flows = flow::classify_all<flow::FiveTupleKey>(packets);
+  const auto intervals = flow::group_by_interval(flows, 45.0, 45.0);
+  const auto in = flow::estimate_inputs(intervals[0]);
+
+  const double b = 1.0;     // triangular shots
+  const double eps = 0.01;  // tolerate congestion 1% of the time
+
+  std::printf("dimensioning for eps = %.2f, triangular shots\n\n", eps);
+  std::printf("%-34s %13s %12s %7s %14s %8s\n", "scenario", "mean", "stddev",
+              "CoV", "capacity", "headroom");
+
+  print_plan("today", dimension::plan_link(in, b, eps));
+
+  dimension::WhatIf more_flows;
+  more_flows.lambda_factor = 2.0;
+  print_plan("new customer: 2x flow arrivals",
+             dimension::plan_link(apply_scenario(in, more_flows), b, eps));
+
+  dimension::WhatIf bigger;
+  bigger.size_factor = 2.0;
+  print_plan("new application: 2x flow sizes",
+             dimension::plan_link(apply_scenario(in, bigger), b, eps));
+
+  dimension::WhatIf slower;
+  slower.duration_factor = 2.0;
+  print_plan("congested access: 2x durations",
+             dimension::plan_link(apply_scenario(in, slower), b, eps));
+
+  // The smoothing law: capacity grows sublinearly in lambda.
+  std::printf("\nsmoothing law (CoV ~ 1/sqrt(lambda)):\n");
+  std::printf("%8s %10s %10s %12s\n", "lambda x", "CoV", "headroom",
+              "capacity");
+  for (const auto& plan : dimension::capacity_sweep(
+           in, b, eps, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0})) {
+    std::printf("%8.0f %9.1f%% %9.2fx %9.1f Mbps\n",
+                plan.mean_bps / dimension::plan_link(in, b, eps).mean_bps,
+                100.0 * plan.cov, plan.headroom, plan.capacity_bps / 1e6);
+  }
+  return 0;
+}

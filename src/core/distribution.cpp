@@ -1,0 +1,172 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/quadrature.hpp"
+
+namespace fbm::core {
+
+namespace {
+
+// Quantile-stratified subsample: stride over the population sorted by flow
+// size. A plain stride is unbiased only in expectation; with heavy-tailed
+// sizes a single extra elephant shifts the subsample mean by several sigma.
+// Striding the sorted order preserves the empirical size quantiles exactly
+// (and the joint (S, D) pairs with them).
+std::vector<FlowSample> subsample(const std::vector<FlowSample>& samples,
+                                  std::size_t cap) {
+  if (samples.size() <= cap) return samples;
+  std::vector<FlowSample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FlowSample& a, const FlowSample& b) {
+              return a.size_bits < b.size_bits;
+            });
+  std::vector<FlowSample> out;
+  out.reserve(cap);
+  const double stride =
+      static_cast<double>(sorted.size()) / static_cast<double>(cap);
+  // Sample strata midpoints so the largest stratum (deep tail) is not
+  // systematically included or excluded.
+  for (std::size_t i = 0; i < cap; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        (static_cast<double>(i) + 0.5) * stride);
+    out.push_back(sorted[std::min(idx, sorted.size() - 1)]);
+  }
+  return out;
+}
+
+std::complex<double> characteristic_exponent(
+    const ShotNoiseModel& model, const std::vector<FlowSample>& pop,
+    double omega) {
+  // lambda * E[ int_0^D (1 - e^{i omega X(u)}) du ], computed as separate
+  // real and imaginary quadratures per sample.
+  double re = 0.0;
+  double im = 0.0;
+  const Shot& shot = model.shot();
+  for (const auto& fs : pop) {
+    re += integrate(
+        [&](double u) {
+          return 1.0 -
+                 std::cos(omega * shot.value(u, fs.size_bits, fs.duration_s));
+        },
+        0.0, fs.duration_s);
+    im += integrate(
+        [&](double u) {
+          return std::sin(omega * shot.value(u, fs.size_bits, fs.duration_s));
+        },
+        0.0, fs.duration_s);
+  }
+  const double n = static_cast<double>(pop.size());
+  return {model.lambda() * re / n, model.lambda() * im / n};
+}
+
+}  // namespace
+
+std::complex<double> characteristic_function(const ShotNoiseModel& model,
+                                             double omega,
+                                             std::size_t max_samples) {
+  const auto pop = subsample(model.samples(), max_samples);
+  const auto expo = characteristic_exponent(model, pop, omega);
+  // phi = exp(-(re - i*im)) = exp(-re) * (cos(im) + i sin(im)).
+  const double mag = std::exp(-expo.real());
+  return {mag * std::cos(expo.imag()), mag * std::sin(expo.imag())};
+}
+
+double RatePdf::exceedance(double level) const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] <= level) continue;
+    const double lo = std::max(level, x[i - 1]);
+    const double w = x[i] - lo;
+    // Trapezoid clipped at `level`.
+    const double f_lo =
+        density[i - 1] + (density[i] - density[i - 1]) *
+                             ((lo - x[i - 1]) / (x[i] - x[i - 1]));
+    acc += 0.5 * (f_lo + density[i]) * w;
+  }
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double RatePdf::mean() const {
+  double acc = 0.0;
+  double mass = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double w = x[i] - x[i - 1];
+    acc += 0.5 * (x[i] * density[i] + x[i - 1] * density[i - 1]) * w;
+    mass += 0.5 * (density[i] + density[i - 1]) * w;
+  }
+  return mass > 0.0 ? acc / mass : 0.0;
+}
+
+double RatePdf::stddev() const {
+  const double mu = mean();
+  double acc = 0.0;
+  double mass = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double w = x[i] - x[i - 1];
+    const auto sq = [&](std::size_t k) {
+      return (x[k] - mu) * (x[k] - mu) * density[k];
+    };
+    acc += 0.5 * (sq(i) + sq(i - 1)) * w;
+    mass += 0.5 * (density[i] + density[i - 1]) * w;
+  }
+  return mass > 0.0 ? std::sqrt(acc / mass) : 0.0;
+}
+
+RatePdf rate_distribution(const ShotNoiseModel& model,
+                          const InversionOptions& options) {
+  if (options.grid < 8) {
+    throw std::invalid_argument("rate_distribution: grid too small");
+  }
+  const auto pop = subsample(model.samples(), options.max_samples);
+  // Use the subsampled population's own moments so the inversion grid and
+  // phi are mutually consistent.
+  const ShotNoiseModel sub(model.lambda(), pop, model.shot_ptr());
+  const double mu = sub.mean_rate();
+  const double sigma = sub.stddev();
+
+  const double lo = std::max(0.0, mu - options.span_sigmas * sigma);
+  const double hi = mu + options.span_sigmas * sigma;
+  const double span = hi - lo;
+  if (!(span > 0.0)) {
+    throw std::invalid_argument("rate_distribution: degenerate span");
+  }
+
+  const std::size_t n = options.grid;
+  // Nyquist-style pairing: omega resolution 2 pi / span, max omega chosen so
+  // the x grid step is span/n.
+  const double d_omega = 2.0 * M_PI / span;
+  const std::size_t n_omega = n / 2;
+
+  // Precompute phi on the positive omega grid (phi(-w) = conj(phi(w))).
+  std::vector<std::complex<double>> phi(n_omega);
+  for (std::size_t k = 0; k < n_omega; ++k) {
+    const double omega = d_omega * static_cast<double>(k + 1);
+    const auto expo = characteristic_exponent(sub, pop, omega);
+    const double mag = std::exp(-expo.real());
+    phi[k] = {mag * std::cos(expo.imag()), mag * std::sin(expo.imag())};
+  }
+
+  RatePdf out;
+  out.x.resize(n);
+  out.density.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = lo + span * static_cast<double>(j) /
+                              static_cast<double>(n - 1);
+    // f(x) = (1/2pi) * [ 1 + 2 sum_k Re(phi(w_k) e^{-i w_k x}) ] * d_omega
+    // (the k=0 term is phi(0)=1).
+    double acc = 1.0;
+    for (std::size_t k = 0; k < n_omega; ++k) {
+      const double w = d_omega * static_cast<double>(k + 1);
+      acc += 2.0 * (phi[k].real() * std::cos(w * x) +
+                    phi[k].imag() * std::sin(w * x));
+    }
+    out.x[j] = x;
+    out.density[j] = std::max(0.0, acc * d_omega / (2.0 * M_PI));
+  }
+  return out;
+}
+
+}  // namespace fbm::core

@@ -1,0 +1,50 @@
+#include "core/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbm::core {
+
+std::optional<double> fit_power_b(double measured_variance,
+                                  const flow::ModelInputs& inputs) {
+  const double denom = inputs.lambda * inputs.mean_s2_over_d;
+  if (!(denom > 0.0) || !(measured_variance >= 0.0)) return std::nullopt;
+  const double gamma = measured_variance / denom;
+  if (gamma <= 1.0) return 0.0;  // Theorem 3: rectangle already matches
+  return (gamma - 1.0) + std::sqrt(gamma * (gamma - 1.0));
+}
+
+double gamma_of_b(double b) {
+  const double c = b + 1.0;
+  return c * c / (2.0 * b + 1.0);
+}
+
+OnlineEstimator::OnlineEstimator(double eps, double min_duration_s,
+                                 double rate_window_s)
+    : arrival_rate_(rate_window_s),
+      mean_size_bits_(eps),
+      mean_s2_over_d_(eps),
+      min_duration_s_(min_duration_s) {}
+
+void OnlineEstimator::observe(const flow::FlowRecord& flow) {
+  ++flows_;
+  // Flows complete (and are observed) in an order that need not match their
+  // arrival order; clamp so the rate estimator sees a monotone clock.
+  last_start_ = std::max(last_start_, flow.start);
+  arrival_rate_.observe(last_start_);
+  const double s = static_cast<double>(flow.bytes) * 8.0;
+  mean_size_bits_.update(s);
+  const double d = std::max(flow.duration(), min_duration_s_);
+  mean_s2_over_d_.update(s * s / d);
+}
+
+flow::ModelInputs OnlineEstimator::inputs() const {
+  flow::ModelInputs in;
+  in.lambda = arrival_rate_.rate();
+  in.mean_size_bits = mean_size_bits_.value();
+  in.mean_s2_over_d = mean_s2_over_d_.value();
+  in.flows = flows_;
+  return in;
+}
+
+}  // namespace fbm::core

@@ -1,0 +1,53 @@
+// Parameter estimation (Sections V-D and V-G).
+//
+// Offline: fit the shot power b so that the model variance matches the
+// measured variance (eq. 5-6):
+//   gamma = measured_variance / (lambda * E[S^2/D]),   gamma >= 1
+//   b_hat = (gamma - 1) + sqrt(gamma (gamma - 1)).
+//
+// Online: EWMA estimators for the three parameters, updated as flows
+// complete, exactly as sketched in Section V-G.
+#pragma once
+
+#include <optional>
+
+#include "flow/flow_record.hpp"
+#include "flow/interval.hpp"
+#include "stats/ewma.hpp"
+
+namespace fbm::core {
+
+/// b_hat from the measured variance of the Delta-averaged rate. Because the
+/// measured variance can fall slightly below the rectangular lower bound
+/// (averaging effect, Section V-F / Theorem 3 discussion), gamma < 1 is
+/// clamped to b = 0; a negative or zero denominator yields nullopt.
+[[nodiscard]] std::optional<double> fit_power_b(
+    double measured_variance, const flow::ModelInputs& inputs);
+
+/// Inverse of fit: the gamma = (b+1)^2/(2b+1) variance factor.
+[[nodiscard]] double gamma_of_b(double b);
+
+/// Streaming three-parameter estimator (Section V-G). Feed every completed
+/// flow; `inputs()` gives current (lambda, E[S], E[S^2/D]) estimates.
+class OnlineEstimator {
+ public:
+  /// eps: EWMA gain in (0,1] for E[S] and E[S^2/D]; min_duration_s guards
+  /// S^2/D; rate_window_s is the time constant of the lambda estimator.
+  explicit OnlineEstimator(double eps = 0.05, double min_duration_s = 1e-3,
+                           double rate_window_s = 10.0);
+
+  void observe(const flow::FlowRecord& flow);
+
+  [[nodiscard]] flow::ModelInputs inputs() const;
+  [[nodiscard]] std::size_t flows_seen() const { return flows_; }
+
+ private:
+  stats::DiscountedRateEstimator arrival_rate_;
+  stats::EwmaEstimator mean_size_bits_;
+  stats::EwmaEstimator mean_s2_over_d_;
+  double min_duration_s_;
+  double last_start_ = 0.0;
+  std::size_t flows_ = 0;
+};
+
+}  // namespace fbm::core

@@ -1,0 +1,47 @@
+#include "core/gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/quantile.hpp"
+
+namespace fbm::core {
+
+GaussianApproximation::GaussianApproximation(double mean_bps, double variance)
+    : mean_(mean_bps), stddev_(std::sqrt(variance)) {
+  if (!(variance >= 0.0)) {
+    throw std::invalid_argument("GaussianApproximation: variance < 0");
+  }
+}
+
+double GaussianApproximation::pdf(double rate_bps) const {
+  if (stddev_ == 0.0) return 0.0;
+  const double z = (rate_bps - mean_) / stddev_;
+  return std::exp(-0.5 * z * z) / (stddev_ * std::sqrt(2.0 * M_PI));
+}
+
+double GaussianApproximation::cdf(double rate_bps) const {
+  if (stddev_ == 0.0) return rate_bps >= mean_ ? 1.0 : 0.0;
+  return stats::normal_cdf((rate_bps - mean_) / stddev_);
+}
+
+double GaussianApproximation::exceedance(double capacity_bps) const {
+  return 1.0 - cdf(capacity_bps);
+}
+
+double GaussianApproximation::capacity_for_exceedance(double eps) const {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("capacity_for_exceedance: eps outside (0,1)");
+  }
+  if (stddev_ == 0.0) return mean_;
+  return mean_ + stats::normal_quantile(1.0 - eps) * stddev_;
+}
+
+double GaussianApproximation::fraction_within(double k_sigma) const {
+  if (!(k_sigma >= 0.0)) {
+    throw std::invalid_argument("fraction_within: k < 0");
+  }
+  return stats::normal_cdf(k_sigma) - stats::normal_cdf(-k_sigma);
+}
+
+}  // namespace fbm::core

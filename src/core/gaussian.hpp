@@ -1,0 +1,38 @@
+// Gaussian approximation of the total rate (Section V-E).
+//
+// With many simultaneously active flows, the Central Limit Theorem justifies
+// approximating R(t) ~ Normal(E[R], Var(R)). The ISP-facing outputs are the
+// tail probability P(R > C) and its inverse, the bandwidth needed so that
+// congestion occurs in less than a fraction eps of time:
+//   C = E[R] + q(1-eps) * sigma.
+#pragma once
+
+namespace fbm::core {
+
+class GaussianApproximation {
+ public:
+  /// mean in bits/s, variance in (bits/s)^2 (variance may be 0).
+  GaussianApproximation(double mean_bps, double variance);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+  [[nodiscard]] double pdf(double rate_bps) const;
+  [[nodiscard]] double cdf(double rate_bps) const;
+
+  /// P(R > capacity): the congestion probability of a link of this size.
+  [[nodiscard]] double exceedance(double capacity_bps) const;
+
+  /// Smallest capacity with P(R > C) <= eps (eps in (0,1)).
+  [[nodiscard]] double capacity_for_exceedance(double eps) const;
+
+  /// Fraction of time the rate stays within k standard deviations of the
+  /// mean: Phi(k) - Phi(-k). The paper's example: ~70% within one sigma.
+  [[nodiscard]] double fraction_within(double k_sigma) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace fbm::core

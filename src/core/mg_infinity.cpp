@@ -1,0 +1,56 @@
+#include "core/mg_infinity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::core {
+
+MGInfinity::MGInfinity(double lambda, double mean_duration_s)
+    : rho_(lambda * mean_duration_s) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("MGInfinity: lambda <= 0");
+  if (!(mean_duration_s > 0.0)) {
+    throw std::invalid_argument("MGInfinity: mean duration <= 0");
+  }
+}
+
+double MGInfinity::pmf(std::uint64_t k) const {
+  // exp(k log(rho) - rho - lgamma(k+1)) avoids overflow for large rho.
+  const double kk = static_cast<double>(k);
+  return std::exp(kk * std::log(rho_) - rho_ - std::lgamma(kk + 1.0));
+}
+
+double MGInfinity::cdf(std::uint64_t k) const {
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) acc += pmf(i);
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double MGInfinity::pgf(double z) const {
+  if (std::abs(z) > 1.0 + 1e-12) {
+    throw std::invalid_argument("MGInfinity::pgf: |z| > 1");
+  }
+  return std::exp(rho_ * (z - 1.0));
+}
+
+ConstantRateBaseline::ConstantRateBaseline(double rate_bps, double lambda,
+                                           double mean_duration_s)
+    : rate_(rate_bps), occupancy_(lambda, mean_duration_s) {
+  if (!(rate_bps > 0.0)) {
+    throw std::invalid_argument("ConstantRateBaseline: rate <= 0");
+  }
+}
+
+double ConstantRateBaseline::mean_rate() const {
+  return rate_ * occupancy_.mean_active();
+}
+
+double ConstantRateBaseline::variance() const {
+  return rate_ * rate_ * occupancy_.variance_active();
+}
+
+double ConstantRateBaseline::cov() const {
+  const double m = mean_rate();
+  return m > 0.0 ? std::sqrt(variance()) / m : 0.0;
+}
+
+}  // namespace fbm::core

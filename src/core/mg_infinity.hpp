@@ -1,0 +1,55 @@
+// M/G/infinity view of the flow population (Section V-A).
+//
+// With Poisson(lambda) arrivals and generic holding times D, the number of
+// active flows N(t) is the occupancy of an M/G/infinity queue: Poisson with
+// mean rho = lambda*E[D] in steady state, and the PGF used in the proof of
+// Theorem 1 is E[z^N] = exp(rho (z-1)).
+//
+// ConstantRateBaseline is the model of [3] (Ben Fredj et al.) that the paper
+// cites as the special case where every flow has the same rate: R = r*N.
+// It serves as the comparison baseline in the benches.
+#pragma once
+
+#include <cstdint>
+
+namespace fbm::core {
+
+/// Steady-state occupancy N ~ Poisson(rho), rho = lambda * E[D].
+class MGInfinity {
+ public:
+  /// lambda in flows/s, mean_duration in s; both must be positive.
+  MGInfinity(double lambda, double mean_duration_s);
+
+  [[nodiscard]] double load() const { return rho_; }
+  [[nodiscard]] double mean_active() const { return rho_; }
+  [[nodiscard]] double variance_active() const { return rho_; }
+
+  /// P(N = k).
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+  /// P(N <= k).
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+  /// Probability generating function E[z^N] = exp(rho (z-1)), |z| <= 1.
+  [[nodiscard]] double pgf(double z) const;
+
+ private:
+  double rho_;
+};
+
+/// Baseline of Section II ([3]): every flow transmits at the same constant
+/// rate r, so R(t) = r * N(t) with N ~ Poisson(rho). Equivalent to our model
+/// with rectangular shots and degenerate S/D ratio.
+class ConstantRateBaseline {
+ public:
+  /// rate_bps: the common flow rate r; lambda flows/s; mean_duration s.
+  ConstantRateBaseline(double rate_bps, double lambda, double mean_duration_s);
+
+  [[nodiscard]] double mean_rate() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double cov() const;
+
+ private:
+  double rate_;
+  MGInfinity occupancy_;
+};
+
+}  // namespace fbm::core

@@ -1,0 +1,154 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/quadrature.hpp"
+
+namespace fbm::core {
+
+std::vector<FlowSample> to_samples(std::span<const flow::FlowRecord> flows,
+                                   double min_duration_s) {
+  std::vector<FlowSample> out;
+  out.reserve(flows.size());
+  for (const auto& f : flows) {
+    out.push_back({static_cast<double>(f.bytes) * 8.0,
+                   std::max(f.duration(), min_duration_s)});
+  }
+  return out;
+}
+
+ShotNoiseModel::ShotNoiseModel(double lambda, std::vector<FlowSample> samples,
+                               ShotPtr shot)
+    : lambda_(lambda), samples_(std::move(samples)), shot_(std::move(shot)) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("ShotNoiseModel: lambda <= 0");
+  }
+  if (samples_.empty()) {
+    throw std::invalid_argument("ShotNoiseModel: no flow samples");
+  }
+  if (!shot_) throw std::invalid_argument("ShotNoiseModel: null shot");
+  for (const auto& s : samples_) {
+    if (!(s.size_bits >= 0.0) || !(s.duration_s > 0.0)) {
+      throw std::invalid_argument(
+          "ShotNoiseModel: sample with negative size or non-positive "
+          "duration");
+    }
+  }
+}
+
+ShotNoiseModel ShotNoiseModel::from_interval(const flow::IntervalData& interval,
+                                             ShotPtr shot,
+                                             double min_duration_s) {
+  if (interval.flows.empty() || !(interval.length > 0.0)) {
+    throw std::invalid_argument("from_interval: empty interval");
+  }
+  const double lambda =
+      static_cast<double>(interval.flows.size()) / interval.length;
+  return ShotNoiseModel(lambda, to_samples(interval.flows, min_duration_s),
+                        std::move(shot));
+}
+
+double ShotNoiseModel::mean_rate() const {
+  return lambda_ * expect([](const FlowSample& s) { return s.size_bits; });
+}
+
+double ShotNoiseModel::variance() const {
+  return lambda_ * expect([this](const FlowSample& s) {
+           return shot_->energy(s.size_bits, s.duration_s);
+         });
+}
+
+double ShotNoiseModel::stddev() const { return std::sqrt(variance()); }
+
+double ShotNoiseModel::cov() const {
+  const double m = mean_rate();
+  return m > 0.0 ? stddev() / m : 0.0;
+}
+
+double ShotNoiseModel::autocovariance(double tau) const {
+  return lambda_ * expect([this, tau](const FlowSample& s) {
+           return shot_->autocov_kernel(tau, s.size_bits, s.duration_s);
+         });
+}
+
+std::vector<double> ShotNoiseModel::autocorrelation(
+    std::span<const double> taus) const {
+  const double r0 = variance();
+  std::vector<double> out;
+  out.reserve(taus.size());
+  for (double tau : taus) {
+    out.push_back(r0 > 0.0 ? autocovariance(tau) / r0 : 0.0);
+  }
+  return out;
+}
+
+double ShotNoiseModel::spectral_density(double omega) const {
+  return lambda_ / (2.0 * M_PI) * expect([this, omega](const FlowSample& s) {
+           return shot_->fourier_mag2(omega, s.size_bits, s.duration_s);
+         });
+}
+
+double ShotNoiseModel::averaged_variance(double delta) const {
+  if (!(delta > 0.0)) {
+    throw std::invalid_argument("averaged_variance: delta <= 0");
+  }
+  const double integral = integrate(
+      [this, delta](double t) { return (delta - t) * autocovariance(t); },
+      0.0, delta);
+  return 2.0 / (delta * delta) * integral;
+}
+
+double ShotNoiseModel::cumulant(int k) const {
+  if (k < 1) throw std::invalid_argument("cumulant: k < 1");
+  return lambda_ * expect([this, k](const FlowSample& s) {
+           return shot_->power_integral(k, s.size_bits, s.duration_s);
+         });
+}
+
+double ShotNoiseModel::skewness() const {
+  const double v = variance();
+  if (!(v > 0.0)) return 0.0;
+  return cumulant(3) / std::pow(v, 1.5);
+}
+
+double ShotNoiseModel::excess_kurtosis() const {
+  const double v = variance();
+  if (!(v > 0.0)) return 0.0;
+  return cumulant(4) / (v * v);
+}
+
+double ShotNoiseModel::lst(double s) const {
+  if (!(s >= 0.0)) throw std::invalid_argument("lst: s < 0");
+  if (s == 0.0) return 1.0;
+  const double exponent = expect([this, s](const FlowSample& fs) {
+    return integrate(
+        [&](double u) {
+          return 1.0 - std::exp(-s * shot_->value(u, fs.size_bits,
+                                                  fs.duration_s));
+        },
+        0.0, fs.duration_s);
+  });
+  return std::exp(-lambda_ * exponent);
+}
+
+GaussianApproximation ShotNoiseModel::gaussian() const {
+  return GaussianApproximation(mean_rate(), variance());
+}
+
+flow::ModelInputs ShotNoiseModel::inputs() const {
+  flow::ModelInputs in;
+  in.lambda = lambda_;
+  in.flows = samples_.size();
+  in.mean_size_bits = expect([](const FlowSample& s) { return s.size_bits; });
+  in.mean_s2_over_d = expect([](const FlowSample& s) {
+    return s.size_bits * s.size_bits / s.duration_s;
+  });
+  return in;
+}
+
+ShotNoiseModel ShotNoiseModel::with_shot(ShotPtr shot) const {
+  return ShotNoiseModel(lambda_, samples_, std::move(shot));
+}
+
+}  // namespace fbm::core

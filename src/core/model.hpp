@@ -1,0 +1,111 @@
+// The Poisson shot-noise traffic model (Sections IV-V) over an empirical
+// flow population.
+//
+// ShotNoiseModel carries the flow arrival rate lambda, the sample of
+// (S_n, D_n) pairs observed in an analysis interval, and a shot shape. All
+// expectations E[f(S, D)] in the paper's formulas are evaluated as sample
+// means over the population, so the model needs no parametric assumption on
+// sizes or durations — exactly the paper's measurement-driven usage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/gaussian.hpp"
+#include "core/shot.hpp"
+#include "flow/flow_record.hpp"
+#include "flow/interval.hpp"
+
+namespace fbm::core {
+
+/// One flow observation in model units (bits, seconds).
+struct FlowSample {
+  double size_bits;
+  double duration_s;
+};
+
+/// Converts classifier output, clamping durations below `min_duration_s`
+/// (guards S^2/D for near-instant flows, see flow::estimate_inputs).
+[[nodiscard]] std::vector<FlowSample> to_samples(
+    std::span<const flow::FlowRecord> flows, double min_duration_s = 1e-3);
+
+class ShotNoiseModel {
+ public:
+  /// lambda: flow arrival rate (1/s); samples: observed (S, D); shot: rate
+  /// profile. Throws std::invalid_argument for lambda<=0, empty samples or
+  /// null shot.
+  ShotNoiseModel(double lambda, std::vector<FlowSample> samples, ShotPtr shot);
+
+  /// Builds from one analysis interval (uses its lambda and flows).
+  [[nodiscard]] static ShotNoiseModel from_interval(
+      const flow::IntervalData& interval, ShotPtr shot,
+      double min_duration_s = 1e-3);
+
+  // --- first and second moments -------------------------------------------
+  /// Corollary 1: lambda * E[S], bits/s.
+  [[nodiscard]] double mean_rate() const;
+  /// Corollary 2: lambda * E[energy(S,D)], (bits/s)^2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double cov() const;  ///< stddev/mean, 0 if mean==0
+
+  // --- correlation structure (Theorem 2) -----------------------------------
+  /// r(tau) = lambda * E[autocov_kernel(tau; S, D)]; r(0) == variance().
+  [[nodiscard]] double autocovariance(double tau) const;
+  /// r(tau)/r(0) for each tau (Figure 8).
+  [[nodiscard]] std::vector<double> autocorrelation(
+      std::span<const double> taus) const;
+  /// Spectral density of the centered process:
+  /// Gamma(omega) = lambda/(2 pi) * E|X_hat(omega)|^2.
+  [[nodiscard]] double spectral_density(double omega) const;
+
+  /// Eq. (7): variance of the Delta-averaged measured rate,
+  /// (2/Delta^2) * int_0^Delta (Delta - t) r(t) dt.
+  [[nodiscard]] double averaged_variance(double delta) const;
+
+  // --- higher moments (Corollary 3) ----------------------------------------
+  /// k-th cumulant of R: lambda * E[int_0^D X(u)^k du]; k=1 is the mean,
+  /// k=2 the variance.
+  [[nodiscard]] double cumulant(int k) const;
+  [[nodiscard]] double skewness() const;
+  [[nodiscard]] double excess_kurtosis() const;
+
+  // --- Theorem 1 ------------------------------------------------------------
+  /// LST E[exp(-s R)] evaluated at real s >= 0:
+  /// exp(-lambda E[int_0^D (1 - e^{-s X(u)}) du]).
+  [[nodiscard]] double lst(double s) const;
+
+  // --- Section V-E -----------------------------------------------------------
+  [[nodiscard]] GaussianApproximation gaussian() const;
+
+  // --- accessors --------------------------------------------------------------
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] const Shot& shot() const { return *shot_; }
+  [[nodiscard]] ShotPtr shot_ptr() const { return shot_; }
+  [[nodiscard]] const std::vector<FlowSample>& samples() const {
+    return samples_;
+  }
+  /// Three-parameter summary (Section V-G) of this population.
+  [[nodiscard]] flow::ModelInputs inputs() const;
+
+  /// Returns a copy using a different shot (same population).
+  [[nodiscard]] ShotNoiseModel with_shot(ShotPtr shot) const;
+
+ private:
+  /// Sample mean of f(S, D) over the population.
+  template <typename F>
+  [[nodiscard]] double expect(F&& f) const {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      acc += (f(s) - acc) / static_cast<double>(++n);
+    }
+    return acc;
+  }
+
+  double lambda_;
+  std::vector<FlowSample> samples_;
+  ShotPtr shot_;
+};
+
+}  // namespace fbm::core

@@ -1,0 +1,35 @@
+#include "core/moments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::core {
+
+double mean_rate(const flow::ModelInputs& in) {
+  return in.lambda * in.mean_size_bits;
+}
+
+double power_shot_variance(const flow::ModelInputs& in, double b) {
+  if (!(b >= 0.0)) throw std::invalid_argument("power_shot_variance: b < 0");
+  const double c = b + 1.0;
+  return in.lambda * c * c / (2.0 * b + 1.0) * in.mean_s2_over_d;
+}
+
+double power_shot_cov(const flow::ModelInputs& in, double b) {
+  const double m = mean_rate(in);
+  if (!(m > 0.0)) return 0.0;
+  return std::sqrt(power_shot_variance(in, b)) / m;
+}
+
+double variance_lower_bound(const flow::ModelInputs& in) {
+  return power_shot_variance(in, 0.0);
+}
+
+flow::ModelInputs scale_lambda(const flow::ModelInputs& in, double factor) {
+  if (!(factor > 0.0)) throw std::invalid_argument("scale_lambda: factor<=0");
+  flow::ModelInputs out = in;
+  out.lambda *= factor;
+  return out;
+}
+
+}  // namespace fbm::core

@@ -1,0 +1,35 @@
+// Closed-form moments of the total rate for power shots.
+//
+// With only the three parameters of Section V-G — lambda, E[S], E[S^2/D] —
+// these functions give the paper's headline outputs:
+//   Corollary 1: E[R]   = lambda * E[S]
+//   Corollary 2 (power shot b): Var(R) = lambda * (b+1)^2/(2b+1) * E[S^2/D]
+//   Theorem 3:   Var(R) >= lambda * E[S^2/D]  (rectangular lower bound)
+#pragma once
+
+#include "flow/interval.hpp"
+
+namespace fbm::core {
+
+/// Corollary 1, bits/s.
+[[nodiscard]] double mean_rate(const flow::ModelInputs& in);
+
+/// Corollary 2 for the power-shot family, (bits/s)^2.
+[[nodiscard]] double power_shot_variance(const flow::ModelInputs& in,
+                                         double b);
+
+/// Model coefficient of variation sqrt(Var)/E[R] for power shot b.
+/// Returns 0 when the mean rate is 0.
+[[nodiscard]] double power_shot_cov(const flow::ModelInputs& in, double b);
+
+/// Theorem 3: the variance achieved by rectangular shots, a lower bound over
+/// all flow-rate functions.
+[[nodiscard]] double variance_lower_bound(const flow::ModelInputs& in);
+
+/// Section VII-A smoothing law: scaling lambda by `factor` (all per-flow
+/// distributions unchanged) multiplies the mean by `factor`, the standard
+/// deviation by sqrt(factor), hence CoV by 1/sqrt(factor).
+[[nodiscard]] flow::ModelInputs scale_lambda(const flow::ModelInputs& in,
+                                             double factor);
+
+}  // namespace fbm::core

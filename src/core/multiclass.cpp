@@ -1,0 +1,103 @@
+#include "core/multiclass.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::core {
+
+void MulticlassModel::add_class(std::string name, ShotNoiseModel model) {
+  names_.push_back(std::move(name));
+  models_.push_back(std::move(model));
+}
+
+const std::string& MulticlassModel::class_name(std::size_t i) const {
+  return names_.at(i);
+}
+
+const ShotNoiseModel& MulticlassModel::class_model(std::size_t i) const {
+  return models_.at(i);
+}
+
+double MulticlassModel::lambda() const {
+  double acc = 0.0;
+  for (const auto& m : models_) acc += m.lambda();
+  return acc;
+}
+
+double MulticlassModel::mean_rate() const {
+  double acc = 0.0;
+  for (const auto& m : models_) acc += m.mean_rate();
+  return acc;
+}
+
+double MulticlassModel::variance() const {
+  double acc = 0.0;
+  for (const auto& m : models_) acc += m.variance();
+  return acc;
+}
+
+double MulticlassModel::cov() const {
+  const double m = mean_rate();
+  return m > 0.0 ? std::sqrt(variance()) / m : 0.0;
+}
+
+double MulticlassModel::autocovariance(double tau) const {
+  double acc = 0.0;
+  for (const auto& m : models_) acc += m.autocovariance(tau);
+  return acc;
+}
+
+double MulticlassModel::cumulant(int k) const {
+  double acc = 0.0;
+  for (const auto& m : models_) acc += m.cumulant(k);
+  return acc;
+}
+
+GaussianApproximation MulticlassModel::gaussian() const {
+  return GaussianApproximation(mean_rate(), variance());
+}
+
+double MulticlassModel::mean_share(std::size_t i) const {
+  const double total = mean_rate();
+  return total > 0.0 ? models_.at(i).mean_rate() / total : 0.0;
+}
+
+double MulticlassModel::variance_share(std::size_t i) const {
+  const double total = variance();
+  return total > 0.0 ? models_.at(i).variance() / total : 0.0;
+}
+
+MulticlassModel split_by_size(const flow::IntervalData& interval,
+                              double threshold_bytes, ShotPtr small_shot,
+                              ShotPtr large_shot, double min_duration_s) {
+  if (!(interval.length > 0.0)) {
+    throw std::invalid_argument("split_by_size: empty interval");
+  }
+  std::vector<flow::FlowRecord> small;
+  std::vector<flow::FlowRecord> large;
+  for (const auto& f : interval.flows) {
+    (static_cast<double>(f.bytes) < threshold_bytes ? small : large)
+        .push_back(f);
+  }
+  if (small.empty() && large.empty()) {
+    throw std::invalid_argument("split_by_size: no flows");
+  }
+  MulticlassModel out;
+  if (!small.empty()) {
+    out.add_class("mice",
+                  ShotNoiseModel(static_cast<double>(small.size()) /
+                                     interval.length,
+                                 to_samples(small, min_duration_s),
+                                 std::move(small_shot)));
+  }
+  if (!large.empty()) {
+    out.add_class("elephants",
+                  ShotNoiseModel(static_cast<double>(large.size()) /
+                                     interval.length,
+                                 to_samples(large, min_duration_s),
+                                 std::move(large_shot)));
+  }
+  return out;
+}
+
+}  // namespace fbm::core

@@ -1,0 +1,59 @@
+// Multi-class shot-noise model (Section VIII: "the gain of introducing
+// classes of flows with a different shot for each class").
+//
+// Assumption 2 requires identically distributed flow-rate functions; when
+// the population visibly mixes behaviours (e.g. TCP transfers vs CBR
+// streams), the fix the paper proposes is one class per behaviour. Classes
+// are independent Poisson shot-noise processes, so every cumulant and the
+// auto-covariance simply add across classes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gaussian.hpp"
+#include "core/model.hpp"
+
+namespace fbm::core {
+
+class MulticlassModel {
+ public:
+  /// Adds a class (its lambda is the class's own flow arrival rate).
+  void add_class(std::string name, ShotNoiseModel model);
+
+  [[nodiscard]] std::size_t classes() const { return models_.size(); }
+  [[nodiscard]] const std::string& class_name(std::size_t i) const;
+  [[nodiscard]] const ShotNoiseModel& class_model(std::size_t i) const;
+
+  /// Total flow arrival rate (sum of class lambdas).
+  [[nodiscard]] double lambda() const;
+
+  // Aggregate moments: sums of per-class values (independence).
+  [[nodiscard]] double mean_rate() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double cov() const;
+  [[nodiscard]] double autocovariance(double tau) const;
+  [[nodiscard]] double cumulant(int k) const;
+  [[nodiscard]] GaussianApproximation gaussian() const;
+
+  /// Share of the aggregate mean (resp. variance) contributed by class i —
+  /// the diagnostic an operator would use to attribute burstiness.
+  [[nodiscard]] double mean_share(std::size_t i) const;
+  [[nodiscard]] double variance_share(std::size_t i) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ShotNoiseModel> models_;
+};
+
+/// Splits an interval's flows into two classes by a size threshold (the
+/// mice/elephants dichotomy of [3]) and builds a two-class model with the
+/// given shots. Classes with no flows are omitted. Throws if both would be
+/// empty.
+[[nodiscard]] MulticlassModel split_by_size(const flow::IntervalData& interval,
+                                            double threshold_bytes,
+                                            ShotPtr small_shot,
+                                            ShotPtr large_shot,
+                                            double min_duration_s = 1e-3);
+
+}  // namespace fbm::core

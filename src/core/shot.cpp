@@ -1,0 +1,169 @@
+#include "core/shot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/quadrature.hpp"
+
+namespace fbm::core {
+
+namespace {
+
+[[nodiscard]] std::size_t fourier_panels(double omega, double duration) {
+  // Enough panels to resolve the oscillation of e^{-i omega u} over [0, D].
+  const double cycles = std::abs(omega) * duration / (2.0 * M_PI);
+  return static_cast<std::size_t>(cycles * 4.0) + 4;
+}
+
+}  // namespace
+
+double Shot::energy(double size_bits, double duration_s) const {
+  return integrate(
+      [&](double u) {
+        const double x = value(u, size_bits, duration_s);
+        return x * x;
+      },
+      0.0, duration_s);
+}
+
+double Shot::autocov_kernel(double tau, double size_bits,
+                            double duration_s) const {
+  if (tau < 0.0) tau = -tau;
+  if (tau >= duration_s) return 0.0;
+  return integrate(
+      [&](double u) {
+        return value(u, size_bits, duration_s) *
+               value(u + tau, size_bits, duration_s);
+      },
+      0.0, duration_s - tau);
+}
+
+double Shot::power_integral(int k, double size_bits, double duration_s) const {
+  if (k < 1) throw std::invalid_argument("Shot::power_integral: k < 1");
+  return integrate(
+      [&](double u) {
+        return std::pow(value(u, size_bits, duration_s), k);
+      },
+      0.0, duration_s);
+}
+
+double Shot::fourier_mag2(double omega, double size_bits,
+                          double duration_s) const {
+  const std::size_t panels = fourier_panels(omega, duration_s);
+  const double re = integrate_panels(
+      [&](double u) {
+        return value(u, size_bits, duration_s) * std::cos(omega * u);
+      },
+      0.0, duration_s, panels);
+  const double im = integrate_panels(
+      [&](double u) {
+        return value(u, size_bits, duration_s) * std::sin(omega * u);
+      },
+      0.0, duration_s, panels);
+  return re * re + im * im;
+}
+
+// ------------------------------------------------------------------ PowerShot
+
+PowerShot::PowerShot(double b) : b_(b) {
+  if (!(b >= 0.0)) throw std::invalid_argument("PowerShot: b < 0");
+}
+
+double PowerShot::value(double u, double size_bits, double duration_s) const {
+  if (u < 0.0 || u > duration_s || duration_s <= 0.0) return 0.0;
+  const double peak = size_bits * (b_ + 1.0) / duration_s;
+  if (b_ == 0.0) return peak;
+  return peak * std::pow(u / duration_s, b_);
+}
+
+double PowerShot::energy(double size_bits, double duration_s) const {
+  if (duration_s <= 0.0) return 0.0;
+  const double c = b_ + 1.0;
+  return size_bits * size_bits * c * c / ((2.0 * b_ + 1.0) * duration_s);
+}
+
+double PowerShot::autocov_kernel(double tau, double size_bits,
+                                 double duration_s) const {
+  if (tau < 0.0) tau = -tau;
+  if (tau >= duration_s || duration_s <= 0.0) return 0.0;
+  const double s = size_bits;
+  const double d = duration_s;
+  const double x = d - tau;  // integration upper limit
+  if (b_ == 0.0) {
+    return s * s / (d * d) * x;
+  }
+  if (b_ == 1.0) {
+    const double c = 2.0 * s / (d * d);
+    return c * c * (x * x * x / 3.0 + tau * x * x / 2.0);
+  }
+  if (b_ == 2.0) {
+    const double c = 3.0 * s / (d * d * d);
+    const double x3 = x * x * x;
+    return c * c *
+           (x3 * x * x / 5.0 + tau * x3 * x / 2.0 + tau * tau * x3 / 3.0);
+  }
+  return Shot::autocov_kernel(tau, size_bits, duration_s);
+}
+
+double PowerShot::power_integral(int k, double size_bits,
+                                 double duration_s) const {
+  if (k < 1) throw std::invalid_argument("PowerShot::power_integral: k < 1");
+  if (duration_s <= 0.0) return 0.0;
+  const double kk = static_cast<double>(k);
+  return std::pow(size_bits, kk) * std::pow(b_ + 1.0, kk) /
+         ((kk * b_ + 1.0) * std::pow(duration_s, kk - 1.0));
+}
+
+double PowerShot::fourier_mag2(double omega, double size_bits,
+                               double duration_s) const {
+  if (duration_s <= 0.0) return 0.0;
+  if (b_ == 0.0) {
+    const double half = omega * duration_s / 2.0;
+    if (std::abs(half) < 1e-12) return size_bits * size_bits;
+    const double sinc = std::sin(half) / half;
+    return size_bits * size_bits * sinc * sinc;
+  }
+  return Shot::fourier_mag2(omega, size_bits, duration_s);
+}
+
+std::string PowerShot::name() const {
+  if (b_ == 0.0) return "rectangular (b=0)";
+  if (b_ == 1.0) return "triangular (b=1)";
+  if (b_ == 2.0) return "parabolic (b=2)";
+  return "power (b=" + std::to_string(b_) + ")";
+}
+
+double PowerShot::variance_factor() const {
+  const double c = b_ + 1.0;
+  return c * c / (2.0 * b_ + 1.0);
+}
+
+// ----------------------------------------------------------------- CustomShot
+
+CustomShot::CustomShot(std::function<double(double)> profile, std::string name)
+    : profile_(std::move(profile)), name_(std::move(name)) {
+  if (!profile_) throw std::invalid_argument("CustomShot: null profile");
+  // Panel quadrature tolerates kinks (e.g. piecewise-linear profiles).
+  const double mass = integrate_panels(profile_, 0.0, 1.0, 128);
+  if (std::abs(mass - 1.0) > 1e-4) {
+    throw std::invalid_argument(
+        "CustomShot: profile does not integrate to 1 over [0,1] (got " +
+        std::to_string(mass) + ")");
+  }
+}
+
+double CustomShot::value(double u, double size_bits, double duration_s) const {
+  if (u < 0.0 || u > duration_s || duration_s <= 0.0) return 0.0;
+  return size_bits / duration_s * profile_(u / duration_s);
+}
+
+std::string CustomShot::name() const { return name_; }
+
+// ----------------------------------------------------------------- factories
+
+ShotPtr rectangular_shot() { return std::make_shared<PowerShot>(0.0); }
+ShotPtr triangular_shot() { return std::make_shared<PowerShot>(1.0); }
+ShotPtr parabolic_shot() { return std::make_shared<PowerShot>(2.0); }
+ShotPtr power_shot(double b) { return std::make_shared<PowerShot>(b); }
+
+}  // namespace fbm::core

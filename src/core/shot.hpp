@@ -1,0 +1,113 @@
+// Flow-rate functions ("shots", Section IV and Figure 7).
+//
+// A shot X(u; S, D) is the transmission rate of a flow of size S (bits) and
+// duration D (seconds) at age u in [0, D]. Every shot satisfies the size
+// constraint (eq. 5):  integral_0^D X(u) du = S.
+//
+// The model needs four functionals of a shot:
+//   energy(S,D)          = int_0^D X(u)^2 du          (variance, Cor. 2)
+//   autocov_kernel(tau)  = int_0^{D-tau} X(u)X(u+tau) du   (Theorem 2)
+//   power_integral(k)    = int_0^D X(u)^k du          (cumulants, Cor. 3)
+//   fourier_mag2(omega)  = |int_0^D X(u) e^{-i omega u} du|^2  (spectrum)
+//
+// PowerShot implements the paper's one-parameter family
+//   X(u) = S (b+1)/D * (u/D)^b,
+// with b=0 the rectangle, b=1 the triangle, b=2 the parabola; closed forms
+// are used wherever they exist and quadrature otherwise. CustomShot accepts
+// an arbitrary profile for experimentation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fbm::core {
+
+class Shot {
+ public:
+  virtual ~Shot() = default;
+
+  /// Rate at age u for a flow of size S (bits) and duration D (s).
+  /// Zero outside [0, D].
+  [[nodiscard]] virtual double value(double u, double size_bits,
+                                     double duration_s) const = 0;
+
+  /// int_0^D X(u)^2 du. Default: quadrature over value().
+  [[nodiscard]] virtual double energy(double size_bits,
+                                      double duration_s) const;
+
+  /// int_0^{D-tau} X(u) X(u+tau) du for tau >= 0 (0 when tau >= D).
+  /// Default: quadrature.
+  [[nodiscard]] virtual double autocov_kernel(double tau, double size_bits,
+                                              double duration_s) const;
+
+  /// int_0^D X(u)^k du for k >= 1. Default: quadrature.
+  [[nodiscard]] virtual double power_integral(int k, double size_bits,
+                                              double duration_s) const;
+
+  /// |X_hat(omega)|^2 where X_hat is the Fourier transform of the shot.
+  /// Default: panel quadrature of the real/imag parts.
+  [[nodiscard]] virtual double fourier_mag2(double omega, double size_bits,
+                                            double duration_s) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using ShotPtr = std::shared_ptr<const Shot>;
+
+/// The paper's power family (Figure 7c/7d): X(u) = S(b+1)/D (u/D)^b.
+class PowerShot final : public Shot {
+ public:
+  /// b >= 0; b=0 rectangular, b=1 triangular, b=2 parabolic.
+  explicit PowerShot(double b);
+
+  [[nodiscard]] double value(double u, double size_bits,
+                             double duration_s) const override;
+  /// Closed form: S^2 (b+1)^2 / ((2b+1) D).
+  [[nodiscard]] double energy(double size_bits,
+                              double duration_s) const override;
+  /// Closed form for b in {0,1,2}; quadrature otherwise.
+  [[nodiscard]] double autocov_kernel(double tau, double size_bits,
+                                      double duration_s) const override;
+  /// Closed form: S^k (b+1)^k / ((kb+1) D^{k-1}).
+  [[nodiscard]] double power_integral(int k, double size_bits,
+                                      double duration_s) const override;
+  /// Closed form for b = 0 (sinc^2); quadrature otherwise.
+  [[nodiscard]] double fourier_mag2(double omega, double size_bits,
+                                    double duration_s) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double b() const { return b_; }
+
+  /// Variance multiplier (b+1)^2/(2b+1) relative to lambda*E[S^2/D]
+  /// (Section V-D): 1 for b=0, 4/3 for b=1, 9/5 for b=2.
+  [[nodiscard]] double variance_factor() const;
+
+ private:
+  double b_;
+};
+
+/// Arbitrary normalised profile g on [0,1] with int_0^1 g = 1; the shot is
+/// X(u) = S/D * g(u/D). The constructor checks the normalisation (throws
+/// std::invalid_argument when off by more than 1e-6) so Theorem 3
+/// comparisons stay meaningful.
+class CustomShot final : public Shot {
+ public:
+  CustomShot(std::function<double(double)> profile, std::string name);
+
+  [[nodiscard]] double value(double u, double size_bits,
+                             double duration_s) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::function<double(double)> profile_;
+  std::string name_;
+};
+
+/// Named constructors for the three canonical shots.
+[[nodiscard]] ShotPtr rectangular_shot();  ///< b = 0
+[[nodiscard]] ShotPtr triangular_shot();   ///< b = 1
+[[nodiscard]] ShotPtr parabolic_shot();    ///< b = 2
+[[nodiscard]] ShotPtr power_shot(double b);
+
+}  // namespace fbm::core

@@ -1,0 +1,58 @@
+#include "dimension/anomaly.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::dimension {
+
+std::vector<AnomalyEvent> detect_anomalies(const stats::RateSeries& series,
+                                           double mean_bps, double stddev_bps,
+                                           const AnomalyOptions& options) {
+  if (!(stddev_bps > 0.0)) {
+    throw std::invalid_argument("detect_anomalies: stddev <= 0");
+  }
+  if (!(options.k_sigma > 0.0)) {
+    throw std::invalid_argument("detect_anomalies: k_sigma <= 0");
+  }
+  if (options.min_consecutive == 0) {
+    throw std::invalid_argument("detect_anomalies: min_consecutive == 0");
+  }
+
+  std::vector<AnomalyEvent> events;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  int run_sign = 0;
+  double run_peak = 0.0;
+
+  const auto close_run = [&]() {
+    if (run_len >= options.min_consecutive) {
+      events.push_back({run_start, run_len,
+                        run_sign > 0 ? AnomalyKind::spike : AnomalyKind::drop,
+                        run_peak});
+    }
+    run_len = 0;
+    run_sign = 0;
+    run_peak = 0.0;
+  };
+
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    const double z = (series.values[i] - mean_bps) / stddev_bps;
+    const int sign = z > options.k_sigma ? 1 : (z < -options.k_sigma ? -1 : 0);
+    if (sign != 0 && sign == run_sign) {
+      ++run_len;
+      run_peak = std::max(run_peak, std::abs(z));
+    } else {
+      close_run();
+      if (sign != 0) {
+        run_start = i;
+        run_len = 1;
+        run_sign = sign;
+        run_peak = std::abs(z);
+      }
+    }
+  }
+  close_run();
+  return events;
+}
+
+}  // namespace fbm::dimension

@@ -1,0 +1,38 @@
+// Model-envelope anomaly detection.
+//
+// The paper's introduction lists anomaly detection (DoS attacks, link
+// failures) as a target application: an analytical model of the normal rate
+// lets an operator flag measured samples that leave the predicted envelope
+// [mean - k*sigma, mean + k*sigma]. This module implements that detector
+// with hysteresis (consecutive out-of-envelope samples before alarming) so
+// a single bursty bin does not fire it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace fbm::dimension {
+
+struct AnomalyOptions {
+  double k_sigma = 3.0;          ///< envelope half-width in std deviations
+  std::size_t min_consecutive = 3;  ///< samples outside before an alarm
+};
+
+enum class AnomalyKind { spike, drop };
+
+struct AnomalyEvent {
+  std::size_t start_index;  ///< first out-of-envelope sample
+  std::size_t length;       ///< consecutive out-of-envelope samples
+  AnomalyKind kind;
+  double peak_deviation_sigma;  ///< worst |z| inside the event
+};
+
+/// Scans a measured rate series against the model envelope. mean/stddev are
+/// the model's (bits/s).
+[[nodiscard]] std::vector<AnomalyEvent> detect_anomalies(
+    const stats::RateSeries& series, double mean_bps, double stddev_bps,
+    const AnomalyOptions& options = {});
+
+}  // namespace fbm::dimension

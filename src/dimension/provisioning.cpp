@@ -1,0 +1,54 @@
+#include "dimension/provisioning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/gaussian.hpp"
+#include "core/moments.hpp"
+
+namespace fbm::dimension {
+
+ProvisioningPlan plan_link(const flow::ModelInputs& inputs, double b,
+                           double eps) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("plan_link: eps outside (0,1)");
+  }
+  ProvisioningPlan plan;
+  plan.eps = eps;
+  plan.mean_bps = core::mean_rate(inputs);
+  const double var = core::power_shot_variance(inputs, b);
+  plan.stddev_bps = std::sqrt(var);
+  plan.cov = plan.mean_bps > 0.0 ? plan.stddev_bps / plan.mean_bps : 0.0;
+  const core::GaussianApproximation g(plan.mean_bps, var);
+  plan.capacity_bps = g.capacity_for_exceedance(eps);
+  plan.headroom =
+      plan.mean_bps > 0.0 ? plan.capacity_bps / plan.mean_bps : 0.0;
+  return plan;
+}
+
+flow::ModelInputs apply_scenario(const flow::ModelInputs& in,
+                                 const WhatIf& scenario) {
+  if (!(scenario.lambda_factor > 0.0) || !(scenario.size_factor > 0.0) ||
+      !(scenario.duration_factor > 0.0)) {
+    throw std::invalid_argument("apply_scenario: factors must be positive");
+  }
+  flow::ModelInputs out = in;
+  out.lambda *= scenario.lambda_factor;
+  out.mean_size_bits *= scenario.size_factor;
+  out.mean_s2_over_d *= scenario.size_factor * scenario.size_factor /
+                        scenario.duration_factor;
+  return out;
+}
+
+std::vector<ProvisioningPlan> capacity_sweep(
+    const flow::ModelInputs& base, double b, double eps,
+    const std::vector<double>& lambda_factors) {
+  std::vector<ProvisioningPlan> out;
+  out.reserve(lambda_factors.size());
+  for (double f : lambda_factors) {
+    out.push_back(plan_link(core::scale_lambda(base, f), b, eps));
+  }
+  return out;
+}
+
+}  // namespace fbm::dimension

@@ -1,0 +1,49 @@
+// Link dimensioning and what-if analysis (Section VII-A).
+//
+// Given the three flow parameters of a link, choose its bandwidth so that
+// congestion (R > C) occurs less than a fraction eps of the time, and study
+// how that bandwidth moves when traffic composition changes: more flows
+// (lambda up), bigger transfers (sizes up), different application dynamics
+// (shot power changes). The headline effect is the smoothing law: mean
+// grows like lambda but stddev like sqrt(lambda), so required capacity grows
+// sublinearly.
+#pragma once
+
+#include <vector>
+
+#include "flow/interval.hpp"
+
+namespace fbm::dimension {
+
+struct ProvisioningPlan {
+  double mean_bps = 0.0;
+  double stddev_bps = 0.0;
+  double cov = 0.0;
+  double capacity_bps = 0.0;   ///< E[R] + q(1-eps) * sigma
+  double headroom = 0.0;       ///< capacity / mean
+  double eps = 0.0;            ///< target congestion probability
+};
+
+/// Dimension a link for power-shot b and congestion probability eps.
+[[nodiscard]] ProvisioningPlan plan_link(const flow::ModelInputs& inputs,
+                                         double b, double eps);
+
+/// What-if knobs, all multiplicative (1.0 = unchanged).
+struct WhatIf {
+  double lambda_factor = 1.0;  ///< more/fewer flows (new customers)
+  double size_factor = 1.0;    ///< bigger transfers (new application)
+  double duration_factor = 1.0;  ///< longer flows (congested access links)
+};
+
+/// Applies the scenario to the inputs: lambda *= lf; E[S] *= sf;
+/// E[S^2/D] *= sf^2/df.
+[[nodiscard]] flow::ModelInputs apply_scenario(const flow::ModelInputs& in,
+                                               const WhatIf& scenario);
+
+/// Sweep of required capacity versus flow arrival rate, demonstrating the
+/// sqrt-lambda smoothing. Returns one plan per factor.
+[[nodiscard]] std::vector<ProvisioningPlan> capacity_sweep(
+    const flow::ModelInputs& base, double b, double eps,
+    const std::vector<double>& lambda_factors);
+
+}  // namespace fbm::dimension

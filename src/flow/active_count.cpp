@@ -1,0 +1,63 @@
+#include "flow/active_count.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::flow {
+
+stats::RateSeries active_flow_series(std::span<const FlowRecord> flows,
+                                     double start, double end, double delta) {
+  if (!(end > start)) {
+    throw std::invalid_argument("active_flow_series: end <= start");
+  }
+  if (!(delta > 0.0)) {
+    throw std::invalid_argument("active_flow_series: delta <= 0");
+  }
+  const auto bins =
+      static_cast<std::size_t>(std::ceil((end - start) / delta - 1e-9));
+  stats::RateSeries out;
+  out.start = start;
+  out.delta = delta;
+  out.values.assign(std::max<std::size_t>(bins, 1), 0.0);
+
+  // Difference-array sweep: +1 at the first midpoint >= flow start, -1 at
+  // the first midpoint >= flow end.
+  const auto mid_index = [&](double t) {
+    // Midpoint of bin i is start + (i + 0.5) * delta; the first bin whose
+    // midpoint is >= t has index ceil((t - start)/delta - 0.5).
+    const double raw = (t - start) / delta - 0.5;
+    return static_cast<long>(std::ceil(raw - 1e-12));
+  };
+  std::vector<double> diff(out.values.size() + 1, 0.0);
+  for (const auto& f : flows) {
+    long lo = mid_index(f.start);
+    long hi = mid_index(f.end);
+    lo = std::clamp<long>(lo, 0, static_cast<long>(out.values.size()));
+    hi = std::clamp<long>(hi, 0, static_cast<long>(out.values.size()));
+    if (hi <= lo) continue;  // flow covers no midpoint
+    diff[static_cast<std::size_t>(lo)] += 1.0;
+    diff[static_cast<std::size_t>(hi)] -= 1.0;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    acc += diff[i];
+    out.values[i] = acc;
+  }
+  return out;
+}
+
+ActiveFlowStats active_flow_stats(const stats::RateSeries& n) {
+  ActiveFlowStats s;
+  if (n.values.empty()) return s;
+  stats::RunningStats rs;
+  for (double v : n.values) rs.add(v);
+  s.mean = rs.mean();
+  s.variance = rs.population_variance();
+  s.dispersion = s.mean > 0.0 ? s.variance / s.mean : 0.0;
+  return s;
+}
+
+}  // namespace fbm::flow

@@ -1,0 +1,35 @@
+// Number-of-active-flows process N(t) (Section V-A / Section VII-B).
+//
+// N(t) is the occupancy of the M/G/infinity queue in the proof of Theorem 1
+// and the paper's proposed alternative predictor input ("the present and
+// past values of the number of active flows"). active_flow_series builds
+// the sampled N(t) from completed flow records; it should be Poisson with
+// mean lambda*E[D] under the model's assumptions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fbm::flow {
+
+/// Samples N(t) on a uniform grid over [start, end) with step delta:
+/// out.values[i] = number of flows with start <= t_i < end(flow), where
+/// t_i is the bin midpoint. (The RateSeries container is reused; values are
+/// counts, not bits/s.)
+[[nodiscard]] stats::RateSeries active_flow_series(
+    std::span<const FlowRecord> flows, double start, double end, double delta);
+
+/// Mean/variance summary plus the Poisson dispersion ratio variance/mean
+/// (should be ~1 under the M/G/infinity model).
+struct ActiveFlowStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double dispersion = 0.0;
+};
+
+[[nodiscard]] ActiveFlowStats active_flow_stats(const stats::RateSeries& n);
+
+}  // namespace fbm::flow

@@ -1,0 +1,264 @@
+// Timeout-based flow classification (Section III of the paper).
+//
+// Rules implemented exactly as described:
+//  - a flow ends when no packet arrives for `timeout` (default 60 s);
+//  - duration = last packet time - first packet time;
+//  - single-packet flows are discarded (their duration would be zero) and
+//    their packets are excluded from rate-variance measurements;
+//  - flows overlapping an analysis-interval boundary are split: the piece in
+//    each interval is recorded separately, the later pieces flagged
+//    `continued` (this is what produces the step at t=0 in Figure 1).
+//
+// The classifier is generic over the flow key: FiveTupleKey reproduces flow
+// definition 1, PrefixKey<24> definition 2, and any /n is available for the
+// aggregation-level extension discussed in Section VI-A.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "net/lpm.hpp"
+#include "net/packet.hpp"
+
+namespace fbm::flow {
+
+/// Flow definition 1: the 5-tuple itself.
+struct FiveTupleKey {
+  using key_type = net::FiveTuple;
+  using hash_type = net::FiveTupleHash;
+  [[nodiscard]] key_type operator()(const net::PacketRecord& p) const {
+    return p.tuple;
+  }
+};
+
+/// Flow definition 2: destination address prefix (paper uses /24).
+template <int Bits>
+struct PrefixKey {
+  static_assert(Bits >= 0 && Bits <= 32);
+  using key_type = net::Prefix;
+  using hash_type = net::PrefixHash;
+  [[nodiscard]] key_type operator()(const net::PacketRecord& p) const {
+    return net::Prefix(p.tuple.dst, Bits);
+  }
+};
+
+/// Section VI-A extension: flows keyed by the "routable" prefix — the
+/// longest-prefix-match entry of a forwarding table. Destinations with no
+/// covering route fall back to their /24 (a real router would drop them; a
+/// monitor still has to account for the bytes).
+struct RoutableKey {
+  using key_type = net::Prefix;
+  using hash_type = net::PrefixHash;
+
+  explicit RoutableKey(const net::RoutingTable* table) : table_(table) {
+    if (table_ == nullptr) {
+      throw std::invalid_argument("RoutableKey: null routing table");
+    }
+  }
+
+  [[nodiscard]] key_type operator()(const net::PacketRecord& p) const {
+    if (const auto prefix = table_->lookup_prefix(p.tuple.dst)) {
+      return *prefix;
+    }
+    return net::Prefix(p.tuple.dst, 24);
+  }
+
+ private:
+  const net::RoutingTable* table_;
+};
+
+struct ClassifierOptions {
+  double timeout = 60.0;  ///< idle gap that terminates a flow, seconds
+  /// Analysis-interval length for boundary splitting; infinity disables
+  /// splitting. The paper uses 30 minutes.
+  double interval = std::numeric_limits<double>::infinity();
+  bool discard_single_packet = true;
+  /// Keep (timestamp, bytes) of discarded single-packet flows so the rate
+  /// measurement can exclude them, as the paper does.
+  bool record_discards = false;
+};
+
+/// A packet belonging to a discarded single-packet flow.
+struct DiscardedPacket {
+  double timestamp;
+  std::uint64_t bytes;
+};
+
+struct ClassifierCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t flows_emitted = 0;       ///< records produced (incl. pieces)
+  std::uint64_t single_packet_discards = 0;
+  std::uint64_t boundary_splits = 0;     ///< pieces created by splitting
+};
+
+/// Streaming classifier: feed packets in timestamp order, collect completed
+/// FlowRecords. Completion happens when (a) a packet of the same key arrives
+/// after the idle timeout, (b) a packet of the same key arrives in a later
+/// analysis interval, or (c) flush() is called at end of trace.
+template <typename KeyExtractor>
+class FlowClassifier {
+ public:
+  using key_type = typename KeyExtractor::key_type;
+
+  explicit FlowClassifier(ClassifierOptions options = {})
+      : FlowClassifier(KeyExtractor{}, options) {}
+
+  /// For stateful key extractors (e.g. RoutableKey over a routing table).
+  FlowClassifier(KeyExtractor extractor, ClassifierOptions options)
+      : extract_(std::move(extractor)), options_(options) {
+    if (!(options_.timeout > 0.0)) {
+      throw std::invalid_argument("FlowClassifier: timeout <= 0");
+    }
+    if (!(options_.interval > 0.0)) {
+      throw std::invalid_argument("FlowClassifier: interval <= 0");
+    }
+  }
+
+  /// Packets must arrive in non-decreasing timestamp order (throws
+  /// std::invalid_argument otherwise — classification depends on it).
+  void add(const net::PacketRecord& packet) {
+    if (packet.timestamp < last_ts_) {
+      throw std::invalid_argument("FlowClassifier: out-of-order packet");
+    }
+    last_ts_ = packet.timestamp;
+    ++counters_.packets;
+
+    const key_type key = extract_(packet);
+    auto [it, inserted] = active_.try_emplace(key);
+    Active& a = it->second;
+    if (!inserted) {
+      const bool timed_out =
+          packet.timestamp - a.record.end > options_.timeout;
+      const bool crossed =
+          interval_index(packet.timestamp) != interval_index(a.record.start);
+      if (timed_out || crossed) {
+        const bool continuation = crossed && !timed_out;
+        emit(a.record);
+        a.record = FlowRecord{};
+        a.record.continued = continuation;
+        if (continuation) ++counters_.boundary_splits;
+        inserted = true;
+      }
+    }
+    if (inserted || a.record.packets == 0) {
+      a.record.start = packet.timestamp;
+      a.record.end = packet.timestamp;
+      a.record.bytes = 0;
+      a.record.packets = 0;
+    }
+    a.record.end = packet.timestamp;
+    a.record.bytes += packet.size_bytes;
+    ++a.record.packets;
+  }
+
+  /// Terminates all active flows (end of capture). The classifier can be
+  /// reused afterwards.
+  void flush() {
+    for (auto& [key, a] : active_) emit(a.record);
+    active_.clear();
+  }
+
+  /// Emits and removes every flow idle for longer than the timeout as of
+  /// `now` (NetFlow's inactive timer). Without this, a flow whose 5-tuple
+  /// never recurs stays in the table until flush(). Full-table scan: call
+  /// it periodically (e.g. once per second of trace time), not per packet.
+  void expire_idle(double now) {
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (now - it->second.record.end > options_.timeout) {
+        emit(it->second.record);
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Completed flows so far, in completion order (not arrival order).
+  [[nodiscard]] const std::vector<FlowRecord>& flows() const { return flows_; }
+  [[nodiscard]] std::vector<FlowRecord> take_flows() {
+    return std::exchange(flows_, {});
+  }
+
+  [[nodiscard]] const ClassifierCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
+
+  /// Packets of discarded single-packet flows (only populated when
+  /// options.record_discards is set).
+  [[nodiscard]] const std::vector<DiscardedPacket>& discards() const {
+    return discards_;
+  }
+
+ private:
+  struct Active {
+    FlowRecord record;
+  };
+
+  [[nodiscard]] long interval_index(double ts) const {
+    if (!std::isfinite(options_.interval)) return 0;
+    return static_cast<long>(ts / options_.interval);
+  }
+
+  void emit(const FlowRecord& rec) {
+    if (rec.packets == 0) return;
+    if (rec.packets == 1 && options_.discard_single_packet) {
+      ++counters_.single_packet_discards;
+      if (options_.record_discards) {
+        discards_.push_back({rec.start, rec.bytes});
+      }
+      return;
+    }
+    flows_.push_back(rec);
+    ++counters_.flows_emitted;
+  }
+
+  KeyExtractor extract_;
+  ClassifierOptions options_;
+  std::unordered_map<key_type, Active, typename KeyExtractor::hash_type>
+      active_;
+  std::vector<FlowRecord> flows_;
+  std::vector<DiscardedPacket> discards_;
+  ClassifierCounters counters_;
+  double last_ts_ = -std::numeric_limits<double>::infinity();
+};
+
+using FiveTupleClassifier = FlowClassifier<FiveTupleKey>;
+using Prefix24Classifier = FlowClassifier<PrefixKey<24>>;
+
+/// Convenience: classify a whole packet vector and return flows sorted by
+/// start time (the (T_n) order the model expects).
+template <typename KeyExtractor>
+[[nodiscard]] std::vector<FlowRecord> classify_all_with(
+    KeyExtractor extractor, std::span<const net::PacketRecord> packets,
+    ClassifierOptions options = {}, ClassifierCounters* counters = nullptr) {
+  FlowClassifier<KeyExtractor> c(std::move(extractor), options);
+  for (const auto& p : packets) c.add(p);
+  c.flush();
+  auto flows = c.take_flows();
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.start < b.start;
+            });
+  if (counters) *counters = c.counters();
+  return flows;
+}
+
+template <typename KeyExtractor>
+[[nodiscard]] std::vector<FlowRecord> classify_all(
+    std::span<const net::PacketRecord> packets,
+    ClassifierOptions options = {},
+    ClassifierCounters* counters = nullptr) {
+  return classify_all_with(KeyExtractor{}, packets, options, counters);
+}
+
+}  // namespace fbm::flow

@@ -1,0 +1,27 @@
+// Completed flow records (the model's (T_n, S_n, D_n) observations).
+#pragma once
+
+#include <cstdint>
+
+namespace fbm::flow {
+
+/// One completed flow (or flow piece after interval splitting).
+/// Size is in bytes; the model converts to bits where rates are needed.
+struct FlowRecord {
+  double start = 0.0;   ///< timestamp of the first packet (T_n)
+  double end = 0.0;     ///< timestamp of the last packet
+  std::uint64_t bytes = 0;   ///< S_n
+  std::uint64_t packets = 0;
+  bool continued = false;    ///< piece of a flow split at an interval boundary
+
+  /// D_n = time between first and last packet (paper Section III).
+  [[nodiscard]] double duration() const { return end - start; }
+
+  /// Mean rate S_n/D_n in bits/s; 0 for zero-duration flows.
+  [[nodiscard]] double mean_rate_bps() const {
+    const double d = duration();
+    return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
+  }
+};
+
+}  // namespace fbm::flow

@@ -1,0 +1,42 @@
+#include "flow/flow_stats.hpp"
+
+#include <algorithm>
+
+#include "stats/autocorrelation.hpp"
+
+namespace fbm::flow {
+
+PopulationDiagnostics diagnose_population(std::span<const FlowRecord> flows,
+                                          std::size_t qq_points,
+                                          std::size_t max_lag) {
+  PopulationDiagnostics d;
+  d.flows = flows.size();
+  d.continued = static_cast<std::size_t>(
+      std::count_if(flows.begin(), flows.end(),
+                    [](const FlowRecord& f) { return f.continued; }));
+  if (flows.size() < 3) return d;
+
+  std::vector<double> inter;
+  inter.reserve(flows.size() - 1);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    inter.push_back(std::max(0.0, flows[i].start - flows[i - 1].start));
+  }
+  std::vector<double> sizes;
+  std::vector<double> durations;
+  sizes.reserve(flows.size());
+  durations.reserve(flows.size());
+  for (const auto& f : flows) {
+    sizes.push_back(static_cast<double>(f.bytes));
+    durations.push_back(f.duration());
+  }
+
+  d.interarrival_qq = stats::qq_exponential(inter, qq_points, true);
+  d.interarrival_acf = stats::autocorrelation_series(inter, max_lag);
+  d.interarrival_ks = stats::ks_test_exponential(inter);
+  d.size_acf = stats::autocorrelation_series(sizes, max_lag);
+  d.duration_acf = stats::autocorrelation_series(durations, max_lag);
+  d.white_noise_band = stats::white_noise_band(inter.size());
+  return d;
+}
+
+}  // namespace fbm::flow

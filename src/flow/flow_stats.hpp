@@ -1,0 +1,37 @@
+// Flow-population diagnostics backing Figures 1 and 3-6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/quantile.hpp"
+
+namespace fbm::flow {
+
+/// Everything the paper plots about one interval's flow population.
+struct PopulationDiagnostics {
+  std::size_t flows = 0;
+  std::size_t continued = 0;
+
+  // Figures 3-4: inter-arrival distribution vs exponential.
+  std::vector<stats::QQPoint> interarrival_qq;  ///< normalised axes
+  std::vector<double> interarrival_acf;         ///< lags 0..max_lag
+  stats::KsResult interarrival_ks{0.0, 1.0};
+
+  // Figures 5-6: serial correlation of sizes and durations.
+  std::vector<double> size_acf;
+  std::vector<double> duration_acf;
+
+  double white_noise_band = 0.0;  ///< +-1.96/sqrt(n) reference
+};
+
+/// Computes the full diagnostic set for a set of flows sorted by start time.
+/// `qq_points` quantile levels and ACF lags 0..`max_lag`.
+[[nodiscard]] PopulationDiagnostics diagnose_population(
+    std::span<const FlowRecord> flows, std::size_t qq_points = 100,
+    std::size_t max_lag = 20);
+
+}  // namespace fbm::flow

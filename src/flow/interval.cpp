@@ -1,0 +1,112 @@
+#include "flow/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::flow {
+
+std::vector<IntervalData> group_by_interval(std::span<const FlowRecord> flows,
+                                            double interval_s,
+                                            double horizon_s) {
+  if (!(interval_s > 0.0)) {
+    throw std::invalid_argument("group_by_interval: interval <= 0");
+  }
+  if (!(horizon_s > 0.0)) {
+    throw std::invalid_argument("group_by_interval: horizon <= 0");
+  }
+  const auto n_intervals =
+      static_cast<std::size_t>(std::ceil(horizon_s / interval_s - 1e-9));
+  std::vector<IntervalData> out(n_intervals);
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    out[i].start = static_cast<double>(i) * interval_s;
+    out[i].length = interval_s;
+  }
+  for (const auto& f : flows) {
+    if (f.start < 0.0 || f.start >= horizon_s) continue;
+    const auto idx = static_cast<std::size_t>(f.start / interval_s);
+    if (idx < out.size()) out[idx].flows.push_back(f);
+  }
+  for (auto& iv : out) {
+    std::sort(iv.flows.begin(), iv.flows.end(),
+              [](const FlowRecord& a, const FlowRecord& b) {
+                return a.start < b.start;
+              });
+  }
+  return out;
+}
+
+ModelInputs estimate_inputs(const IntervalData& interval,
+                            double min_duration_s) {
+  ModelInputs in;
+  in.flows = interval.flows.size();
+  if (interval.flows.empty() || !(interval.length > 0.0)) return in;
+
+  in.lambda = static_cast<double>(in.flows) / interval.length;
+  stats::RunningStats size_bits;
+  stats::RunningStats s2_over_d;
+  for (const auto& f : interval.flows) {
+    const double s = static_cast<double>(f.bytes) * 8.0;
+    size_bits.add(s);
+    const double d = std::max(f.duration(), min_duration_s);
+    s2_over_d.add(s * s / d);
+  }
+  in.mean_size_bits = size_bits.mean();
+  in.mean_s2_over_d = s2_over_d.mean();
+  return in;
+}
+
+std::vector<double> interarrival_times(const IntervalData& interval) {
+  std::vector<double> out;
+  if (interval.flows.size() < 2) return out;
+  out.reserve(interval.flows.size() - 1);
+  for (std::size_t i = 1; i < interval.flows.size(); ++i) {
+    out.push_back(interval.flows[i].start - interval.flows[i - 1].start);
+  }
+  return out;
+}
+
+std::vector<double> sizes_bytes(const IntervalData& interval) {
+  std::vector<double> out;
+  out.reserve(interval.flows.size());
+  for (const auto& f : interval.flows) {
+    out.push_back(static_cast<double>(f.bytes));
+  }
+  return out;
+}
+
+std::vector<double> durations_s(const IntervalData& interval) {
+  std::vector<double> out;
+  out.reserve(interval.flows.size());
+  for (const auto& f : interval.flows) out.push_back(f.duration());
+  return out;
+}
+
+std::vector<std::size_t> cumulative_arrivals(const IntervalData& interval,
+                                             double step_s) {
+  if (!(step_s > 0.0)) {
+    throw std::invalid_argument("cumulative_arrivals: step <= 0");
+  }
+  const auto steps =
+      static_cast<std::size_t>(std::floor(interval.length / step_s)) + 1;
+  std::vector<std::size_t> out(steps, 0);
+  for (const auto& f : interval.flows) {
+    const double rel = f.start - interval.start;
+    if (rel < 0.0) continue;
+    auto idx = static_cast<std::size_t>(rel / step_s) + 1;
+    if (idx < out.size()) ++out[idx];
+    // Flows beyond the last full step are ignored for the curve.
+  }
+  for (std::size_t i = 1; i < out.size(); ++i) out[i] += out[i - 1];
+  return out;
+}
+
+std::size_t continued_count(const IntervalData& interval) {
+  return static_cast<std::size_t>(
+      std::count_if(interval.flows.begin(), interval.flows.end(),
+                    [](const FlowRecord& f) { return f.continued; }));
+}
+
+}  // namespace fbm::flow

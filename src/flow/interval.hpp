@@ -1,0 +1,72 @@
+// Analysis-interval bookkeeping (the paper's 30-minute windows).
+//
+// Groups completed FlowRecords by interval and derives, per interval, the
+// three model inputs (lambda, E[S], E[S^2/D]) plus the raw series used by
+// Figures 1 and 3-6 (inter-arrival times, sizes, durations, cumulative
+// arrival curve).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+
+namespace fbm::flow {
+
+/// Model inputs estimated from one interval of flows (paper Section V-G:
+/// "only three parameters").
+struct ModelInputs {
+  double lambda = 0.0;        ///< flow arrivals per second
+  double mean_size_bits = 0.0;      ///< E[S], bits
+  double mean_s2_over_d = 0.0;      ///< E[S^2/D], bits^2/s
+  std::size_t flows = 0;
+
+  /// Corollary 1: E[R] = lambda * E[S], bits/s.
+  [[nodiscard]] double mean_rate_bps() const {
+    return lambda * mean_size_bits;
+  }
+};
+
+/// One analysis interval and everything measured in it.
+struct IntervalData {
+  double start = 0.0;
+  double length = 0.0;
+  std::vector<FlowRecord> flows;  ///< sorted by start time
+
+  [[nodiscard]] double end() const { return start + length; }
+};
+
+/// Splits flows (already split at boundaries by the classifier) into
+/// intervals of `interval_s` covering [0, horizon). A flow belongs to the
+/// interval containing its start time. Flows starting beyond the horizon are
+/// dropped. Intervals are returned in time order; empty intervals are kept
+/// so indices line up with wall-clock windows.
+[[nodiscard]] std::vector<IntervalData> group_by_interval(
+    std::span<const FlowRecord> flows, double interval_s, double horizon_s);
+
+/// Estimates the model inputs from one interval. Flows with zero duration
+/// contribute to lambda and E[S] but not to E[S^2/D] (the paper discards
+/// them before this point anyway). `min_duration_s` guards the S^2/D ratio
+/// against numerically tiny durations (default 1 ms).
+[[nodiscard]] ModelInputs estimate_inputs(const IntervalData& interval,
+                                          double min_duration_s = 1e-3);
+
+/// Inter-arrival time series of the interval's flows (Figures 3-4).
+[[nodiscard]] std::vector<double> interarrival_times(
+    const IntervalData& interval);
+
+/// Size (bytes) and duration (s) series in arrival order (Figures 5-6).
+[[nodiscard]] std::vector<double> sizes_bytes(const IntervalData& interval);
+[[nodiscard]] std::vector<double> durations_s(const IntervalData& interval);
+
+/// Cumulative arrival counts sampled every `step_s` from the interval start
+/// (Figure 1): out[i] = number of flows arrived in [start, start+i*step].
+[[nodiscard]] std::vector<std::size_t> cumulative_arrivals(
+    const IntervalData& interval, double step_s);
+
+/// Number of flows in the interval flagged as continuations of flows split
+/// at the boundary (the ~15k/680k effect in Figure 1).
+[[nodiscard]] std::size_t continued_count(const IntervalData& interval);
+
+}  // namespace fbm::flow

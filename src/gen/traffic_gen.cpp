@@ -1,0 +1,126 @@
+#include "gen/traffic_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::gen {
+
+namespace {
+
+// Draws the next arrival gap under the (possibly modulated) arrival process.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(double lambda, const ArrivalModulation& mod, stats::Rng& rng)
+      : lambda_(lambda), mod_(mod), rng_(rng) {
+    if (!mod_.is_poisson()) {
+      state_high_ = rng_.bernoulli(0.5);
+      next_switch_ = rng_.exponential(1.0 / mod_.mean_sojourn_s);
+    }
+  }
+
+  [[nodiscard]] double next(double now) {
+    if (mod_.is_poisson()) return now + rng_.exponential(lambda_);
+    // Thinning-free approach: advance piecewise through modulation states.
+    double t = now;
+    while (true) {
+      const double rate =
+          lambda_ * (state_high_ ? mod_.high_factor : mod_.low_factor);
+      if (rate <= 0.0) {
+        t = next_switch_;
+        flip();
+        continue;
+      }
+      const double candidate = t + rng_.exponential(rate);
+      if (candidate < next_switch_) return candidate;
+      t = next_switch_;
+      flip();
+    }
+  }
+
+ private:
+  void flip() {
+    state_high_ = !state_high_;
+    next_switch_ += rng_.exponential(1.0 / mod_.mean_sojourn_s);
+  }
+
+  double lambda_;
+  ArrivalModulation mod_;
+  stats::Rng& rng_;
+  bool state_high_ = true;
+  double next_switch_ = 0.0;
+};
+
+}  // namespace
+
+GeneratedTraffic generate(const GeneratorConfig& config) {
+  if (!(config.duration_s > 0.0)) {
+    throw std::invalid_argument("generate: duration <= 0");
+  }
+  if (!(config.lambda > 0.0)) {
+    throw std::invalid_argument("generate: lambda <= 0");
+  }
+  if (!(config.delta_s > 0.0)) {
+    throw std::invalid_argument("generate: delta <= 0");
+  }
+  const bool empirical = !config.resample_pool.empty();
+  if (!empirical && (!config.size_bits || !config.duration_s_dist)) {
+    throw std::invalid_argument(
+        "generate: need either a resample pool or size+duration "
+        "distributions");
+  }
+  core::ShotPtr shot = config.shot ? config.shot : core::triangular_shot();
+
+  stats::Rng rng(config.seed);
+  ArrivalProcess arrivals(config.lambda, config.modulation, rng);
+
+  const auto bins = static_cast<std::size_t>(
+      std::ceil(config.duration_s / config.delta_s - 1e-9));
+  GeneratedTraffic out;
+  out.series.start = 0.0;
+  out.series.delta = config.delta_s;
+  out.series.values.assign(bins, 0.0);
+
+  double t = arrivals.next(0.0);
+  while (t < config.duration_s) {
+    core::FlowSample fs{};
+    if (empirical) {
+      const std::size_t idx = static_cast<std::size_t>(
+          rng.uniform_int(0, config.resample_pool.size() - 1));
+      fs = config.resample_pool[idx];
+    } else {
+      fs.size_bits = std::max(1.0, config.size_bits->sample(rng));
+      fs.duration_s = std::max(1e-3, config.duration_s_dist->sample(rng));
+    }
+    ++out.flows;
+    out.offered_bits += fs.size_bits;
+
+    // Add the shot's contribution at each covered bin center.
+    const double end = std::min(t + fs.duration_s, config.duration_s);
+    auto first_bin = static_cast<std::size_t>(
+        std::max(0.0, std::floor(t / config.delta_s)));
+    for (std::size_t i = first_bin; i < bins; ++i) {
+      const double center =
+          (static_cast<double>(i) + 0.5) * config.delta_s;
+      if (center < t) continue;
+      if (center >= end) break;
+      out.series.values[i] += shot->value(center - t, fs.size_bits,
+                                          fs.duration_s);
+    }
+    t = arrivals.next(t);
+  }
+  return out;
+}
+
+GeneratorConfig from_model(const core::ShotNoiseModel& model,
+                           double duration_s, double delta_s) {
+  GeneratorConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.lambda = model.lambda();
+  cfg.delta_s = delta_s;
+  cfg.resample_pool = model.samples();
+  cfg.shot = model.shot_ptr();
+  return cfg;
+}
+
+}  // namespace fbm::gen

@@ -1,0 +1,76 @@
+#include "measure/fluid_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbm::measure {
+
+FluidQueueReport run_fluid_queue(const stats::RateSeries& input,
+                                 const FluidQueueConfig& config) {
+  if (!(config.capacity_bps > 0.0)) {
+    throw std::invalid_argument("run_fluid_queue: capacity <= 0");
+  }
+  if (!(config.buffer_bits >= 0.0)) {
+    throw std::invalid_argument("run_fluid_queue: buffer < 0");
+  }
+  if (input.values.empty() || !(input.delta > 0.0)) {
+    throw std::invalid_argument("run_fluid_queue: empty input series");
+  }
+
+  FluidQueueReport rep;
+  rep.bins = input.values.size();
+  const double dt = input.delta;
+  const double c = config.capacity_bps;
+  const double b = config.buffer_bits;
+
+  double q = 0.0;  // queue occupancy, bits
+  double queue_time_integral = 0.0;
+  std::size_t congested = 0;
+  std::size_t busy = 0;
+
+  for (double rate : input.values) {
+    const double offered = rate * dt;
+    rep.offered_bits += offered;
+    if (rate > c) ++congested;
+
+    // Net fill rate within the bin.
+    const double net = rate - c;
+    double lost = 0.0;
+    double q_end = q + net * dt;
+    if (net > 0.0 && q_end > b) {
+      // Queue hits the buffer limit partway through the bin; overflow is
+      // lost at rate `net` for the remaining time.
+      const double t_full = (b - q) / net;
+      lost = net * (dt - t_full);
+      q_end = b;
+      // Time-average of q over the bin: ramp then flat.
+      queue_time_integral += 0.5 * (q + b) * t_full + b * (dt - t_full);
+    } else if (q_end < 0.0) {
+      // Queue empties partway through the bin.
+      const double t_empty = net < 0.0 ? q / (-net) : 0.0;
+      queue_time_integral += 0.5 * q * t_empty;
+      q_end = 0.0;
+    } else {
+      queue_time_integral += 0.5 * (q + q_end) * dt;
+    }
+    rep.lost_bits += lost;
+    if (q > 0.0 || q_end > 0.0) ++busy;
+    q = q_end;
+    rep.max_queue_bits = std::max(rep.max_queue_bits, q);
+  }
+
+  rep.carried_bits = rep.offered_bits - rep.lost_bits;
+  rep.loss_fraction =
+      rep.offered_bits > 0.0 ? rep.lost_bits / rep.offered_bits : 0.0;
+  rep.congested_fraction =
+      static_cast<double>(congested) / static_cast<double>(rep.bins);
+  rep.busy_fraction =
+      static_cast<double>(busy) / static_cast<double>(rep.bins);
+  rep.mean_queue_bits =
+      queue_time_integral / (dt * static_cast<double>(rep.bins));
+  rep.max_delay_s = rep.max_queue_bits / c;
+  rep.mean_delay_s = rep.mean_queue_bits / c;
+  return rep;
+}
+
+}  // namespace fbm::measure

@@ -1,0 +1,44 @@
+// Fluid queue fed by a rate series: the buffer-sizing companion to the
+// Gaussian dimensioning rule.
+//
+// Section V-E dimensions the link so that P(R > C) <= eps; the paper notes
+// short-term overshoot is "absorbed by the buffers at the inputs of links".
+// This simulator plays a measured or generated rate series R(t) into a
+// server of capacity C with buffer B and reports congestion fraction, loss,
+// and queueing delay — letting benches verify that the capacity chosen by
+// GaussianApproximation::capacity_for_exceedance keeps losses near eps.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/timeseries.hpp"
+
+namespace fbm::measure {
+
+struct FluidQueueConfig {
+  double capacity_bps = 0.0;  ///< service rate C
+  double buffer_bits = 0.0;   ///< buffer size B; 0 = bufferless
+};
+
+struct FluidQueueReport {
+  double offered_bits = 0.0;
+  double carried_bits = 0.0;
+  double lost_bits = 0.0;
+  double loss_fraction = 0.0;       ///< lost/offered
+  double congested_fraction = 0.0;  ///< fraction of bins with R > C
+  double busy_fraction = 0.0;       ///< fraction of bins with queue > 0
+  double max_queue_bits = 0.0;
+  double mean_queue_bits = 0.0;
+  double max_delay_s = 0.0;   ///< max queue / C
+  double mean_delay_s = 0.0;  ///< mean queue / C
+  std::size_t bins = 0;
+};
+
+/// Plays `input` (bits/s per bin of length input.delta) through the queue.
+/// Within a bin the input rate is constant; the queue drains at C. Exact
+/// piecewise-linear evolution per bin (fill, clip at B, drain).
+/// Throws std::invalid_argument for non-positive capacity or empty input.
+[[nodiscard]] FluidQueueReport run_fluid_queue(const stats::RateSeries& input,
+                                               const FluidQueueConfig& config);
+
+}  // namespace fbm::measure

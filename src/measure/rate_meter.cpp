@@ -1,0 +1,34 @@
+#include "measure/rate_meter.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::measure {
+
+stats::RateSeries measure_rate(std::span<const net::PacketRecord> packets,
+                               double start, double end, double delta,
+                               std::span<const flow::DiscardedPacket> exclude) {
+  stats::RateBinner binner(start, end, delta);
+  for (const auto& p : packets) {
+    binner.add(p.timestamp, static_cast<double>(p.size_bytes));
+  }
+  for (const auto& d : exclude) {
+    binner.add(d.timestamp, -static_cast<double>(d.bytes));
+  }
+  return binner.series();
+}
+
+RateMoments rate_moments(const stats::RateSeries& series) {
+  RateMoments m;
+  m.samples = series.values.size();
+  if (m.samples == 0) return m;
+  stats::RunningStats s;
+  for (double v : series.values) s.add(v);
+  m.mean_bps = s.mean();
+  m.variance = s.population_variance();
+  m.cov = s.coefficient_of_variation();
+  return m;
+}
+
+}  // namespace fbm::measure

@@ -1,0 +1,38 @@
+// Measured total rate (Section V-F and VI).
+//
+// The "measured rate" is the byte volume in consecutive windows of length
+// Delta divided by Delta (paper default Delta = 200 ms, approximately one
+// round-trip time). The paper excludes packets of discarded single-packet
+// flows from the variance measurement; `measure_rate` takes the discard list
+// produced by the classifier for exactly that correction.
+#pragma once
+
+#include <span>
+
+#include "flow/classifier.hpp"
+#include "net/packet.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fbm::measure {
+
+inline constexpr double kPaperDelta = 0.2;  ///< 200 ms averaging interval
+
+/// Bins packets falling in [start, end) into a RateSeries with bin width
+/// `delta` (bits/s). Packets listed in `exclude` (timestamp, bytes) are
+/// subtracted from their bin.
+[[nodiscard]] stats::RateSeries measure_rate(
+    std::span<const net::PacketRecord> packets, double start, double end,
+    double delta = kPaperDelta,
+    std::span<const flow::DiscardedPacket> exclude = {});
+
+/// Measured first two moments of one interval's rate.
+struct RateMoments {
+  double mean_bps = 0.0;
+  double variance = 0.0;       ///< population variance, (bits/s)^2
+  double cov = 0.0;            ///< stddev/mean
+  std::size_t samples = 0;
+};
+
+[[nodiscard]] RateMoments rate_moments(const stats::RateSeries& series);
+
+}  // namespace fbm::measure

@@ -1,0 +1,63 @@
+// The classic 5-tuple flow key (Section III, flow definition 1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/ip.hpp"
+
+namespace fbm::net {
+
+/// Transport protocol numbers used by the synthetic generator.
+enum class Protocol : std::uint8_t {
+  icmp = 1,
+  tcp = 6,
+  udp = 17,
+};
+
+[[nodiscard]] constexpr const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::icmp: return "ICMP";
+    case Protocol::tcp: return "TCP";
+    case Protocol::udp: return "UDP";
+  }
+  return "?";
+}
+
+/// Source/destination addresses and ports plus protocol number: packets with
+/// equal FiveTuple belong to the same flow under definition 1.
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) =
+      default;
+
+  [[nodiscard]] std::string to_string() const {
+    return src.to_string() + ":" + std::to_string(src_port) + " -> " +
+           dst.to_string() + ":" + std::to_string(dst_port) + " proto " +
+           std::to_string(protocol);
+  }
+};
+
+/// FNV-1a over all five fields.
+struct FiveTupleHash {
+  [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h = (h ^ v) * 1099511628211ULL;
+    };
+    mix(t.src.value());
+    mix(t.dst.value());
+    mix(t.src_port);
+    mix(t.dst_port);
+    mix(t.protocol);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace fbm::net

@@ -1,0 +1,40 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+
+namespace fbm::net {
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(static_cast<unsigned>(octet(i)));
+  }
+  return out;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  std::uint32_t value = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p >= end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Prefix::to_string() const {
+  return network().to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace fbm::net

@@ -1,0 +1,95 @@
+// IPv4 addresses and prefixes.
+//
+// The paper's second flow definition aggregates packets by /24 destination
+// prefix; Prefix supports arbitrary /n masks so benches can also explore /8
+// and /16 aggregation (Section VI-A suggests "routable" prefixes as an
+// extension).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fbm::net {
+
+/// IPv4 address as a host-order 32-bit value.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad rendering, e.g. "10.1.2.3".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse dotted-quad; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix: the top `length` bits of `address`.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Canonicalises: host bits below the mask are zeroed. length in [0, 32].
+  constexpr Prefix(Ipv4Address addr, int length)
+      : length_(length),
+        network_(length <= 0
+                     ? 0u
+                     : (addr.value() &
+                        (length >= 32 ? 0xffffffffu
+                                      : ~((1u << (32 - length)) - 1u)))) {}
+
+  [[nodiscard]] constexpr Ipv4Address network() const {
+    return Ipv4Address{network_};
+  }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return Prefix(a, length_).network_ == network_;
+  }
+
+  /// e.g. "192.168.1.0/24".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  int length_ = 0;
+  std::uint32_t network_ = 0;
+};
+
+/// Hash helpers (FNV-1a over the canonical representation).
+struct Ipv4Hash {
+  [[nodiscard]] std::size_t operator()(Ipv4Address a) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    h = (h ^ a.value()) * 1099511628211ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+struct PrefixHash {
+  [[nodiscard]] std::size_t operator()(const Prefix& p) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    h = (h ^ p.network().value()) * 1099511628211ULL;
+    h = (h ^ static_cast<std::uint64_t>(p.length())) * 1099511628211ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace fbm::net

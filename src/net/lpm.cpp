@@ -1,0 +1,125 @@
+#include "net/lpm.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace fbm::net {
+
+RoutingTable::RoutingTable() { nodes_.push_back(Node{}); }
+
+std::optional<std::uint32_t> RoutingTable::insert(const Prefix& prefix,
+                                                  std::uint32_t route_id) {
+  std::size_t idx = 0;
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int b = bit(prefix.network().value(), depth) ? 1 : 0;
+    if (nodes_[idx].child[b] < 0) {
+      nodes_[idx].child[b] = static_cast<std::int32_t>(nodes_.size());
+      Node node;
+      node.depth = static_cast<std::int8_t>(depth + 1);
+      nodes_.push_back(node);
+    }
+    idx = static_cast<std::size_t>(nodes_[idx].child[b]);
+  }
+  std::optional<std::uint32_t> previous;
+  if (nodes_[idx].terminal) previous = nodes_[idx].route_id;
+  nodes_[idx].terminal = true;
+  nodes_[idx].route_id = route_id;
+  if (!previous) ++entries_;
+  return previous;
+}
+
+std::optional<std::uint32_t> RoutingTable::lookup(Ipv4Address addr) const {
+  std::optional<std::uint32_t> best;
+  std::size_t idx = 0;
+  if (nodes_[0].terminal) best = nodes_[0].route_id;
+  for (int depth = 0; depth < 32; ++depth) {
+    const int b = bit(addr.value(), depth) ? 1 : 0;
+    const std::int32_t next = nodes_[idx].child[b];
+    if (next < 0) break;
+    idx = static_cast<std::size_t>(next);
+    if (nodes_[idx].terminal) best = nodes_[idx].route_id;
+  }
+  return best;
+}
+
+std::optional<Prefix> RoutingTable::lookup_prefix(Ipv4Address addr) const {
+  std::optional<Prefix> best;
+  std::size_t idx = 0;
+  if (nodes_[0].terminal) best = Prefix(addr, 0);
+  for (int depth = 0; depth < 32; ++depth) {
+    const int b = bit(addr.value(), depth) ? 1 : 0;
+    const std::int32_t next = nodes_[idx].child[b];
+    if (next < 0) break;
+    idx = static_cast<std::size_t>(next);
+    if (nodes_[idx].terminal) best = Prefix(addr, depth + 1);
+  }
+  return best;
+}
+
+bool RoutingTable::erase(const Prefix& prefix) {
+  std::size_t idx = 0;
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int b = bit(prefix.network().value(), depth) ? 1 : 0;
+    const std::int32_t next = nodes_[idx].child[b];
+    if (next < 0) return false;
+    idx = static_cast<std::size_t>(next);
+  }
+  if (!nodes_[idx].terminal) return false;
+  nodes_[idx].terminal = false;
+  --entries_;
+  return true;
+}
+
+std::vector<RoutingTable::Entry> RoutingTable::entries() const {
+  // Iterative DFS reconstructing prefixes from the path.
+  std::vector<Entry> out;
+  struct Frame {
+    std::size_t idx;
+    std::uint32_t bits;
+    int depth;
+  };
+  std::vector<Frame> stack = {{0, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.idx];
+    if (node.terminal) {
+      out.push_back({Prefix(Ipv4Address{f.bits}, f.depth), node.route_id});
+    }
+    for (int b = 1; b >= 0; --b) {
+      if (node.child[b] >= 0) {
+        std::uint32_t bits = f.bits;
+        if (b == 1) bits |= (1u << (31 - f.depth));
+        stack.push_back({static_cast<std::size_t>(node.child[b]), bits,
+                         f.depth + 1});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return std::pair(a.prefix.network().value(), a.prefix.length()) <
+           std::pair(b.prefix.network().value(), b.prefix.length());
+  });
+  return out;
+}
+
+RoutingTable make_synthetic_fib(std::size_t n, std::uint64_t seed, double w8,
+                                double w16, double w24) {
+  std::mt19937_64 rng(seed);
+  std::discrete_distribution<int> pick({w8, w16, w24});
+  std::uniform_int_distribution<std::uint32_t> dist32;
+  RoutingTable table;
+  std::uint32_t route_id = 0;
+  while (table.size() < n) {
+    const std::uint32_t addr = dist32(rng);
+    int len = 24;
+    switch (pick(rng)) {
+      case 0: len = 8; break;
+      case 1: len = 16; break;
+      default: len = 24; break;
+    }
+    table.insert(Prefix(Ipv4Address{addr}, len), route_id++);
+  }
+  return table;
+}
+
+}  // namespace fbm::net

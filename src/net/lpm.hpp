@@ -1,0 +1,75 @@
+// Longest-prefix-match routing table (binary trie).
+//
+// Section VI-A proposes defining flows by "routable" prefixes — the entries
+// of the router's forwarding table — instead of fixed /24s, so that flow
+// state shrinks further and flow statistics can be combined with routing
+// information. RoutingTable provides the longest-prefix-match lookup that
+// such a flow definition needs; flow/classifier.hpp's RoutableKey uses it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace fbm::net {
+
+/// Binary (one bit per level) trie mapping prefixes to a route id.
+/// Insertion is O(prefix length); lookup walks at most 32 levels and returns
+/// the longest matching entry.
+class RoutingTable {
+ public:
+  RoutingTable();
+
+  /// Inserts or replaces the entry for `prefix`. Returns the previous route
+  /// id if the exact prefix was already present.
+  std::optional<std::uint32_t> insert(const Prefix& prefix,
+                                      std::uint32_t route_id);
+
+  /// Longest-prefix match; nullopt when no entry covers the address (no
+  /// default route unless one was inserted as /0).
+  [[nodiscard]] std::optional<std::uint32_t> lookup(Ipv4Address addr) const;
+
+  /// The matching prefix itself (for flow keying).
+  [[nodiscard]] std::optional<Prefix> lookup_prefix(Ipv4Address addr) const;
+
+  /// Removes the exact prefix; returns false if absent.
+  bool erase(const Prefix& prefix);
+
+  [[nodiscard]] std::size_t size() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_ == 0; }
+
+  /// All installed entries in ascending (network, length) order.
+  struct Entry {
+    Prefix prefix;
+    std::uint32_t route_id;
+  };
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};  ///< indices into nodes_, -1 = none
+    bool terminal = false;
+    std::uint32_t route_id = 0;
+    std::int8_t depth = 0;
+  };
+
+  [[nodiscard]] static bool bit(std::uint32_t value, int depth) {
+    return (value >> (31 - depth)) & 1u;
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t entries_ = 0;
+};
+
+/// Builds a synthetic backbone forwarding table: `n` prefixes with lengths
+/// drawn from the given histogram-like weights for /8, /16, /24 (roughly the
+/// 2001 BGP table mix). Deterministic for a given seed.
+[[nodiscard]] RoutingTable make_synthetic_fib(std::size_t n,
+                                              std::uint64_t seed,
+                                              double w8 = 0.05,
+                                              double w16 = 0.45,
+                                              double w24 = 0.50);
+
+}  // namespace fbm::net

@@ -1,0 +1,31 @@
+// Packet record: the unit stored in trace files.
+//
+// Mirrors the paper's measurement infrastructure, which timestamps every
+// packet and keeps its first 44 bytes (enough for IP + transport headers).
+// We keep the decoded header fields plus the on-wire size.
+#pragma once
+
+#include <cstdint>
+
+#include "net/five_tuple.hpp"
+
+namespace fbm::net {
+
+struct PacketRecord {
+  double timestamp = 0.0;        ///< seconds since trace start
+  FiveTuple tuple;               ///< decoded header fields
+  std::uint32_t size_bytes = 0;  ///< IP datagram length on the wire
+
+  friend constexpr bool operator==(const PacketRecord&, const PacketRecord&) =
+      default;
+};
+
+/// Strict-weak ordering by timestamp (merge / sort helper).
+struct ByTimestamp {
+  [[nodiscard]] constexpr bool operator()(const PacketRecord& a,
+                                          const PacketRecord& b) const {
+    return a.timestamp < b.timestamp;
+  }
+};
+
+}  // namespace fbm::net

@@ -1,0 +1,81 @@
+#include "predict/predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "predict/toeplitz.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fbm::predict {
+
+MovingAveragePredictor::MovingAveragePredictor(std::span<const double> acf,
+                                               std::size_t order, double mean)
+    : mean_(mean) {
+  LevinsonResult lr = levinson_durbin(acf, order);
+  coeffs_ = std::move(lr.coefficients);
+  theoretical_error_ = lr.prediction_error;
+}
+
+double MovingAveragePredictor::predict(std::span<const double> history) const {
+  const std::size_t m = coeffs_.size();
+  if (history.size() < m) {
+    throw std::invalid_argument("predict: history shorter than order");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    // coeffs_[i] weights the sample i+1 steps in the past.
+    acc += coeffs_[i] * (history[history.size() - 1 - i] - mean_);
+  }
+  return mean_ + acc;
+}
+
+PredictionReport evaluate_predictor(const MovingAveragePredictor& predictor,
+                                    std::span<const double> series) {
+  PredictionReport rep;
+  rep.predictions.assign(series.size(), 0.0);
+  const std::size_t m = predictor.order();
+  if (series.size() <= m) return rep;
+
+  double sq = 0.0;
+  stats::RunningStats actual;
+  for (std::size_t k = m; k < series.size(); ++k) {
+    const double pred = predictor.predict(series.subspan(0, k));
+    rep.predictions[k] = pred;
+    const double err = pred - series[k];
+    sq += err * err;
+    actual.add(series[k]);
+    ++rep.evaluated;
+  }
+  rep.rmse = std::sqrt(sq / static_cast<double>(rep.evaluated));
+  const double mean_actual = actual.mean();
+  rep.relative_error = mean_actual > 0.0 ? rep.rmse / mean_actual : 0.0;
+  return rep;
+}
+
+std::size_t select_order(std::span<const double> acf,
+                         std::span<const double> training,
+                         std::size_t max_order) {
+  if (max_order == 0) throw std::invalid_argument("select_order: max 0");
+  if (acf.size() < max_order + 1) {
+    throw std::invalid_argument("select_order: ACF shorter than max order");
+  }
+  const double mean = stats::mean(training);
+  double best_mse = -1.0;
+  std::size_t best_order = 1;
+  for (std::size_t m = 1; m <= max_order; ++m) {
+    const MovingAveragePredictor p(acf, m, mean);
+    const PredictionReport rep = evaluate_predictor(p, training);
+    if (rep.evaluated == 0) break;
+    const double mse = rep.rmse * rep.rmse;
+    if (best_mse < 0.0 || mse < best_mse - 1e-12) {
+      best_mse = mse;
+      best_order = m;
+    } else {
+      // First increase: the paper stops at the order preceding it.
+      break;
+    }
+  }
+  return best_order;
+}
+
+}  // namespace fbm::predict

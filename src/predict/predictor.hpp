@@ -1,0 +1,66 @@
+// Moving-Average rate predictor (Section VII-B, Table II, Figure 14).
+//
+// The predictor forecasts the next sample of the rate process {R_k} (sampled
+// every iota seconds) as a linear combination of the last M samples. The
+// combination weights come from the normal equations driven by an
+// auto-correlation function that is either
+//   - measured from past samples of {R_k} ("data-driven"), or
+//   - computed from flow statistics via Theorem 2 ("model-driven"),
+// the paper's point being that the model-driven ACF stays usable when iota
+// is large and {R_k} has too few samples.
+//
+// The process is centered before prediction (the paper predicts around the
+// known mean; without centering a short-M predictor is biased).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fbm::predict {
+
+class MovingAveragePredictor {
+ public:
+  /// acf: rho(0..>=order), rho(0)==1; order M >= 1; `mean` of the process.
+  MovingAveragePredictor(std::span<const double> acf, std::size_t order,
+                         double mean);
+
+  /// One-step-ahead forecast from the latest `order()` samples;
+  /// history.back() is the most recent. Throws when history is shorter than
+  /// the order.
+  [[nodiscard]] double predict(std::span<const double> history) const;
+
+  [[nodiscard]] std::size_t order() const { return coeffs_.size(); }
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coeffs_;
+  }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Theoretical normalised MSE from the Levinson recursion.
+  [[nodiscard]] double theoretical_error() const { return theoretical_error_; }
+
+ private:
+  std::vector<double> coeffs_;  ///< a_0 (lag 1) .. a_{M-1} (lag M)
+  double mean_;
+  double theoretical_error_;
+};
+
+/// Walk-forward evaluation on a series: predict each sample from its
+/// predecessors and accumulate the error. Skips the first `order` samples.
+struct PredictionReport {
+  double rmse = 0.0;            ///< sqrt(E[(pred - actual)^2]), bits/s
+  double relative_error = 0.0;  ///< rmse / mean(actual), the paper's "%"
+  std::size_t evaluated = 0;
+  std::vector<double> predictions;  ///< aligned with input indices
+};
+
+[[nodiscard]] PredictionReport evaluate_predictor(
+    const MovingAveragePredictor& predictor, std::span<const double> series);
+
+/// The paper's order selection: starting from M=1, pick the smallest M whose
+/// successor would increase the walk-forward MSE on `training`.
+/// `max_order` bounds the search; the ACF must cover max_order+1 lags.
+[[nodiscard]] std::size_t select_order(std::span<const double> acf,
+                                       std::span<const double> training,
+                                       std::size_t max_order);
+
+}  // namespace fbm::predict

@@ -1,0 +1,88 @@
+#include "predict/toeplitz.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::predict {
+
+LevinsonResult levinson_durbin(std::span<const double> acf,
+                               std::size_t order) {
+  if (order == 0) throw std::invalid_argument("levinson_durbin: order == 0");
+  if (acf.size() < order + 1) {
+    throw std::invalid_argument("levinson_durbin: need rho(0..order)");
+  }
+  if (std::abs(acf[0] - 1.0) > 1e-9) {
+    throw std::invalid_argument("levinson_durbin: rho(0) != 1");
+  }
+
+  std::vector<double> a(order, 0.0);
+  double err = 1.0;  // normalised: rho(0)
+  std::vector<double> prev(order, 0.0);
+  for (std::size_t m = 0; m < order; ++m) {
+    double acc = acf[m + 1];
+    for (std::size_t i = 0; i < m; ++i) acc -= prev[i] * acf[m - i];
+    if (err <= 0.0) break;
+    const double k = acc / err;  // reflection coefficient
+    if (!(k > -1.0 && k < 1.0) && m > 0) break;  // non-PSD estimate: stop
+    a = prev;
+    a[m] = k;
+    for (std::size_t i = 0; i < m; ++i) a[i] = prev[i] - k * prev[m - 1 - i];
+    err *= (1.0 - k * k);
+    prev = a;
+  }
+  return {std::move(a), err};
+}
+
+std::vector<double> solve_normal_equations(std::span<const double> acf,
+                                           std::size_t order) {
+  if (order == 0) {
+    throw std::invalid_argument("solve_normal_equations: order == 0");
+  }
+  if (acf.size() < order + 1) {
+    throw std::invalid_argument("solve_normal_equations: need rho(0..order)");
+  }
+  const std::size_t n = order;
+  for (double jitter : {0.0, 1e-10, 1e-8, 1e-6, 1e-4}) {
+    // Build A = Toeplitz(rho(0..n-1)) + jitter*I, b = rho(1..n).
+    std::vector<double> chol(n * n, 0.0);
+    bool ok = true;
+    // Cholesky factorisation of the Toeplitz matrix.
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const std::size_t lag = i - j;
+        double sum = acf[lag] + (i == j ? jitter : 0.0);
+        for (std::size_t k = 0; k < j; ++k) {
+          sum -= chol[i * n + k] * chol[j * n + k];
+        }
+        if (i == j) {
+          if (!(sum > 0.0)) {
+            ok = false;
+            break;
+          }
+          chol[i * n + i] = std::sqrt(sum);
+        } else {
+          chol[i * n + j] = sum / chol[j * n + j];
+        }
+      }
+    }
+    if (!ok) continue;
+    // Forward/backward substitution on b = rho(1..n).
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = acf[i + 1];
+      for (std::size_t k = 0; k < i; ++k) sum -= chol[i * n + k] * y[k];
+      y[i] = sum / chol[i * n + i];
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+      double sum = y[ii];
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= chol[k * n + ii] * x[k];
+      x[ii] = sum / chol[ii * n + ii];
+    }
+    return x;
+  }
+  throw std::runtime_error(
+      "solve_normal_equations: ACF matrix could not be stabilised");
+}
+
+}  // namespace fbm::predict

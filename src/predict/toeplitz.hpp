@@ -1,0 +1,35 @@
+// Solvers for the normal equations of linear prediction (eq. 8).
+//
+// The one-step predictor R_hat_{k+1} = sum_{l=0}^{M-1} a_l R_{k-l} minimises
+// the mean-square error when
+//   sum_l a_l rho(|l - i|) = rho(i + 1),   i = 0..M-1,
+// a symmetric Toeplitz system in the auto-correlation rho. Levinson-Durbin
+// solves it in O(M^2); a dense Cholesky fallback covers ACF sequences that
+// are not strictly positive definite after estimation noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fbm::predict {
+
+struct LevinsonResult {
+  std::vector<double> coefficients;  ///< a_0..a_{M-1}
+  double prediction_error;  ///< theoretical MSE / rho(0), in [0, 1]
+};
+
+/// Levinson-Durbin recursion. `acf` must hold rho(0..order) with
+/// rho(0) == 1 (normalised); throws std::invalid_argument otherwise.
+/// Returns nullopt-like degenerate handling: if a reflection coefficient
+/// leaves [-1, 1] (non-PSD estimated ACF), the recursion stops at the last
+/// valid order and pads with zeros.
+[[nodiscard]] LevinsonResult levinson_durbin(std::span<const double> acf,
+                                             std::size_t order);
+
+/// Dense solve of the same system via Cholesky with Tikhonov jitter; slower
+/// but tolerant of slightly indefinite ACF estimates. Throws
+/// std::runtime_error if the system cannot be stabilised.
+[[nodiscard]] std::vector<double> solve_normal_equations(
+    std::span<const double> acf, std::size_t order);
+
+}  // namespace fbm::predict

@@ -1,0 +1,60 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::stats {
+
+double autocovariance(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (n == 0 || lag >= n) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    acc += (xs[i] - mu) * (xs[i + lag] - mu);
+  }
+  return acc / static_cast<double>(n);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (xs.empty()) return 0.0;
+  if (lag == 0) return 1.0;
+  const double c0 = autocovariance(xs, 0);
+  if (c0 <= 0.0) return 0.0;
+  return autocovariance(xs, lag) / c0;
+}
+
+std::vector<double> autocovariance_series(std::span<const double> xs,
+                                          std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> out(max_lag + 1, 0.0);
+  if (n == 0) return out;
+  const double mu = mean(xs);
+  for (std::size_t k = 0; k <= max_lag && k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      acc += (xs[i] - mu) * (xs[i + k] - mu);
+    }
+    out[k] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> autocorrelation_series(std::span<const double> xs,
+                                           std::size_t max_lag) {
+  std::vector<double> cov = autocovariance_series(xs, max_lag);
+  std::vector<double> out(cov.size(), 0.0);
+  if (xs.empty()) return out;
+  out[0] = 1.0;
+  if (cov[0] <= 0.0) return out;
+  for (std::size_t k = 1; k < cov.size(); ++k) out[k] = cov[k] / cov[0];
+  return out;
+}
+
+double white_noise_band(std::size_t n) {
+  if (n == 0) return 0.0;
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace fbm::stats

@@ -1,0 +1,37 @@
+// Sample auto-correlation and auto-covariance of a sequence.
+//
+// Used for the paper's Figures 3-6 (correlation of inter-arrival times, flow
+// sizes and durations) and for the data-driven predictor of Section VII-B.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fbm::stats {
+
+/// Biased sample auto-covariance at `lag`:
+///   c(k) = (1/n) * sum_{i=0}^{n-k-1} (x_i - mean)(x_{i+k} - mean).
+/// The biased (1/n) normalisation guarantees a positive semi-definite
+/// covariance sequence, which the Levinson recursion in predict/ requires.
+[[nodiscard]] double autocovariance(std::span<const double> xs, std::size_t lag);
+
+/// Auto-correlation coefficient c(k)/c(0) in [-1, 1]. Returns 0 when the
+/// series is constant (c(0)==0) and k>0; lag 0 is defined as 1 for any
+/// non-empty series.
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Auto-correlation for lags 0..max_lag inclusive (single mean pass, then one
+/// pass per lag). Lags >= n yield 0.
+[[nodiscard]] std::vector<double> autocorrelation_series(
+    std::span<const double> xs, std::size_t max_lag);
+
+/// Auto-covariance for lags 0..max_lag inclusive (biased normalisation).
+[[nodiscard]] std::vector<double> autocovariance_series(
+    std::span<const double> xs, std::size_t max_lag);
+
+/// Large-lag 95% confidence band for the ACF of white noise: +/-1.96/sqrt(n).
+/// Figures 3-6 interpret coefficients inside this band as "no correlation".
+[[nodiscard]] double white_noise_band(std::size_t n);
+
+}  // namespace fbm::stats

@@ -1,0 +1,71 @@
+// Streaming (Welford) and batch descriptive statistics.
+//
+// The paper's estimation procedure (Section V-G) needs running estimates of
+// flow-level quantities (arrival rate, E[S], E[S^2/D]) over 30-minute
+// intervals; RunningStats provides numerically stable single-pass moments up
+// to kurtosis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fbm::stats {
+
+/// Single-pass accumulator for mean/variance/skewness/kurtosis (Welford /
+/// Pebay update formulas). All results are finite-sample; `variance()` is the
+/// unbiased (n-1) estimator, `population_variance()` divides by n.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;             ///< unbiased, n-1
+  [[nodiscard]] double population_variance() const;  ///< biased, n
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double population_stddev() const;
+  [[nodiscard]] double skewness() const;  ///< g1, population form
+  [[nodiscard]] double kurtosis() const;  ///< excess kurtosis g2
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+
+  /// Coefficient of variation: stddev/mean (population form), the paper's
+  /// headline validation metric. Returns 0 for an empty or zero-mean sample.
+  [[nodiscard]] double coefficient_of_variation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a span (two-pass, numerically stable).
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);             ///< unbiased
+[[nodiscard]] double population_variance(std::span<const double> xs);  ///< biased
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Mean of f(x) over the span without materialising the mapped vector.
+template <typename F>
+[[nodiscard]] double mean_of(std::span<const double> xs, F&& f) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) acc += (f(x) - acc) / static_cast<double>(++n);
+  return acc;
+}
+
+}  // namespace fbm::stats

@@ -1,0 +1,406 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/quantile.hpp"
+
+namespace fbm::stats {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_p(double p, const char* who) {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument(std::string(who) + ": p outside [0,1)");
+  }
+}
+}  // namespace
+
+double Distribution::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("Exponential: rate <= 0");
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const { return exponential_cdf(x, rate_); }
+
+double Exponential::quantile(double p) const {
+  return exponential_quantile(p, rate_);
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::variance() const { return 1.0 / (rate_ * rate_); }
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+std::string Exponential::name() const {
+  return "Exponential(rate=" + std::to_string(rate_) + ")";
+}
+
+Exponential Exponential::fit(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Exponential::fit: empty");
+  const double mu = fbm::stats::mean(xs);
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument("Exponential::fit: non-positive mean");
+  }
+  return Exponential(1.0 / mu);
+}
+
+// --------------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+  if (!(alpha > 0.0)) throw std::invalid_argument("Pareto: alpha <= 0");
+  if (!(xm > 0.0)) throw std::invalid_argument("Pareto: xm <= 0");
+}
+
+double Pareto::pdf(double x) const {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  check_p(p, "Pareto::quantile");
+  return xm_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  return alpha_ <= 1.0 ? kInf : alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return kInf;
+  const double am1 = alpha_ - 1.0;
+  return xm_ * xm_ * alpha_ / (am1 * am1 * (alpha_ - 2.0));
+}
+
+std::string Pareto::name() const {
+  return "Pareto(alpha=" + std::to_string(alpha_) +
+         ", xm=" + std::to_string(xm_) + ")";
+}
+
+Pareto Pareto::fit(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Pareto::fit: empty");
+  const double xm = *std::min_element(xs.begin(), xs.end());
+  if (!(xm > 0.0)) throw std::invalid_argument("Pareto::fit: min <= 0");
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x / xm);
+  if (!(log_sum > 0.0)) {
+    throw std::invalid_argument("Pareto::fit: degenerate sample");
+  }
+  return Pareto(static_cast<double>(xs.size()) / log_sum, xm);
+}
+
+// -------------------------------------------------------------- BoundedPareto
+
+BoundedPareto::BoundedPareto(double alpha, double xm, double cap)
+    : alpha_(alpha), xm_(xm), cap_(cap) {
+  if (!(alpha > 0.0)) throw std::invalid_argument("BoundedPareto: alpha <= 0");
+  if (!(xm > 0.0)) throw std::invalid_argument("BoundedPareto: xm <= 0");
+  if (!(cap > xm)) throw std::invalid_argument("BoundedPareto: cap <= xm");
+}
+
+double BoundedPareto::pdf(double x) const {
+  if (x < xm_ || x > cap_) return 0.0;
+  const double norm = 1.0 - std::pow(xm_ / cap_, alpha_);
+  return alpha_ * std::pow(xm_, alpha_) / (std::pow(x, alpha_ + 1.0) * norm);
+}
+
+double BoundedPareto::cdf(double x) const {
+  if (x < xm_) return 0.0;
+  if (x >= cap_) return 1.0;
+  const double norm = 1.0 - std::pow(xm_ / cap_, alpha_);
+  return (1.0 - std::pow(xm_ / x, alpha_)) / norm;
+}
+
+double BoundedPareto::quantile(double p) const {
+  check_p(p, "BoundedPareto::quantile");
+  const double hl = std::pow(xm_ / cap_, alpha_);
+  return xm_ / std::pow(1.0 - p * (1.0 - hl), 1.0 / alpha_);
+}
+
+double BoundedPareto::raw_moment(int k) const {
+  // E[X^k] for bounded Pareto; alpha == k needs the log limit.
+  const double a = alpha_;
+  const double norm = 1.0 - std::pow(xm_ / cap_, a);
+  if (std::abs(a - static_cast<double>(k)) < 1e-12) {
+    return std::pow(xm_, a) * a * std::log(cap_ / xm_) / norm;
+  }
+  const double num = a * (std::pow(cap_, static_cast<double>(k) - a) -
+                          std::pow(xm_, static_cast<double>(k) - a));
+  return std::pow(xm_, a) * num / ((static_cast<double>(k) - a) * norm);
+}
+
+double BoundedPareto::mean() const { return raw_moment(1); }
+
+double BoundedPareto::variance() const {
+  const double m = mean();
+  return raw_moment(2) - m * m;
+}
+
+std::string BoundedPareto::name() const {
+  return "BoundedPareto(alpha=" + std::to_string(alpha_) +
+         ", xm=" + std::to_string(xm_) + ", cap=" + std::to_string(cap_) + ")";
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("LogNormal: sigma <= 0");
+}
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  check_p(p, "LogNormal::quantile");
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+std::string LogNormal::name() const {
+  return "LogNormal(mu=" + std::to_string(mu_) +
+         ", sigma=" + std::to_string(sigma_) + ")";
+}
+
+LogNormal LogNormal::fit(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("LogNormal::fit: empty");
+  RunningStats s;
+  for (double x : xs) {
+    if (!(x > 0.0)) {
+      throw std::invalid_argument("LogNormal::fit: non-positive sample");
+    }
+    s.add(std::log(x));
+  }
+  const double sd = s.population_stddev();
+  if (!(sd > 0.0)) {
+    throw std::invalid_argument("LogNormal::fit: degenerate sample");
+  }
+  return LogNormal(s.mean(), sd);
+}
+
+LogNormal LogNormal::from_mean_cv(double m, double cv) {
+  if (!(m > 0.0)) throw std::invalid_argument("LogNormal: mean <= 0");
+  if (!(cv > 0.0)) throw std::invalid_argument("LogNormal: cv <= 0");
+  const double s2 = std::log(1.0 + cv * cv);
+  return LogNormal(std::log(m) - s2 / 2.0, std::sqrt(s2));
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0)) throw std::invalid_argument("Weibull: shape <= 0");
+  if (!(scale > 0.0)) throw std::invalid_argument("Weibull: scale <= 0");
+}
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const double z = x / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  check_p(p, "Weibull::quantile");
+  return scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const {
+  return "Weibull(shape=" + std::to_string(shape_) +
+         ", scale=" + std::to_string(scale_) + ")";
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Uniform: hi <= lo");
+}
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x > hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  check_p(p, "Uniform::quantile");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::mean() const { return (lo_ + hi_) / 2.0; }
+
+double Uniform::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+std::string Uniform::name() const {
+  return "Uniform(" + std::to_string(lo_) + ", " + std::to_string(hi_) + ")";
+}
+
+// ------------------------------------------------------------------- Constant
+
+Constant::Constant(double value) : value_(value) {}
+
+double Constant::pdf(double) const { return 0.0; }
+
+double Constant::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double Constant::quantile(double p) const {
+  check_p(p, "Constant::quantile");
+  return value_;
+}
+
+double Constant::mean() const { return value_; }
+
+double Constant::variance() const { return 0.0; }
+
+double Constant::sample(Rng&) const { return value_; }
+
+std::string Constant::name() const {
+  return "Constant(" + std::to_string(value_) + ")";
+}
+
+// -------------------------------------------------------------------- Mixture
+
+Mixture::Mixture(DistributionPtr first, DistributionPtr second, double p_first)
+    : first_(std::move(first)), second_(std::move(second)), p_(p_first) {
+  if (!first_ || !second_) {
+    throw std::invalid_argument("Mixture: null component");
+  }
+  if (!(p_ >= 0.0 && p_ <= 1.0)) {
+    throw std::invalid_argument("Mixture: p outside [0,1]");
+  }
+}
+
+double Mixture::pdf(double x) const {
+  return p_ * first_->pdf(x) + (1.0 - p_) * second_->pdf(x);
+}
+
+double Mixture::cdf(double x) const {
+  return p_ * first_->cdf(x) + (1.0 - p_) * second_->cdf(x);
+}
+
+double Mixture::quantile(double p) const {
+  check_p(p, "Mixture::quantile");
+  // Bisection on the mixture CDF between the component quantiles.
+  double lo = std::min(first_->quantile(p), second_->quantile(p));
+  double hi = std::max(first_->quantile(p), second_->quantile(p));
+  if (hi - lo < 1e-15) return lo;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * std::max(1.0, std::abs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Mixture::mean() const {
+  return p_ * first_->mean() + (1.0 - p_) * second_->mean();
+}
+
+double Mixture::variance() const {
+  const double m1 = first_->mean();
+  const double m2 = second_->mean();
+  const double m = mean();
+  const double ex2 = p_ * (first_->variance() + m1 * m1) +
+                     (1.0 - p_) * (second_->variance() + m2 * m2);
+  return ex2 - m * m;
+}
+
+double Mixture::sample(Rng& rng) const {
+  return rng.bernoulli(p_) ? first_->sample(rng) : second_->sample(rng);
+}
+
+std::string Mixture::name() const {
+  return "Mixture(p=" + std::to_string(p_) + ", " + first_->name() + ", " +
+         second_->name() + ")";
+}
+
+// ----------------------------------------------------------------------- Zipf
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n == 0");
+  if (!(s >= 0.0)) throw std::invalid_argument("Zipf: s < 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double Zipf::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace fbm::stats

@@ -1,0 +1,207 @@
+// Parametric distributions for flow sizes, durations, and rates.
+//
+// The self-similarity literature the paper builds on (Section II) attributes
+// traffic burstiness to heavy-tailed flow sizes/durations; the synthetic
+// trace generator therefore needs Pareto/lognormal variates, and the model
+// validation needs exponential fits for inter-arrival times. Each
+// distribution exposes pdf/cdf/quantile/moments/sampling plus maximum-
+// likelihood fitting where it is closed-form.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+
+/// Abstract continuous distribution over (part of) the real line.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  [[nodiscard]] virtual double pdf(double x) const = 0;
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+  /// Inverse CDF for p in [0,1); throws std::invalid_argument otherwise.
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+  /// May be +inf for heavy tails (Pareto alpha <= 2).
+  [[nodiscard]] virtual double variance() const = 0;
+  [[nodiscard]] virtual double sample(Rng& rng) const;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Exponential(rate); mean 1/rate.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate() const { return rate_; }
+  /// MLE: rate = 1/sample-mean. Throws on empty or non-positive-mean sample.
+  [[nodiscard]] static Exponential fit(std::span<const double> xs);
+
+ private:
+  double rate_;
+};
+
+/// Pareto(alpha, xm): pdf ~ alpha*xm^alpha / x^(alpha+1), x >= xm.
+/// Heavy-tailed for small alpha; infinite variance when alpha <= 2.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double xm);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;      ///< +inf if alpha <= 1
+  [[nodiscard]] double variance() const override;  ///< +inf if alpha <= 2
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double xm() const { return xm_; }
+  /// MLE with known xm = min(sample): alpha = n / sum(log(x_i/xm)).
+  [[nodiscard]] static Pareto fit(std::span<const double> xs);
+
+ private:
+  double alpha_;
+  double xm_;
+};
+
+/// Pareto truncated to [xm, cap]; finite moments regardless of alpha. Used
+/// for flow sizes so a single elephant cannot dominate a short synthetic
+/// trace.
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double xm, double cap);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double xm() const { return xm_; }
+  [[nodiscard]] double cap() const { return cap_; }
+
+ private:
+  [[nodiscard]] double raw_moment(int k) const;
+  double alpha_;
+  double xm_;
+  double cap_;
+};
+
+/// LogNormal(mu, sigma) of the underlying normal.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+  /// MLE: mu/sigma of log-data. Throws on empty or non-positive samples.
+  [[nodiscard]] static LogNormal fit(std::span<const double> xs);
+  /// Construct from desired mean m and coefficient of variation cv.
+  [[nodiscard]] static LogNormal from_mean_cv(double m, double cv);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Weibull(shape k, scale lambda).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Uniform(lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Constant (degenerate) distribution; handy for baselines where all flows
+/// have identical rate (the M/G/infinity special case of Section II).
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value);
+  [[nodiscard]] double pdf(double x) const override;  ///< 0/inf convention: 0
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double value_;
+};
+
+/// Two-component mixture: with probability `p_first` sample from `first`,
+/// otherwise from `second`. Models the mice/elephants dichotomy of flow
+/// sizes ([3] in the paper).
+class Mixture final : public Distribution {
+ public:
+  Mixture(DistributionPtr first, DistributionPtr second, double p_first);
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;  ///< bisection
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  DistributionPtr first_;
+  DistributionPtr second_;
+  double p_;
+};
+
+/// Zipf(s) sampler over ranks {0, .., n-1}: P(k) ~ 1/(k+1)^s.
+/// Used to pick /24 destination prefixes with realistic popularity skew.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] double probability(std::size_t rank) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace fbm::stats

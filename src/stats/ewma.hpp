@@ -1,0 +1,123 @@
+// Exponentially weighted moving averages.
+//
+// Section V-G sketches an online implementation of the model: when a flow of
+// size S ends, the estimate of E[S] is updated as E <- (1-eps)*E + eps*S.
+// EwmaEstimator implements exactly that update; EwmaRateEstimator adapts it
+// to event *rates* (flow arrivals per second) from event timestamps.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace fbm::stats {
+
+/// Scalar EWMA with gain eps in (0, 1]: smaller eps reacts more slowly.
+class EwmaEstimator {
+ public:
+  explicit EwmaEstimator(double eps) : eps_(eps) {
+    if (!(eps > 0.0 && eps <= 1.0)) {
+      throw std::invalid_argument("EwmaEstimator: eps outside (0,1]");
+    }
+  }
+
+  /// First observation initialises the estimate directly.
+  void update(double x) {
+    if (n_ == 0) {
+      value_ = x;
+    } else {
+      value_ = (1.0 - eps_) * value_ + eps_ * x;
+    }
+    ++n_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool initialised() const { return n_ > 0; }
+  [[nodiscard]] double gain() const { return eps_; }
+  void reset() { n_ = 0; value_ = 0.0; }
+
+ private:
+  double eps_;
+  double value_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Exponentially time-discounted event-rate estimator:
+///   rate(t) = sum_i (1/tau) * exp(-(t - t_i)/tau)
+/// over observed events t_i <= t. Its stationary expectation equals the
+/// event rate lambda, and unlike a gap EWMA it is well behaved when many
+/// events share one timestamp (e.g. a classifier flush).
+class DiscountedRateEstimator {
+ public:
+  /// tau_s: discount time constant; larger = smoother, slower to react.
+  explicit DiscountedRateEstimator(double tau_s) : tau_(tau_s) {
+    if (!(tau_s > 0.0)) {
+      throw std::invalid_argument("DiscountedRateEstimator: tau <= 0");
+    }
+  }
+
+  /// Timestamps should be non-decreasing; small regressions are clamped.
+  void observe(double timestamp) {
+    if (has_last_) {
+      const double dt = timestamp > last_ ? timestamp - last_ : 0.0;
+      rate_ *= std::exp(-dt / tau_);
+      last_ = std::max(last_, timestamp);
+    } else {
+      last_ = timestamp;
+      has_last_ = true;
+    }
+    rate_ += 1.0 / tau_;
+    ++events_;
+  }
+
+  /// Events per second as of the last observed timestamp; 0 before any
+  /// event. Biased low during the first ~tau seconds of warm-up.
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] std::size_t events() const { return events_; }
+
+ private:
+  double tau_;
+  double rate_ = 0.0;
+  double last_ = 0.0;
+  bool has_last_ = false;
+  std::size_t events_ = 0;
+};
+
+/// Rate estimator: EWMA of inter-event gaps, exposed as events/second.
+/// Feed it the timestamp of every event (e.g. every flow arrival); `rate()`
+/// is 1 / smoothed-gap.
+class EwmaRateEstimator {
+ public:
+  explicit EwmaRateEstimator(double eps) : gap_(eps) {}
+
+  void observe(double timestamp) {
+    if (has_last_) {
+      const double gap = timestamp - last_;
+      if (gap < 0.0) {
+        throw std::invalid_argument(
+            "EwmaRateEstimator: timestamps must be non-decreasing");
+      }
+      gap_.update(gap);
+    }
+    last_ = timestamp;
+    has_last_ = true;
+  }
+
+  /// Events per second; 0 until two events have been seen.
+  [[nodiscard]] double rate() const {
+    if (!gap_.initialised() || gap_.value() <= 0.0) return 0.0;
+    return 1.0 / gap_.value();
+  }
+
+  [[nodiscard]] std::size_t events() const {
+    return gap_.count() + (has_last_ ? 1 : 0);
+  }
+
+ private:
+  EwmaEstimator gap_;
+  double last_ = 0.0;
+  bool has_last_ = false;
+};
+
+}  // namespace fbm::stats

@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi <= lo");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi boundary
+  ++counts_[idx];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t i) const {
+  return fraction(i) / width_;
+}
+
+std::size_t Histogram::mode_bin() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return it == counts_.end()
+             ? 0
+             : static_cast<std::size_t>(std::distance(counts_.begin(), it));
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::ostringstream os;
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << bin_center(i) << " | " << std::string(bar, '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fbm::stats

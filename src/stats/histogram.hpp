@@ -1,0 +1,54 @@
+// Fixed-width histogram used for Figure 11 (histogram of the fitted shot
+// power b) and for diagnostic output in examples and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fbm::stats {
+
+/// Fixed-width binning over [lo, hi); values outside the range are counted in
+/// underflow/overflow. Bin i covers [lo + i*w, lo + (i+1)*w).
+class Histogram {
+ public:
+  /// Throws std::invalid_argument if bins==0 or hi<=lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Fraction of all added samples (including under/overflow) in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Density estimate: fraction(i) / bin_width.
+  [[nodiscard]] double density(std::size_t i) const;
+
+  /// Index of the most populated bin (0 if empty).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// ASCII rendering (one line per bin: "center | #### count"), for benches.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fbm::stats

@@ -1,0 +1,56 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/quantile.hpp"
+
+namespace fbm::stats {
+
+double ks_statistic(std::span<const double> xs,
+                    const std::function<double(double)>& cdf) {
+  if (xs.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double ks_pvalue(double statistic, std::size_t n) {
+  if (n == 0) return 1.0;
+  const double sn = std::sqrt(static_cast<double>(n));
+  const double t = (sn + 0.12 + 0.11 / sn) * statistic;
+  // Kolmogorov survival function: 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+KsResult ks_test_exponential(std::span<const double> xs) {
+  const double mu = mean(xs);
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument("ks_test_exponential: non-positive mean");
+  }
+  const double rate = 1.0 / mu;
+  const double d =
+      ks_statistic(xs, [rate](double x) { return exponential_cdf(x, rate); });
+  return {d, ks_pvalue(d, xs.size())};
+}
+
+}  // namespace fbm::stats

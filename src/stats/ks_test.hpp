@@ -1,0 +1,31 @@
+// One-sample Kolmogorov-Smirnov test.
+//
+// The paper argues Poisson flow arrivals via qq-plots (Figures 3-4); the KS
+// statistic gives our tests and benches a scalar pass/fail criterion for the
+// same claim (inter-arrival times ~ exponential).
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace fbm::stats {
+
+/// KS statistic D_n = sup_x |F_n(x) - F(x)| for the given reference CDF.
+[[nodiscard]] double ks_statistic(std::span<const double> xs,
+                                  const std::function<double(double)>& cdf);
+
+/// Asymptotic p-value for the KS statistic (Kolmogorov distribution,
+/// two-sided). Valid for n >~ 35; conservative for smaller n.
+[[nodiscard]] double ks_pvalue(double statistic, std::size_t n);
+
+/// Convenience: KS test of exponentiality with rate fitted by moment
+/// matching. Note: fitting the rate from the same data makes the test
+/// slightly anti-conservative (Lilliefors effect); callers use generous
+/// thresholds.
+struct KsResult {
+  double statistic;
+  double pvalue;
+};
+[[nodiscard]] KsResult ks_test_exponential(std::span<const double> xs);
+
+}  // namespace fbm::stats

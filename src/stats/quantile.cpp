@@ -1,0 +1,160 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::stats {
+
+double empirical_quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("empirical_quantile: empty sample");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("empirical_quantile: p outside [0,1]");
+  }
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double h = p * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double empirical_quantile(std::span<const double> xs, double p) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return empirical_quantile_sorted(copy, p);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+// Acklam's rational approximation for the inverse normal CDF.
+double acklam_inverse(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p outside (0,1)");
+  }
+  double x = acklam_inverse(p);
+  // One Halley refinement step using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double exponential_cdf(double x, double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("exponential_cdf: rate <= 0");
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate * x);
+}
+
+double exponential_quantile(double p, double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("exponential_quantile: rate <= 0");
+  }
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("exponential_quantile: p outside [0,1)");
+  }
+  return -std::log(1.0 - p) / rate;
+}
+
+std::vector<QQPoint> qq_exponential(std::span<const double> xs,
+                                    std::size_t points, bool normalised) {
+  if (xs.empty() || points == 0) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double mu = mean(sorted);
+  const double rate = mu > 0.0 ? 1.0 / mu : 1.0;
+  std::vector<QQPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    out.push_back({empirical_quantile_sorted(sorted, p),
+                   exponential_quantile(p, rate)});
+  }
+  if (normalised) {
+    double smax = 0.0;
+    double tmax = 0.0;
+    for (const auto& pt : out) {
+      smax = std::max(smax, pt.sample);
+      tmax = std::max(tmax, pt.theoretical);
+    }
+    if (smax > 0.0 && tmax > 0.0) {
+      for (auto& pt : out) {
+        pt.sample /= smax;
+        pt.theoretical /= tmax;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<QQPoint> qq_normal(std::span<const double> xs, std::size_t points) {
+  if (xs.empty() || points == 0) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double mu = mean(sorted);
+  const double sd = stddev(sorted);
+  std::vector<QQPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    const double q = empirical_quantile_sorted(sorted, p);
+    out.push_back({sd > 0.0 ? (q - mu) / sd : 0.0, normal_quantile(p)});
+  }
+  return out;
+}
+
+double qq_rms_deviation(std::span<const QQPoint> pts) {
+  if (pts.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& pt : pts) {
+    const double d = pt.sample - pt.theoretical;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pts.size()));
+}
+
+}  // namespace fbm::stats

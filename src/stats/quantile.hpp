@@ -1,0 +1,63 @@
+// Quantile machinery: empirical quantiles, qq-plot series, and closed-form
+// quantile/CDF functions for the normal and exponential distributions.
+//
+// The paper uses:
+//  - qq-plots of flow inter-arrival times against the exponential
+//    distribution (Figures 3 and 4);
+//  - the normal quantile function q(epsilon) for Gaussian link dimensioning
+//    (Section V-E: C = E[R] + q_{1-eps} * sigma, e.g. q(0.99) ~ 2.33... the
+//    paper quotes q(0.005)->2.57-ish; we expose the standard inverse CDF).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fbm::stats {
+
+/// Empirical p-quantile (0 <= p <= 1) with linear interpolation between order
+/// statistics (type-7 / default R definition). Throws std::invalid_argument
+/// for an empty sample or p outside [0,1].
+[[nodiscard]] double empirical_quantile(std::span<const double> xs, double p);
+
+/// Same but assumes `sorted` is already ascending (no copy, O(1)).
+[[nodiscard]] double empirical_quantile_sorted(std::span<const double> sorted,
+                                               double p);
+
+/// Standard normal CDF Phi(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Standard normal quantile function Phi^{-1}(p), p in (0,1).
+/// Acklam's rational approximation refined with one Halley step; absolute
+/// error < 1e-9 over (1e-300, 1-1e-16). Throws for p outside (0,1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Exponential(rate) CDF and quantile.
+[[nodiscard]] double exponential_cdf(double x, double rate);
+[[nodiscard]] double exponential_quantile(double p, double rate);
+
+/// One point of a qq-plot.
+struct QQPoint {
+  double sample;       ///< empirical quantile of the data
+  double theoretical;  ///< matching quantile of the reference distribution
+};
+
+/// qq-plot of `xs` against the exponential distribution fitted by moment
+/// matching (rate = 1/mean). Produces `points` probability levels
+/// p_i = (i+0.5)/points. A straight line sample==theoretical indicates an
+/// exponential fit (paper Figures 3, 4 normalise both axes to [0,1]; use
+/// `normalised=true` for that form, dividing both axes by their max).
+[[nodiscard]] std::vector<QQPoint> qq_exponential(std::span<const double> xs,
+                                                  std::size_t points,
+                                                  bool normalised = false);
+
+/// qq-plot of `xs` against the standard normal after standardising the data
+/// (x - mean)/stddev.
+[[nodiscard]] std::vector<QQPoint> qq_normal(std::span<const double> xs,
+                                             std::size_t points);
+
+/// Root-mean-square deviation of a qq-series from the diagonal; a scalar
+/// "straightness" score used by tests and benches (0 = perfect fit).
+[[nodiscard]] double qq_rms_deviation(std::span<const QQPoint> pts);
+
+}  // namespace fbm::stats

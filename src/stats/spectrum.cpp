@@ -1,0 +1,113 @@
+#include "stats/spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::stats {
+
+void fft(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> xs) {
+  std::size_t n = 1;
+  while (n < xs.size()) n <<= 1;
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = {xs[i], 0.0};
+  fft(data);
+  return data;
+}
+
+std::vector<SpectrumPoint> welch_periodogram(
+    std::span<const double> xs, double dt,
+    const PeriodogramOptions& options) {
+  const std::size_t seg = options.segment;
+  if (seg < 4 || (seg & (seg - 1)) != 0) {
+    throw std::invalid_argument(
+        "welch_periodogram: segment must be a power of two >= 4");
+  }
+  if (xs.size() < seg) {
+    throw std::invalid_argument("welch_periodogram: series shorter than one "
+                                "segment");
+  }
+  if (!(dt > 0.0)) throw std::invalid_argument("welch_periodogram: dt <= 0");
+  if (!(options.overlap >= 0.0 && options.overlap < 1.0)) {
+    throw std::invalid_argument("welch_periodogram: overlap outside [0,1)");
+  }
+
+  const double mean_x = mean(xs);
+  const auto hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(seg) * (1.0 - options.overlap)));
+
+  std::vector<double> window(seg, 1.0);
+  if (options.hann_window) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      window[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                        static_cast<double>(seg - 1)));
+    }
+  }
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  std::vector<double> acc(seg / 2, 0.0);
+  std::size_t segments = 0;
+  std::vector<std::complex<double>> buf(seg);
+  for (std::size_t start = 0; start + seg <= xs.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      buf[i] = {(xs[start + i] - mean_x) * window[i], 0.0};
+    }
+    fft(buf);
+    for (std::size_t k = 0; k < seg / 2; ++k) {
+      acc[k] += std::norm(buf[k]);
+    }
+    ++segments;
+  }
+
+  // Two-sided density vs angular frequency:
+  //   S(omega_k) = |X_k|^2 * dt / (2 pi * sum w^2).
+  const double scale =
+      dt / (2.0 * M_PI * window_power * static_cast<double>(segments));
+  std::vector<SpectrumPoint> out;
+  out.reserve(seg / 2 - 1);
+  for (std::size_t k = 1; k < seg / 2; ++k) {
+    const double omega =
+        2.0 * M_PI * static_cast<double>(k) / (static_cast<double>(seg) * dt);
+    out.push_back({omega, acc[k] * scale});
+  }
+  return out;
+}
+
+}  // namespace fbm::stats

@@ -1,0 +1,50 @@
+// Spectral estimation: radix-2 FFT and Welch-style averaged periodogram.
+//
+// Theorem 2 gives the model's spectral density of the centered total rate,
+// Gamma(omega) = lambda/(2 pi) * E|X_hat(omega)|^2. To confront it with
+// data we estimate the spectrum of the measured rate series with an
+// averaged, Hann-windowed periodogram. The periodogram is normalised as a
+// two-sided spectral density against angular frequency, i.e.
+//   integral_{-pi/dt}^{pi/dt} S(omega) d omega = Var(x),
+// matching the normalisation of ShotNoiseModel::spectral_density.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fbm::stats {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of two
+/// (throws std::invalid_argument otherwise). `inverse` applies the 1/N
+/// scaling.
+void fft(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Convenience: forward FFT of a real sequence (zero-padded to the next
+/// power of two).
+[[nodiscard]] std::vector<std::complex<double>> fft_real(
+    std::span<const double> xs);
+
+/// One point of an estimated spectrum.
+struct SpectrumPoint {
+  double omega;    ///< angular frequency, rad/s
+  double density;  ///< two-sided spectral density
+};
+
+struct PeriodogramOptions {
+  std::size_t segment = 256;  ///< samples per segment (power of two)
+  double overlap = 0.5;       ///< fractional segment overlap
+  bool hann_window = true;
+};
+
+/// Welch averaged periodogram of a series sampled every `dt` seconds. The
+/// series is centered (mean removed) first. Returns frequencies
+/// omega_k = 2 pi k/(N dt) for k = 1 .. N/2-1 (DC and Nyquist dropped).
+/// Throws std::invalid_argument for a series shorter than one segment or a
+/// non-power-of-two segment size.
+[[nodiscard]] std::vector<SpectrumPoint> welch_periodogram(
+    std::span<const double> xs, double dt,
+    const PeriodogramOptions& options = {});
+
+}  // namespace fbm::stats

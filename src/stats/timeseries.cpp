@@ -1,0 +1,67 @@
+#include "stats/timeseries.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::stats {
+
+RateSeries resample(const RateSeries& s, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("resample: factor == 0");
+  if (factor == 1) return s;
+  RateSeries out;
+  out.start = s.start;
+  out.delta = s.delta * static_cast<double>(factor);
+  const std::size_t groups = s.values.size() / factor;
+  out.values.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) {
+      acc += s.values[g * factor + j];
+    }
+    out.values.push_back(acc / static_cast<double>(factor));
+  }
+  return out;
+}
+
+double series_mean(const RateSeries& s) { return mean(s.values); }
+
+double series_variance(const RateSeries& s) {
+  return population_variance(s.values);
+}
+
+double series_cov(const RateSeries& s) {
+  return coefficient_of_variation(s.values);
+}
+
+RateBinner::RateBinner(double start, double end, double delta)
+    : start_(start), end_(end), delta_(delta) {
+  if (!(end > start)) throw std::invalid_argument("RateBinner: end <= start");
+  if (!(delta > 0.0)) throw std::invalid_argument("RateBinner: delta <= 0");
+  const auto bins =
+      static_cast<std::size_t>(std::ceil((end - start) / delta - 1e-9));
+  bytes_.assign(bins == 0 ? 1 : bins, 0.0);
+}
+
+void RateBinner::add(double timestamp, double bytes) {
+  if (timestamp < start_ || timestamp >= end_) {
+    ++dropped_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((timestamp - start_) / delta_);
+  if (idx >= bytes_.size()) idx = bytes_.size() - 1;
+  bytes_[idx] += bytes;
+  total_bytes_ += bytes;
+}
+
+RateSeries RateBinner::series() const {
+  RateSeries out;
+  out.start = start_;
+  out.delta = delta_;
+  out.values.reserve(bytes_.size());
+  for (double b : bytes_) out.values.push_back(b * 8.0 / delta_);
+  return out;
+}
+
+}  // namespace fbm::stats

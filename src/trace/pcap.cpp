@@ -1,0 +1,187 @@
+#include "trace/pcap.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fbm::trace {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond resolution
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::size_t kEthernetLen = 14;
+constexpr std::size_t kIpv4Len = 20;
+constexpr std::size_t kTcpLen = 20;
+constexpr std::size_t kUdpLen = 8;
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u16be(char* p, std::uint16_t v) {
+  p[0] = static_cast<char>(v >> 8);
+  p[1] = static_cast<char>(v & 0xff);
+}
+
+void put_u32be(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v >> 24);
+  p[1] = static_cast<char>((v >> 16) & 0xff);
+  p[2] = static_cast<char>((v >> 8) & 0xff);
+  p[3] = static_cast<char>(v & 0xff);
+}
+
+[[nodiscard]] std::uint16_t get_u16be(const unsigned char* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32be(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+void export_pcap(const std::filesystem::path& path,
+                 std::span<const net::PacketRecord> recs, double epoch) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export_pcap: cannot open " + path.string());
+  }
+  // Global header.
+  put(out, kPcapMagic);
+  put(out, std::uint16_t{2});   // version major
+  put(out, std::uint16_t{4});   // version minor
+  put(out, std::int32_t{0});    // thiszone
+  put(out, std::uint32_t{0});   // sigfigs
+  put(out, std::uint32_t{96});  // snaplen (headers only)
+  put(out, kLinktypeEthernet);
+
+  std::array<char, kEthernetLen + kIpv4Len + kTcpLen> frame{};
+  for (const auto& r : recs) {
+    const bool tcp = r.tuple.protocol == 6;
+    const std::size_t l4 = tcp ? kTcpLen : kUdpLen;
+    const std::size_t captured = kEthernetLen + kIpv4Len + l4;
+
+    const double abs_ts = epoch + r.timestamp;
+    const auto sec = static_cast<std::uint32_t>(abs_ts);
+    const auto usec = static_cast<std::uint32_t>(
+        std::llround((abs_ts - static_cast<double>(sec)) * 1e6) % 1000000);
+    put(out, sec);
+    put(out, usec);
+    put(out, static_cast<std::uint32_t>(captured));  // incl_len
+    // orig_len carries the true on-wire size (Ethernet + IP datagram).
+    put(out, static_cast<std::uint32_t>(kEthernetLen + r.size_bytes));
+
+    std::memset(frame.data(), 0, frame.size());
+    // Ethernet: zero MACs, ethertype IPv4.
+    put_u16be(frame.data() + 12, 0x0800);
+    // IPv4 header.
+    char* ip = frame.data() + kEthernetLen;
+    ip[0] = 0x45;  // version 4, IHL 5
+    put_u16be(ip + 2, static_cast<std::uint16_t>(
+                          std::min<std::uint32_t>(r.size_bytes, 0xffff)));
+    ip[8] = 64;  // TTL
+    ip[9] = static_cast<char>(r.tuple.protocol);
+    put_u32be(ip + 12, r.tuple.src.value());
+    put_u32be(ip + 16, r.tuple.dst.value());
+    // Transport header (ports only; checksums left zero).
+    char* l4p = ip + kIpv4Len;
+    put_u16be(l4p, r.tuple.src_port);
+    put_u16be(l4p + 2, r.tuple.dst_port);
+    if (tcp) {
+      l4p[12] = 0x50;  // data offset 5
+    } else {
+      put_u16be(l4p + 4, static_cast<std::uint16_t>(kUdpLen));
+    }
+    out.write(frame.data(), static_cast<std::streamsize>(captured));
+  }
+  if (!out) {
+    throw std::runtime_error("export_pcap: write failed for " + path.string());
+  }
+}
+
+std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
+                                           double epoch,
+                                           std::size_t* skipped) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("import_pcap: cannot open " + path.string());
+  }
+  std::array<unsigned char, 24> header;
+  in.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!in) throw std::runtime_error("import_pcap: truncated global header");
+  std::uint32_t magic;
+  std::memcpy(&magic, header.data(), 4);
+  if (magic != kPcapMagic) {
+    throw std::runtime_error("import_pcap: unsupported pcap magic");
+  }
+  std::uint32_t linktype;
+  std::memcpy(&linktype, header.data() + 20, 4);
+  if (linktype != kLinktypeEthernet) {
+    throw std::runtime_error("import_pcap: only Ethernet linktype supported");
+  }
+
+  std::vector<net::PacketRecord> out;
+  std::size_t skip_count = 0;
+  std::array<unsigned char, 16> rec_header;
+  std::vector<unsigned char> payload;
+  while (in.read(reinterpret_cast<char*>(rec_header.data()),
+                 rec_header.size())) {
+    std::uint32_t sec;
+    std::uint32_t usec;
+    std::uint32_t incl;
+    std::uint32_t orig;
+    std::memcpy(&sec, rec_header.data(), 4);
+    std::memcpy(&usec, rec_header.data() + 4, 4);
+    std::memcpy(&incl, rec_header.data() + 8, 4);
+    std::memcpy(&orig, rec_header.data() + 12, 4);
+    if (incl > 1u << 20) {
+      throw std::runtime_error("import_pcap: implausible record length");
+    }
+    payload.resize(incl);
+    in.read(reinterpret_cast<char*>(payload.data()), incl);
+    if (!in) throw std::runtime_error("import_pcap: truncated record");
+
+    if (incl < kEthernetLen + kIpv4Len ||
+        get_u16be(payload.data() + 12) != 0x0800) {
+      ++skip_count;
+      continue;
+    }
+    const unsigned char* ip = payload.data() + kEthernetLen;
+    if ((ip[0] >> 4) != 4) {
+      ++skip_count;
+      continue;
+    }
+    const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+    const std::uint8_t proto = ip[9];
+    if ((proto != 6 && proto != 17) ||
+        incl < kEthernetLen + ihl + (proto == 6 ? kTcpLen : kUdpLen)) {
+      ++skip_count;
+      continue;
+    }
+    const unsigned char* l4 = ip + ihl;
+
+    net::PacketRecord rec;
+    rec.timestamp = static_cast<double>(sec) - epoch +
+                    static_cast<double>(usec) * 1e-6;
+    rec.tuple.src = net::Ipv4Address{get_u32be(ip + 12)};
+    rec.tuple.dst = net::Ipv4Address{get_u32be(ip + 16)};
+    rec.tuple.src_port = get_u16be(l4);
+    rec.tuple.dst_port = get_u16be(l4 + 2);
+    rec.tuple.protocol = proto;
+    rec.size_bytes = orig >= kEthernetLen
+                         ? orig - static_cast<std::uint32_t>(kEthernetLen)
+                         : get_u16be(ip + 2);
+    out.push_back(rec);
+  }
+  if (skipped) *skipped = skip_count;
+  return out;
+}
+
+}  // namespace fbm::trace

@@ -1,0 +1,35 @@
+// Classic libpcap (tcpdump) interop.
+//
+// The native .fbmt format stores decoded header fields; for interop with
+// standard tooling (wireshark, tcpdump, tshark) these helpers write packet
+// records as a pcap file with synthesized Ethernet/IPv4/TCP|UDP headers and
+// parse such files back. Only the fields the model needs survive the round
+// trip: timestamp, addresses, ports, protocol, and the original on-wire
+// length (stored in orig_len; captured bytes are headers only, like the
+// Sprint monitors' 44-byte snapshots).
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fbm::trace {
+
+/// Writes a pcap file (microsecond timestamps, LINKTYPE_ETHERNET).
+/// Timestamps are offset from `epoch` (seconds since 1970; default places
+/// traces at 2001-09-05, matching Table I's first capture day).
+void export_pcap(const std::filesystem::path& path,
+                 std::span<const net::PacketRecord> recs,
+                 double epoch = 999648000.0);
+
+/// Reads a pcap file produced by export_pcap (or any Ethernet/IPv4 capture
+/// whose packets carry TCP or UDP). Packets that are not IPv4/TCP/UDP are
+/// skipped and counted in `skipped` when provided. Timestamps are rebased
+/// so the first packet is at its absolute pcap time minus `epoch`.
+[[nodiscard]] std::vector<net::PacketRecord> import_pcap(
+    const std::filesystem::path& path, double epoch = 999648000.0,
+    std::size_t* skipped = nullptr);
+
+}  // namespace fbm::trace

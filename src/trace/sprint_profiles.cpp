@@ -1,0 +1,41 @@
+#include "trace/sprint_profiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbm::trace {
+
+const std::array<SprintProfile, 7>& sprint_table1() {
+  static const std::array<SprintProfile, 7> rows = {{
+      {"Nov 8th, 2001", 7.0 * 3600.0, 243e6},
+      {"Nov 8th, 2001", 10.0 * 3600.0, 180e6},
+      {"Nov 8th, 2001", 6.0 * 3600.0, 262e6},
+      {"Nov 8th, 2001", 39.5 * 3600.0, 26e6},
+      {"Sep 5th, 2001", 10.0 * 3600.0, 136e6},
+      {"Sep 5th, 2001", 7.0 * 3600.0, 187e6},
+      {"Sep 5th, 2001", 16.0 * 3600.0, 72e6},
+  }};
+  return rows;
+}
+
+SyntheticConfig make_config(std::size_t index, const ScaleOptions& scale) {
+  const auto& rows = sprint_table1();
+  if (index >= rows.size()) {
+    throw std::invalid_argument("make_config: profile index out of range");
+  }
+  const SprintProfile& p = rows[index];
+  SyntheticConfig cfg;
+  cfg.apply_defaults();
+  cfg.duration_s =
+      std::min(p.length_s * scale.time_scale, scale.max_length_s);
+  cfg.target_utilization_bps(p.utilization_bps * scale.rate_scale);
+  // Distinct but reproducible stream per profile.
+  cfg.seed = scale.seed + 0x9e37 * (index + 1);
+  return cfg;
+}
+
+double scaled_interval_s(const ScaleOptions& scale) {
+  return 1800.0 * scale.time_scale;
+}
+
+}  // namespace fbm::trace

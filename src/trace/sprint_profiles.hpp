@@ -1,0 +1,54 @@
+// The seven Table-I trace presets.
+//
+// The paper's Table I lists seven OC-12 traces (Sep 5 / Nov 8 2001) with
+// lengths from 6 h to 39 h 30 m and average utilizations from 26 Mbps to
+// 262 Mbps. Full-scale regeneration would need ~10^9 packets, so each preset
+// carries a `time_scale` and `rate_scale`: trace lengths shrink by
+// time_scale and utilizations by rate_scale while the flow-level structure
+// (size/RTT/rate distributions, Zipf prefixes) is untouched. The default
+// scales keep every bench under a few seconds while preserving the paper's
+// three utilization clusters (below 50, 50-125, above 125 "Mbps-equivalent").
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "trace/synthetic.hpp"
+
+namespace fbm::trace {
+
+struct SprintProfile {
+  std::string date;        ///< as printed in Table I
+  double length_s;         ///< original trace length, seconds
+  double utilization_bps;  ///< original average utilization, bits/s
+
+  /// Utilization cluster used in Figures 9-13: 0 = <50 Mbps, 1 = 50-125,
+  /// 2 = >125.
+  [[nodiscard]] int cluster() const {
+    if (utilization_bps < 50e6) return 0;
+    if (utilization_bps <= 125e6) return 1;
+    return 2;
+  }
+};
+
+/// Table I rows, in paper order.
+[[nodiscard]] const std::array<SprintProfile, 7>& sprint_table1();
+
+/// Scaling knobs applied uniformly to every profile.
+struct ScaleOptions {
+  double time_scale = 1.0 / 120.0;  ///< 30-min interval -> 15 s
+  double rate_scale = 1.0 / 10.0;   ///< 262 Mbps -> 26.2 Mbps
+  double max_length_s = 120.0;      ///< cap per-trace scaled length
+  std::uint64_t seed = stats::Rng::default_seed;
+};
+
+/// Builds the generator config for profile `index` (0-6). The scaled
+/// interval that stands in for the paper's 30-minute analysis window is
+/// 1800 * time_scale seconds.
+[[nodiscard]] SyntheticConfig make_config(std::size_t index,
+                                          const ScaleOptions& scale = {});
+
+/// The scaled stand-in for the paper's 30-minute interval.
+[[nodiscard]] double scaled_interval_s(const ScaleOptions& scale = {});
+
+}  // namespace fbm::trace

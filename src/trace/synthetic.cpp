@@ -1,0 +1,174 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "trace/tcp_dynamics.hpp"
+#include "trace/trace_format.hpp"
+
+namespace fbm::trace {
+
+namespace {
+
+// Popular destination ports, roughly web-dominated as in 2001 backbones.
+constexpr std::uint16_t kPopularPorts[] = {80,  443, 25,  110, 119,
+                                           21,  53,  8080, 1755, 554};
+
+net::Ipv4Address make_dst(std::size_t prefix_rank, std::uint8_t host) {
+  return dst_address_for_rank(prefix_rank, host);
+}
+
+net::Ipv4Address make_src(std::uint64_t id) {
+  const auto r = static_cast<std::uint32_t>(id);
+  // 172.16.0.0/12-ish source space.
+  return net::Ipv4Address{(172u << 24) | (16u << 20) | (r & 0xfffffu)};
+}
+
+}  // namespace
+
+net::Ipv4Address dst_address_for_rank(std::size_t prefix_rank,
+                                      std::uint8_t host) {
+  // Map the prefix rank into 10.x.y.0/24 space, spreading ranks across both
+  // middle octets so /16 aggregation still distinguishes prefix groups:
+  // rank r -> 10.(r/16).(16*(r mod 16)).host, unique per rank for r < 4096.
+  const auto r = static_cast<std::uint32_t>(prefix_rank);
+  const std::uint32_t octet2 = (r >> 4) & 0xffu;
+  const std::uint32_t octet3 = (r & 0xfu) << 4;
+  return net::Ipv4Address{(10u << 24) | (octet2 << 16) | (octet3 << 8) |
+                          host};
+}
+
+net::Prefix dst_prefix_for_rank(std::size_t prefix_rank) {
+  return net::Prefix(dst_address_for_rank(prefix_rank, 0), 24);
+}
+
+void SyntheticConfig::apply_defaults() {
+  using stats::LogNormal;
+  if (!size_bytes) {
+    // Mice (~6 kB median web objects) + elephants (~300 kB transfers):
+    // heavy-tailed overall, finite variance. E[S] ~ 21 kB.
+    auto mice = std::make_shared<LogNormal>(LogNormal::from_mean_cv(8e3, 1.5));
+    auto elephants =
+        std::make_shared<LogNormal>(LogNormal::from_mean_cv(4e5, 2.0));
+    size_bytes = std::make_shared<stats::Mixture>(mice, elephants, 0.967);
+  }
+  if (!rtt_s) {
+    rtt_s = std::make_shared<LogNormal>(LogNormal::from_mean_cv(0.2, 0.4));
+  }
+  if (!access_rate_bps) {
+    access_rate_bps =
+        std::make_shared<LogNormal>(LogNormal::from_mean_cv(12e6, 0.8));
+  }
+  if (!udp_rate_bps) {
+    udp_rate_bps =
+        std::make_shared<LogNormal>(LogNormal::from_mean_cv(4e5, 0.8));
+  }
+}
+
+double SyntheticConfig::expected_rate_bps() const {
+  if (!size_bytes) return 0.0;
+  return flow_rate * size_bytes->mean() * 8.0;
+}
+
+void SyntheticConfig::target_utilization_bps(double bps) {
+  if (!size_bytes) {
+    throw std::logic_error(
+        "target_utilization_bps: call apply_defaults() first");
+  }
+  const double per_flow = size_bytes->mean() * 8.0;
+  if (!(per_flow > 0.0)) {
+    throw std::logic_error("target_utilization_bps: zero mean flow size");
+  }
+  flow_rate = bps / per_flow;
+}
+
+std::vector<net::PacketRecord> generate_packets(const SyntheticConfig& cfg,
+                                                GenerationReport* report) {
+  SyntheticConfig config = cfg;
+  config.apply_defaults();
+  if (!(config.duration_s > 0.0)) {
+    throw std::invalid_argument("generate_packets: duration <= 0");
+  }
+  if (!(config.flow_rate > 0.0)) {
+    throw std::invalid_argument("generate_packets: flow_rate <= 0");
+  }
+  if (config.prefix_pool == 0 || config.src_pool == 0) {
+    throw std::invalid_argument("generate_packets: empty address pool");
+  }
+
+  stats::Rng rng(config.seed);
+  stats::Rng packet_rng = rng.fork();
+  const stats::Zipf prefix_zipf(config.prefix_pool, config.prefix_zipf_s);
+
+  std::vector<net::PacketRecord> packets;
+  // Rough reservation: E[packets/flow] = E[S]/mss-ish.
+  const double mean_size = config.size_bytes->mean();
+  const double expected_flows = config.flow_rate * config.duration_s;
+  packets.reserve(static_cast<std::size_t>(
+      std::min(2e8, expected_flows * (mean_size / config.mss + 2.0))));
+
+  GenerationReport rep;
+  double t = 0.0;
+  std::uint64_t flow_id = 0;
+  while (true) {
+    t += rng.exponential(config.flow_rate);
+    if (t >= config.duration_s) break;
+    ++flow_id;
+
+    const auto size = static_cast<std::uint64_t>(
+        std::max(1.0, config.size_bytes->sample(rng)));
+    const bool tcp = rng.bernoulli(config.tcp_fraction);
+
+    std::vector<PacketEmission> emissions;
+    if (tcp) {
+      TcpParams params;
+      params.rtt = std::max(1e-3, config.rtt_s->sample(rng));
+      params.mss = config.mss;
+      params.peak_rate_bps =
+          std::max(16e3, config.access_rate_bps->sample(rng));
+      emissions = packetize_tcp(size, params, packet_rng);
+    } else {
+      const double rate = std::max(16e3, config.udp_rate_bps->sample(rng));
+      emissions = packetize_cbr(size, rate, config.udp_packet_bytes, 0.2,
+                                packet_rng);
+    }
+
+    net::FiveTuple tuple;
+    tuple.src = make_src(rng.uniform_int(0, config.src_pool - 1));
+    const std::size_t rank = prefix_zipf.sample(rng);
+    tuple.dst = make_dst(rank, static_cast<std::uint8_t>(
+                                   rng.uniform_int(1, 254)));
+    tuple.src_port =
+        static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    tuple.dst_port = kPopularPorts[rng.uniform_int(
+        0, std::size(kPopularPorts) - 1)];
+    tuple.protocol = static_cast<std::uint8_t>(
+        tcp ? net::Protocol::tcp : net::Protocol::udp);
+
+    ++rep.flows;
+    for (const auto& e : emissions) {
+      const double ts = t + e.offset;
+      if (ts >= config.duration_s) break;  // capture horizon
+      packets.push_back({ts, tuple, e.size_bytes});
+      ++rep.packets;
+      rep.bytes += e.size_bytes;
+    }
+  }
+
+  std::sort(packets.begin(), packets.end(), net::ByTimestamp{});
+  rep.duration_s = config.duration_s;
+  if (report) *report = rep;
+  return packets;
+}
+
+GenerationReport generate_to_file(const SyntheticConfig& config,
+                                  const std::filesystem::path& path) {
+  GenerationReport rep;
+  const auto packets = generate_packets(config, &rep);
+  write_trace(path, packets);
+  return rep;
+}
+
+}  // namespace fbm::trace

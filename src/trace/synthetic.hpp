@@ -1,0 +1,89 @@
+// Synthetic backbone-link trace generator.
+//
+// Substitute for the Sprint OC-12 captures (DESIGN.md, substitution table).
+// Flows arrive as a homogeneous Poisson process; each flow draws a size from
+// a heavy-tailed distribution, a transport flavour (TCP-like or CBR/UDP), an
+// RTT and an access-rate cap, and is packetized by trace/tcp_dynamics. The
+// resulting packet stream is what the paper's monitor would have seen on an
+// uncongested link: many independent flows, no shared bottleneck.
+//
+// Destination addresses are drawn from a Zipf popularity law over a pool of
+// /24 prefixes so that prefix-level aggregation (flow definition 2) merges
+// several 5-tuple flows, as on the real backbone.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::trace {
+
+struct SyntheticConfig {
+  double duration_s = 60.0;          ///< trace length, seconds
+  double flow_rate = 200.0;          ///< flow arrivals per second (lambda)
+  stats::DistributionPtr size_bytes; ///< flow size distribution (bytes)
+  stats::DistributionPtr rtt_s;      ///< per-flow RTT (seconds)
+  stats::DistributionPtr access_rate_bps;  ///< TCP rate cap (bits/s)
+  stats::DistributionPtr udp_rate_bps;     ///< CBR/UDP stream rate (bits/s)
+  double tcp_fraction = 0.9;         ///< remaining flows are CBR/UDP
+  std::uint32_t mss = 1460;
+  std::uint32_t udp_packet_bytes = 500;
+
+  // Address synthesis.
+  std::size_t prefix_pool = 128;    ///< number of distinct /24 dst prefixes
+  double prefix_zipf_s = 1.2;        ///< popularity skew across the pool
+  std::size_t src_pool = 65536;      ///< number of distinct source addresses
+
+  std::uint64_t seed = stats::Rng::default_seed;
+
+  /// Fills unset distributions with backbone-like defaults: lognormal sizes
+  /// with heavy CV (mice/elephants mixture), RTT ~ lognormal around 200 ms,
+  /// TCP rate caps ~ lognormal around 6 Mbps (rarely binding, so most flows
+  /// stay in window growth — the superlinear shots of Section VI-A), and
+  /// UDP stream rates ~ lognormal around 400 kbps.
+  void apply_defaults();
+
+  /// Expected aggregate utilization lambda*E[S] in bits/s.
+  [[nodiscard]] double expected_rate_bps() const;
+
+  /// Scales the flow arrival rate so that expected utilization matches the
+  /// target (keeps all per-flow distributions fixed — the paper's Corollary 1
+  /// argument that utilization differences across links come from lambda).
+  void target_utilization_bps(double bps);
+};
+
+/// Summary of what the generator actually produced.
+struct GenerationReport {
+  std::uint64_t flows = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double duration_s = 0.0;
+
+  [[nodiscard]] double mean_rate_bps() const {
+    return duration_s > 0.0 ? static_cast<double>(bytes) * 8.0 / duration_s
+                            : 0.0;
+  }
+};
+
+/// Generates the full packet stream, sorted by timestamp. Flows whose
+/// transmission would extend past `duration_s` are truncated at the horizon
+/// (their tail packets are dropped), matching a capture that simply stops.
+[[nodiscard]] std::vector<net::PacketRecord> generate_packets(
+    const SyntheticConfig& config, GenerationReport* report = nullptr);
+
+/// Generates directly into a trace file; returns the report.
+GenerationReport generate_to_file(const SyntheticConfig& config,
+                                  const std::filesystem::path& path);
+
+/// The deterministic mapping from a Zipf prefix rank to the destination
+/// address space (10.0.0.0/8). Exposed so benches can build forwarding
+/// tables that cover exactly the generated /24s.
+[[nodiscard]] net::Ipv4Address dst_address_for_rank(std::size_t prefix_rank,
+                                                    std::uint8_t host);
+[[nodiscard]] net::Prefix dst_prefix_for_rank(std::size_t prefix_rank);
+
+}  // namespace fbm::trace

@@ -1,0 +1,108 @@
+#include "trace/tcp_dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::trace {
+
+namespace {
+
+// Multiplicative jitter factor in [1-j, 1+j].
+double jittered(double x, double j, stats::Rng& rng) {
+  if (j <= 0.0) return x;
+  return x * rng.uniform(1.0 - j, 1.0 + j);
+}
+
+}  // namespace
+
+std::vector<PacketEmission> packetize_tcp(std::uint64_t size_bytes,
+                                          const TcpParams& params,
+                                          stats::Rng& rng) {
+  if (params.rtt <= 0.0) throw std::invalid_argument("packetize_tcp: rtt<=0");
+  if (params.mss == 0) throw std::invalid_argument("packetize_tcp: mss==0");
+  if (params.peak_rate_bps <= 0.0) {
+    throw std::invalid_argument("packetize_tcp: peak_rate<=0");
+  }
+  std::vector<PacketEmission> out;
+  if (size_bytes == 0) size_bytes = 1;
+
+  // Window cap from the path's bandwidth-delay product, at least 1 segment.
+  const double bdp_segments =
+      params.peak_rate_bps * params.rtt / (8.0 * params.mss);
+  const std::uint32_t wmax = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::floor(bdp_segments)));
+
+  std::uint64_t remaining = size_bytes;
+  std::uint32_t window = std::max<std::uint32_t>(1, params.initial_window);
+  double round_start = 0.0;
+  while (remaining > 0) {
+    const std::uint32_t w = std::min(window, wmax);
+    // Segments actually sent this round.
+    const std::uint64_t full =
+        std::min<std::uint64_t>(w, (remaining + params.mss - 1) / params.mss);
+    const double gap = params.rtt / static_cast<double>(w);
+    for (std::uint64_t i = 0; i < full; ++i) {
+      const std::uint32_t bytes = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(params.mss, remaining));
+      const double offset =
+          round_start + jittered(static_cast<double>(i) * gap, params.jitter,
+                                 rng);
+      out.push_back({offset, bytes});
+      remaining -= bytes;
+      if (remaining == 0) break;
+    }
+    round_start += jittered(params.rtt, params.jitter / 2.0, rng);
+    if (window < params.ssthresh) {
+      window = std::min(window * 2, params.ssthresh);  // slow start
+    } else {
+      window += 1;  // congestion avoidance: one segment per RTT
+    }
+    window = std::min(window, wmax);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PacketEmission& a, const PacketEmission& b) {
+              return a.offset < b.offset;
+            });
+  // Normalise so the first packet defines the flow start (offset 0).
+  if (!out.empty() && out.front().offset > 0.0) {
+    const double base = out.front().offset;
+    for (auto& e : out) e.offset -= base;
+  }
+  return out;
+}
+
+std::vector<PacketEmission> packetize_cbr(std::uint64_t size_bytes,
+                                          double rate_bps,
+                                          std::uint32_t packet_bytes,
+                                          double jitter, stats::Rng& rng) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("packetize_cbr: rate<=0");
+  if (packet_bytes == 0) {
+    throw std::invalid_argument("packetize_cbr: packet_bytes==0");
+  }
+  std::vector<PacketEmission> out;
+  if (size_bytes == 0) size_bytes = 1;
+  const double gap = static_cast<double>(packet_bytes) * 8.0 / rate_bps;
+  std::uint64_t remaining = size_bytes;
+  double t = 0.0;
+  while (remaining > 0) {
+    const std::uint32_t bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(packet_bytes, remaining));
+    out.push_back({t, bytes});
+    remaining -= bytes;
+    t += jittered(gap, jitter, rng);
+  }
+  return out;
+}
+
+double emission_duration(const std::vector<PacketEmission>& es) {
+  return es.empty() ? 0.0 : es.back().offset;
+}
+
+std::uint64_t emission_bytes(const std::vector<PacketEmission>& es) {
+  std::uint64_t acc = 0;
+  for (const auto& e : es) acc += e.size_bytes;
+  return acc;
+}
+
+}  // namespace fbm::trace

@@ -1,0 +1,56 @@
+// Within-flow packetization models.
+//
+// The paper motivates non-rectangular shots by TCP's rate dynamics: the
+// window grows exponentially in slow start, then linearly in congestion
+// avoidance (Section V-C.2, Section VI-A). The synthetic trace generator
+// uses these packetizers to turn a flow (size, start time) into timestamped
+// packets whose instantaneous rate has the corresponding shape, so the
+// fitted shot power b of Figure 11 is an emergent property of the traces
+// rather than baked in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace fbm::trace {
+
+/// One emitted packet, relative to the flow start.
+struct PacketEmission {
+  double offset;            ///< seconds since flow start
+  std::uint32_t size_bytes;
+};
+
+/// TCP-like sender parameters.
+struct TcpParams {
+  double rtt = 0.2;             ///< round-trip time, seconds
+  std::uint32_t mss = 1460;     ///< maximum segment size, bytes
+  std::uint32_t initial_window = 1;   ///< segments (2001-era default)
+  std::uint32_t ssthresh = 256;        ///< segments; slow start below this
+  double peak_rate_bps = 10e6;  ///< receiver/access-link cap, bits/s
+  double jitter = 0.15;         ///< fractional per-packet timing noise
+};
+
+/// Emit `size_bytes` with TCP window dynamics: the window doubles per RTT up
+/// to ssthresh (slow start), then grows by one segment per RTT (congestion
+/// avoidance), capped by peak_rate*rtt. Packets of a round are spread evenly
+/// across the RTT with multiplicative jitter. Always emits at least one
+/// packet. The resulting rate profile is convex-increasing for short flows
+/// (superlinear shot, b>1) and nearly flat for long capped flows (b~0).
+[[nodiscard]] std::vector<PacketEmission> packetize_tcp(
+    std::uint64_t size_bytes, const TcpParams& params, stats::Rng& rng);
+
+/// Constant-bit-rate (UDP-like) emission at `rate_bps` with per-packet
+/// `packet_bytes`, plus jitter. Rectangular shot (b=0).
+[[nodiscard]] std::vector<PacketEmission> packetize_cbr(
+    std::uint64_t size_bytes, double rate_bps, std::uint32_t packet_bytes,
+    double jitter, stats::Rng& rng);
+
+/// Total duration of an emission schedule (offset of the last packet).
+[[nodiscard]] double emission_duration(const std::vector<PacketEmission>& es);
+
+/// Total bytes of an emission schedule.
+[[nodiscard]] std::uint64_t emission_bytes(const std::vector<PacketEmission>& es);
+
+}  // namespace fbm::trace

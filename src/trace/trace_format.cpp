@@ -1,0 +1,259 @@
+#include "trace/trace_format.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace fbm::trace {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "trace format assumes a little-endian host");
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+void encode_record(std::array<char, kRecordSize>& buf,
+                   const net::PacketRecord& rec) {
+  char* p = buf.data();
+  const auto put_raw = [&p](const void* src, std::size_t n) {
+    std::memcpy(p, src, n);
+    p += n;
+  };
+  const double ts = rec.timestamp;
+  const std::uint32_t src = rec.tuple.src.value();
+  const std::uint32_t dst = rec.tuple.dst.value();
+  const std::uint16_t sport = rec.tuple.src_port;
+  const std::uint16_t dport = rec.tuple.dst_port;
+  const std::uint8_t proto = rec.tuple.protocol;
+  const std::uint8_t pad8 = 0;
+  const std::uint16_t pad16 = 0;
+  const std::uint32_t size = rec.size_bytes;
+  put_raw(&ts, 8);
+  put_raw(&src, 4);
+  put_raw(&dst, 4);
+  put_raw(&sport, 2);
+  put_raw(&dport, 2);
+  put_raw(&proto, 1);
+  put_raw(&pad8, 1);
+  put_raw(&pad16, 2);
+  put_raw(&size, 4);
+}
+
+[[nodiscard]] net::PacketRecord decode_record(
+    const std::array<char, kRecordSize>& buf) {
+  const char* p = buf.data();
+  const auto get_raw = [&p](void* dst, std::size_t n) {
+    std::memcpy(dst, p, n);
+    p += n;
+  };
+  net::PacketRecord rec;
+  double ts = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t proto = 0;
+  std::uint8_t pad8 = 0;
+  std::uint16_t pad16 = 0;
+  std::uint32_t size = 0;
+  get_raw(&ts, 8);
+  get_raw(&src, 4);
+  get_raw(&dst, 4);
+  get_raw(&sport, 2);
+  get_raw(&dport, 2);
+  get_raw(&proto, 1);
+  get_raw(&pad8, 1);
+  get_raw(&pad16, 2);
+  get_raw(&size, 4);
+  rec.timestamp = ts;
+  rec.tuple.src = net::Ipv4Address{src};
+  rec.tuple.dst = net::Ipv4Address{dst};
+  rec.tuple.src_port = sport;
+  rec.tuple.dst_port = dport;
+  rec.tuple.protocol = proto;
+  rec.size_bytes = size;
+  return rec;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("TraceWriter: cannot open " + path.string());
+  }
+  put(out_, kTraceMagic);
+  put(out_, kTraceVersion);
+  put(out_, kUnknownCount);  // patched by close()
+  put(out_, std::uint64_t{0});  // reserved
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() reports errors.
+  }
+}
+
+void TraceWriter::append(const net::PacketRecord& rec) {
+  if (closed_) throw std::runtime_error("TraceWriter: already closed");
+  if (rec.timestamp < last_ts_) {
+    throw std::invalid_argument("TraceWriter: timestamps must be ordered");
+  }
+  last_ts_ = rec.timestamp;
+  std::array<char, kRecordSize> buf;
+  encode_record(buf, rec);
+  out_.write(buf.data(), buf.size());
+  ++count_;
+}
+
+void TraceWriter::append_all(std::span<const net::PacketRecord> recs) {
+  for (const auto& r : recs) append(r);
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(8);  // magic + version
+  put(out_, count_);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("TraceWriter: write failed for " +
+                             path_.string());
+  }
+  out_.close();
+}
+
+TraceReader::TraceReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("TraceReader: cannot open " + path.string());
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  std::uint64_t reserved = 0;
+  if (!get(in_, magic) || !get(in_, version) || !get(in_, count) ||
+      !get(in_, reserved)) {
+    throw std::runtime_error("TraceReader: truncated header in " +
+                             path.string());
+  }
+  if (magic != kTraceMagic) {
+    throw std::runtime_error("TraceReader: bad magic in " + path.string());
+  }
+  if (version != kTraceVersion) {
+    throw std::runtime_error("TraceReader: unsupported version in " +
+                             path.string());
+  }
+  header_count_ = count;
+}
+
+std::optional<net::PacketRecord> TraceReader::next() {
+  std::array<char, kRecordSize> buf;
+  in_.read(buf.data(), buf.size());
+  if (in_.gcount() == 0) return std::nullopt;
+  if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
+    throw std::runtime_error("TraceReader: truncated record");
+  }
+  ++read_;
+  return decode_record(buf);
+}
+
+void write_trace(const std::filesystem::path& path,
+                 std::span<const net::PacketRecord> recs) {
+  TraceWriter w(path);
+  w.append_all(recs);
+  w.close();
+}
+
+std::vector<net::PacketRecord> read_trace(const std::filesystem::path& path) {
+  TraceReader r(path);
+  std::vector<net::PacketRecord> out;
+  if (r.header_count() != kUnknownCount) out.reserve(r.header_count());
+  while (auto rec = r.next()) out.push_back(*rec);
+  return out;
+}
+
+void export_csv(const std::filesystem::path& path,
+                std::span<const net::PacketRecord> recs) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export_csv: cannot open " + path.string());
+  }
+  out << "timestamp,src,dst,sport,dport,proto,bytes\n";
+  out.precision(9);
+  out.setf(std::ios::fixed);
+  for (const auto& r : recs) {
+    out << r.timestamp << ',' << r.tuple.src.to_string() << ','
+        << r.tuple.dst.to_string() << ',' << r.tuple.src_port << ','
+        << r.tuple.dst_port << ',' << static_cast<unsigned>(r.tuple.protocol)
+        << ',' << r.size_bytes << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("export_csv: write failed for " + path.string());
+  }
+}
+
+std::vector<net::PacketRecord> import_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("import_csv: cannot open " + path.string());
+  }
+  std::vector<net::PacketRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && line.rfind("timestamp", 0) == 0) continue;  // header
+    std::istringstream ls(line);
+    std::string field;
+    net::PacketRecord rec;
+    const auto bad = [&] {
+      return std::runtime_error("import_csv: malformed line " +
+                                std::to_string(lineno) + " in " +
+                                path.string());
+    };
+    try {
+      if (!std::getline(ls, field, ',')) throw bad();
+      rec.timestamp = std::stod(field);
+      if (!std::getline(ls, field, ',')) throw bad();
+      auto src = net::Ipv4Address::parse(field);
+      if (!src) throw bad();
+      rec.tuple.src = *src;
+      if (!std::getline(ls, field, ',')) throw bad();
+      auto dst = net::Ipv4Address::parse(field);
+      if (!dst) throw bad();
+      rec.tuple.dst = *dst;
+      if (!std::getline(ls, field, ',')) throw bad();
+      rec.tuple.src_port = static_cast<std::uint16_t>(std::stoul(field));
+      if (!std::getline(ls, field, ',')) throw bad();
+      rec.tuple.dst_port = static_cast<std::uint16_t>(std::stoul(field));
+      if (!std::getline(ls, field, ',')) throw bad();
+      rec.tuple.protocol = static_cast<std::uint8_t>(std::stoul(field));
+      if (!std::getline(ls, field, ',')) throw bad();
+      rec.size_bytes = static_cast<std::uint32_t>(std::stoul(field));
+    } catch (const std::runtime_error&) {
+      throw;  // already our error
+    } catch (const std::exception&) {
+      throw bad();  // stod/stoul conversion failures
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace fbm::trace

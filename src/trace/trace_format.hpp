@@ -1,0 +1,91 @@
+// Binary packet-trace format (".fbmt").
+//
+// Stand-in for the Sprint monitoring infrastructure's capture files (44-byte
+// header snapshots + timestamps). Fixed-size little-endian records keep the
+// reader trivial and fast:
+//
+//   header:  magic "FBMT" | u32 version | u64 record count | u64 reserved
+//   record:  f64 timestamp | u32 src | u32 dst | u16 sport | u16 dport
+//            | u8 proto | u8 pad | u16 pad | u32 size_bytes      (28 bytes)
+//
+// The record count in the header is written on close(); a count of ~0 marks
+// a truncated/unclosed file, which the reader still accepts (streaming until
+// EOF) but reports via `header_count()`.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fbm::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x544d4246;  // "FBMT" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint64_t kUnknownCount = ~std::uint64_t{0};
+inline constexpr std::size_t kRecordSize = 28;
+inline constexpr std::size_t kHeaderSize = 24;
+
+/// Streaming writer. Records must be appended in non-decreasing timestamp
+/// order (checked; throws std::invalid_argument on violation).
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::filesystem::path& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const net::PacketRecord& rec);
+  void append_all(std::span<const net::PacketRecord> recs);
+
+  /// Seals the header with the final record count. Called by the destructor
+  /// if not called explicitly; explicit close() surfaces IO errors.
+  void close();
+
+  [[nodiscard]] std::uint64_t written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::filesystem::path path_;
+  std::uint64_t count_ = 0;
+  double last_ts_ = -1.0;
+  bool closed_ = false;
+};
+
+/// Streaming reader.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::filesystem::path& path);
+
+  /// Next record, or nullopt at end of file.
+  [[nodiscard]] std::optional<net::PacketRecord> next();
+
+  /// Record count from the header; kUnknownCount for unclosed files.
+  [[nodiscard]] std::uint64_t header_count() const { return header_count_; }
+  [[nodiscard]] std::uint64_t read_so_far() const { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t header_count_ = kUnknownCount;
+  std::uint64_t read_ = 0;
+};
+
+/// Whole-file helpers.
+void write_trace(const std::filesystem::path& path,
+                 std::span<const net::PacketRecord> recs);
+[[nodiscard]] std::vector<net::PacketRecord> read_trace(
+    const std::filesystem::path& path);
+
+/// CSV interop ("timestamp,src,dst,sport,dport,proto,bytes"), for inspecting
+/// traces with external tooling. Import tolerates a header line.
+void export_csv(const std::filesystem::path& path,
+                std::span<const net::PacketRecord> recs);
+[[nodiscard]] std::vector<net::PacketRecord> import_csv(
+    const std::filesystem::path& path);
+
+}  // namespace fbm::trace

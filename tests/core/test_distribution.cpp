@@ -1,0 +1,118 @@
+#include "core/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace fbm::core {
+namespace {
+
+std::vector<FlowSample> population(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<FlowSample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({8.0 * (500.0 + rng.exponential(1.0 / 2e4)),
+                   0.1 + rng.exponential(1.0)});
+  }
+  return out;
+}
+
+ShotNoiseModel dense_model() {
+  // High lambda: many concurrent flows, nearly Gaussian total rate.
+  return ShotNoiseModel(2000.0, population(2000, 11), triangular_shot());
+}
+
+ShotNoiseModel sparse_model() {
+  // Low lambda: few concurrent flows, visibly skewed total rate.
+  return ShotNoiseModel(20.0, population(2000, 12), triangular_shot());
+}
+
+TEST(CharacteristicFunction, AtZeroIsOne) {
+  const auto phi = characteristic_function(dense_model(), 0.0);
+  EXPECT_NEAR(phi.real(), 1.0, 1e-12);
+  EXPECT_NEAR(phi.imag(), 0.0, 1e-12);
+}
+
+TEST(CharacteristicFunction, ModulusAtMostOne) {
+  const auto m = sparse_model();
+  for (double omega : {1e-9, 1e-8, 1e-7, 1e-6}) {
+    EXPECT_LE(std::abs(characteristic_function(m, omega)), 1.0 + 1e-9);
+  }
+}
+
+TEST(CharacteristicFunction, DerivativeGivesMean) {
+  // phi'(0) = i E[R]: finite difference on the imaginary part.
+  const auto m = sparse_model();
+  const double h = 1e-10;
+  const auto phi = characteristic_function(m, h);
+  EXPECT_NEAR(phi.imag() / h, m.mean_rate(), 0.01 * m.mean_rate());
+}
+
+TEST(RateDistribution, IntegratesToOne) {
+  const auto pdf = rate_distribution(sparse_model());
+  double mass = 0.0;
+  for (std::size_t i = 1; i < pdf.x.size(); ++i) {
+    mass += 0.5 * (pdf.density[i] + pdf.density[i - 1]) *
+            (pdf.x[i] - pdf.x[i - 1]);
+  }
+  EXPECT_NEAR(mass, 1.0, 0.03);
+}
+
+TEST(RateDistribution, MomentsMatchModel) {
+  const auto m = sparse_model();
+  const auto pdf = rate_distribution(m);
+  EXPECT_NEAR(pdf.mean(), m.mean_rate(), 0.05 * m.mean_rate());
+  EXPECT_NEAR(pdf.stddev(), m.stddev(), 0.1 * m.stddev());
+}
+
+TEST(RateDistribution, DenseModelIsNearGaussian) {
+  const auto m = dense_model();
+  const auto pdf = rate_distribution(m);
+  const auto g = m.gaussian();
+  // Compare exceedance at mean + 2 sigma.
+  const double level = g.mean() + 2.0 * g.stddev();
+  EXPECT_NEAR(pdf.exceedance(level), g.exceedance(level), 0.01);
+}
+
+TEST(RateDistribution, SparseModelIsRightSkewed) {
+  // Positive shots + few flows => heavier upper tail than Gaussian
+  // (Section V-E: large-deviations refinement needed in the tail).
+  const auto m = sparse_model();
+  const auto pdf = rate_distribution(m);
+  const auto g = m.gaussian();
+  const double level = g.mean() + 3.0 * g.stddev();
+  EXPECT_GT(pdf.exceedance(level), g.exceedance(level));
+}
+
+TEST(RateDistribution, ExceedanceIsMonotone) {
+  const auto pdf = rate_distribution(sparse_model());
+  double prev = 1.0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double level = pdf.x.front() + q * (pdf.x.back() - pdf.x.front());
+    const double e = pdf.exceedance(level);
+    EXPECT_LE(e, prev + 1e-9);
+    prev = e;
+  }
+}
+
+TEST(RateDistribution, Validation) {
+  InversionOptions opt;
+  opt.grid = 4;
+  EXPECT_THROW((void)rate_distribution(sparse_model(), opt),
+               std::invalid_argument);
+}
+
+TEST(RateDistribution, SubsamplingCapRespectsAccuracy) {
+  // Halving the subsample cap should not change the distribution much.
+  const auto m = sparse_model();
+  InversionOptions small;
+  small.max_samples = 128;
+  const auto a = rate_distribution(m, small);
+  const auto b = rate_distribution(m);
+  EXPECT_NEAR(a.mean(), b.mean(), 0.1 * b.mean());
+}
+
+}  // namespace
+}  // namespace fbm::core

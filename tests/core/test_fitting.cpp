@@ -1,0 +1,146 @@
+#include "core/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::core {
+namespace {
+
+flow::ModelInputs inputs() {
+  flow::ModelInputs in;
+  in.lambda = 150.0;
+  in.mean_size_bits = 2e5;
+  in.mean_s2_over_d = 5e9;
+  in.flows = 5000;
+  return in;
+}
+
+TEST(GammaOfB, KnownFactors) {
+  EXPECT_DOUBLE_EQ(gamma_of_b(0.0), 1.0);
+  EXPECT_NEAR(gamma_of_b(1.0), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(gamma_of_b(2.0), 9.0 / 5.0, 1e-12);
+}
+
+TEST(FitPowerB, RoundTripsThroughGamma) {
+  // Variance produced with power b must fit back to the same b.
+  const auto in = inputs();
+  for (double b : {0.0, 0.5, 1.0, 2.0, 3.5, 7.0}) {
+    const double var = power_shot_variance(in, b);
+    const auto fitted = fit_power_b(var, in);
+    ASSERT_TRUE(fitted.has_value()) << b;
+    EXPECT_NEAR(*fitted, b, 1e-9) << b;
+  }
+}
+
+TEST(FitPowerB, PaperFormula) {
+  // b_hat = (gamma-1) + sqrt(gamma(gamma-1)) for gamma = 2.
+  const auto in = inputs();
+  const double var = 2.0 * in.lambda * in.mean_s2_over_d;
+  const auto fitted = fit_power_b(var, in);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_NEAR(*fitted, 1.0 + std::sqrt(2.0), 1e-9);
+}
+
+TEST(FitPowerB, BelowLowerBoundClampsToZero) {
+  // Theorem 3: measured variance below the rectangular bound (averaging
+  // artefact) maps to b = 0.
+  const auto in = inputs();
+  const double var = 0.5 * in.lambda * in.mean_s2_over_d;
+  const auto fitted = fit_power_b(var, in);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_DOUBLE_EQ(*fitted, 0.0);
+}
+
+TEST(FitPowerB, DegenerateInputsGiveNullopt) {
+  flow::ModelInputs zero;
+  EXPECT_FALSE(fit_power_b(1.0, zero).has_value());
+  EXPECT_FALSE(fit_power_b(-1.0, inputs()).has_value());
+}
+
+TEST(FitPowerB, MonotoneInMeasuredVariance) {
+  const auto in = inputs();
+  double prev = -1.0;
+  for (double factor : {1.0, 1.2, 1.5, 2.0, 3.0}) {
+    const double var = factor * in.lambda * in.mean_s2_over_d;
+    const double b = *fit_power_b(var, in);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(OnlineEstimator, ConvergesToPopulationValues) {
+  stats::Rng rng(55);
+  OnlineEstimator est(0.01);
+  const double lambda = 80.0;
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.exponential(lambda);
+    flow::FlowRecord f;
+    f.start = t;
+    f.end = t + 0.5;              // constant duration
+    f.bytes = 1000;               // constant size: S = 8000 bits
+    f.packets = 3;
+    est.observe(f);
+  }
+  const auto in = est.inputs();
+  EXPECT_EQ(in.flows, 30000u);
+  EXPECT_NEAR(in.lambda, lambda, 0.15 * lambda);
+  EXPECT_NEAR(in.mean_size_bits, 8000.0, 1e-6);
+  EXPECT_NEAR(in.mean_s2_over_d, 8000.0 * 8000.0 / 0.5, 1e-3);
+}
+
+TEST(OnlineEstimator, TracksRegimeChange) {
+  OnlineEstimator est(0.1);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.01;
+    flow::FlowRecord f;
+    f.start = t;
+    f.end = t + 1.0;
+    f.bytes = 1000;
+    est.observe(f);
+  }
+  const double before = est.inputs().mean_size_bits;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.01;
+    flow::FlowRecord f;
+    f.start = t;
+    f.end = t + 1.0;
+    f.bytes = 5000;  // regime change
+    est.observe(f);
+  }
+  const double after = est.inputs().mean_size_bits;
+  EXPECT_NEAR(before, 8000.0, 1.0);
+  EXPECT_NEAR(after, 40000.0, 100.0);
+}
+
+TEST(OnlineEstimator, ToleratesOutOfOrderCompletionTimes) {
+  // Flows are observed when they complete; a long-lived flow reports an
+  // early start after later flows were already seen.
+  OnlineEstimator est(0.1);
+  flow::FlowRecord f;
+  f.bytes = 1000;
+  for (double start : {1.0, 2.0, 0.5, 3.0, 2.5, 4.0}) {
+    f.start = start;
+    f.end = start + 1.0;
+    EXPECT_NO_THROW(est.observe(f)) << start;
+  }
+  EXPECT_GT(est.inputs().lambda, 0.0);
+}
+
+TEST(OnlineEstimator, MinDurationGuard) {
+  OnlineEstimator est(0.5, 1e-3);
+  flow::FlowRecord f;
+  f.start = 1.0;
+  f.end = 1.0;  // zero duration
+  f.bytes = 125;
+  est.observe(f);
+  EXPECT_NEAR(est.inputs().mean_s2_over_d, 1000.0 * 1000.0 / 1e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace fbm::core

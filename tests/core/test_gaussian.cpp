@@ -1,0 +1,67 @@
+#include "core/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fbm::core {
+namespace {
+
+TEST(Gaussian, CdfAtMeanIsHalf) {
+  GaussianApproximation g(100e6, 1e12);
+  EXPECT_NEAR(g.cdf(100e6), 0.5, 1e-12);
+}
+
+TEST(Gaussian, ExceedanceComplementsCdf) {
+  GaussianApproximation g(100e6, 1e12);
+  EXPECT_NEAR(g.exceedance(101e6) + g.cdf(101e6), 1.0, 1e-12);
+}
+
+TEST(Gaussian, CapacityInvertsExceedance) {
+  GaussianApproximation g(100e6, 4e12);  // sigma = 2 Mbps
+  for (double eps : {0.001, 0.01, 0.05, 0.2}) {
+    const double c = g.capacity_for_exceedance(eps);
+    EXPECT_NEAR(g.exceedance(c), eps, 1e-9) << eps;
+    EXPECT_GT(c, g.mean());
+  }
+}
+
+TEST(Gaussian, PaperSeventyPercentWithinOneSigma) {
+  // Section V-E: "during 70% of time, the total rate is between mean-sigma
+  // and mean+sigma" (the 68-95 rule, rounded by the paper).
+  GaussianApproximation g(0.0, 1.0);
+  EXPECT_NEAR(g.fraction_within(1.0), 0.6827, 1e-3);
+  EXPECT_NEAR(g.fraction_within(2.0), 0.9545, 1e-3);
+}
+
+TEST(Gaussian, DegenerateZeroVariance) {
+  GaussianApproximation g(5e6, 0.0);
+  EXPECT_DOUBLE_EQ(g.cdf(4e6), 0.0);
+  EXPECT_DOUBLE_EQ(g.cdf(5e6), 1.0);
+  EXPECT_DOUBLE_EQ(g.capacity_for_exceedance(0.01), 5e6);
+  EXPECT_DOUBLE_EQ(g.pdf(5e6), 0.0);
+}
+
+TEST(Gaussian, PdfPeaksAtMean) {
+  GaussianApproximation g(10.0, 4.0);
+  EXPECT_GT(g.pdf(10.0), g.pdf(12.0));
+  EXPECT_NEAR(g.pdf(8.0), g.pdf(12.0), 1e-12);
+}
+
+TEST(Gaussian, Validation) {
+  EXPECT_THROW(GaussianApproximation(0.0, -1.0), std::invalid_argument);
+  GaussianApproximation g(0.0, 1.0);
+  EXPECT_THROW((void)g.capacity_for_exceedance(0.0), std::invalid_argument);
+  EXPECT_THROW((void)g.capacity_for_exceedance(1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.fraction_within(-1.0), std::invalid_argument);
+}
+
+TEST(Gaussian, HigherVarianceNeedsMoreCapacity) {
+  GaussianApproximation lo(100e6, 1e12);
+  GaussianApproximation hi(100e6, 9e12);
+  EXPECT_LT(lo.capacity_for_exceedance(0.01),
+            hi.capacity_for_exceedance(0.01));
+}
+
+}  // namespace
+}  // namespace fbm::core

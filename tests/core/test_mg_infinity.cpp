@@ -1,0 +1,79 @@
+#include "core/mg_infinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::core {
+namespace {
+
+TEST(MGInfinity, LoadIsLambdaTimesDuration) {
+  MGInfinity q(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(q.load(), 50.0);
+  EXPECT_DOUBLE_EQ(q.mean_active(), 50.0);
+  EXPECT_DOUBLE_EQ(q.variance_active(), 50.0);
+}
+
+TEST(MGInfinity, PmfIsPoisson) {
+  MGInfinity q(10.0, 0.3);  // rho = 3
+  EXPECT_NEAR(q.pmf(0), std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(q.pmf(3), std::exp(-3.0) * 27.0 / 6.0, 1e-12);
+}
+
+TEST(MGInfinity, PmfSumsToOne) {
+  MGInfinity q(20.0, 0.5);  // rho = 10
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) acc += q.pmf(k);
+  EXPECT_NEAR(acc, 1.0, 1e-10);
+}
+
+TEST(MGInfinity, CdfMonotone) {
+  MGInfinity q(10.0, 1.0);
+  double prev = 0.0;
+  for (std::uint64_t k = 0; k < 40; k += 5) {
+    const double c = q.cdf(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(q.cdf(60), 1.0, 1e-9);
+}
+
+TEST(MGInfinity, LargeLoadPmfDoesNotOverflow) {
+  MGInfinity q(10000.0, 1.0);  // rho = 1e4
+  EXPECT_GT(q.pmf(10000), 0.0);
+  EXPECT_LT(q.pmf(10000), 1.0);
+}
+
+TEST(MGInfinity, PgfTheorem1Form) {
+  MGInfinity q(10.0, 0.2);  // rho = 2
+  EXPECT_NEAR(q.pgf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(q.pgf(0.0), std::exp(-2.0), 1e-12);
+  EXPECT_THROW((void)q.pgf(1.5), std::invalid_argument);
+}
+
+TEST(MGInfinity, Validation) {
+  EXPECT_THROW(MGInfinity(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MGInfinity(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ConstantRateBaseline, MomentsOfScaledPoisson) {
+  // R = r N, N ~ Poisson(rho): E[R] = r rho, Var = r^2 rho.
+  ConstantRateBaseline b(1e6, 50.0, 2.0);  // rho = 100
+  EXPECT_DOUBLE_EQ(b.mean_rate(), 1e8);
+  EXPECT_DOUBLE_EQ(b.variance(), 1e12 * 100.0);
+  EXPECT_NEAR(b.cov(), 1.0 / std::sqrt(100.0), 1e-12);
+}
+
+TEST(ConstantRateBaseline, CovShrinksWithLoad) {
+  ConstantRateBaseline small(1e6, 10.0, 1.0);
+  ConstantRateBaseline large(1e6, 1000.0, 1.0);
+  EXPECT_GT(small.cov(), large.cov());
+}
+
+TEST(ConstantRateBaseline, Validation) {
+  EXPECT_THROW(ConstantRateBaseline(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbm::core

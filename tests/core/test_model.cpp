@@ -1,0 +1,231 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::core {
+namespace {
+
+// Population with lognormal-ish sizes and exponential durations.
+std::vector<FlowSample> population(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<FlowSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = 8.0 * (100.0 + rng.exponential(1.0 / 2e4));
+    const double d = 0.05 + rng.exponential(2.0);
+    out.push_back({s, d});
+  }
+  return out;
+}
+
+ShotNoiseModel model(double b = 1.0) {
+  return ShotNoiseModel(120.0, population(5000, 42), power_shot(b));
+}
+
+TEST(Model, ConstructorValidation) {
+  EXPECT_THROW(ShotNoiseModel(0.0, population(10, 1), triangular_shot()),
+               std::invalid_argument);
+  EXPECT_THROW(ShotNoiseModel(1.0, {}, triangular_shot()),
+               std::invalid_argument);
+  EXPECT_THROW(ShotNoiseModel(1.0, population(10, 1), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(ShotNoiseModel(1.0, {{100.0, 0.0}}, triangular_shot()),
+               std::invalid_argument);
+  EXPECT_THROW(ShotNoiseModel(1.0, {{-1.0, 1.0}}, triangular_shot()),
+               std::invalid_argument);
+}
+
+TEST(Model, Corollary1MatchesClosedForm) {
+  const auto m = model();
+  EXPECT_NEAR(m.mean_rate(), mean_rate(m.inputs()), 1e-6 * m.mean_rate());
+}
+
+TEST(Model, Corollary2MatchesClosedFormForPowerShots) {
+  for (double b : {0.0, 1.0, 2.0}) {
+    const auto m = model(b);
+    EXPECT_NEAR(m.variance(), power_shot_variance(m.inputs(), b),
+                1e-9 * m.variance())
+        << b;
+  }
+}
+
+TEST(Model, CovConsistency) {
+  const auto m = model();
+  EXPECT_NEAR(m.cov(), m.stddev() / m.mean_rate(), 1e-12);
+}
+
+TEST(Model, AutocovarianceAtZeroIsVariance) {
+  const auto m = model();
+  EXPECT_NEAR(m.autocovariance(0.0), m.variance(), 1e-9 * m.variance());
+}
+
+TEST(Model, AutocovarianceDecreases) {
+  const auto m = model();
+  double prev = m.autocovariance(0.0);
+  for (double tau : {0.05, 0.2, 0.5, 1.0, 3.0}) {
+    const double r = m.autocovariance(tau);
+    EXPECT_LE(r, prev + 1e-9) << tau;
+    EXPECT_GE(r, 0.0) << tau;  // power shots are non-negative kernels
+    prev = r;
+  }
+}
+
+TEST(Model, AutocorrelationSeriesStartsAtOne) {
+  const auto m = model();
+  const std::vector<double> taus = {0.0, 0.1, 0.2};
+  const auto rho = m.autocorrelation(taus);
+  ASSERT_EQ(rho.size(), 3u);
+  EXPECT_NEAR(rho[0], 1.0, 1e-9);
+  EXPECT_LT(rho[2], rho[0]);
+  EXPECT_GT(rho[2], 0.0);
+}
+
+TEST(Model, Figure8Shape_LongerFlowsDecaySlower) {
+  // /24 aggregates have longer durations -> slower ACF decay. Emulate by
+  // scaling durations.
+  auto pop_short = population(3000, 7);
+  auto pop_long = pop_short;
+  for (auto& s : pop_long) s.duration_s *= 5.0;
+  const ShotNoiseModel short_m(100.0, pop_short, triangular_shot());
+  const ShotNoiseModel long_m(100.0, pop_long, triangular_shot());
+  const std::vector<double> taus = {0.4};
+  EXPECT_LT(short_m.autocorrelation(taus)[0], long_m.autocorrelation(taus)[0]);
+}
+
+TEST(Model, SpectralDensityAtZeroRelatesToKernelMass) {
+  // Gamma(0) = lambda/(2pi) E[S^2] (Fourier at 0 is the full integral S).
+  const auto m = model();
+  double es2 = 0.0;
+  for (const auto& s : m.samples()) es2 += s.size_bits * s.size_bits;
+  es2 /= static_cast<double>(m.samples().size());
+  EXPECT_NEAR(m.spectral_density(0.0), m.lambda() / (2.0 * M_PI) * es2,
+              0.01 * m.spectral_density(0.0));
+}
+
+TEST(Model, SpectralDensityDecays) {
+  const auto m = model();
+  EXPECT_GT(m.spectral_density(0.1), m.spectral_density(100.0));
+}
+
+TEST(Model, AveragedVarianceBelowInstantaneous) {
+  // Eq. (7): averaging over Delta can only reduce the variance.
+  const auto m = model();
+  const double inst = m.variance();
+  double prev = inst;
+  for (double delta : {0.05, 0.2, 1.0, 5.0}) {
+    const double av = m.averaged_variance(delta);
+    EXPECT_LE(av, inst * (1.0 + 1e-9)) << delta;
+    EXPECT_LE(av, prev * (1.0 + 1e-9)) << delta;  // monotone in Delta
+    prev = av;
+  }
+}
+
+TEST(Model, AveragedVarianceSmallDeltaApproachesVariance) {
+  const auto m = model();
+  EXPECT_NEAR(m.averaged_variance(1e-3), m.variance(), 0.02 * m.variance());
+}
+
+TEST(Model, AveragedVarianceValidation) {
+  EXPECT_THROW((void)model().averaged_variance(0.0), std::invalid_argument);
+}
+
+TEST(Model, CumulantsMatchMeanAndVariance) {
+  const auto m = model();
+  EXPECT_NEAR(m.cumulant(1), m.mean_rate(), 1e-9 * m.mean_rate());
+  EXPECT_NEAR(m.cumulant(2), m.variance(), 1e-9 * m.variance());
+  EXPECT_GT(m.cumulant(3), 0.0);  // shot noise with positive shots
+  EXPECT_THROW((void)m.cumulant(0), std::invalid_argument);
+}
+
+TEST(Model, SkewnessPositiveForPositiveShots) {
+  EXPECT_GT(model().skewness(), 0.0);
+}
+
+TEST(Model, LstBoundsAndMoments) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.lst(0.0), 1.0);
+  const double s = 1e-9;
+  const double l = m.lst(s);
+  EXPECT_GT(l, 0.0);
+  EXPECT_LT(l, 1.0);
+  // -d/ds log LST at 0 = E[R]: finite-difference check.
+  const double h = 1e-12;
+  const double deriv = -(std::log(m.lst(h)) - 0.0) / h;
+  EXPECT_NEAR(deriv, m.mean_rate(), 0.01 * m.mean_rate());
+  EXPECT_THROW((void)m.lst(-1.0), std::invalid_argument);
+}
+
+TEST(Model, LstSecondDerivativeGivesVariance) {
+  const auto m = model();
+  // log LST(s) = -mu s + sigma^2 s^2/2 - ... : central second difference.
+  const double h = 2e-10;
+  const double l0 = std::log(m.lst(0.0));
+  const double l1 = std::log(m.lst(h));
+  const double l2 = std::log(m.lst(2.0 * h));
+  const double second = (l2 - 2.0 * l1 + l0) / (h * h);
+  EXPECT_NEAR(second, m.variance(), 0.05 * m.variance());
+}
+
+TEST(Model, GaussianUsesModelMoments) {
+  const auto m = model();
+  const auto g = m.gaussian();
+  EXPECT_DOUBLE_EQ(g.mean(), m.mean_rate());
+  EXPECT_NEAR(g.stddev(), m.stddev(), 1e-9);
+}
+
+TEST(Model, WithShotSwapsShotOnly) {
+  const auto m = model(0.0);
+  const auto m2 = m.with_shot(parabolic_shot());
+  EXPECT_DOUBLE_EQ(m2.mean_rate(), m.mean_rate());
+  EXPECT_NEAR(m2.variance(), 9.0 / 5.0 * m.variance(), 1e-6 * m.variance());
+}
+
+TEST(Model, FromIntervalUsesIntervalLambda) {
+  flow::IntervalData iv;
+  iv.start = 0.0;
+  iv.length = 10.0;
+  for (int i = 0; i < 50; ++i) {
+    flow::FlowRecord f;
+    f.start = 0.2 * i;
+    f.end = f.start + 1.0;
+    f.bytes = 1000;
+    f.packets = 2;
+    iv.flows.push_back(f);
+  }
+  const auto m = ShotNoiseModel::from_interval(iv, triangular_shot());
+  EXPECT_DOUBLE_EQ(m.lambda(), 5.0);
+  EXPECT_EQ(m.samples().size(), 50u);
+  flow::IntervalData empty;
+  empty.length = 10.0;
+  EXPECT_THROW((void)ShotNoiseModel::from_interval(empty, triangular_shot()),
+               std::invalid_argument);
+}
+
+TEST(Model, ToSamplesClampsDurations) {
+  std::vector<flow::FlowRecord> flows(1);
+  flows[0].start = 1.0;
+  flows[0].end = 1.0;
+  flows[0].bytes = 100;
+  const auto samples = to_samples(flows, 1e-3);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].duration_s, 1e-3);
+  EXPECT_DOUBLE_EQ(samples[0].size_bits, 800.0);
+}
+
+TEST(Model, TheoremThreeOverPopulation) {
+  // Rectangular variance is the smallest across shot choices for the same
+  // population.
+  const auto rect = model(0.0);
+  for (double b : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_GT(model(b).variance(), rect.variance()) << b;
+  }
+}
+
+}  // namespace
+}  // namespace fbm::core

@@ -1,0 +1,152 @@
+// Property sweeps over the shot-noise model: every invariant the paper's
+// analysis guarantees must hold for any population and any power shot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/fitting.hpp"
+#include "core/model.hpp"
+#include "core/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::core {
+namespace {
+
+// (population seed, lambda, shot power b)
+using Param = std::tuple<std::uint64_t, double, double>;
+
+class ModelInvariants : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] static std::vector<FlowSample> population(std::uint64_t seed) {
+    stats::Rng rng(seed);
+    std::vector<FlowSample> out;
+    const std::size_t n = 500 + seed % 1500;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of light and heavy sizes, short and long durations.
+      const double s = rng.bernoulli(0.1) ? rng.exponential(1.0 / 3e6)
+                                          : rng.exponential(1.0 / 5e4);
+      const double d = 0.02 + rng.exponential(1.0 / (0.2 + rng.uniform()));
+      out.push_back({std::max(8.0, s), d});
+    }
+    return out;
+  }
+
+  [[nodiscard]] ShotNoiseModel model() const {
+    const auto [seed, lambda, b] = GetParam();
+    return ShotNoiseModel(lambda, population(seed), power_shot(b));
+  }
+};
+
+TEST_P(ModelInvariants, MeanMatchesCorollary1) {
+  const auto m = model();
+  EXPECT_NEAR(m.mean_rate(), mean_rate(m.inputs()), 1e-9 * m.mean_rate());
+}
+
+TEST_P(ModelInvariants, VarianceMatchesCorollary2ClosedForm) {
+  const auto m = model();
+  const auto [seed, lambda, b] = GetParam();
+  EXPECT_NEAR(m.variance(), power_shot_variance(m.inputs(), b),
+              1e-9 * m.variance());
+}
+
+TEST_P(ModelInvariants, VarianceAboveTheorem3Bound) {
+  const auto m = model();
+  EXPECT_GE(m.variance(),
+            variance_lower_bound(m.inputs()) * (1.0 - 1e-12));
+}
+
+TEST_P(ModelInvariants, AutocovarianceBoundedByVariance) {
+  const auto m = model();
+  const double v = m.variance();
+  for (double tau : {0.01, 0.1, 0.5, 2.0, 10.0}) {
+    const double r = m.autocovariance(tau);
+    EXPECT_GE(r, 0.0) << tau;          // non-negative shots
+    EXPECT_LE(r, v * (1.0 + 1e-9)) << tau;  // Cauchy-Schwarz
+  }
+}
+
+TEST_P(ModelInvariants, AutocovarianceDecreasing) {
+  const auto m = model();
+  double prev = m.autocovariance(0.0);
+  for (double tau : {0.05, 0.2, 1.0, 5.0}) {
+    const double r = m.autocovariance(tau);
+    EXPECT_LE(r, prev * (1.0 + 1e-9)) << tau;
+    prev = r;
+  }
+}
+
+TEST_P(ModelInvariants, AveragedVarianceBelowInstantaneous) {
+  const auto m = model();
+  const double v = m.variance();
+  double prev = v;
+  for (double delta : {0.05, 0.2, 1.0}) {
+    const double av = m.averaged_variance(delta);
+    EXPECT_LE(av, v * (1.0 + 1e-9)) << delta;
+    EXPECT_LE(av, prev * (1.0 + 1e-9)) << delta;
+    EXPECT_GE(av, 0.0) << delta;
+    prev = av;
+  }
+}
+
+TEST_P(ModelInvariants, CumulantsAreConsistent) {
+  const auto m = model();
+  EXPECT_NEAR(m.cumulant(1), m.mean_rate(), 1e-9 * m.mean_rate());
+  EXPECT_NEAR(m.cumulant(2), m.variance(), 1e-9 * m.variance());
+  EXPECT_GT(m.cumulant(3), 0.0);
+  EXPECT_GT(m.cumulant(4), 0.0);
+}
+
+TEST_P(ModelInvariants, LstIsCompletelyMonotoneAtSmallS) {
+  const auto m = model();
+  // LST decreasing in s, bounded by (0, 1].
+  double prev = 1.0;
+  for (double s : {0.0, 1e-10, 1e-9, 1e-8}) {
+    const double l = m.lst(s);
+    EXPECT_GT(l, 0.0) << s;
+    EXPECT_LE(l, prev + 1e-12) << s;
+    prev = l;
+  }
+}
+
+TEST_P(ModelInvariants, FitRecoversOwnB) {
+  const auto m = model();
+  const auto [seed, lambda, b] = GetParam();
+  const auto fitted = fit_power_b(m.variance(), m.inputs());
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_NEAR(*fitted, b, 1e-6 + 1e-6 * b);
+}
+
+TEST_P(ModelInvariants, ScalingLambdaScalesMoments) {
+  const auto m = model();
+  const auto [seed, lambda, b] = GetParam();
+  const ShotNoiseModel doubled(2.0 * lambda, m.samples(), m.shot_ptr());
+  EXPECT_NEAR(doubled.mean_rate(), 2.0 * m.mean_rate(),
+              1e-9 * m.mean_rate());
+  EXPECT_NEAR(doubled.variance(), 2.0 * m.variance(), 1e-9 * m.variance());
+  EXPECT_NEAR(doubled.cov(), m.cov() / std::sqrt(2.0), 1e-9);
+}
+
+TEST_P(ModelInvariants, GaussianQuantileBracketsMean) {
+  const auto m = model();
+  const auto g = m.gaussian();
+  EXPECT_GT(g.capacity_for_exceedance(0.01), m.mean_rate());
+  EXPECT_LT(g.capacity_for_exceedance(0.99), m.mean_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelInvariants,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u),
+                       ::testing::Values(5.0, 100.0, 2000.0),
+                       ::testing::Values(0.0, 1.0, 2.0, 3.5)),
+    [](const auto& info) {
+      // std::get instead of structured bindings: a comma inside [] would be
+      // parsed as a macro-argument separator by INSTANTIATE_TEST_SUITE_P.
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_lambda" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "_b" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+}  // namespace
+}  // namespace fbm::core

@@ -1,0 +1,87 @@
+#include "core/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::core {
+namespace {
+
+flow::ModelInputs inputs() {
+  flow::ModelInputs in;
+  in.lambda = 200.0;
+  in.mean_size_bits = 1.6e5;     // 20 kB
+  in.mean_s2_over_d = 6.4e9;     // bits^2/s
+  in.flows = 10000;
+  return in;
+}
+
+TEST(Corollary1, MeanRate) {
+  EXPECT_DOUBLE_EQ(mean_rate(inputs()), 200.0 * 1.6e5);  // 32 Mbps
+}
+
+TEST(Corollary2, RectangularVariance) {
+  EXPECT_DOUBLE_EQ(power_shot_variance(inputs(), 0.0), 200.0 * 6.4e9);
+}
+
+TEST(Corollary2, TriangularIsFourThirds) {
+  EXPECT_NEAR(power_shot_variance(inputs(), 1.0),
+              4.0 / 3.0 * power_shot_variance(inputs(), 0.0), 1e-3);
+}
+
+TEST(Corollary2, ParabolicIsNineFifths) {
+  EXPECT_NEAR(power_shot_variance(inputs(), 2.0),
+              9.0 / 5.0 * power_shot_variance(inputs(), 0.0), 1e-3);
+}
+
+TEST(Corollary2, VarianceIncreasesWithB) {
+  double prev = 0.0;
+  for (double b : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double v = power_shot_variance(inputs(), b);
+    EXPECT_GT(v, prev) << b;
+    prev = v;
+  }
+}
+
+TEST(Corollary2, RejectsNegativeB) {
+  EXPECT_THROW((void)power_shot_variance(inputs(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(Theorem3, LowerBoundIsRectangular) {
+  EXPECT_DOUBLE_EQ(variance_lower_bound(inputs()),
+                   power_shot_variance(inputs(), 0.0));
+}
+
+TEST(PowerShotCov, Formula) {
+  const auto in = inputs();
+  const double expected =
+      std::sqrt(power_shot_variance(in, 1.0)) / mean_rate(in);
+  EXPECT_DOUBLE_EQ(power_shot_cov(in, 1.0), expected);
+}
+
+TEST(PowerShotCov, ZeroMeanIsZero) {
+  flow::ModelInputs in;
+  in.lambda = 1.0;
+  EXPECT_DOUBLE_EQ(power_shot_cov(in, 1.0), 0.0);
+}
+
+TEST(ScaleLambda, SmoothingLaw) {
+  // Section VII-A: mean scales as lambda, stddev as sqrt(lambda), CoV as
+  // 1/sqrt(lambda).
+  const auto base = inputs();
+  const auto x4 = scale_lambda(base, 4.0);
+  EXPECT_DOUBLE_EQ(mean_rate(x4), 4.0 * mean_rate(base));
+  EXPECT_NEAR(std::sqrt(power_shot_variance(x4, 1.0)),
+              2.0 * std::sqrt(power_shot_variance(base, 1.0)), 1e-3);
+  EXPECT_NEAR(power_shot_cov(x4, 1.0), power_shot_cov(base, 1.0) / 2.0,
+              1e-12);
+}
+
+TEST(ScaleLambda, RejectsNonPositive) {
+  EXPECT_THROW((void)scale_lambda(inputs(), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbm::core

@@ -1,0 +1,120 @@
+#include "core/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace fbm::core {
+namespace {
+
+ShotNoiseModel make_model(double lambda, double size_bits, double duration,
+                          ShotPtr shot) {
+  return ShotNoiseModel(lambda, {{size_bits, duration}}, std::move(shot));
+}
+
+TEST(Multiclass, MomentsAddAcrossClasses) {
+  MulticlassModel mc;
+  mc.add_class("a", make_model(100.0, 8e4, 1.0, rectangular_shot()));
+  mc.add_class("b", make_model(10.0, 8e5, 4.0, triangular_shot()));
+  const auto& a = mc.class_model(0);
+  const auto& b = mc.class_model(1);
+  EXPECT_DOUBLE_EQ(mc.lambda(), 110.0);
+  EXPECT_DOUBLE_EQ(mc.mean_rate(), a.mean_rate() + b.mean_rate());
+  EXPECT_DOUBLE_EQ(mc.variance(), a.variance() + b.variance());
+  EXPECT_NEAR(mc.autocovariance(0.5),
+              a.autocovariance(0.5) + b.autocovariance(0.5), 1e-9);
+  EXPECT_NEAR(mc.cumulant(3), a.cumulant(3) + b.cumulant(3), 1e-6);
+}
+
+TEST(Multiclass, SharesSumToOne) {
+  MulticlassModel mc;
+  mc.add_class("a", make_model(100.0, 8e4, 1.0, rectangular_shot()));
+  mc.add_class("b", make_model(10.0, 8e5, 4.0, triangular_shot()));
+  EXPECT_NEAR(mc.mean_share(0) + mc.mean_share(1), 1.0, 1e-12);
+  EXPECT_NEAR(mc.variance_share(0) + mc.variance_share(1), 1.0, 1e-12);
+}
+
+TEST(Multiclass, SingleClassEqualsPlainModel) {
+  const auto m = make_model(50.0, 1e5, 2.0, parabolic_shot());
+  MulticlassModel mc;
+  mc.add_class("only", m);
+  EXPECT_DOUBLE_EQ(mc.mean_rate(), m.mean_rate());
+  EXPECT_DOUBLE_EQ(mc.variance(), m.variance());
+  EXPECT_DOUBLE_EQ(mc.cov(), m.cov());
+}
+
+TEST(Multiclass, GaussianUsesAggregateMoments) {
+  MulticlassModel mc;
+  mc.add_class("a", make_model(100.0, 8e4, 1.0, rectangular_shot()));
+  mc.add_class("b", make_model(10.0, 8e5, 4.0, triangular_shot()));
+  const auto g = mc.gaussian();
+  EXPECT_DOUBLE_EQ(g.mean(), mc.mean_rate());
+}
+
+TEST(Multiclass, ElephantsDominateVarianceDespiteMice) {
+  // Few large flows contribute most of the variance even when mice carry a
+  // comparable share of the mean — the operational insight the class split
+  // provides.
+  MulticlassModel mc;
+  mc.add_class("mice", make_model(1000.0, 4e4, 0.5, rectangular_shot()));
+  mc.add_class("elephants", make_model(5.0, 8e6, 5.0, rectangular_shot()));
+  EXPECT_GT(mc.variance_share(1), 0.6);
+  EXPECT_LT(mc.mean_share(1), 0.6);
+}
+
+TEST(SplitBySize, PartitionsAndUsesPerClassShots) {
+  flow::IntervalData iv;
+  iv.start = 0.0;
+  iv.length = 10.0;
+  stats::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    flow::FlowRecord f;
+    f.start = rng.uniform(0.0, 10.0);
+    f.end = f.start + 1.0;
+    f.bytes = i % 10 == 0 ? 500000 : 5000;  // 10% elephants
+    f.packets = 3;
+    iv.flows.push_back(f);
+  }
+  const auto mc = split_by_size(iv, 100000.0, rectangular_shot(),
+                                parabolic_shot());
+  ASSERT_EQ(mc.classes(), 2u);
+  EXPECT_EQ(mc.class_name(0), "mice");
+  EXPECT_EQ(mc.class_name(1), "elephants");
+  EXPECT_NEAR(mc.class_model(0).lambda(), 18.0, 1e-9);
+  EXPECT_NEAR(mc.class_model(1).lambda(), 2.0, 1e-9);
+  EXPECT_EQ(mc.class_model(1).shot().name(), "parabolic (b=2)");
+  // Lambda of the aggregate equals the single-class lambda.
+  EXPECT_NEAR(mc.lambda(), 20.0, 1e-9);
+}
+
+TEST(SplitBySize, AllFlowsOnOneSideGivesOneClass) {
+  flow::IntervalData iv;
+  iv.length = 10.0;
+  flow::FlowRecord f;
+  f.start = 1.0;
+  f.end = 2.0;
+  f.bytes = 100;
+  f.packets = 2;
+  iv.flows.push_back(f);
+  const auto mc = split_by_size(iv, 1e9, rectangular_shot(),
+                                triangular_shot());
+  EXPECT_EQ(mc.classes(), 1u);
+  EXPECT_EQ(mc.class_name(0), "mice");
+}
+
+TEST(SplitBySize, EmptyIntervalThrows) {
+  flow::IntervalData iv;
+  iv.length = 10.0;
+  EXPECT_THROW((void)split_by_size(iv, 1e5, rectangular_shot(),
+                                   triangular_shot()),
+               std::invalid_argument);
+}
+
+TEST(Multiclass, ClassIndexOutOfRangeThrows) {
+  MulticlassModel mc;
+  EXPECT_THROW((void)mc.class_name(0), std::out_of_range);
+  EXPECT_THROW((void)mc.class_model(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fbm::core

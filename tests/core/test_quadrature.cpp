@@ -1,0 +1,56 @@
+#include "core/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fbm::core {
+namespace {
+
+TEST(Quadrature, PolynomialIsExact) {
+  // GL-32 is exact to degree 63.
+  const double got = integrate([](double x) { return x * x * x - 2.0 * x; },
+                               -1.0, 3.0);
+  // int x^3 - 2x dx = x^4/4 - x^2 over [-1,3] = (81/4-9) - (1/4-1) = 12.
+  EXPECT_NEAR(got, 12.0, 1e-12);
+}
+
+TEST(Quadrature, HighDegreePolynomial) {
+  const double got = integrate([](double x) { return std::pow(x, 20); },
+                               0.0, 1.0);
+  EXPECT_NEAR(got, 1.0 / 21.0, 1e-13);
+}
+
+TEST(Quadrature, ExponentialFunction) {
+  const double got = integrate([](double x) { return std::exp(-x); },
+                               0.0, 5.0);
+  EXPECT_NEAR(got, 1.0 - std::exp(-5.0), 1e-12);
+}
+
+TEST(Quadrature, EmptyOrInvertedIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 3.0, 2.0), 0.0);
+}
+
+TEST(Quadrature, PanelsHandleOscillation) {
+  // int_0^10 cos(20x) dx = sin(200)/20.
+  const double expected = std::sin(200.0) / 20.0;
+  const double got = integrate_panels([](double x) { return std::cos(20.0 * x); },
+                                      0.0, 10.0, 64);
+  EXPECT_NEAR(got, expected, 1e-10);
+}
+
+TEST(Quadrature, PanelsZeroCount) {
+  EXPECT_DOUBLE_EQ(
+      integrate_panels([](double) { return 1.0; }, 0.0, 1.0, 0), 0.0);
+}
+
+TEST(Quadrature, FractionalPower) {
+  // Powers like u^0.5 (sub-linear shots) integrate accurately.
+  const double got = integrate([](double x) { return std::sqrt(x); }, 0.0,
+                               1.0);
+  EXPECT_NEAR(got, 2.0 / 3.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace fbm::core

@@ -1,0 +1,234 @@
+#include "core/shot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/quadrature.hpp"
+
+namespace fbm::core {
+namespace {
+
+constexpr double kS = 8e5;  // 100 kB flow in bits
+constexpr double kD = 2.5;  // seconds
+
+// ------------------------------------------------ parameterized over power b
+
+class PowerShotProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerShotProperties, IntegratesToSize) {
+  const PowerShot shot(GetParam());
+  // Panel quadrature: fractional powers (b=0.5) have a derivative
+  // singularity at u=0 that a single Gauss-Legendre panel cannot resolve.
+  const double mass = integrate_panels(
+      [&](double u) { return shot.value(u, kS, kD); }, 0.0, kD, 64);
+  EXPECT_NEAR(mass, kS, 1e-6 * kS);
+}
+
+TEST_P(PowerShotProperties, ZeroOutsideLifetime) {
+  const PowerShot shot(GetParam());
+  EXPECT_DOUBLE_EQ(shot.value(-0.1, kS, kD), 0.0);
+  EXPECT_DOUBLE_EQ(shot.value(kD + 0.1, kS, kD), 0.0);
+}
+
+TEST_P(PowerShotProperties, EnergyMatchesQuadrature) {
+  const PowerShot shot(GetParam());
+  const double direct = integrate(
+      [&](double u) {
+        const double x = shot.value(u, kS, kD);
+        return x * x;
+      },
+      0.0, kD);
+  EXPECT_NEAR(shot.energy(kS, kD), direct, 1e-6 * direct);
+}
+
+TEST_P(PowerShotProperties, KernelAtZeroEqualsEnergy) {
+  const PowerShot shot(GetParam());
+  EXPECT_NEAR(shot.autocov_kernel(0.0, kS, kD), shot.energy(kS, kD),
+              1e-9 * shot.energy(kS, kD));
+}
+
+TEST_P(PowerShotProperties, KernelMatchesQuadrature) {
+  const PowerShot shot(GetParam());
+  for (double tau : {0.1, 0.5, 1.0, 2.0}) {
+    const double direct = integrate(
+        [&](double u) {
+          return shot.value(u, kS, kD) * shot.value(u + tau, kS, kD);
+        },
+        0.0, kD - tau);
+    EXPECT_NEAR(shot.autocov_kernel(tau, kS, kD), direct,
+                1e-6 * direct + 1e-9)
+        << "tau=" << tau;
+  }
+}
+
+TEST_P(PowerShotProperties, KernelVanishesBeyondDuration) {
+  const PowerShot shot(GetParam());
+  EXPECT_DOUBLE_EQ(shot.autocov_kernel(kD, kS, kD), 0.0);
+  EXPECT_DOUBLE_EQ(shot.autocov_kernel(kD + 1.0, kS, kD), 0.0);
+}
+
+TEST_P(PowerShotProperties, KernelIsEvenInTau) {
+  const PowerShot shot(GetParam());
+  EXPECT_NEAR(shot.autocov_kernel(-0.7, kS, kD),
+              shot.autocov_kernel(0.7, kS, kD), 1e-9);
+}
+
+TEST_P(PowerShotProperties, KernelIsDecreasing) {
+  const PowerShot shot(GetParam());
+  double prev = shot.autocov_kernel(0.0, kS, kD);
+  for (double tau : {0.2, 0.6, 1.2, 2.0, 2.4}) {
+    const double k = shot.autocov_kernel(tau, kS, kD);
+    EXPECT_LE(k, prev * (1.0 + 1e-9)) << tau;
+    prev = k;
+  }
+}
+
+TEST_P(PowerShotProperties, PowerIntegralK1IsSize) {
+  const PowerShot shot(GetParam());
+  EXPECT_NEAR(shot.power_integral(1, kS, kD), kS, 1e-9 * kS);
+}
+
+TEST_P(PowerShotProperties, PowerIntegralK2IsEnergy) {
+  const PowerShot shot(GetParam());
+  EXPECT_NEAR(shot.power_integral(2, kS, kD), shot.energy(kS, kD),
+              1e-9 * shot.energy(kS, kD));
+}
+
+TEST_P(PowerShotProperties, PowerIntegralK3MatchesQuadrature) {
+  const PowerShot shot(GetParam());
+  const double direct = integrate(
+      [&](double u) { return std::pow(shot.value(u, kS, kD), 3); }, 0.0, kD);
+  EXPECT_NEAR(shot.power_integral(3, kS, kD), direct, 1e-6 * direct);
+}
+
+TEST_P(PowerShotProperties, FourierAtZeroIsSizeSquared) {
+  const PowerShot shot(GetParam());
+  EXPECT_NEAR(shot.fourier_mag2(0.0, kS, kD), kS * kS, 1e-5 * kS * kS);
+}
+
+TEST_P(PowerShotProperties, FourierDecaysAtHighFrequency) {
+  const PowerShot shot(GetParam());
+  const double low = shot.fourier_mag2(0.5, kS, kD);
+  const double high = shot.fourier_mag2(50.0, kS, kD);
+  EXPECT_LT(high, low);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerFamily, PowerShotProperties,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.7, 2.0, 3.0),
+                         [](const auto& info) {
+                           const double b = info.param;
+                           return "b" + std::to_string(static_cast<int>(b)) +
+                                  "p" +
+                                  std::to_string(static_cast<int>(b * 10) %
+                                                 10);
+                         });
+
+// ----------------------------------------------------------- specific values
+
+TEST(PowerShot, RectangleValueIsMeanRate) {
+  const PowerShot rect(0.0);
+  EXPECT_DOUBLE_EQ(rect.value(1.0, kS, kD), kS / kD);
+}
+
+TEST(PowerShot, TrianglePeaksAtTwiceMeanRate) {
+  const PowerShot tri(1.0);
+  EXPECT_NEAR(tri.value(kD, kS, kD), 2.0 * kS / kD, 1e-9);
+  EXPECT_NEAR(tri.value(kD / 2.0, kS, kD), kS / kD, 1e-9);
+}
+
+TEST(PowerShot, VarianceFactors) {
+  EXPECT_DOUBLE_EQ(PowerShot(0.0).variance_factor(), 1.0);
+  EXPECT_NEAR(PowerShot(1.0).variance_factor(), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(PowerShot(2.0).variance_factor(), 9.0 / 5.0, 1e-12);
+}
+
+TEST(PowerShot, EnergyClosedForm) {
+  // b=1: energy = 4/3 * S^2/D.
+  EXPECT_NEAR(PowerShot(1.0).energy(kS, kD), 4.0 / 3.0 * kS * kS / kD, 1e-6);
+}
+
+TEST(PowerShot, RectangularKernelIsLinear) {
+  const PowerShot rect(0.0);
+  const double k0 = rect.autocov_kernel(0.0, kS, kD);
+  const double kh = rect.autocov_kernel(kD / 2.0, kS, kD);
+  EXPECT_NEAR(kh, k0 / 2.0, 1e-9 * k0);
+}
+
+TEST(PowerShot, RectangularFourierIsSinc) {
+  const PowerShot rect(0.0);
+  const double omega = 3.0;
+  const double half = omega * kD / 2.0;
+  const double sinc = std::sin(half) / half;
+  EXPECT_NEAR(rect.fourier_mag2(omega, kS, kD), kS * kS * sinc * sinc,
+              1e-6 * kS * kS);
+}
+
+TEST(PowerShot, RejectsNegativeB) {
+  EXPECT_THROW(PowerShot(-0.5), std::invalid_argument);
+}
+
+TEST(PowerShot, PowerIntegralRejectsBadK) {
+  EXPECT_THROW((void)PowerShot(1.0).power_integral(0, kS, kD),
+               std::invalid_argument);
+}
+
+TEST(PowerShot, Names) {
+  EXPECT_EQ(PowerShot(0.0).name(), "rectangular (b=0)");
+  EXPECT_EQ(PowerShot(1.0).name(), "triangular (b=1)");
+  EXPECT_EQ(PowerShot(2.0).name(), "parabolic (b=2)");
+  EXPECT_NE(PowerShot(1.5).name().find("power"), std::string::npos);
+}
+
+TEST(Factories, ReturnExpectedShots) {
+  EXPECT_EQ(rectangular_shot()->name(), "rectangular (b=0)");
+  EXPECT_EQ(triangular_shot()->name(), "triangular (b=1)");
+  EXPECT_EQ(parabolic_shot()->name(), "parabolic (b=2)");
+  EXPECT_EQ(power_shot(2.0)->name(), "parabolic (b=2)");
+}
+
+// -------------------------------------------------------------- custom shots
+
+TEST(CustomShot, AcceptsNormalisedProfile) {
+  // Symmetric tent profile: g(x) = 4x for x<1/2, 4(1-x) otherwise; mass 1.
+  const CustomShot tent(
+      [](double x) { return x < 0.5 ? 4.0 * x : 4.0 * (1.0 - x); }, "tent");
+  // Even panel count puts the kink on a panel boundary (exact integration).
+  const double mass = integrate_panels(
+      [&](double u) { return tent.value(u, kS, kD); }, 0.0, kD, 64);
+  EXPECT_NEAR(mass, kS, 1e-6 * kS);
+  EXPECT_EQ(tent.name(), "tent");
+}
+
+TEST(CustomShot, RejectsUnnormalisedProfile) {
+  EXPECT_THROW(CustomShot([](double) { return 2.0; }, "bad"),
+               std::invalid_argument);
+  EXPECT_THROW(CustomShot(nullptr, "null"), std::invalid_argument);
+}
+
+TEST(CustomShot, DefaultFunctionalsViaQuadrature) {
+  const CustomShot tent(
+      [](double x) { return x < 0.5 ? 4.0 * x : 4.0 * (1.0 - x); }, "tent");
+  EXPECT_GT(tent.energy(kS, kD), 0.0);
+  EXPECT_NEAR(tent.autocov_kernel(0.0, kS, kD), tent.energy(kS, kD),
+              1e-6 * tent.energy(kS, kD));
+  // Default power_integral uses a single quadrature panel; the tent's kink
+  // limits it to ~1e-3 relative accuracy.
+  EXPECT_NEAR(tent.power_integral(1, kS, kD), kS, 2e-3 * kS);
+}
+
+// Theorem 3 at the shot level: among profiles, the rectangle minimises
+// energy (hence variance) for fixed (S, D).
+TEST(Theorem3, RectangleMinimisesEnergy) {
+  const double rect_energy = PowerShot(0.0).energy(kS, kD);
+  for (double b : {0.3, 1.0, 2.0, 4.0}) {
+    EXPECT_GT(PowerShot(b).energy(kS, kD), rect_energy) << b;
+  }
+  const CustomShot tent(
+      [](double x) { return x < 0.5 ? 4.0 * x : 4.0 * (1.0 - x); }, "tent");
+  EXPECT_GT(tent.energy(kS, kD), rect_energy);
+}
+
+}  // namespace
+}  // namespace fbm::core

@@ -1,0 +1,94 @@
+#include "dimension/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fbm::dimension {
+namespace {
+
+stats::RateSeries series_of(std::vector<double> values) {
+  stats::RateSeries s;
+  s.delta = 0.2;
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(Anomaly, QuietSeriesHasNoEvents) {
+  const auto s = series_of(std::vector<double>(100, 100.0));
+  EXPECT_TRUE(detect_anomalies(s, 100.0, 10.0).empty());
+}
+
+TEST(Anomaly, SustainedSpikeDetected) {
+  std::vector<double> v(50, 100.0);
+  for (int i = 20; i < 26; ++i) v[i] = 200.0;  // +10 sigma for 6 samples
+  const auto events = detect_anomalies(series_of(v), 100.0, 10.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_index, 20u);
+  EXPECT_EQ(events[0].length, 6u);
+  EXPECT_EQ(events[0].kind, AnomalyKind::spike);
+  EXPECT_NEAR(events[0].peak_deviation_sigma, 10.0, 1e-9);
+}
+
+TEST(Anomaly, DropDetectedAsLinkFailure) {
+  std::vector<double> v(50, 100.0);
+  for (int i = 30; i < 40; ++i) v[i] = 0.0;  // link failure
+  const auto events = detect_anomalies(series_of(v), 100.0, 10.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AnomalyKind::drop);
+}
+
+TEST(Anomaly, ShortBlipIgnoredByHysteresis) {
+  std::vector<double> v(50, 100.0);
+  v[10] = 500.0;  // single-sample blip
+  v[11] = 500.0;  // two samples < min_consecutive=3
+  AnomalyOptions opt;
+  opt.min_consecutive = 3;
+  EXPECT_TRUE(detect_anomalies(series_of(v), 100.0, 10.0, opt).empty());
+}
+
+TEST(Anomaly, OppositeSignsSplitEvents) {
+  std::vector<double> v(60, 100.0);
+  for (int i = 10; i < 15; ++i) v[i] = 300.0;
+  for (int i = 15; i < 20; ++i) v[i] = -100.0;
+  const auto events = detect_anomalies(series_of(v), 100.0, 10.0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, AnomalyKind::spike);
+  EXPECT_EQ(events[1].kind, AnomalyKind::drop);
+}
+
+TEST(Anomaly, EventAtSeriesEndIsClosed) {
+  std::vector<double> v(20, 100.0);
+  for (int i = 16; i < 20; ++i) v[i] = 400.0;
+  const auto events = detect_anomalies(series_of(v), 100.0, 10.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_index, 16u);
+  EXPECT_EQ(events[0].length, 4u);
+}
+
+TEST(Anomaly, ThresholdScalesWithSigma) {
+  std::vector<double> v(30, 100.0);
+  for (int i = 5; i < 10; ++i) v[i] = 140.0;  // +4 sigma at sigma=10
+  AnomalyOptions tight;
+  tight.k_sigma = 3.0;
+  AnomalyOptions loose;
+  loose.k_sigma = 5.0;
+  EXPECT_EQ(detect_anomalies(series_of(v), 100.0, 10.0, tight).size(), 1u);
+  EXPECT_TRUE(detect_anomalies(series_of(v), 100.0, 10.0, loose).empty());
+}
+
+TEST(Anomaly, Validation) {
+  const auto s = series_of({1.0});
+  EXPECT_THROW((void)detect_anomalies(s, 0.0, 0.0), std::invalid_argument);
+  AnomalyOptions opt;
+  opt.k_sigma = 0.0;
+  EXPECT_THROW((void)detect_anomalies(s, 0.0, 1.0, opt),
+               std::invalid_argument);
+  opt = AnomalyOptions{};
+  opt.min_consecutive = 0;
+  EXPECT_THROW((void)detect_anomalies(s, 0.0, 1.0, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbm::dimension

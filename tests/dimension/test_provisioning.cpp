@@ -1,0 +1,103 @@
+#include "dimension/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moments.hpp"
+
+namespace fbm::dimension {
+namespace {
+
+flow::ModelInputs inputs() {
+  flow::ModelInputs in;
+  in.lambda = 300.0;
+  in.mean_size_bits = 1.6e5;
+  in.mean_s2_over_d = 4e9;
+  in.flows = 20000;
+  return in;
+}
+
+TEST(PlanLink, CapacityAboveMean) {
+  const auto plan = plan_link(inputs(), 1.0, 0.01);
+  EXPECT_GT(plan.capacity_bps, plan.mean_bps);
+  EXPECT_GT(plan.headroom, 1.0);
+  EXPECT_DOUBLE_EQ(plan.eps, 0.01);
+}
+
+TEST(PlanLink, MatchesGaussianFormula) {
+  const auto in = inputs();
+  const auto plan = plan_link(in, 0.0, 0.05);
+  const double sigma = std::sqrt(core::power_shot_variance(in, 0.0));
+  // q(0.95) = 1.6449.
+  EXPECT_NEAR(plan.capacity_bps, plan.mean_bps + 1.6448536269514722 * sigma,
+              1e-3);
+}
+
+TEST(PlanLink, StricterEpsNeedsMoreCapacity) {
+  const auto strict = plan_link(inputs(), 1.0, 0.001);
+  const auto loose = plan_link(inputs(), 1.0, 0.1);
+  EXPECT_GT(strict.capacity_bps, loose.capacity_bps);
+}
+
+TEST(PlanLink, BurstierShotsNeedMoreCapacity) {
+  const auto rect = plan_link(inputs(), 0.0, 0.01);
+  const auto para = plan_link(inputs(), 2.0, 0.01);
+  EXPECT_GT(para.capacity_bps, rect.capacity_bps);
+  EXPECT_DOUBLE_EQ(para.mean_bps, rect.mean_bps);
+}
+
+TEST(PlanLink, Validation) {
+  EXPECT_THROW((void)plan_link(inputs(), 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)plan_link(inputs(), 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(ApplyScenario, LambdaOnly) {
+  WhatIf w;
+  w.lambda_factor = 3.0;
+  const auto out = apply_scenario(inputs(), w);
+  EXPECT_DOUBLE_EQ(out.lambda, 900.0);
+  EXPECT_DOUBLE_EQ(out.mean_size_bits, inputs().mean_size_bits);
+}
+
+TEST(ApplyScenario, SizeScalingIsQuadraticInS2OverD) {
+  WhatIf w;
+  w.size_factor = 2.0;
+  const auto out = apply_scenario(inputs(), w);
+  EXPECT_DOUBLE_EQ(out.mean_size_bits, 2.0 * inputs().mean_size_bits);
+  EXPECT_DOUBLE_EQ(out.mean_s2_over_d, 4.0 * inputs().mean_s2_over_d);
+}
+
+TEST(ApplyScenario, LongerDurationsReduceVariance) {
+  WhatIf w;
+  w.duration_factor = 4.0;  // congested access: same bytes spread out
+  const auto out = apply_scenario(inputs(), w);
+  EXPECT_DOUBLE_EQ(out.mean_s2_over_d, inputs().mean_s2_over_d / 4.0);
+  EXPECT_DOUBLE_EQ(out.mean_size_bits, inputs().mean_size_bits);
+}
+
+TEST(ApplyScenario, Validation) {
+  WhatIf w;
+  w.lambda_factor = 0.0;
+  EXPECT_THROW((void)apply_scenario(inputs(), w), std::invalid_argument);
+}
+
+TEST(CapacitySweep, SmoothingLawHolds) {
+  // Section VII-A: CoV ~ 1/sqrt(lambda) => headroom shrinks as lambda grows,
+  // and capacity grows sublinearly.
+  const std::vector<double> factors = {1.0, 4.0, 16.0, 64.0};
+  const auto plans = capacity_sweep(inputs(), 1.0, 0.01, factors);
+  ASSERT_EQ(plans.size(), 4u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LT(plans[i].cov, plans[i - 1].cov);
+    EXPECT_LT(plans[i].headroom, plans[i - 1].headroom);
+    // Capacity grows strictly slower than lambda.
+    EXPECT_LT(plans[i].capacity_bps / plans[i - 1].capacity_bps, 4.0);
+  }
+  // CoV ratio between 16x steps should be ~1/4 (sqrt scaling twice).
+  EXPECT_NEAR(plans[2].cov / plans[0].cov, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace fbm::dimension

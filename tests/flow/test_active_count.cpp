@@ -1,0 +1,83 @@
+#include "flow/active_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace fbm::flow {
+namespace {
+
+FlowRecord flow(double start, double duration) {
+  FlowRecord f;
+  f.start = start;
+  f.end = start + duration;
+  f.bytes = 1000;
+  f.packets = 2;
+  return f;
+}
+
+TEST(ActiveFlowSeries, Validation) {
+  std::vector<FlowRecord> flows;
+  EXPECT_THROW((void)active_flow_series(flows, 1.0, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)active_flow_series(flows, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ActiveFlowSeries, SingleFlowCoversItsBins) {
+  std::vector<FlowRecord> flows = {flow(1.0, 2.0)};  // active [1, 3)
+  const auto n = active_flow_series(flows, 0.0, 5.0, 1.0);
+  // Midpoints 0.5, 1.5, 2.5, 3.5, 4.5.
+  ASSERT_EQ(n.values.size(), 5u);
+  EXPECT_DOUBLE_EQ(n.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.values[1], 1.0);
+  EXPECT_DOUBLE_EQ(n.values[2], 1.0);
+  EXPECT_DOUBLE_EQ(n.values[3], 0.0);
+}
+
+TEST(ActiveFlowSeries, OverlappingFlowsAdd) {
+  std::vector<FlowRecord> flows = {flow(0.0, 3.0), flow(1.0, 3.0),
+                                   flow(2.0, 3.0)};
+  const auto n = active_flow_series(flows, 0.0, 6.0, 1.0);
+  EXPECT_DOUBLE_EQ(n.values[0], 1.0);  // t=0.5
+  EXPECT_DOUBLE_EQ(n.values[1], 2.0);  // t=1.5
+  EXPECT_DOUBLE_EQ(n.values[2], 3.0);  // t=2.5
+  EXPECT_DOUBLE_EQ(n.values[3], 2.0);  // t=3.5: first ended at 3.0
+}
+
+TEST(ActiveFlowSeries, ShortFlowBetweenMidpointsIsInvisible) {
+  std::vector<FlowRecord> flows = {flow(0.6, 0.2)};  // [0.6, 0.8)
+  const auto n = active_flow_series(flows, 0.0, 2.0, 1.0);
+  // Midpoints at 0.5, 1.5: the flow covers neither.
+  EXPECT_DOUBLE_EQ(n.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(n.values[1], 0.0);
+}
+
+TEST(ActiveFlowSeries, MGInfinityOccupancyIsPoisson) {
+  // Poisson arrivals + iid exponential durations: N(t) ~ Poisson(lambda E[D])
+  // with dispersion (variance/mean) ~ 1.
+  stats::Rng rng(13);
+  const double lambda = 200.0;
+  const double mean_d = 0.5;
+  std::vector<FlowRecord> flows;
+  double t = 0.0;
+  while (t < 300.0) {
+    t += rng.exponential(lambda);
+    flows.push_back(flow(t, rng.exponential(1.0 / mean_d)));
+  }
+  // Skip warm-up: sample [10, 290).
+  const auto n = active_flow_series(flows, 10.0, 290.0, 0.05);
+  const auto s = active_flow_stats(n);
+  EXPECT_NEAR(s.mean, lambda * mean_d, 0.05 * lambda * mean_d);
+  EXPECT_NEAR(s.dispersion, 1.0, 0.25);
+}
+
+TEST(ActiveFlowStats, EmptySeries) {
+  stats::RateSeries empty;
+  const auto s = active_flow_stats(empty);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.dispersion, 0.0);
+}
+
+}  // namespace
+}  // namespace fbm::flow

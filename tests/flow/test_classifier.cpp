@@ -1,0 +1,285 @@
+#include "flow/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbm::flow {
+namespace {
+
+net::PacketRecord packet(double ts, std::uint16_t src_port = 1000,
+                         std::uint32_t bytes = 100,
+                         std::uint8_t dst_last_octet = 1) {
+  net::PacketRecord p;
+  p.timestamp = ts;
+  p.tuple.src = net::Ipv4Address(10, 0, 0, 1);
+  p.tuple.dst = net::Ipv4Address(20, 0, 0, dst_last_octet);
+  p.tuple.src_port = src_port;
+  p.tuple.dst_port = 80;
+  p.tuple.protocol = 6;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Classifier, GroupsPacketsOfSameTuple) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0));
+  c.add(packet(1.0));
+  c.add(packet(2.5));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);
+  const FlowRecord& f = c.flows()[0];
+  EXPECT_DOUBLE_EQ(f.start, 0.0);
+  EXPECT_DOUBLE_EQ(f.end, 2.5);
+  EXPECT_DOUBLE_EQ(f.duration(), 2.5);
+  EXPECT_EQ(f.bytes, 300u);
+  EXPECT_EQ(f.packets, 3u);
+}
+
+TEST(Classifier, DistinctTuplesAreDistinctFlows) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0, 1000));
+  c.add(packet(0.1, 2000));
+  c.flush();
+  EXPECT_EQ(c.counters().single_packet_discards, 2u);
+  EXPECT_TRUE(c.flows().empty());  // both single-packet
+}
+
+TEST(Classifier, TimeoutSplitsFlow) {
+  ClassifierOptions opt;
+  opt.timeout = 60.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(0.0));
+  c.add(packet(10.0));
+  c.add(packet(100.0));  // > 60 s gap: new flow
+  c.add(packet(101.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.flows()[0].duration(), 10.0);
+  EXPECT_DOUBLE_EQ(c.flows()[1].start, 100.0);
+}
+
+TEST(Classifier, GapExactlyAtTimeoutDoesNotSplit) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0));
+  c.add(packet(60.0));  // exactly the timeout: same flow
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);
+  EXPECT_EQ(c.flows()[0].packets, 2u);
+}
+
+TEST(Classifier, SinglePacketFlowDiscardedByDefault) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0));
+  c.flush();
+  EXPECT_TRUE(c.flows().empty());
+  EXPECT_EQ(c.counters().single_packet_discards, 1u);
+}
+
+TEST(Classifier, SinglePacketFlowKeptWhenConfigured) {
+  ClassifierOptions opt;
+  opt.discard_single_packet = false;
+  FiveTupleClassifier c(opt);
+  c.add(packet(0.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.flows()[0].duration(), 0.0);
+}
+
+TEST(Classifier, RecordsDiscardedPackets) {
+  ClassifierOptions opt;
+  opt.record_discards = true;
+  FiveTupleClassifier c(opt);
+  c.add(packet(3.0, 1000, 77));
+  c.flush();
+  ASSERT_EQ(c.discards().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.discards()[0].timestamp, 3.0);
+  EXPECT_EQ(c.discards()[0].bytes, 77u);
+}
+
+TEST(Classifier, IntervalBoundarySplitsAndFlags) {
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(8.0));
+  c.add(packet(9.0));
+  c.add(packet(11.0));  // next interval: piece 2, continued
+  c.add(packet(12.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_FALSE(c.flows()[0].continued);
+  EXPECT_TRUE(c.flows()[1].continued);
+  EXPECT_DOUBLE_EQ(c.flows()[1].start, 11.0);
+  EXPECT_EQ(c.counters().boundary_splits, 1u);
+}
+
+TEST(Classifier, TimeoutAcrossBoundaryIsNotContinuation) {
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  opt.timeout = 5.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(1.0));
+  c.add(packet(2.0));
+  c.add(packet(19.0));  // gap 17 > timeout AND crossed: plain new flow
+  c.add(packet(19.5));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_FALSE(c.flows()[1].continued);
+}
+
+TEST(Classifier, RejectsOutOfOrderPackets) {
+  FiveTupleClassifier c;
+  c.add(packet(5.0));
+  EXPECT_THROW(c.add(packet(4.0)), std::invalid_argument);
+}
+
+TEST(Classifier, OptionValidation) {
+  ClassifierOptions opt;
+  opt.timeout = 0.0;
+  EXPECT_THROW(FiveTupleClassifier{opt}, std::invalid_argument);
+  opt = ClassifierOptions{};
+  opt.interval = -1.0;
+  EXPECT_THROW(FiveTupleClassifier{opt}, std::invalid_argument);
+}
+
+TEST(Classifier, PrefixKeyAggregatesAcrossPorts) {
+  Prefix24Classifier c;
+  // Same /24 destination, different 5-tuples.
+  c.add(packet(0.0, 1000, 100, 1));
+  c.add(packet(1.0, 2000, 100, 2));
+  c.add(packet(2.0, 3000, 100, 3));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);
+  EXPECT_EQ(c.flows()[0].packets, 3u);
+  EXPECT_EQ(c.flows()[0].bytes, 300u);
+}
+
+TEST(Classifier, PrefixKeySeparatesDifferentPrefixes) {
+  Prefix24Classifier c;
+  auto p1 = packet(0.0);
+  auto p2 = packet(0.5);
+  p2.tuple.dst = net::Ipv4Address(30, 0, 1, 1);  // other /24
+  c.add(p1);
+  c.add(p2);
+  c.add(packet(1.0));
+  auto p4 = packet(1.5);
+  p4.tuple.dst = net::Ipv4Address(30, 0, 1, 9);
+  c.add(p4);
+  c.flush();
+  EXPECT_EQ(c.flows().size(), 2u);
+}
+
+TEST(Classifier, CustomPrefixLengthEight) {
+  FlowClassifier<PrefixKey<8>> c;
+  auto p1 = packet(0.0);
+  auto p2 = packet(0.5);
+  p2.tuple.dst = net::Ipv4Address(20, 99, 99, 99);  // same /8
+  c.add(p1);
+  c.add(p2);
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);
+}
+
+TEST(Classifier, ExpireIdleEmitsOnlyStaleFlows) {
+  ClassifierOptions opt;
+  opt.timeout = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(0.0, 1000));
+  c.add(packet(1.0, 1000));
+  c.add(packet(5.0, 2000));
+  c.add(packet(6.0, 2000));
+  c.expire_idle(12.0);  // flow A idle 11 s > 10; flow B idle 6 s
+  ASSERT_EQ(c.flows().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.flows()[0].end, 1.0);
+  EXPECT_EQ(c.active_flows(), 1u);
+}
+
+TEST(Classifier, ExpireIdleThenFlushCoversEverything) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0, 1000));
+  c.add(packet(0.5, 1000));
+  c.expire_idle(1000.0);
+  c.flush();
+  EXPECT_EQ(c.flows().size(), 1u);  // not emitted twice
+}
+
+TEST(Classifier, ActiveFlowsTracked) {
+  FiveTupleClassifier c;
+  c.add(packet(0.0, 1000));
+  c.add(packet(0.1, 2000));
+  EXPECT_EQ(c.active_flows(), 2u);
+  c.flush();
+  EXPECT_EQ(c.active_flows(), 0u);
+}
+
+TEST(Classifier, CountersPacketsTotal) {
+  FiveTupleClassifier c;
+  for (int i = 0; i < 5; ++i) c.add(packet(0.1 * i));
+  c.flush();
+  EXPECT_EQ(c.counters().packets, 5u);
+  EXPECT_EQ(c.counters().flows_emitted, 1u);
+}
+
+TEST(ClassifyAll, SortsFlowsByStartTime) {
+  std::vector<net::PacketRecord> packets;
+  // Flow B starts later but ends (times out) earlier than flow A's end.
+  packets.push_back(packet(0.0, 1000));
+  packets.push_back(packet(0.5, 2000));
+  packets.push_back(packet(1.0, 2000));
+  packets.push_back(packet(70.0, 1000));   // still flow A? gap 70 > 60: no
+  packets.push_back(packet(70.5, 1000));
+  ClassifierCounters counters;
+  const auto flows =
+      classify_all<FiveTupleKey>(packets, ClassifierOptions{}, &counters);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_LE(flows[0].start, flows[1].start);
+  EXPECT_EQ(counters.packets, 5u);
+}
+
+TEST(Classifier, RoutableKeyGroupsByFibEntry) {
+  net::RoutingTable fib;
+  fib.insert(net::Prefix(net::Ipv4Address(20, 0, 0, 0), 8), 1);
+  fib.insert(net::Prefix(net::Ipv4Address(30, 1, 0, 0), 16), 2);
+
+  FlowClassifier<RoutableKey> c(RoutableKey(&fib), ClassifierOptions{});
+  // Two destinations inside 20/8 -> one flow; one in 30.1/16 -> another.
+  auto p1 = packet(0.0);
+  p1.tuple.dst = net::Ipv4Address(20, 5, 5, 5);
+  auto p2 = packet(0.5);
+  p2.tuple.dst = net::Ipv4Address(20, 200, 1, 1);
+  auto p3 = packet(1.0);
+  p3.tuple.dst = net::Ipv4Address(30, 1, 7, 7);
+  auto p4 = packet(1.5);
+  p4.tuple.dst = net::Ipv4Address(30, 1, 8, 8);
+  c.add(p1);
+  c.add(p2);
+  c.add(p3);
+  c.add(p4);
+  c.flush();
+  EXPECT_EQ(c.flows().size(), 2u);
+}
+
+TEST(Classifier, RoutableKeyFallsBackToSlash24) {
+  net::RoutingTable fib;  // empty: nothing routable
+  RoutableKey key(&fib);
+  auto p = packet(0.0);
+  p.tuple.dst = net::Ipv4Address(99, 1, 2, 3);
+  EXPECT_EQ(key(p), net::Prefix(net::Ipv4Address(99, 1, 2, 0), 24));
+}
+
+TEST(Classifier, RoutableKeyRejectsNullTable) {
+  EXPECT_THROW(RoutableKey{nullptr}, std::invalid_argument);
+}
+
+TEST(FlowRecord, MeanRate) {
+  FlowRecord f;
+  f.start = 0.0;
+  f.end = 2.0;
+  f.bytes = 1000;
+  EXPECT_DOUBLE_EQ(f.mean_rate_bps(), 4000.0);
+  f.end = 0.0;
+  EXPECT_DOUBLE_EQ(f.mean_rate_bps(), 0.0);
+}
+
+}  // namespace
+}  // namespace fbm::flow

@@ -1,0 +1,169 @@
+// Property sweeps over the flow classifier: conservation and consistency
+// invariants that must hold for any trace and any (timeout, interval)
+// configuration, under every key definition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "flow/classifier.hpp"
+#include "trace/synthetic.hpp"
+
+namespace fbm::flow {
+namespace {
+
+// (timeout, interval, prefix aggregation?)
+using Param = std::tuple<double, double, bool>;
+
+class ClassifierInvariants : public ::testing::TestWithParam<Param> {
+ protected:
+  static const std::vector<net::PacketRecord>& packets() {
+    static const auto p = [] {
+      trace::SyntheticConfig cfg;
+      cfg.duration_s = 30.0;
+      cfg.flow_rate = 120.0;
+      cfg.apply_defaults();
+      cfg.seed = 99;
+      return trace::generate_packets(cfg);
+    }();
+    return p;
+  }
+
+  struct Result {
+    std::vector<FlowRecord> flows;
+    std::vector<DiscardedPacket> discards;
+    ClassifierCounters counters;
+  };
+
+  [[nodiscard]] Result classify() const {
+    const auto [timeout, interval, prefix] = GetParam();
+    ClassifierOptions opt;
+    opt.timeout = timeout;
+    opt.interval = interval;
+    opt.record_discards = true;
+    Result r;
+    if (prefix) {
+      Prefix24Classifier c(opt);
+      for (const auto& p : packets()) c.add(p);
+      c.flush();
+      r.discards = c.discards();
+      r.counters = c.counters();
+      r.flows = c.take_flows();
+    } else {
+      FiveTupleClassifier c(opt);
+      for (const auto& p : packets()) c.add(p);
+      c.flush();
+      r.discards = c.discards();
+      r.counters = c.counters();
+      r.flows = c.take_flows();
+    }
+    return r;
+  }
+};
+
+TEST_P(ClassifierInvariants, BytesAreConserved) {
+  const auto r = classify();
+  std::uint64_t flow_bytes = 0;
+  for (const auto& f : r.flows) flow_bytes += f.bytes;
+  std::uint64_t discard_bytes = 0;
+  for (const auto& d : r.discards) discard_bytes += d.bytes;
+  std::uint64_t packet_bytes = 0;
+  for (const auto& p : packets()) packet_bytes += p.size_bytes;
+  EXPECT_EQ(flow_bytes + discard_bytes, packet_bytes);
+}
+
+TEST_P(ClassifierInvariants, PacketsAreConserved) {
+  const auto r = classify();
+  std::uint64_t flow_packets = 0;
+  for (const auto& f : r.flows) flow_packets += f.packets;
+  EXPECT_EQ(flow_packets + r.discards.size(), packets().size());
+  EXPECT_EQ(r.counters.packets, packets().size());
+}
+
+TEST_P(ClassifierInvariants, EveryFlowIsWellFormed) {
+  const auto r = classify();
+  const auto [timeout, interval, prefix] = GetParam();
+  for (const auto& f : r.flows) {
+    EXPECT_GE(f.duration(), 0.0);
+    EXPECT_GE(f.packets, 2u);  // singles are discarded
+    EXPECT_GT(f.bytes, 0u);
+    // A flow piece never spans more than one analysis interval.
+    if (std::isfinite(interval)) {
+      const auto start_idx = static_cast<long>(f.start / interval);
+      // End may touch the boundary of the same interval.
+      EXPECT_LE(f.end, (start_idx + 1) * interval + timeout)
+          << f.start << " " << f.end;
+    }
+  }
+}
+
+TEST_P(ClassifierInvariants, NoIntraFlowGapExceedsTimeout) {
+  // The classifier guarantee: packets more than `timeout` apart are split.
+  // Verify via the flow records: duration <= packets * timeout (each
+  // consecutive gap <= timeout).
+  const auto r = classify();
+  const auto [timeout, interval, prefix] = GetParam();
+  for (const auto& f : r.flows) {
+    EXPECT_LE(f.duration(),
+              static_cast<double>(f.packets - 1) * timeout + 1e-9);
+  }
+}
+
+TEST_P(ClassifierInvariants, CountersMatchOutputs) {
+  const auto r = classify();
+  EXPECT_EQ(r.counters.flows_emitted, r.flows.size());
+  EXPECT_EQ(r.counters.single_packet_discards, r.discards.size());
+}
+
+TEST_P(ClassifierInvariants, ContinuedOnlyWithFiniteInterval) {
+  const auto r = classify();
+  const auto [timeout, interval, prefix] = GetParam();
+  std::size_t continued = 0;
+  for (const auto& f : r.flows) {
+    if (f.continued) ++continued;
+  }
+  if (!std::isfinite(interval)) {
+    EXPECT_EQ(continued, 0u);
+  }
+  // boundary_splits counts continuation pieces at creation; those that stay
+  // single-packet are discarded before emission, so the emitted `continued`
+  // count can only be smaller, and the gap is bounded by the discards.
+  EXPECT_LE(continued, r.counters.boundary_splits);
+  EXPECT_LE(r.counters.boundary_splits - continued,
+            r.counters.single_packet_discards);
+}
+
+TEST_P(ClassifierInvariants, DeterministicAcrossRuns) {
+  const auto a = classify();
+  const auto b = classify();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].start, b.flows[i].start);
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClassifierInvariants,
+    ::testing::Combine(
+        ::testing::Values(0.5, 5.0, 60.0),
+        ::testing::Values(10.0, 30.0,
+                          std::numeric_limits<double>::infinity()),
+        ::testing::Bool()),
+    [](const auto& info) {
+      // std::get instead of structured bindings: a comma inside [] would be
+      // parsed as a macro-argument separator by INSTANTIATE_TEST_SUITE_P.
+      const double timeout = std::get<0>(info.param);
+      const double interval = std::get<1>(info.param);
+      std::string name = "t";
+      name += std::to_string(static_cast<int>(timeout * 10));
+      name += "_i";
+      name += std::isfinite(interval)
+                  ? std::to_string(static_cast<int>(interval))
+                  : std::string("inf");
+      name += std::get<2>(info.param) ? "_p24" : "_5t";
+      return name;
+    });
+
+}  // namespace
+}  // namespace fbm::flow

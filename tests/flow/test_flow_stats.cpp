@@ -1,0 +1,103 @@
+#include "flow/flow_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace fbm::flow {
+namespace {
+
+// Builds a Poisson-arrival flow population with iid sizes/durations — the
+// model's Assumptions 1 and 2 hold by construction.
+std::vector<FlowRecord> poisson_population(std::size_t n, double lambda,
+                                           std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<FlowRecord> flows;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(lambda);
+    FlowRecord f;
+    f.start = t;
+    f.end = t + rng.exponential(0.5);
+    f.bytes = static_cast<std::uint64_t>(1 + rng.exponential(1.0 / 2e4));
+    f.packets = 2;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+TEST(Diagnostics, TinyPopulationIsSafe) {
+  std::vector<FlowRecord> flows(2);
+  const auto d = diagnose_population(flows);
+  EXPECT_EQ(d.flows, 2u);
+  EXPECT_TRUE(d.interarrival_qq.empty());
+}
+
+TEST(Diagnostics, PoissonPopulationLooksExponential) {
+  const auto flows = poisson_population(20000, 100.0, 3);
+  const auto d = diagnose_population(flows);
+  EXPECT_EQ(d.flows, 20000u);
+  // qq-plot straight (normalised axes): rms deviation small.
+  EXPECT_LT(stats::qq_rms_deviation(d.interarrival_qq), 0.08);
+  // KS does not reject wildly.
+  EXPECT_LT(d.interarrival_ks.statistic, 0.02);
+}
+
+TEST(Diagnostics, PoissonPopulationIsUncorrelated) {
+  const auto flows = poisson_population(20000, 100.0, 4);
+  const auto d = diagnose_population(flows);
+  ASSERT_EQ(d.interarrival_acf.size(), 21u);
+  EXPECT_DOUBLE_EQ(d.interarrival_acf[0], 1.0);
+  for (std::size_t lag = 1; lag <= 20; ++lag) {
+    EXPECT_LT(std::abs(d.interarrival_acf[lag]), 3.0 * d.white_noise_band)
+        << lag;
+    EXPECT_LT(std::abs(d.size_acf[lag]), 3.0 * d.white_noise_band) << lag;
+    EXPECT_LT(std::abs(d.duration_acf[lag]), 3.0 * d.white_noise_band) << lag;
+  }
+}
+
+TEST(Diagnostics, PeriodicArrivalsAreNotExponential) {
+  std::vector<FlowRecord> flows;
+  for (int i = 0; i < 5000; ++i) {
+    FlowRecord f;
+    f.start = i * 0.01;  // deterministic arrivals
+    f.end = f.start + 0.5;
+    f.bytes = 1000;
+    f.packets = 2;
+    flows.push_back(f);
+  }
+  const auto d = diagnose_population(flows);
+  EXPECT_GT(d.interarrival_ks.statistic, 0.3);
+}
+
+TEST(Diagnostics, CorrelatedSizesAreDetected) {
+  stats::Rng rng(5);
+  std::vector<FlowRecord> flows;
+  double t = 0.0;
+  double s = 1e4;
+  for (int i = 0; i < 10000; ++i) {
+    t += rng.exponential(100.0);
+    s = 0.95 * s + 0.05 * rng.exponential(1.0 / 1e4);  // AR(1) sizes
+    FlowRecord f;
+    f.start = t;
+    f.end = t + 0.5;
+    f.bytes = static_cast<std::uint64_t>(1 + s);
+    f.packets = 2;
+    flows.push_back(f);
+  }
+  const auto d = diagnose_population(flows);
+  EXPECT_GT(d.size_acf[1], 0.5);  // strong lag-1 correlation
+}
+
+TEST(Diagnostics, ContinuedFlowsCounted) {
+  auto flows = poisson_population(100, 10.0, 6);
+  flows[3].continued = true;
+  flows[7].continued = true;
+  const auto d = diagnose_population(flows);
+  EXPECT_EQ(d.continued, 2u);
+}
+
+}  // namespace
+}  // namespace fbm::flow

@@ -1,0 +1,155 @@
+#include "gen/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/moments.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fbm::gen {
+namespace {
+
+GeneratorConfig parametric_config(double b = 1.0) {
+  GeneratorConfig cfg;
+  cfg.duration_s = 400.0;
+  cfg.lambda = 150.0;
+  cfg.delta_s = 0.2;
+  cfg.shot = core::power_shot(b);
+  cfg.size_bits = std::make_shared<stats::LogNormal>(
+      stats::LogNormal::from_mean_cv(1.6e5, 1.5));
+  cfg.duration_s_dist = std::make_shared<stats::LogNormal>(
+      stats::LogNormal::from_mean_cv(2.0, 1.0));
+  return cfg;
+}
+
+TEST(Generator, Validation) {
+  GeneratorConfig cfg;  // no distributions, no pool
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+  cfg = parametric_config();
+  cfg.duration_s = 0.0;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+  cfg = parametric_config();
+  cfg.lambda = 0.0;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+  cfg = parametric_config();
+  cfg.delta_s = 0.0;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+}
+
+TEST(Generator, SeriesShapeMatchesConfig) {
+  const auto out = generate(parametric_config());
+  EXPECT_EQ(out.series.values.size(), 2000u);
+  EXPECT_DOUBLE_EQ(out.series.delta, 0.2);
+  EXPECT_GT(out.flows, 0u);
+}
+
+TEST(Generator, Deterministic) {
+  const auto a = generate(parametric_config());
+  const auto b = generate(parametric_config());
+  ASSERT_EQ(a.series.values.size(), b.series.values.size());
+  EXPECT_EQ(a.flows, b.flows);
+  for (std::size_t i = 0; i < a.series.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.series.values[i], b.series.values[i]) << i;
+  }
+}
+
+TEST(Generator, MeanMatchesCorollary1) {
+  const auto cfg = parametric_config();
+  const auto out = generate(cfg);
+  const double expected = cfg.lambda * cfg.size_bits->mean();
+  // Warm-up bias (empty link at t=0) plus sampling noise: 10% tolerance.
+  EXPECT_NEAR(stats::mean(out.series.values), expected, 0.10 * expected);
+}
+
+TEST(Generator, VarianceOrderingAcrossShots) {
+  // The generated traffic's variance must increase with shot power b
+  // (Theorem 3 / Corollary 2), on identical arrivals and sizes.
+  auto rect = parametric_config(0.0);
+  auto para = parametric_config(2.0);
+  const double var_rect =
+      stats::population_variance(generate(rect).series.values);
+  const double var_para =
+      stats::population_variance(generate(para).series.values);
+  EXPECT_GT(var_para, 1.15 * var_rect);
+}
+
+TEST(Generator, VarianceNearCorollary2) {
+  auto cfg = parametric_config(1.0);
+  cfg.duration_s = 1200.0;
+  const auto out = generate(cfg);
+  // Model prediction using the exact same (S, D) population law:
+  // E[S^2/D] for independent S, D: E[S^2] * E[1/D]. Estimate by sampling.
+  stats::Rng rng(99);
+  double e_s2_over_d = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double s = std::max(1.0, cfg.size_bits->sample(rng));
+    const double d = std::max(1e-3, cfg.duration_s_dist->sample(rng));
+    e_s2_over_d += s * s / d / n;
+  }
+  const double predicted = cfg.lambda * 4.0 / 3.0 * e_s2_over_d;
+  const double measured = stats::population_variance(out.series.values);
+  // Heavy-tailed S^2/D converges slowly; accept the right order and 40%.
+  EXPECT_NEAR(measured, predicted, 0.4 * predicted);
+}
+
+TEST(Generator, EmpiricalPoolIsResampled) {
+  GeneratorConfig cfg;
+  cfg.duration_s = 100.0;
+  cfg.lambda = 50.0;
+  cfg.shot = core::rectangular_shot();
+  cfg.resample_pool = {{8e4, 1.0}, {1.6e5, 2.0}};
+  const auto out = generate(cfg);
+  EXPECT_GT(out.flows, 0u);
+  const double mean_size = (8e4 + 1.6e5) / 2.0;
+  EXPECT_NEAR(stats::mean(out.series.values), cfg.lambda * mean_size,
+              0.15 * cfg.lambda * mean_size);
+}
+
+TEST(Generator, FromModelClonesPopulationAndShot) {
+  std::vector<core::FlowSample> pool = {{1e5, 1.0}, {2e5, 0.5}, {4e4, 2.0}};
+  const core::ShotNoiseModel model(80.0, pool, core::parabolic_shot());
+  const auto cfg = from_model(model, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.lambda, 80.0);
+  EXPECT_EQ(cfg.resample_pool.size(), 3u);
+  EXPECT_EQ(cfg.shot->name(), "parabolic (b=2)");
+  const auto out = generate(cfg);
+  EXPECT_GT(out.flows, 0u);
+}
+
+TEST(Generator, BurstyArrivalsRaiseVariance) {
+  auto poisson = parametric_config(0.0);
+  auto bursty = parametric_config(0.0);
+  bursty.modulation.high_factor = 2.5;
+  bursty.modulation.low_factor = 0.1;
+  bursty.modulation.mean_sojourn_s = 10.0;
+  const auto a = generate(poisson);
+  const auto b = generate(bursty);
+  EXPECT_GT(stats::population_variance(b.series.values),
+            1.5 * stats::population_variance(a.series.values));
+}
+
+TEST(Generator, AutocorrelationDecaysOverFlowDuration) {
+  auto cfg = parametric_config(1.0);
+  cfg.duration_s = 600.0;
+  const auto out = generate(cfg);
+  const auto acf = stats::autocorrelation_series(out.series.values, 100);
+  // Mean duration 2 s = 10 bins: correlation at lag 1 strong, at lag 100
+  // (20 s) weak.
+  EXPECT_GT(acf[1], 0.3);
+  EXPECT_LT(std::abs(acf[100]), 0.25);
+  EXPECT_GT(acf[1], acf[50]);
+}
+
+TEST(ArrivalModulation, PoissonDetection) {
+  ArrivalModulation m;
+  EXPECT_TRUE(m.is_poisson());
+  m.high_factor = 2.0;
+  EXPECT_FALSE(m.is_poisson());
+}
+
+}  // namespace
+}  // namespace fbm::gen

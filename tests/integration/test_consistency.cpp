@@ -1,0 +1,161 @@
+// Cross-module consistency: the same quantity computed through independent
+// code paths must agree. These identities tie Theorem 1 (transform),
+// Theorem 2 (covariance/spectrum), the generator, and the numeric inversion
+// together — if any one implementation drifts, a pair of these tests
+// disagrees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/distribution.hpp"
+#include "core/model.hpp"
+#include "core/quadrature.hpp"
+#include "gen/traffic_gen.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "stats/spectrum.hpp"
+
+namespace fbm {
+namespace {
+
+std::vector<core::FlowSample> population(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<core::FlowSample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({8.0 * (300.0 + rng.exponential(1.0 / 4e4)),
+                   0.1 + rng.exponential(0.8)});
+  }
+  return out;
+}
+
+core::ShotNoiseModel model() {
+  return core::ShotNoiseModel(150.0, population(1500, 21),
+                              core::triangular_shot());
+}
+
+// Spectrum-integral identities use the rectangular shot: its Fourier
+// magnitude is closed-form (sinc^2), so the omega sweep is cheap; the
+// identity itself is shot-independent. A reduced population keeps the
+// O(omega-grid x samples) cost test-sized.
+core::ShotNoiseModel rect_model() {
+  return core::ShotNoiseModel(150.0, population(300, 22),
+                              core::rectangular_shot());
+}
+
+TEST(Consistency, SpectralDensityIntegratesToVariance) {
+  // Wiener-Khinchin at tau=0: integral of Gamma(omega) over the real line
+  // equals Var(R). Gamma is even; integrate [0, W] with W past the decay.
+  const auto m = rect_model();
+  const double w_max = 2000.0;  // rad/s; sinc^2 tails decay like 1/w^2
+  const double integral = core::integrate_panels(
+      [&](double w) { return m.spectral_density(w); }, 0.0, w_max, 256);
+  // The 1/w^2 tail beyond w_max carries a few percent of the mass.
+  EXPECT_NEAR(2.0 * integral, m.variance(), 0.05 * m.variance());
+}
+
+TEST(Consistency, AutocovarianceIsFourierTransformOfSpectrum) {
+  // r(tau) = integral Gamma(omega) e^{i omega tau} d omega (even functions:
+  // 2 * int_0^inf Gamma cos(omega tau)).
+  const auto m = rect_model();
+  for (double tau : {0.1, 0.3}) {
+    const double via_spectrum =
+        2.0 * core::integrate_panels(
+                  [&](double w) {
+                    return m.spectral_density(w) * std::cos(w * tau);
+                  },
+                  0.0, 2000.0, 256);
+    const double direct = m.autocovariance(tau);
+    EXPECT_NEAR(via_spectrum, direct, 0.05 * m.variance()) << tau;
+  }
+}
+
+TEST(Consistency, LstAndCharacteristicFunctionShareTheExponent) {
+  // phi(omega) = LST(-i omega): at a small real argument, |phi(omega)|
+  // and LST(s) must both follow exp(-lambda E[...]) with matched second
+  // order: -log|phi(w)| ~ Var * w^2 / 2 ~ -log(LST(s)) - mean*s at s=w.
+  const auto m = model();
+  const double w = 1e-8;
+  const auto phi = core::characteristic_function(m, w, 4096);
+  const double log_mag = -std::log(std::abs(phi));
+  EXPECT_NEAR(log_mag, m.variance() * w * w / 2.0,
+              0.05 * m.variance() * w * w / 2.0 + 1e-18);
+  // Imaginary phase slope gives the mean.
+  EXPECT_NEAR(std::arg(phi) / w, m.mean_rate(), 0.01 * m.mean_rate());
+}
+
+TEST(Consistency, GeneratorMatchesModelMoments) {
+  // The generator simulates the model's own process; the realised series
+  // moments must agree with Corollaries 1-2 within sampling error.
+  const auto m = model();
+  auto cfg = gen::from_model(m, 2000.0, 0.05);
+  cfg.seed = 31337;
+  const auto out = gen::generate(cfg);
+  // Discard warm-up (empty link at t=0).
+  std::span<const double> tail(out.series.values);
+  tail = tail.subspan(200);
+  EXPECT_NEAR(stats::mean(tail), m.mean_rate(), 0.05 * m.mean_rate());
+  EXPECT_NEAR(stats::population_variance(tail), m.averaged_variance(0.05),
+              0.15 * m.variance());
+}
+
+TEST(Consistency, GeneratorAcfMatchesTheorem2) {
+  const auto m = model();
+  auto cfg = gen::from_model(m, 3000.0, 0.1);
+  cfg.seed = 91;
+  const auto out = gen::generate(cfg);
+  const auto empirical = stats::autocorrelation_series(out.series.values, 20);
+  std::vector<double> taus;
+  for (std::size_t k = 0; k <= 20; ++k) {
+    taus.push_back(0.1 * static_cast<double>(k));
+  }
+  const auto analytic = m.autocorrelation(taus);
+  for (std::size_t k : {1u, 3u, 6u, 10u}) {
+    EXPECT_NEAR(empirical[k], analytic[k], 0.08) << k;
+  }
+}
+
+TEST(Consistency, GeneratorHistogramMatchesInvertedPdf) {
+  // The empirical distribution of generated samples must track the pdf
+  // obtained by inverting Theorem 1's transform.
+  const auto m = model();
+  auto cfg = gen::from_model(m, 4000.0, 0.2);
+  cfg.seed = 555;
+  const auto out = gen::generate(cfg);
+  std::span<const double> tail(out.series.values);
+  tail = tail.subspan(50);
+
+  const auto pdf = core::rate_distribution(m);
+  // Compare P(R > level) at a few levels.
+  for (double q : {0.3, 0.5, 0.7}) {
+    const double level =
+        pdf.x.front() + q * (pdf.x.back() - pdf.x.front());
+    std::size_t above = 0;
+    for (double v : tail) {
+      if (v > level) ++above;
+    }
+    const double empirical =
+        static_cast<double>(above) / static_cast<double>(tail.size());
+    EXPECT_NEAR(empirical, pdf.exceedance(level), 0.05) << q;
+  }
+}
+
+TEST(Consistency, WelchSpectrumOfGeneratedTrafficMatchesModel) {
+  const auto m = model();
+  auto cfg = gen::from_model(m, 4000.0, 0.1);
+  cfg.seed = 77;
+  const auto out = gen::generate(cfg);
+  stats::PeriodogramOptions popt;
+  popt.segment = 512;
+  const auto spec = stats::welch_periodogram(out.series.values, 0.1, popt);
+  // Compare at a few low frequencies (before the sampling filter bites).
+  for (std::size_t i : {3u, 8u, 15u}) {
+    const double model_density = m.spectral_density(spec[i].omega);
+    EXPECT_NEAR(spec[i].density, model_density, 0.5 * model_density)
+        << "omega=" << spec[i].omega;
+  }
+}
+
+}  // namespace
+}  // namespace fbm

@@ -1,0 +1,206 @@
+// End-to-end reproduction of the paper's validation pipeline (Section VI) at
+// test scale: synthetic trace -> flow classification -> parameter estimation
+// -> model CoV vs measured CoV, for both flow definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fitting.hpp"
+#include "core/model.hpp"
+#include "core/moments.hpp"
+#include "flow/classifier.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
+#include "trace/synthetic.hpp"
+
+namespace fbm {
+namespace {
+
+struct Pipeline {
+  std::vector<net::PacketRecord> packets;
+  std::vector<flow::FlowRecord> flows5;
+  std::vector<flow::DiscardedPacket> discards5;
+  flow::ClassifierCounters counters5;
+  std::vector<flow::FlowRecord> flows24;
+  double horizon;
+};
+
+Pipeline run_pipeline(double duration_s = 60.0, double util_bps = 8e6,
+                      std::uint64_t seed = 1234) {
+  Pipeline p;
+  trace::SyntheticConfig cfg;
+  cfg.duration_s = duration_s;
+  cfg.apply_defaults();
+  cfg.target_utilization_bps(util_bps);
+  cfg.seed = seed;
+  p.packets = trace::generate_packets(cfg);
+  p.horizon = duration_s;
+
+  flow::ClassifierOptions opt;
+  opt.interval = duration_s;  // single analysis interval
+  opt.record_discards = true;
+  flow::FiveTupleClassifier c5(opt);
+  for (const auto& pkt : p.packets) c5.add(pkt);
+  c5.flush();
+  p.counters5 = c5.counters();
+  p.discards5 = c5.discards();
+  p.flows5 = c5.take_flows();
+  std::sort(p.flows5.begin(), p.flows5.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+
+  p.flows24 = flow::classify_all<flow::PrefixKey<24>>(p.packets, opt);
+  return p;
+}
+
+const Pipeline& pipeline() {
+  static const Pipeline p = run_pipeline();
+  return p;
+}
+
+TEST(EndToEnd, TraceProducesFlows) {
+  const auto& p = pipeline();
+  EXPECT_GT(p.packets.size(), 10000u);
+  EXPECT_GT(p.flows5.size(), 500u);
+  EXPECT_GT(p.flows24.size(), 10u);
+}
+
+TEST(EndToEnd, PrefixAggregationReducesFlowCount) {
+  // Section VI-A: /24 aggregation cuts the tracked-flow count by roughly an
+  // order of magnitude.
+  const auto& p = pipeline();
+  EXPECT_LT(p.flows24.size(), p.flows5.size() / 2);
+}
+
+TEST(EndToEnd, PrefixFlowsLastLonger) {
+  const auto& p = pipeline();
+  const auto mean_duration = [](const std::vector<flow::FlowRecord>& fs) {
+    double acc = 0.0;
+    for (const auto& f : fs) acc += f.duration();
+    return acc / static_cast<double>(fs.size());
+  };
+  EXPECT_GT(mean_duration(p.flows24), 2.0 * mean_duration(p.flows5));
+}
+
+TEST(EndToEnd, InterarrivalsAreNearPoisson) {
+  // Figures 3-4: qq-plot close to the diagonal, ACF within the noise band.
+  const auto& p = pipeline();
+  const auto d = flow::diagnose_population(p.flows5);
+  EXPECT_LT(stats::qq_rms_deviation(d.interarrival_qq), 0.12);
+  double worst = 0.0;
+  for (std::size_t lag = 1; lag <= 20; ++lag) {
+    worst = std::max(worst, std::abs(d.interarrival_acf[lag]));
+  }
+  EXPECT_LT(worst, 0.1);
+}
+
+TEST(EndToEnd, SizesAndDurationsWeaklyCorrelated) {
+  // Figures 5-6.
+  const auto& p = pipeline();
+  const auto d = flow::diagnose_population(p.flows5);
+  for (std::size_t lag = 1; lag <= 20; ++lag) {
+    EXPECT_LT(std::abs(d.size_acf[lag]), 0.1) << lag;
+    EXPECT_LT(std::abs(d.duration_acf[lag]), 0.1) << lag;
+  }
+}
+
+TEST(EndToEnd, MeanRateModelVsMeasured) {
+  // Corollary 1 on real pipeline output. Mean comparisons use all packets
+  // (single-packet flows excluded on both sides).
+  const auto& p = pipeline();
+  const auto intervals =
+      flow::group_by_interval(p.flows5, p.horizon, p.horizon);
+  ASSERT_EQ(intervals.size(), 1u);
+  const auto in = flow::estimate_inputs(intervals[0]);
+  const auto series = measure::measure_rate(p.packets, 0.0, p.horizon,
+                                   measure::kPaperDelta, p.discards5);
+  const auto mm = measure::rate_moments(series);
+  EXPECT_NEAR(core::mean_rate(in), mm.mean_bps, 0.15 * mm.mean_bps);
+}
+
+TEST(EndToEnd, CovWithin20PercentForSomePowerShot) {
+  // The Section VI acceptance band: model CoV within +-20% of measured for a
+  // suitable shot power.
+  const auto& p = pipeline();
+  const auto intervals =
+      flow::group_by_interval(p.flows5, p.horizon, p.horizon);
+  const auto in = flow::estimate_inputs(intervals[0]);
+  const auto series = measure::measure_rate(p.packets, 0.0, p.horizon,
+                                   measure::kPaperDelta, p.discards5);
+  const auto mm = measure::rate_moments(series);
+  ASSERT_GT(mm.cov, 0.0);
+
+  const auto b = core::fit_power_b(mm.variance, in);
+  ASSERT_TRUE(b.has_value());
+  const double model_cov = core::power_shot_cov(in, *b);
+  EXPECT_NEAR(model_cov, mm.cov, 0.2 * mm.cov);
+}
+
+TEST(EndToEnd, RectangularUnderestimatesMeasuredVariance) {
+  // Theorem 3 against real measurements: the rectangular model is a lower
+  // bound (up to the averaging-interval effect, so allow 20% slack).
+  const auto& p = pipeline();
+  const auto intervals =
+      flow::group_by_interval(p.flows5, p.horizon, p.horizon);
+  const auto in = flow::estimate_inputs(intervals[0]);
+  const auto series = measure::measure_rate(p.packets, 0.0, p.horizon,
+                                   measure::kPaperDelta, p.discards5);
+  const auto mm = measure::rate_moments(series);
+  EXPECT_LT(core::power_shot_variance(in, 0.0), 1.2 * mm.variance);
+}
+
+TEST(EndToEnd, HigherLambdaSmoothsTraffic) {
+  // Section VII-A on pipeline output: quadrupling utilization (i.e. lambda)
+  // must reduce the measured CoV.
+  const auto lo = run_pipeline(40.0, 4e6, 77);
+  const auto hi = run_pipeline(40.0, 16e6, 78);
+  const auto cov_of = [](const Pipeline& p) {
+    const auto series = measure::measure_rate(p.packets, 0.0, p.horizon,
+                                     measure::kPaperDelta, p.discards5);
+    return measure::rate_moments(series).cov;
+  };
+  EXPECT_LT(cov_of(hi), cov_of(lo));
+}
+
+TEST(EndToEnd, IntervalSplittingProducesContinuedFlows) {
+  // Figure 1: splitting at interval boundaries yields a small number of
+  // "continued" flows at interval start.
+  trace::SyntheticConfig cfg;
+  cfg.duration_s = 60.0;
+  cfg.apply_defaults();
+  cfg.target_utilization_bps(6e6);
+  cfg.seed = 9;
+  const auto packets = trace::generate_packets(cfg);
+
+  flow::ClassifierOptions opt;
+  opt.interval = 20.0;  // three analysis intervals
+  // Keep the paper's timeout:interval ratio (60 s : 30 min); an unscaled
+  // 60 s timeout would merge every /24 aggregate across the boundary.
+  opt.timeout = 1.0;
+  const auto flows = flow::classify_all<flow::PrefixKey<24>>(packets, opt);
+  const auto intervals = flow::group_by_interval(flows, 20.0, 60.0);
+  ASSERT_EQ(intervals.size(), 3u);
+  const std::size_t cont = flow::continued_count(intervals[1]);
+  EXPECT_GT(cont, 0u);
+  // Continuations are a minority of arrivals. (The paper sees ~2% with
+  // 30-minute intervals; our scaled 20 s intervals are comparable to /24
+  // aggregate durations, so the fraction is necessarily larger.)
+  EXPECT_LT(static_cast<double>(cont),
+            0.6 * static_cast<double>(intervals[1].flows.size()));
+}
+
+TEST(EndToEnd, ModelFromIntervalAgreesWithEstimateInputs) {
+  const auto& p = pipeline();
+  const auto intervals =
+      flow::group_by_interval(p.flows5, p.horizon, p.horizon);
+  const auto in = flow::estimate_inputs(intervals[0]);
+  const auto model =
+      core::ShotNoiseModel::from_interval(intervals[0], core::triangular_shot());
+  EXPECT_NEAR(model.mean_rate(), core::mean_rate(in),
+              1e-9 * model.mean_rate());
+  EXPECT_NEAR(model.variance(), core::power_shot_variance(in, 1.0),
+              1e-6 * model.variance());
+}
+
+}  // namespace
+}  // namespace fbm

@@ -1,0 +1,109 @@
+#include "measure/fluid_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbm::measure {
+namespace {
+
+stats::RateSeries series_of(std::vector<double> rates, double delta = 1.0) {
+  stats::RateSeries s;
+  s.delta = delta;
+  s.values = std::move(rates);
+  return s;
+}
+
+TEST(FluidQueue, Validation) {
+  const auto s = series_of({1.0});
+  EXPECT_THROW((void)run_fluid_queue(s, {0.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW((void)run_fluid_queue(s, {1.0, -1.0}), std::invalid_argument);
+  stats::RateSeries empty;
+  EXPECT_THROW((void)run_fluid_queue(empty, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(FluidQueue, UnderloadedLinkIsLossless) {
+  const auto s = series_of({50.0, 80.0, 30.0, 90.0});
+  const auto rep = run_fluid_queue(s, {100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(rep.lost_bits, 0.0);
+  EXPECT_DOUBLE_EQ(rep.loss_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(rep.max_queue_bits, 0.0);
+  EXPECT_DOUBLE_EQ(rep.congested_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(rep.carried_bits, rep.offered_bits);
+}
+
+TEST(FluidQueue, BufferAbsorbsShortBurst) {
+  // One bin at 150 over capacity 100 puts 50 bits in the queue; the next
+  // bins drain it.
+  const auto s = series_of({150.0, 50.0, 50.0});
+  const auto rep = run_fluid_queue(s, {100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(rep.lost_bits, 0.0);
+  EXPECT_DOUBLE_EQ(rep.max_queue_bits, 50.0);
+  EXPECT_NEAR(rep.congested_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(rep.busy_fraction, 0.0);
+}
+
+TEST(FluidQueue, BufferlessLinkDropsAllOvershoot) {
+  const auto s = series_of({150.0, 100.0, 50.0});
+  const auto rep = run_fluid_queue(s, {100.0, 0.0});
+  EXPECT_DOUBLE_EQ(rep.lost_bits, 50.0);  // the whole overshoot of bin 0
+  EXPECT_NEAR(rep.loss_fraction, 50.0 / 300.0, 1e-12);
+}
+
+TEST(FluidQueue, SustainedOverloadFillsBufferThenLoses) {
+  const auto s = series_of({200.0, 200.0, 200.0});
+  const auto rep = run_fluid_queue(s, {100.0, 150.0});
+  // Fill: 100 bits/bin net. Bin 0 ends at 100; bin 1 hits 150 at t=0.5 and
+  // loses 50; bin 2 loses 100.
+  EXPECT_DOUBLE_EQ(rep.max_queue_bits, 150.0);
+  EXPECT_DOUBLE_EQ(rep.lost_bits, 150.0);
+  EXPECT_DOUBLE_EQ(rep.congested_fraction, 1.0);
+}
+
+TEST(FluidQueue, DelayIsQueueOverCapacity) {
+  const auto s = series_of({200.0, 0.0});
+  const auto rep = run_fluid_queue(s, {100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(rep.max_queue_bits, 100.0);
+  EXPECT_DOUBLE_EQ(rep.max_delay_s, 1.0);
+  EXPECT_GT(rep.mean_delay_s, 0.0);
+  EXPECT_LT(rep.mean_delay_s, rep.max_delay_s);
+}
+
+TEST(FluidQueue, QueueEmptiesMidBin) {
+  // Bin 0 leaves 50 bits; bin 1 at rate 0 drains at 100/s -> empty at 0.5.
+  const auto s = series_of({150.0, 0.0, 0.0});
+  const auto rep = run_fluid_queue(s, {100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(rep.lost_bits, 0.0);
+  // Mean queue: bin0 ramps 0->50 (avg 25), bin1 drains 50->0 over 0.5s
+  // (integral 12.5), bin2 zero. Mean = (25 + 12.5 + 0)/3.
+  EXPECT_NEAR(rep.mean_queue_bits, 37.5 / 3.0, 1e-9);
+}
+
+TEST(FluidQueue, ConservationOfBits) {
+  const auto s = series_of({120.0, 90.0, 200.0, 10.0, 170.0}, 0.5);
+  const auto rep = run_fluid_queue(s, {100.0, 20.0});
+  EXPECT_NEAR(rep.offered_bits, rep.carried_bits + rep.lost_bits, 1e-9);
+  EXPECT_GT(rep.lost_bits, 0.0);
+}
+
+TEST(FluidQueue, LargerBufferNeverLosesMore) {
+  const auto s = series_of({300.0, 120.0, 80.0, 250.0, 40.0});
+  double prev_loss = 1e18;
+  for (double buffer : {0.0, 50.0, 200.0, 1000.0}) {
+    const auto rep = run_fluid_queue(s, {100.0, buffer});
+    EXPECT_LE(rep.lost_bits, prev_loss + 1e-9) << buffer;
+    prev_loss = rep.lost_bits;
+  }
+}
+
+TEST(FluidQueue, HigherCapacityNeverLosesMore) {
+  const auto s = series_of({300.0, 120.0, 80.0, 250.0, 40.0});
+  double prev_loss = 1e18;
+  for (double c : {50.0, 100.0, 200.0, 400.0}) {
+    const auto rep = run_fluid_queue(s, {c, 10.0});
+    EXPECT_LE(rep.lost_bits, prev_loss + 1e-9) << c;
+    prev_loss = rep.lost_bits;
+  }
+}
+
+}  // namespace
+}  // namespace fbm::measure

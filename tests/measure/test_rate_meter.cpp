@@ -1,0 +1,76 @@
+#include "measure/rate_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbm::measure {
+namespace {
+
+net::PacketRecord packet(double ts, std::uint32_t bytes) {
+  net::PacketRecord p;
+  p.timestamp = ts;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(MeasureRate, ConstantStreamIsFlat) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 1000; ++i) {
+    // Mid-bin offset keeps timestamps away from bin boundaries, where the
+    // FP representation of i*0.01 would make the binning order-dependent.
+    packets.push_back(packet(i * 0.01 + 0.003, 125));  // 100 kbps
+  }
+  const auto series = measure_rate(packets, 0.0, 10.0, 0.2);
+  ASSERT_EQ(series.values.size(), 50u);
+  for (double v : series.values) EXPECT_NEAR(v, 100e3, 1e-6);
+  const RateMoments m = rate_moments(series);
+  EXPECT_NEAR(m.mean_bps, 100e3, 1e-6);
+  EXPECT_NEAR(m.cov, 0.0, 1e-9);
+}
+
+TEST(MeasureRate, ExclusionSubtractsSinglePacketFlows) {
+  std::vector<net::PacketRecord> packets = {packet(0.1, 1000),
+                                            packet(0.15, 500)};
+  std::vector<flow::DiscardedPacket> exclude = {{0.15, 500}};
+  const auto series = measure_rate(packets, 0.0, 0.2, 0.2, exclude);
+  ASSERT_EQ(series.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.values[0], 1000.0 * 8.0 / 0.2);
+}
+
+TEST(MeasureRate, WindowClipsPackets) {
+  std::vector<net::PacketRecord> packets = {packet(-0.5, 100),
+                                            packet(0.5, 100),
+                                            packet(99.0, 100)};
+  const auto series = measure_rate(packets, 0.0, 1.0, 0.5);
+  double total = 0.0;
+  for (double v : series.values) total += v * 0.5 / 8.0;
+  EXPECT_DOUBLE_EQ(total, 100.0);  // only the in-window packet
+}
+
+TEST(MeasureRate, BurstRaisesCov) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 100; ++i) packets.push_back(packet(i * 0.1, 100));
+  // Add a large burst in one bin.
+  for (int i = 0; i < 50; ++i) {
+    packets.push_back(packet(5.0 + i * 1e-4, 1500));
+  }
+  std::sort(packets.begin(), packets.end(), net::ByTimestamp{});
+  const auto series = measure_rate(packets, 0.0, 10.0, 0.2);
+  const RateMoments m = rate_moments(series);
+  EXPECT_GT(m.cov, 1.0);
+}
+
+TEST(RateMoments, EmptySeries) {
+  stats::RateSeries s;
+  const RateMoments m = rate_moments(s);
+  EXPECT_EQ(m.samples, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_bps, 0.0);
+}
+
+TEST(PaperDelta, Is200Milliseconds) {
+  EXPECT_DOUBLE_EQ(kPaperDelta, 0.2);
+}
+
+}  // namespace
+}  // namespace fbm::measure

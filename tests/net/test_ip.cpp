@@ -1,0 +1,121 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/five_tuple.hpp"
+#include "net/packet.hpp"
+
+namespace fbm::net {
+namespace {
+
+TEST(Ipv4Address, OctetConstruction) {
+  const Ipv4Address a(192, 168, 1, 42);
+  EXPECT_EQ(a.value(), 0xc0a8012au);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 42);
+}
+
+TEST(Ipv4Address, ToString) {
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Address(255, 255, 255, 255).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Address{}.to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4Address, ParseRoundTrip) {
+  for (const char* s : {"0.0.0.0", "10.1.2.3", "255.255.255.255",
+                        "172.16.254.1"}) {
+    const auto a = Ipv4Address::parse(s);
+    ASSERT_TRUE(a.has_value()) << s;
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d",
+                        "1..2.3", "1.2.3.4x", "-1.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Address::parse(s).has_value()) << s;
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(Prefix, CanonicalisesHostBits) {
+  const Prefix p(Ipv4Address(192, 168, 1, 200), 24);
+  EXPECT_EQ(p.network().to_string(), "192.168.1.0");
+  EXPECT_EQ(p.to_string(), "192.168.1.0/24");
+}
+
+TEST(Prefix, EqualityAfterCanonicalisation) {
+  const Prefix a(Ipv4Address(10, 1, 2, 3), 24);
+  const Prefix b(Ipv4Address(10, 1, 2, 250), 24);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Prefix, DifferentLengthsDiffer) {
+  const Prefix a(Ipv4Address(10, 1, 2, 3), 24);
+  const Prefix b(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_NE(a, b);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 2, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Address(10, 1, 3, 0)));
+}
+
+TEST(Prefix, EdgeLengths) {
+  const Prefix all(Ipv4Address(1, 2, 3, 4), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  const Prefix host(Ipv4Address(1, 2, 3, 4), 32);
+  EXPECT_TRUE(host.contains(Ipv4Address(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4Address(1, 2, 3, 5)));
+}
+
+TEST(FiveTuple, EqualityAndHash) {
+  FiveTuple a{Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 1000, 80, 6};
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(FiveTupleHash{}(a), FiveTupleHash{}(b));
+  b.src_port = 1001;
+  EXPECT_NE(a, b);
+}
+
+TEST(FiveTuple, HashSpreadsAcrossPorts) {
+  std::unordered_set<std::size_t> hashes;
+  FiveTuple t{Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 0, 80, 6};
+  for (std::uint16_t p = 0; p < 1000; ++p) {
+    t.src_port = p;
+    hashes.insert(FiveTupleHash{}(t));
+  }
+  EXPECT_GT(hashes.size(), 990u);  // near-perfect spread
+}
+
+TEST(FiveTuple, ToStringMentionsEndpoints) {
+  FiveTuple t{Ipv4Address(1, 2, 3, 4), Ipv4Address(5, 6, 7, 8), 1234, 80, 6};
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.2.3.4:1234"), std::string::npos);
+  EXPECT_NE(s.find("5.6.7.8:80"), std::string::npos);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_STREQ(to_string(Protocol::tcp), "TCP");
+  EXPECT_STREQ(to_string(Protocol::udp), "UDP");
+  EXPECT_STREQ(to_string(Protocol::icmp), "ICMP");
+}
+
+TEST(PacketRecord, TimestampOrdering) {
+  PacketRecord a;
+  a.timestamp = 1.0;
+  PacketRecord b;
+  b.timestamp = 2.0;
+  EXPECT_TRUE(ByTimestamp{}(a, b));
+  EXPECT_FALSE(ByTimestamp{}(b, a));
+}
+
+}  // namespace
+}  // namespace fbm::net

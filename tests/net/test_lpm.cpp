@@ -1,0 +1,146 @@
+#include "net/lpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace fbm::net {
+namespace {
+
+Prefix pfx(const char* addr, int len) {
+  return Prefix(*Ipv4Address::parse(addr), len);
+}
+
+TEST(RoutingTable, EmptyTableMatchesNothing) {
+  RoutingTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST(RoutingTable, ExactAndLongestMatch) {
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);
+  t.insert(pfx("10.1.0.0", 16), 2);
+  t.insert(pfx("10.1.2.0", 24), 3);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 2, 3)).value(), 3u);   // /24 wins
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 9, 9)).value(), 2u);   // /16
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 9, 9, 9)).value(), 1u);   // /8
+  EXPECT_FALSE(t.lookup(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(RoutingTable, LookupPrefixReturnsMatchLength) {
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);
+  t.insert(pfx("10.1.0.0", 16), 2);
+  const auto p = t.lookup_prefix(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->network().to_string(), "10.1.0.0");
+}
+
+TEST(RoutingTable, DefaultRoute) {
+  RoutingTable t;
+  t.insert(pfx("0.0.0.0", 0), 99);
+  EXPECT_EQ(t.lookup(Ipv4Address(203, 0, 113, 1)).value(), 99u);
+}
+
+TEST(RoutingTable, InsertReplacesAndReportsPrevious) {
+  RoutingTable t;
+  EXPECT_FALSE(t.insert(pfx("10.0.0.0", 8), 1).has_value());
+  const auto prev = t.insert(pfx("10.0.0.0", 8), 2);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 1)).value(), 2u);
+}
+
+TEST(RoutingTable, Erase) {
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);
+  t.insert(pfx("10.1.0.0", 16), 2);
+  EXPECT_TRUE(t.erase(pfx("10.1.0.0", 16)));
+  EXPECT_FALSE(t.erase(pfx("10.1.0.0", 16)));  // already gone
+  EXPECT_FALSE(t.erase(pfx("99.0.0.0", 8)));   // never present
+  EXPECT_EQ(t.size(), 1u);
+  // Falls back to the /8 after the more-specific is removed.
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 0, 1)).value(), 1u);
+}
+
+TEST(RoutingTable, HostRoutes) {
+  RoutingTable t;
+  t.insert(pfx("192.0.2.1", 32), 7);
+  EXPECT_EQ(t.lookup(Ipv4Address(192, 0, 2, 1)).value(), 7u);
+  EXPECT_FALSE(t.lookup(Ipv4Address(192, 0, 2, 2)).has_value());
+}
+
+TEST(RoutingTable, EntriesRoundTrip) {
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);
+  t.insert(pfx("172.16.0.0", 16), 2);
+  t.insert(pfx("192.168.1.0", 24), 3);
+  const auto entries = t.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(entries[1].prefix.to_string(), "172.16.0.0/16");
+  EXPECT_EQ(entries[2].prefix.to_string(), "192.168.1.0/24");
+  EXPECT_EQ(entries[2].route_id, 3u);
+}
+
+TEST(RoutingTable, AgreesWithLinearScanOnRandomWorkload) {
+  // Property test: trie lookup == brute-force longest-match over the entry
+  // list, for random tables and random addresses.
+  stats::Rng rng(404);
+  RoutingTable t;
+  std::vector<RoutingTable::Entry> entries;
+  for (int i = 0; i < 300; ++i) {
+    const auto addr =
+        Ipv4Address{static_cast<std::uint32_t>(rng.uniform_int(0, ~0u))};
+    const int len = static_cast<int>(rng.uniform_int(0, 4)) * 8;
+    const Prefix p(addr, len);
+    t.insert(p, static_cast<std::uint32_t>(i));
+  }
+  entries = t.entries();
+  for (int i = 0; i < 2000; ++i) {
+    const auto addr =
+        Ipv4Address{static_cast<std::uint32_t>(rng.uniform_int(0, ~0u))};
+    std::optional<std::uint32_t> best;
+    int best_len = -1;
+    for (const auto& e : entries) {
+      if (e.prefix.contains(addr) && e.prefix.length() > best_len) {
+        best = e.route_id;
+        best_len = e.prefix.length();
+      }
+    }
+    EXPECT_EQ(t.lookup(addr), best) << addr.to_string();
+  }
+}
+
+TEST(SyntheticFib, HasRequestedSizeAndMix) {
+  const auto fib = make_synthetic_fib(1000, 42);
+  EXPECT_EQ(fib.size(), 1000u);
+  std::size_t len8 = 0;
+  std::size_t len16 = 0;
+  std::size_t len24 = 0;
+  for (const auto& e : fib.entries()) {
+    if (e.prefix.length() == 8) ++len8;
+    if (e.prefix.length() == 16) ++len16;
+    if (e.prefix.length() == 24) ++len24;
+  }
+  EXPECT_EQ(len8 + len16 + len24, fib.size());
+  EXPECT_GT(len24, len16 / 2);
+  EXPECT_GT(len16, len8);
+}
+
+TEST(SyntheticFib, Deterministic) {
+  const auto a = make_synthetic_fib(100, 7);
+  const auto b = make_synthetic_fib(100, 7);
+  const auto ea = a.entries();
+  const auto eb = b.entries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].prefix, eb[i].prefix);
+  }
+}
+
+}  // namespace
+}  // namespace fbm::net

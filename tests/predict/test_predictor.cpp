@@ -1,0 +1,129 @@
+#include "predict/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/autocorrelation.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::predict {
+namespace {
+
+// AR(1) sample path around a mean.
+std::vector<double> ar1_series(double phi, double mean, std::size_t n,
+                               std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> xs = {mean};
+  for (std::size_t i = 1; i < n; ++i) {
+    xs.push_back(mean + phi * (xs.back() - mean) + rng.normal());
+  }
+  return xs;
+}
+
+std::vector<double> ar1_acf(double phi, std::size_t lags) {
+  std::vector<double> acf(lags + 1);
+  for (std::size_t k = 0; k <= lags; ++k) {
+    acf[k] = std::pow(phi, static_cast<double>(k));
+  }
+  return acf;
+}
+
+TEST(Predictor, PerfectlyCorrelatedProcessIsPredictable) {
+  // rho -> 1: predictor approaches "repeat the last value".
+  const std::vector<double> acf = {1.0, 0.999, 0.998, 0.997};
+  const MovingAveragePredictor p(acf, 1, 10.0);
+  const std::vector<double> history = {10.0, 12.0, 14.0};
+  EXPECT_NEAR(p.predict(history), 14.0, 0.05);
+}
+
+TEST(Predictor, WhiteNoisePredictsTheMean) {
+  const std::vector<double> acf = {1.0, 0.0, 0.0};
+  const MovingAveragePredictor p(acf, 2, 5.0);
+  const std::vector<double> history = {9.0, 1.0};
+  EXPECT_NEAR(p.predict(history), 5.0, 1e-9);
+}
+
+TEST(Predictor, HistoryShorterThanOrderThrows) {
+  const std::vector<double> acf = {1.0, 0.5, 0.2, 0.1};
+  const MovingAveragePredictor p(acf, 3, 0.0);
+  const std::vector<double> history = {1.0, 2.0};
+  EXPECT_THROW((void)p.predict(history), std::invalid_argument);
+}
+
+TEST(Predictor, Ar1TheoreticalErrorMatchesEmpirical) {
+  const double phi = 0.8;
+  const auto series = ar1_series(phi, 100.0, 50000, 9);
+  const MovingAveragePredictor p(ar1_acf(phi, 5), 1, 100.0);
+  const auto rep = evaluate_predictor(p, series);
+  // AR(1) innovation variance is 1; stationary variance 1/(1-phi^2).
+  // Normalised MSE = 1 - phi^2; rmse = sqrt(innovation var) = 1.
+  EXPECT_NEAR(rep.rmse, 1.0, 0.05);
+  EXPECT_NEAR(p.theoretical_error(), 1.0 - phi * phi, 1e-9);
+}
+
+TEST(Predictor, BeatsNaiveMeanOnCorrelatedData) {
+  const double phi = 0.9;
+  const auto series = ar1_series(phi, 50.0, 20000, 10);
+  const MovingAveragePredictor model(ar1_acf(phi, 5), 1, 50.0);
+  const auto rep = evaluate_predictor(model, series);
+  // Mean-only predictor has rmse = stationary stddev = 1/sqrt(1-phi^2).
+  const double naive_rmse = 1.0 / std::sqrt(1.0 - phi * phi);
+  EXPECT_LT(rep.rmse, 0.6 * naive_rmse);
+}
+
+TEST(Predictor, DataDrivenAcfWorksToo) {
+  const auto series = ar1_series(0.7, 20.0, 30000, 11);
+  const auto acf = stats::autocorrelation_series(series, 10);
+  const MovingAveragePredictor p(acf, 2, 20.0);
+  const auto rep = evaluate_predictor(p, series);
+  EXPECT_NEAR(rep.rmse, 1.0, 0.1);
+  EXPECT_GT(rep.evaluated, 0u);
+}
+
+TEST(EvaluatePredictor, ReportFieldsConsistent) {
+  const auto series = ar1_series(0.5, 10.0, 500, 12);
+  const MovingAveragePredictor p(ar1_acf(0.5, 3), 2, 10.0);
+  const auto rep = evaluate_predictor(p, series);
+  EXPECT_EQ(rep.predictions.size(), series.size());
+  EXPECT_EQ(rep.evaluated, series.size() - p.order());
+  EXPECT_GT(rep.relative_error, 0.0);
+  EXPECT_NEAR(rep.relative_error * 10.0, rep.rmse, 0.05 * rep.rmse);
+}
+
+TEST(EvaluatePredictor, SeriesShorterThanOrder) {
+  const MovingAveragePredictor p(ar1_acf(0.5, 3), 3, 0.0);
+  const std::vector<double> tiny = {1.0, 2.0};
+  const auto rep = evaluate_predictor(p, tiny);
+  EXPECT_EQ(rep.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(rep.rmse, 0.0);
+}
+
+TEST(SelectOrder, Ar1PrefersSmallOrder) {
+  const auto series = ar1_series(0.8, 30.0, 5000, 13);
+  const auto acf = ar1_acf(0.8, 10);
+  const std::size_t m = select_order(acf, series, 8);
+  EXPECT_LE(m, 3u);  // AR(1) needs only one lag; noise may admit 2-3
+  EXPECT_GE(m, 1u);
+}
+
+TEST(SelectOrder, Validation) {
+  const auto acf = ar1_acf(0.5, 3);
+  const std::vector<double> series = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)select_order(acf, series, 0), std::invalid_argument);
+  EXPECT_THROW((void)select_order(acf, series, 10), std::invalid_argument);
+}
+
+TEST(Predictor, AccessorsExposeConfiguration) {
+  const auto acf = ar1_acf(0.5, 4);
+  const MovingAveragePredictor p(acf, 3, 7.5);
+  EXPECT_EQ(p.order(), 3u);
+  EXPECT_EQ(p.coefficients().size(), 3u);
+  EXPECT_DOUBLE_EQ(p.mean(), 7.5);
+  EXPECT_GT(p.theoretical_error(), 0.0);
+  EXPECT_LE(p.theoretical_error(), 1.0);
+}
+
+}  // namespace
+}  // namespace fbm::predict

@@ -1,0 +1,106 @@
+#include "predict/toeplitz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fbm::predict {
+namespace {
+
+// AR(1) ACF: rho(k) = phi^k. The optimal one-step predictor is a_0 = phi,
+// all other coefficients 0.
+std::vector<double> ar1_acf(double phi, std::size_t lags) {
+  std::vector<double> acf(lags + 1);
+  for (std::size_t k = 0; k <= lags; ++k) {
+    acf[k] = std::pow(phi, static_cast<double>(k));
+  }
+  return acf;
+}
+
+TEST(Levinson, Ar1RecoversPhi) {
+  const auto acf = ar1_acf(0.6, 8);
+  for (std::size_t order : {1u, 2u, 4u, 8u}) {
+    const auto r = levinson_durbin(acf, order);
+    ASSERT_EQ(r.coefficients.size(), order);
+    EXPECT_NEAR(r.coefficients[0], 0.6, 1e-10) << order;
+    for (std::size_t i = 1; i < order; ++i) {
+      EXPECT_NEAR(r.coefficients[i], 0.0, 1e-10) << order << "," << i;
+    }
+    EXPECT_NEAR(r.prediction_error, 1.0 - 0.36, 1e-10);
+  }
+}
+
+TEST(Levinson, WhiteNoiseHasZeroCoefficients) {
+  std::vector<double> acf = {1.0, 0.0, 0.0, 0.0};
+  const auto r = levinson_durbin(acf, 3);
+  for (double c : r.coefficients) EXPECT_NEAR(c, 0.0, 1e-12);
+  EXPECT_NEAR(r.prediction_error, 1.0, 1e-12);
+}
+
+TEST(Levinson, SatisfiesNormalEquations) {
+  // Generic PSD ACF (AR(2)-like); verify sum_l a_l rho(|l-i|) = rho(i+1).
+  const std::vector<double> acf = {1.0, 0.7, 0.35, 0.1, -0.02, -0.05};
+  const std::size_t order = 4;
+  const auto r = levinson_durbin(acf, order);
+  for (std::size_t i = 0; i < order; ++i) {
+    double lhs = 0.0;
+    for (std::size_t l = 0; l < order; ++l) {
+      lhs += r.coefficients[l] *
+             acf[static_cast<std::size_t>(
+                 std::abs(static_cast<long>(l) - static_cast<long>(i)))];
+    }
+    EXPECT_NEAR(lhs, acf[i + 1], 1e-10) << i;
+  }
+}
+
+TEST(Levinson, PredictionErrorDecreasesWithOrder) {
+  const std::vector<double> acf = {1.0, 0.8, 0.55, 0.35, 0.2, 0.1};
+  double prev = 1.0;
+  for (std::size_t m = 1; m <= 5; ++m) {
+    const auto r = levinson_durbin(acf, m);
+    EXPECT_LE(r.prediction_error, prev + 1e-12) << m;
+    prev = r.prediction_error;
+  }
+}
+
+TEST(Levinson, Validation) {
+  const std::vector<double> acf = {1.0, 0.5};
+  EXPECT_THROW((void)levinson_durbin(acf, 0), std::invalid_argument);
+  EXPECT_THROW((void)levinson_durbin(acf, 2), std::invalid_argument);
+  const std::vector<double> not_normalised = {2.0, 0.5};
+  EXPECT_THROW((void)levinson_durbin(not_normalised, 1),
+               std::invalid_argument);
+}
+
+TEST(CholeskySolver, AgreesWithLevinson) {
+  const std::vector<double> acf = {1.0, 0.7, 0.35, 0.1, -0.02, -0.05};
+  for (std::size_t order : {1u, 2u, 3u, 5u}) {
+    const auto lev = levinson_durbin(acf, order);
+    const auto cho = solve_normal_equations(acf, order);
+    ASSERT_EQ(cho.size(), order);
+    for (std::size_t i = 0; i < order; ++i) {
+      EXPECT_NEAR(cho[i], lev.coefficients[i], 1e-8) << order << "," << i;
+    }
+  }
+}
+
+TEST(CholeskySolver, HandlesNearSingularWithJitter) {
+  // rho == 1 everywhere: perfectly correlated, singular Toeplitz matrix.
+  const std::vector<double> acf = {1.0, 1.0, 1.0, 1.0};
+  const auto x = solve_normal_equations(acf, 3);
+  // Any solution with sum(x) = 1 satisfies the (regularised) system.
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(CholeskySolver, Validation) {
+  const std::vector<double> acf = {1.0, 0.5};
+  EXPECT_THROW((void)solve_normal_equations(acf, 0), std::invalid_argument);
+  EXPECT_THROW((void)solve_normal_equations(acf, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbm::predict

@@ -1,0 +1,104 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> xs = {1.0, 3.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorrelation, EmptySeries) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(autocovariance(xs, 1), 0.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZeroBeyondLagZero) {
+  const std::vector<double> xs(50, 4.2);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 5), 0.0);
+}
+
+TEST(Autocorrelation, LagBeyondLengthIsZero) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocovariance(xs, 2), 0.0);
+  EXPECT_DOUBLE_EQ(autocovariance(xs, 10), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);
+  EXPECT_GT(autocorrelation(xs, 2), 0.9);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal());
+  const double band = white_noise_band(xs.size());
+  for (std::size_t lag : {1u, 2u, 5u, 10u, 20u}) {
+    EXPECT_LT(std::abs(autocorrelation(xs, lag)), 2.0 * band)
+        << "lag " << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1ProcessMatchesTheory) {
+  // x_t = phi x_{t-1} + e_t has rho(k) = phi^k.
+  const double phi = 0.7;
+  Rng rng(5);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 100000; ++i) {
+    xs.push_back(phi * xs.back() + rng.normal());
+  }
+  for (std::size_t lag : {1u, 2u, 3u, 5u}) {
+    EXPECT_NEAR(autocorrelation(xs, lag),
+                std::pow(phi, static_cast<double>(lag)), 0.03)
+        << "lag " << lag;
+  }
+}
+
+TEST(AutocorrelationSeries, MatchesScalarCalls) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform());
+  const auto series = autocorrelation_series(xs, 10);
+  ASSERT_EQ(series.size(), 11u);
+  for (std::size_t lag = 0; lag <= 10; ++lag) {
+    EXPECT_NEAR(series[lag], autocorrelation(xs, lag), 1e-12) << lag;
+  }
+}
+
+TEST(AutocovarianceSeries, LagZeroIsPopulationVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto cov = autocovariance_series(xs, 3);
+  EXPECT_NEAR(cov[0], 4.0, 1e-12);
+}
+
+TEST(AutocovarianceSeries, BiasedEstimatorIsPsd) {
+  // The biased estimator guarantees the ACF sequence is positive
+  // semi-definite; a necessary condition is |rho(k)| <= 1 for all k.
+  Rng rng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.normal() + (i % 7));
+  const auto rho = autocorrelation_series(xs, 50);
+  for (double r : rho) {
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12);
+  }
+}
+
+TEST(WhiteNoiseBand, Formula) {
+  EXPECT_DOUBLE_EQ(white_noise_band(0), 0.0);
+  EXPECT_NEAR(white_noise_band(10000), 0.0196, 1e-4);
+}
+
+}  // namespace
+}  // namespace fbm::stats

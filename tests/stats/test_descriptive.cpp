@@ -1,0 +1,162 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.coefficient_of_variation(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.population_stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, CoefficientOfVariation) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.coefficient_of_variation(), 2.0 / 5.0, 1e-12);
+}
+
+TEST(RunningStats, ConstantSeriesHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(3.25);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-18);
+  EXPECT_NEAR(s.skewness(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, SkewnessSignDetectsAsymmetry) {
+  RunningStats right;  // long right tail
+  for (int i = 0; i < 99; ++i) right.add(1.0);
+  right.add(100.0);
+  EXPECT_GT(right.skewness(), 0.0);
+
+  RunningStats left;
+  for (int i = 0; i < 99; ++i) left.add(1.0);
+  left.add(-100.0);
+  EXPECT_LT(left.skewness(), 0.0);
+}
+
+TEST(RunningStats, KurtosisOfUniformIsNegative) {
+  RunningStats s;
+  for (int i = 0; i <= 1000; ++i) s.add(static_cast<double>(i));
+  // Continuous uniform has excess kurtosis -1.2.
+  EXPECT_NEAR(s.kurtosis(), -1.2, 0.01);
+}
+
+TEST(RunningStats, GaussianSampleMomentsMatch) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(3.0 + 2.0 * rng.normal());
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+  EXPECT_NEAR(s.variance(), 4.0, 0.1);
+  EXPECT_NEAR(s.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(s.kurtosis(), 0.0, 0.1);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(11);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 10.0);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-8);
+  EXPECT_NEAR(a.kurtosis(), whole.kurtosis(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(BatchHelpers, MatchRunningStats) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(mean(xs), s.mean());
+  EXPECT_DOUBLE_EQ(variance(xs), s.variance());
+  EXPECT_DOUBLE_EQ(population_variance(xs), s.population_variance());
+  EXPECT_DOUBLE_EQ(stddev(xs), s.stddev());
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs),
+                   s.coefficient_of_variation());
+}
+
+TEST(BatchHelpers, EmptySpans) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(BatchHelpers, MeanOfAppliesFunction) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean_of(xs, [](double x) { return x * x; }), 14.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fbm::stats

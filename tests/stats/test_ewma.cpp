@@ -1,0 +1,145 @@
+#include "stats/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(EwmaEstimator, FirstObservationInitialises) {
+  EwmaEstimator e(0.1);
+  e.update(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+  EXPECT_TRUE(e.initialised());
+}
+
+TEST(EwmaEstimator, UpdateFormula) {
+  EwmaEstimator e(0.25);
+  e.update(10.0);
+  e.update(20.0);
+  // (1-0.25)*10 + 0.25*20 = 12.5
+  EXPECT_DOUBLE_EQ(e.value(), 12.5);
+}
+
+TEST(EwmaEstimator, ConvergesToConstantInput) {
+  EwmaEstimator e(0.2);
+  for (int i = 0; i < 200; ++i) e.update(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-12);
+}
+
+TEST(EwmaEstimator, TracksNoisyMean) {
+  Rng rng(5);
+  EwmaEstimator e(0.01);
+  for (int i = 0; i < 20000; ++i) e.update(3.0 + rng.normal());
+  EXPECT_NEAR(e.value(), 3.0, 0.3);
+}
+
+TEST(EwmaEstimator, SmallerGainReactsSlower) {
+  EwmaEstimator fast(0.5);
+  EwmaEstimator slow(0.05);
+  fast.update(0.0);
+  slow.update(0.0);
+  fast.update(10.0);
+  slow.update(10.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(EwmaEstimator, GainValidation) {
+  EXPECT_THROW(EwmaEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaEstimator(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(EwmaEstimator(1.0));
+}
+
+TEST(EwmaEstimator, ResetClears) {
+  EwmaEstimator e(0.3);
+  e.update(5.0);
+  e.reset();
+  EXPECT_FALSE(e.initialised());
+  EXPECT_EQ(e.count(), 0u);
+}
+
+TEST(DiscountedRateEstimator, RegularArrivals) {
+  DiscountedRateEstimator e(5.0);
+  for (int i = 0; i <= 500; ++i) e.observe(i * 0.5);  // 2 events/s
+  EXPECT_NEAR(e.rate(), 2.0, 0.15);
+}
+
+TEST(DiscountedRateEstimator, PoissonRateRecovered) {
+  Rng rng(7);
+  DiscountedRateEstimator e(20.0);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.exponential(25.0);
+    e.observe(t);
+  }
+  EXPECT_NEAR(e.rate(), 25.0, 4.0);
+}
+
+TEST(DiscountedRateEstimator, SimultaneousEventsDoNotExplode) {
+  DiscountedRateEstimator e(10.0);
+  for (int i = 0; i < 100; ++i) e.observe(i * 0.1);  // 10 events/s
+  // A classifier flush delivers a burst at one timestamp.
+  for (int i = 0; i < 50; ++i) e.observe(10.0);
+  // The burst adds 50/tau = 5 to the estimate, not orders of magnitude.
+  EXPECT_LT(e.rate(), 20.0);
+  EXPECT_GT(e.rate(), 10.0);
+}
+
+TEST(DiscountedRateEstimator, BackwardsTimestampsClamped) {
+  DiscountedRateEstimator e(10.0);
+  e.observe(5.0);
+  EXPECT_NO_THROW(e.observe(4.0));
+  EXPECT_GT(e.rate(), 0.0);
+}
+
+TEST(DiscountedRateEstimator, Validation) {
+  EXPECT_THROW(DiscountedRateEstimator(0.0), std::invalid_argument);
+}
+
+TEST(DiscountedRateEstimator, TracksRateChange) {
+  DiscountedRateEstimator e(5.0);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) e.observe(t += 0.1);  // 10/s
+  const double before = e.rate();
+  for (int i = 0; i < 2000; ++i) e.observe(t += 0.01);  // 100/s
+  EXPECT_NEAR(before, 10.0, 1.5);
+  EXPECT_NEAR(e.rate(), 100.0, 15.0);
+}
+
+TEST(EwmaRateEstimator, RateFromRegularArrivals) {
+  EwmaRateEstimator e(0.1);
+  for (int i = 0; i <= 100; ++i) e.observe(i * 0.5);  // 2 events/s
+  EXPECT_NEAR(e.rate(), 2.0, 1e-9);
+}
+
+TEST(EwmaRateEstimator, ZeroBeforeTwoEvents) {
+  EwmaRateEstimator e(0.1);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.0);
+  e.observe(1.0);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.0);
+  e.observe(2.0);
+  EXPECT_GT(e.rate(), 0.0);
+}
+
+TEST(EwmaRateEstimator, RejectsTimeGoingBackwards) {
+  EwmaRateEstimator e(0.1);
+  e.observe(5.0);
+  EXPECT_THROW(e.observe(4.0), std::invalid_argument);
+}
+
+TEST(EwmaRateEstimator, PoissonRateRecovered) {
+  Rng rng(6);
+  EwmaRateEstimator e(0.01);
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += rng.exponential(25.0);
+    e.observe(t);
+  }
+  EXPECT_NEAR(e.rate(), 25.0, 2.5);
+}
+
+}  // namespace
+}  // namespace fbm::stats

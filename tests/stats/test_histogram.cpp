@@ -1,0 +1,86 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace fbm::stats {
+namespace {
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionsIncludeOutOfRange) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(0.5);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> xs = {0.1, 0.2, 0.8};
+  h.add_all(xs);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, EmptyHistogramFractionIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_EQ(h.mode_bin(), 0u);
+}
+
+}  // namespace
+}  // namespace fbm::stats

@@ -1,0 +1,79 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(KsStatistic, PerfectFitIsSmall) {
+  // Deterministic exponential quantile sample against its own CDF.
+  std::vector<double> xs;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(exponential_quantile((i + 0.5) / n, 1.0));
+  }
+  const double d =
+      ks_statistic(xs, [](double x) { return exponential_cdf(x, 1.0); });
+  EXPECT_LT(d, 1.0 / n + 1e-9);
+}
+
+TEST(KsStatistic, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)ks_statistic(xs, [](double) { return 0.5; }),
+               std::invalid_argument);
+}
+
+TEST(KsStatistic, TotallyWrongDistributionIsLarge) {
+  std::vector<double> xs(100, 1000.0);
+  const double d =
+      ks_statistic(xs, [](double x) { return exponential_cdf(x, 100.0); });
+  EXPECT_GT(d, 0.9);
+}
+
+TEST(KsPvalue, LargeStatisticGivesSmallP) {
+  EXPECT_LT(ks_pvalue(0.5, 100), 1e-6);
+}
+
+TEST(KsPvalue, SmallStatisticGivesLargeP) {
+  EXPECT_GT(ks_pvalue(0.02, 100), 0.9);
+}
+
+TEST(KsPvalue, Monotone) {
+  double prev = 1.0;
+  for (double d : {0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const double p = ks_pvalue(d, 500);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(KsTestExponential, AcceptsExponentialSample) {
+  Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(7.0));
+  const KsResult r = ks_test_exponential(xs);
+  EXPECT_LT(r.statistic, 0.03);
+}
+
+TEST(KsTestExponential, RejectsUniformSample) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform());
+  const KsResult r = ks_test_exponential(xs);
+  EXPECT_LT(r.pvalue, 0.01);
+}
+
+TEST(KsTestExponential, RejectsConstantSample) {
+  std::vector<double> xs(100, 2.0);
+  const KsResult r = ks_test_exponential(xs);
+  EXPECT_GT(r.statistic, 0.5);
+}
+
+}  // namespace
+}  // namespace fbm::stats

@@ -1,0 +1,144 @@
+#include "stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(EmpiricalQuantile, MedianOfOddSample) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 0.5), 2.0);
+}
+
+TEST(EmpiricalQuantile, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 0.5), 5.0);
+}
+
+TEST(EmpiricalQuantile, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 1.0), 9.0);
+}
+
+TEST(EmpiricalQuantile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(empirical_quantile(xs, 0.3), 7.0);
+}
+
+TEST(EmpiricalQuantile, Throws) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)empirical_quantile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)empirical_quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)empirical_quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+}
+
+TEST(NormalQuantile, InvertsTheCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(NormalQuantile, PaperDimensioningValue) {
+  // Section VII-A: q(0.05) quantile for 5% congestion ~ 1.645; the paper
+  // quotes q for eps=0.05 as 1.64.
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536269514722, 1e-8);
+  // Common engineering values.
+  EXPECT_NEAR(normal_quantile(0.99), 2.3263478740408408, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.01, 0.2, 0.35}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalQuantile, Throws) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(-1.0), std::invalid_argument);
+}
+
+TEST(ExponentialQuantile, InvertsTheCdf) {
+  const double rate = 2.5;
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(exponential_cdf(exponential_quantile(p, rate), rate), p,
+                1e-12);
+  }
+}
+
+TEST(ExponentialQuantile, Median) {
+  EXPECT_NEAR(exponential_quantile(0.5, 1.0), std::log(2.0), 1e-12);
+}
+
+TEST(ExponentialCdf, NegativeIsZero) {
+  EXPECT_DOUBLE_EQ(exponential_cdf(-1.0, 1.0), 0.0);
+}
+
+TEST(QQExponential, ExponentialSampleIsStraight) {
+  Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.exponential(3.0));
+  const auto pts = qq_exponential(xs, 100);
+  ASSERT_EQ(pts.size(), 100u);
+  EXPECT_LT(qq_rms_deviation(pts), 0.05);
+}
+
+TEST(QQExponential, UniformSampleIsNotStraight) {
+  Rng rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.uniform());
+  const auto pts = qq_exponential(xs, 100);
+  EXPECT_GT(qq_rms_deviation(pts), 0.1);
+}
+
+TEST(QQExponential, NormalisedAxesInUnitBox) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.exponential(1.0));
+  const auto pts = qq_exponential(xs, 50, true);
+  for (const auto& pt : pts) {
+    EXPECT_GE(pt.sample, 0.0);
+    EXPECT_LE(pt.sample, 1.0 + 1e-12);
+    EXPECT_GE(pt.theoretical, 0.0);
+    EXPECT_LE(pt.theoretical, 1.0 + 1e-12);
+  }
+}
+
+TEST(QQExponential, EmptyInputs) {
+  const std::vector<double> xs;
+  EXPECT_TRUE(qq_exponential(xs, 10).empty());
+  const std::vector<double> one = {1.0};
+  EXPECT_TRUE(qq_exponential(one, 0).empty());
+}
+
+TEST(QQNormal, GaussianSampleIsStraight) {
+  Rng rng(24);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(5.0 + 2.0 * rng.normal());
+  const auto pts = qq_normal(xs, 100);
+  EXPECT_LT(qq_rms_deviation(pts), 0.05);
+}
+
+TEST(QQRmsDeviation, PerfectDiagonalIsZero) {
+  std::vector<QQPoint> pts = {{1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(qq_rms_deviation(pts), 0.0);
+}
+
+}  // namespace
+}  // namespace fbm::stats

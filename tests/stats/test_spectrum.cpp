@@ -1,0 +1,147 @@
+#include "stats/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace fbm::stats {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  const int k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0 * M_PI * k0 * static_cast<double>(i) / n), 0.0};
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(data[k]);
+    if (k == static_cast<std::size_t>(k0) ||
+        k == n - static_cast<std::size_t>(k0)) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9) << k;
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9) << k;
+    }
+  }
+}
+
+TEST(Fft, RoundTripInverse) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(128);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(4);
+  std::vector<std::complex<double>> data(256);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 256.0, 1e-6 * freq_energy);
+}
+
+TEST(FftReal, ZeroPadsToPowerOfTwo) {
+  std::vector<double> xs(100, 1.0);
+  const auto spec = fft_real(xs);
+  EXPECT_EQ(spec.size(), 128u);
+  EXPECT_NEAR(spec[0].real(), 100.0, 1e-9);
+}
+
+TEST(Welch, Validation) {
+  std::vector<double> xs(1000, 1.0);
+  PeriodogramOptions opt;
+  opt.segment = 100;  // not a power of two
+  EXPECT_THROW((void)welch_periodogram(xs, 0.1, opt), std::invalid_argument);
+  opt.segment = 256;
+  EXPECT_THROW((void)welch_periodogram(std::vector<double>(10, 1.0), 0.1, opt),
+               std::invalid_argument);
+  opt.segment = 256;
+  EXPECT_THROW((void)welch_periodogram(xs, 0.0, opt), std::invalid_argument);
+  opt.overlap = 1.5;
+  EXPECT_THROW((void)welch_periodogram(xs, 0.1, opt), std::invalid_argument);
+}
+
+TEST(Welch, WhiteNoiseSpectrumIsFlatAndNormalised) {
+  Rng rng(5);
+  const double sigma2 = 4.0;
+  std::vector<double> xs;
+  for (int i = 0; i < 65536; ++i) xs.push_back(2.0 * rng.normal());
+  const double dt = 0.01;
+  const auto spec = welch_periodogram(xs, dt);
+  // White noise: two-sided density sigma^2 * dt / (2 pi), flat.
+  const double expected = sigma2 * dt / (2.0 * M_PI);
+  RunningStats level;
+  for (const auto& pt : spec) level.add(pt.density);
+  EXPECT_NEAR(level.mean(), expected, 0.1 * expected);
+  // Integral over (-pi/dt, pi/dt) recovers the variance (x2 for two sides).
+  double integral = 0.0;
+  for (std::size_t i = 1; i < spec.size(); ++i) {
+    integral += 0.5 * (spec[i].density + spec[i - 1].density) *
+                (spec[i].omega - spec[i - 1].omega);
+  }
+  EXPECT_NEAR(2.0 * integral, sigma2, 0.15 * sigma2);
+}
+
+TEST(Welch, ToneShowsAsPeak) {
+  const double dt = 0.01;
+  const double f0 = 7.0;  // Hz
+  std::vector<double> xs;
+  Rng rng(6);
+  for (int i = 0; i < 16384; ++i) {
+    xs.push_back(std::sin(2.0 * M_PI * f0 * i * dt) + 0.1 * rng.normal());
+  }
+  const auto spec = welch_periodogram(xs, dt);
+  // Find the peak; it should be near omega = 2 pi f0.
+  double peak_omega = 0.0;
+  double peak = 0.0;
+  for (const auto& pt : spec) {
+    if (pt.density > peak) {
+      peak = pt.density;
+      peak_omega = pt.omega;
+    }
+  }
+  EXPECT_NEAR(peak_omega, 2.0 * M_PI * f0, 2.0);
+}
+
+TEST(Welch, Ar1SpectrumShape) {
+  // AR(1) has a Lorentzian-ish spectrum: low frequencies dominate.
+  Rng rng(7);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 32768; ++i) xs.push_back(0.9 * xs.back() + rng.normal());
+  const auto spec = welch_periodogram(xs, 1.0);
+  EXPECT_GT(spec.front().density, 10.0 * spec.back().density);
+}
+
+}  // namespace
+}  // namespace fbm::stats

@@ -1,0 +1,122 @@
+#include "trace/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "stats/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace fbm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "fbm_pcap_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+  fs::path dir_;
+};
+
+std::vector<net::PacketRecord> sample_packets(int n) {
+  stats::Rng rng(31);
+  std::vector<net::PacketRecord> out;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(500.0);
+    net::PacketRecord r;
+    r.timestamp = t;
+    r.tuple.src = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, ~0u)));
+    r.tuple.dst = net::Ipv4Address(
+        static_cast<std::uint32_t>(rng.uniform_int(0, ~0u)));
+    r.tuple.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    r.tuple.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    r.tuple.protocol = rng.bernoulli(0.8) ? 6 : 17;
+    r.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(40, 1500));
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST_F(PcapTest, RoundTripPreservesModelFields) {
+  const auto packets = sample_packets(300);
+  export_pcap(file("a.pcap"), packets);
+  std::size_t skipped = 0;
+  const auto back = import_pcap(file("a.pcap"), 999648000.0, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_NEAR(back[i].timestamp, packets[i].timestamp, 2e-6) << i;
+    EXPECT_EQ(back[i].tuple, packets[i].tuple) << i;
+    EXPECT_EQ(back[i].size_bytes, packets[i].size_bytes) << i;
+  }
+}
+
+TEST_F(PcapTest, EmptyCapture) {
+  export_pcap(file("empty.pcap"), {});
+  const auto back = import_pcap(file("empty.pcap"));
+  EXPECT_TRUE(back.empty());
+  // Global header only: 24 bytes.
+  EXPECT_EQ(fs::file_size(file("empty.pcap")), 24u);
+}
+
+TEST_F(PcapTest, RejectsBadMagic) {
+  std::ofstream out(file("bad.pcap"), std::ios::binary);
+  out << "this is definitely not a pcap capture file";
+  out.close();
+  EXPECT_THROW((void)import_pcap(file("bad.pcap")), std::runtime_error);
+}
+
+TEST_F(PcapTest, RejectsMissingFile) {
+  EXPECT_THROW((void)import_pcap(file("nope.pcap")), std::runtime_error);
+}
+
+TEST_F(PcapTest, TruncatedRecordDetected) {
+  export_pcap(file("t.pcap"), sample_packets(5));
+  fs::resize_file(file("t.pcap"), fs::file_size(file("t.pcap")) - 10);
+  EXPECT_THROW((void)import_pcap(file("t.pcap")), std::runtime_error);
+}
+
+TEST_F(PcapTest, SyntheticTraceSurvivesRoundTrip) {
+  SyntheticConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.flow_rate = 50.0;
+  const auto packets = generate_packets(cfg);
+  export_pcap(file("synth.pcap"), packets);
+  const auto back = import_pcap(file("synth.pcap"));
+  ASSERT_EQ(back.size(), packets.size());
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  for (const auto& p : packets) bytes_in += p.size_bytes;
+  for (const auto& p : back) bytes_out += p.size_bytes;
+  EXPECT_EQ(bytes_in, bytes_out);
+}
+
+TEST_F(PcapTest, TcpAndUdpHeadersDifferInSize) {
+  // TCP captures are 54 bytes, UDP 42: the file size reflects the mix.
+  std::vector<net::PacketRecord> tcp_only(10);
+  std::vector<net::PacketRecord> udp_only(10);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    tcp_only[i].timestamp = udp_only[i].timestamp = (t += 0.001);
+    tcp_only[i].tuple.protocol = 6;
+    udp_only[i].tuple.protocol = 17;
+    tcp_only[i].size_bytes = udp_only[i].size_bytes = 100;
+  }
+  export_pcap(file("tcp.pcap"), tcp_only);
+  export_pcap(file("udp.pcap"), udp_only);
+  EXPECT_EQ(fs::file_size(file("tcp.pcap")) - fs::file_size(file("udp.pcap")),
+            10u * 12u);  // TCP header is 12 bytes longer than UDP
+}
+
+}  // namespace
+}  // namespace fbm::trace

@@ -1,0 +1,119 @@
+// Property sweeps over the seven Table-I trace presets: the generated
+// corpus must satisfy the statistical assumptions the model relies on,
+// profile by profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/classifier.hpp"
+#include "flow/flow_stats.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/sprint_profiles.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace fbm::trace {
+namespace {
+
+class ProfileProperties : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  [[nodiscard]] static ScaleOptions scale() {
+    ScaleOptions s;
+    s.time_scale = 1.0 / 60.0;
+    s.rate_scale = 1.0 / 10.0;
+    s.max_length_s = 60.0;  // keep the test sweep fast
+    return s;
+  }
+
+  [[nodiscard]] static const std::vector<net::PacketRecord>& packets(
+      std::size_t index) {
+    static std::array<std::vector<net::PacketRecord>, 7> cache;
+    if (cache[index].empty()) {
+      cache[index] = generate_packets(make_config(index, scale()));
+    }
+    return cache[index];
+  }
+};
+
+TEST_P(ProfileProperties, UtilizationNearScaledTarget) {
+  const auto& rows = sprint_table1();
+  const auto summary = summarize(packets(GetParam()));
+  const double target = rows[GetParam()].utilization_bps * 0.1;
+  EXPECT_GT(summary.mean_rate_bps(), 0.5 * target);
+  EXPECT_LT(summary.mean_rate_bps(), 1.5 * target);
+}
+
+TEST_P(ProfileProperties, ArrivalsAreStationary) {
+  // First-half vs second-half flow arrival counts agree within Poisson
+  // noise (the paper's 30-minute interval criterion).
+  flow::ClassifierOptions opt;
+  opt.timeout = 1.0;
+  const auto flows =
+      flow::classify_all<flow::FiveTupleKey>(packets(GetParam()), opt);
+  ASSERT_GT(flows.size(), 100u);
+  const double mid = 30.0;
+  std::size_t first = 0;
+  for (const auto& f : flows) {
+    if (f.start < mid) ++first;
+  }
+  const double expected = static_cast<double>(flows.size()) / 2.0;
+  // Allow 6 sigma of Poisson noise plus warm-up slack.
+  EXPECT_NEAR(static_cast<double>(first), expected,
+              6.0 * std::sqrt(expected) + 0.05 * expected);
+}
+
+TEST_P(ProfileProperties, InterarrivalsPassKs) {
+  flow::ClassifierOptions opt;
+  opt.timeout = 1.0;
+  const auto flows =
+      flow::classify_all<flow::FiveTupleKey>(packets(GetParam()), opt);
+  const auto d = flow::diagnose_population(flows);
+  // Generous threshold: the classifier sees completion-reordered flows and
+  // boundary effects, but the exponential shape must survive.
+  EXPECT_LT(d.interarrival_ks.statistic, 0.08) << "profile " << GetParam();
+}
+
+TEST_P(ProfileProperties, SizesAndDurationsUncorrelated) {
+  flow::ClassifierOptions opt;
+  opt.timeout = 1.0;
+  const auto flows =
+      flow::classify_all<flow::FiveTupleKey>(packets(GetParam()), opt);
+  const auto d = flow::diagnose_population(flows);
+  // Bound scales with the sample size: low-utilization profiles have few
+  // flows and correspondingly noisy ACF estimates.
+  const double bound = std::max(0.1, 4.0 * d.white_noise_band);
+  for (std::size_t lag = 1; lag <= 10; ++lag) {
+    EXPECT_LT(std::abs(d.size_acf[lag]), bound) << lag;
+    EXPECT_LT(std::abs(d.duration_acf[lag]), bound) << lag;
+  }
+}
+
+TEST_P(ProfileProperties, PacketSizesAreBounded) {
+  for (const auto& p : packets(GetParam())) {
+    EXPECT_GT(p.size_bytes, 0u);
+    EXPECT_LE(p.size_bytes, 1500u);  // MSS / CBR packet caps
+  }
+}
+
+TEST_P(ProfileProperties, HigherRankProfilesHaveMoreFlows) {
+  // Within the corpus, utilization ordering comes from lambda ordering
+  // (Corollary 1 argument in Section VI-A). Compare against profile 3
+  // (26 Mbps paper scale), the least loaded.
+  if (GetParam() == 3) GTEST_SKIP();
+  flow::ClassifierOptions opt;
+  opt.timeout = 1.0;
+  const auto flows =
+      flow::classify_all<flow::FiveTupleKey>(packets(GetParam()), opt);
+  const auto flows_low =
+      flow::classify_all<flow::FiveTupleKey>(packets(3), opt);
+  EXPECT_GT(flows.size(), flows_low.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileProperties,
+                         ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& info) {
+                           return "profile" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fbm::trace

@@ -1,0 +1,209 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "net/ip.hpp"
+#include "trace/sprint_profiles.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace fbm::trace {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.flow_rate = 50.0;
+  cfg.apply_defaults();
+  return cfg;
+}
+
+TEST(Synthetic, PacketsAreTimestampOrdered) {
+  const auto packets = generate_packets(small_config());
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GE(packets[i].timestamp, packets[i - 1].timestamp);
+  }
+}
+
+TEST(Synthetic, AllTimestampsWithinHorizon) {
+  const auto cfg = small_config();
+  const auto packets = generate_packets(cfg);
+  ASSERT_FALSE(packets.empty());
+  EXPECT_GE(packets.front().timestamp, 0.0);
+  EXPECT_LT(packets.back().timestamp, cfg.duration_s);
+}
+
+TEST(Synthetic, Deterministic) {
+  const auto a = generate_packets(small_config());
+  const auto b = generate_packets(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, SeedChangesOutput) {
+  auto cfg = small_config();
+  const auto a = generate_packets(cfg);
+  cfg.seed += 1;
+  const auto b = generate_packets(cfg);
+  EXPECT_NE(a.size(), b.size());  // different Poisson draws
+}
+
+TEST(Synthetic, ReportIsConsistentWithPackets) {
+  GenerationReport rep;
+  const auto packets = generate_packets(small_config(), &rep);
+  EXPECT_EQ(rep.packets, packets.size());
+  std::uint64_t bytes = 0;
+  for (const auto& p : packets) bytes += p.size_bytes;
+  EXPECT_EQ(rep.bytes, bytes);
+  EXPECT_GT(rep.flows, 0u);
+}
+
+TEST(Synthetic, FlowCountNearLambdaTimesDuration) {
+  auto cfg = small_config();
+  cfg.duration_s = 50.0;
+  cfg.flow_rate = 100.0;
+  GenerationReport rep;
+  (void)generate_packets(cfg, &rep);
+  const double expected = cfg.flow_rate * cfg.duration_s;
+  EXPECT_NEAR(static_cast<double>(rep.flows), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(Synthetic, TargetUtilizationApproximatelyMet) {
+  SyntheticConfig cfg;
+  cfg.duration_s = 60.0;
+  cfg.apply_defaults();
+  cfg.target_utilization_bps(10e6);
+  GenerationReport rep;
+  (void)generate_packets(cfg, &rep);
+  // Edge effects (flows truncated at the horizon) push the realised rate a
+  // little below target; heavy-tailed sizes add noise.
+  EXPECT_GT(rep.mean_rate_bps(), 0.5 * 10e6);
+  EXPECT_LT(rep.mean_rate_bps(), 1.5 * 10e6);
+}
+
+TEST(Synthetic, ExpectedRateMatchesCorollary1Formula) {
+  SyntheticConfig cfg;
+  cfg.apply_defaults();
+  cfg.flow_rate = 123.0;
+  EXPECT_NEAR(cfg.expected_rate_bps(),
+              123.0 * cfg.size_bytes->mean() * 8.0, 1e-6);
+}
+
+TEST(Synthetic, MixOfTcpAndUdp) {
+  auto cfg = small_config();
+  cfg.tcp_fraction = 0.7;
+  cfg.duration_s = 30.0;
+  const auto packets = generate_packets(cfg);
+  std::size_t tcp = 0;
+  std::size_t udp = 0;
+  for (const auto& p : packets) {
+    if (p.tuple.protocol == 6) ++tcp;
+    if (p.tuple.protocol == 17) ++udp;
+  }
+  EXPECT_GT(tcp, 0u);
+  EXPECT_GT(udp, 0u);
+  EXPECT_EQ(tcp + udp, packets.size());
+}
+
+TEST(Synthetic, PureTcpWhenFractionIsOne) {
+  auto cfg = small_config();
+  cfg.tcp_fraction = 1.0;
+  for (const auto& p : generate_packets(cfg)) {
+    EXPECT_EQ(p.tuple.protocol, 6);
+  }
+}
+
+TEST(Synthetic, PrefixPoolBoundsDistinctPrefixes) {
+  auto cfg = small_config();
+  cfg.prefix_pool = 16;
+  const auto packets = generate_packets(cfg);
+  std::unordered_set<std::uint32_t> prefixes;
+  for (const auto& p : packets) {
+    prefixes.insert(net::Prefix(p.tuple.dst, 24).network().value());
+  }
+  EXPECT_LE(prefixes.size(), 16u);
+  EXPECT_GT(prefixes.size(), 4u);  // Zipf still touches several
+}
+
+TEST(Synthetic, ZipfSkewsPrefixPopularity) {
+  auto cfg = small_config();
+  cfg.prefix_pool = 64;
+  cfg.prefix_zipf_s = 1.3;
+  cfg.duration_s = 30.0;
+  const auto packets = generate_packets(cfg);
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& p : packets) {
+    ++counts[net::Prefix(p.tuple.dst, 24).network().value()];
+  }
+  std::size_t max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  // The most popular prefix should clearly dominate the mean.
+  EXPECT_GT(max_count, 3 * packets.size() / counts.size());
+}
+
+TEST(Synthetic, Validation) {
+  SyntheticConfig cfg;
+  cfg.duration_s = 0.0;
+  EXPECT_THROW((void)generate_packets(cfg), std::invalid_argument);
+  cfg = SyntheticConfig{};
+  cfg.flow_rate = -1.0;
+  EXPECT_THROW((void)generate_packets(cfg), std::invalid_argument);
+  cfg = SyntheticConfig{};
+  cfg.prefix_pool = 0;
+  EXPECT_THROW((void)generate_packets(cfg), std::invalid_argument);
+}
+
+TEST(SprintProfiles, TableHasSevenRowsMatchingPaper) {
+  const auto& rows = sprint_table1();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].date, "Nov 8th, 2001");
+  EXPECT_DOUBLE_EQ(rows[0].utilization_bps, 243e6);
+  EXPECT_DOUBLE_EQ(rows[3].length_s, 39.5 * 3600.0);
+  EXPECT_DOUBLE_EQ(rows[6].utilization_bps, 72e6);
+}
+
+TEST(SprintProfiles, ClustersMatchFigure9Legend) {
+  const auto& rows = sprint_table1();
+  EXPECT_EQ(rows[3].cluster(), 0);  // 26 Mbps < 50
+  EXPECT_EQ(rows[6].cluster(), 1);  // 72 Mbps in 50-125
+  EXPECT_EQ(rows[0].cluster(), 2);  // 243 Mbps > 125
+}
+
+TEST(SprintProfiles, MakeConfigScalesUtilization) {
+  ScaleOptions scale;
+  scale.rate_scale = 0.1;
+  const auto cfg = make_config(0, scale);
+  EXPECT_NEAR(cfg.expected_rate_bps(), 24.3e6, 1e-3 * 24.3e6);
+  EXPECT_THROW((void)make_config(7, scale), std::invalid_argument);
+}
+
+TEST(SprintProfiles, ScaledLengthIsCapped) {
+  ScaleOptions scale;
+  scale.time_scale = 1.0;  // would be hours
+  scale.max_length_s = 42.0;
+  const auto cfg = make_config(3, scale);
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 42.0);
+}
+
+TEST(TraceStats, SummaryOfGeneratedTrace) {
+  GenerationReport rep;
+  const auto packets = generate_packets(small_config(), &rep);
+  const TraceSummary s = summarize(packets);
+  EXPECT_EQ(s.packets, rep.packets);
+  EXPECT_EQ(s.bytes, rep.bytes);
+  EXPECT_GT(s.mean_rate_mbps(), 0.0);
+  EXPECT_GT(s.mean_packet_bytes(), 0.0);
+}
+
+TEST(TraceStats, FormatDuration) {
+  EXPECT_EQ(format_duration(7.0 * 3600.0), "7h");
+  EXPECT_EQ(format_duration(39.5 * 3600.0), "39h 30m");
+  EXPECT_EQ(format_duration(90.0), "2m");  // rounds to minutes
+  EXPECT_EQ(format_duration(30.0), "30s");
+}
+
+}  // namespace
+}  // namespace fbm::trace

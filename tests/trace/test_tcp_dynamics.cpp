@@ -1,0 +1,162 @@
+#include "trace/tcp_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fbm::trace {
+namespace {
+
+TcpParams no_jitter_params() {
+  TcpParams p;
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(PacketizeTcp, ConservesBytes) {
+  stats::Rng rng(1);
+  for (std::uint64_t size : {1ull, 100ull, 1460ull, 1461ull, 100000ull,
+                             5000000ull}) {
+    const auto es = packetize_tcp(size, no_jitter_params(), rng);
+    EXPECT_EQ(emission_bytes(es), size) << size;
+  }
+}
+
+TEST(PacketizeTcp, FirstPacketAtOffsetZero) {
+  stats::Rng rng(2);
+  const auto es = packetize_tcp(50000, no_jitter_params(), rng);
+  ASSERT_FALSE(es.empty());
+  EXPECT_DOUBLE_EQ(es.front().offset, 0.0);
+}
+
+TEST(PacketizeTcp, OffsetsAreSorted) {
+  stats::Rng rng(3);
+  TcpParams p;
+  p.jitter = 0.3;
+  const auto es = packetize_tcp(500000, p, rng);
+  for (std::size_t i = 1; i < es.size(); ++i) {
+    EXPECT_GE(es[i].offset, es[i - 1].offset);
+  }
+}
+
+TEST(PacketizeTcp, SegmentsRespectMss) {
+  stats::Rng rng(4);
+  const auto es = packetize_tcp(100000, no_jitter_params(), rng);
+  for (const auto& e : es) {
+    EXPECT_LE(e.size_bytes, 1460u);
+    EXPECT_GT(e.size_bytes, 0u);
+  }
+}
+
+TEST(PacketizeTcp, TinyFlowIsSinglePacket) {
+  stats::Rng rng(5);
+  const auto es = packetize_tcp(200, no_jitter_params(), rng);
+  EXPECT_EQ(es.size(), 1u);
+  EXPECT_EQ(es[0].size_bytes, 200u);
+}
+
+TEST(PacketizeTcp, SlowStartDoublesPerRound) {
+  stats::Rng rng(6);
+  TcpParams p = no_jitter_params();
+  p.rtt = 0.1;
+  p.initial_window = 1;
+  p.peak_rate_bps = 1e9;  // effectively uncapped
+  // 15 segments: rounds of 1, 2, 4, 8 -> completes within 4 RTTs.
+  const auto es = packetize_tcp(15 * 1460, p, rng);
+  ASSERT_EQ(es.size(), 15u);
+  EXPECT_LT(emission_duration(es), 4.0 * p.rtt);
+  EXPECT_GE(emission_duration(es), 2.9 * p.rtt);
+}
+
+TEST(PacketizeTcp, RateIsCappedByPeakRate) {
+  stats::Rng rng(7);
+  TcpParams p = no_jitter_params();
+  p.rtt = 0.1;
+  p.peak_rate_bps = 1e6;  // 1 Mbps cap
+  const std::uint64_t size = 2000000;  // 16 Mbit
+  const auto es = packetize_tcp(size, p, rng);
+  const double duration = emission_duration(es);
+  // At 1 Mbps, 16 Mbit needs >= 16 s (minus the last-RTT edge).
+  EXPECT_GT(duration, 12.0);
+}
+
+TEST(PacketizeTcp, LongFlowsLongerThanShortFlows) {
+  stats::Rng rng(8);
+  const auto small = packetize_tcp(10000, no_jitter_params(), rng);
+  const auto large = packetize_tcp(1000000, no_jitter_params(), rng);
+  EXPECT_LT(emission_duration(small), emission_duration(large));
+}
+
+TEST(PacketizeTcp, SuperlinearRampForShortFlows) {
+  // During slow start the per-round throughput doubles: the second half of
+  // the flow's packets should occupy much less time than the first half.
+  stats::Rng rng(9);
+  TcpParams p = no_jitter_params();
+  p.initial_window = 1;
+  p.ssthresh = 1u << 20;  // pure slow start
+  p.peak_rate_bps = 1e9;
+  const auto es = packetize_tcp(63 * 1460, p, rng);  // rounds 1,2,4,8,16,32
+  ASSERT_EQ(es.size(), 63u);
+  const double mid = es[31].offset;
+  const double end = emission_duration(es);
+  EXPECT_LT(end - mid, mid);  // second half faster than first half
+}
+
+TEST(PacketizeTcp, Validation) {
+  stats::Rng rng(10);
+  TcpParams p = no_jitter_params();
+  p.rtt = 0.0;
+  EXPECT_THROW((void)packetize_tcp(1000, p, rng), std::invalid_argument);
+  p = no_jitter_params();
+  p.mss = 0;
+  EXPECT_THROW((void)packetize_tcp(1000, p, rng), std::invalid_argument);
+  p = no_jitter_params();
+  p.peak_rate_bps = 0.0;
+  EXPECT_THROW((void)packetize_tcp(1000, p, rng), std::invalid_argument);
+}
+
+TEST(PacketizeCbr, ConservesBytes) {
+  stats::Rng rng(11);
+  for (std::uint64_t size : {1ull, 499ull, 500ull, 501ull, 123456ull}) {
+    const auto es = packetize_cbr(size, 1e6, 500, 0.0, rng);
+    EXPECT_EQ(emission_bytes(es), size) << size;
+  }
+}
+
+TEST(PacketizeCbr, RateMatchesTarget) {
+  stats::Rng rng(12);
+  const double rate = 2e6;
+  const std::uint64_t size = 250000;  // 2 Mbit -> ~1 s
+  const auto es = packetize_cbr(size, rate, 500, 0.0, rng);
+  const double duration = emission_duration(es);
+  const double actual_rate =
+      static_cast<double>(size - 500) * 8.0 / duration;  // last pkt at end
+  EXPECT_NEAR(actual_rate, rate, 0.05 * rate);
+}
+
+TEST(PacketizeCbr, UniformSpacingWithoutJitter) {
+  stats::Rng rng(13);
+  const auto es = packetize_cbr(5000, 1e6, 500, 0.0, rng);
+  ASSERT_GE(es.size(), 3u);
+  const double gap = es[1].offset - es[0].offset;
+  for (std::size_t i = 2; i < es.size(); ++i) {
+    EXPECT_NEAR(es[i].offset - es[i - 1].offset, gap, 1e-12);
+  }
+}
+
+TEST(PacketizeCbr, Validation) {
+  stats::Rng rng(14);
+  EXPECT_THROW((void)packetize_cbr(1000, 0.0, 500, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)packetize_cbr(1000, 1e6, 0, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(EmissionHelpers, EmptySchedule) {
+  EXPECT_DOUBLE_EQ(emission_duration({}), 0.0);
+  EXPECT_EQ(emission_bytes({}), 0u);
+}
+
+}  // namespace
+}  // namespace fbm::trace

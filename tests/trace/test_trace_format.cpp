@@ -1,0 +1,152 @@
+#include "trace/trace_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "stats/rng.hpp"
+
+namespace fbm::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "fbm_trace_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path file(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  [[nodiscard]] static std::vector<net::PacketRecord> sample_packets(int n) {
+    stats::Rng rng(17);
+    std::vector<net::PacketRecord> out;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      t += rng.exponential(1000.0);
+      net::PacketRecord r;
+      r.timestamp = t;
+      r.tuple.src = net::Ipv4Address(
+          static_cast<std::uint32_t>(rng.uniform_int(0, ~0u)));
+      r.tuple.dst = net::Ipv4Address(
+          static_cast<std::uint32_t>(rng.uniform_int(0, ~0u)));
+      r.tuple.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      r.tuple.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+      r.tuple.protocol = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      r.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(40, 1500));
+      out.push_back(r);
+    }
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceFormatTest, RoundTripPreservesEveryField) {
+  const auto packets = sample_packets(500);
+  write_trace(file("a.fbmt"), packets);
+  const auto back = read_trace(file("a.fbmt"));
+  ASSERT_EQ(back.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(back[i], packets[i]) << i;
+  }
+}
+
+TEST_F(TraceFormatTest, HeaderCountMatches) {
+  const auto packets = sample_packets(123);
+  write_trace(file("b.fbmt"), packets);
+  TraceReader r(file("b.fbmt"));
+  EXPECT_EQ(r.header_count(), 123u);
+}
+
+TEST_F(TraceFormatTest, EmptyTrace) {
+  write_trace(file("empty.fbmt"), {});
+  const auto back = read_trace(file("empty.fbmt"));
+  EXPECT_TRUE(back.empty());
+  TraceReader r(file("empty.fbmt"));
+  EXPECT_EQ(r.header_count(), 0u);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST_F(TraceFormatTest, StreamingReaderCountsRecords) {
+  write_trace(file("c.fbmt"), sample_packets(50));
+  TraceReader r(file("c.fbmt"));
+  std::size_t n = 0;
+  while (r.next()) ++n;
+  EXPECT_EQ(n, 50u);
+  EXPECT_EQ(r.read_so_far(), 50u);
+}
+
+TEST_F(TraceFormatTest, WriterRejectsOutOfOrderTimestamps) {
+  TraceWriter w(file("d.fbmt"));
+  net::PacketRecord r;
+  r.timestamp = 2.0;
+  w.append(r);
+  r.timestamp = 1.0;
+  EXPECT_THROW(w.append(r), std::invalid_argument);
+}
+
+TEST_F(TraceFormatTest, WriterRejectsAppendAfterClose) {
+  TraceWriter w(file("e.fbmt"));
+  w.close();
+  net::PacketRecord r;
+  EXPECT_THROW(w.append(r), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, ReaderRejectsBadMagic) {
+  std::ofstream out(file("bad.fbmt"), std::ios::binary);
+  out << "NOT A TRACE FILE AT ALL........";
+  out.close();
+  EXPECT_THROW(TraceReader{file("bad.fbmt")}, std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, ReaderRejectsMissingFile) {
+  EXPECT_THROW(TraceReader{file("missing.fbmt")}, std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, ReaderDetectsTruncatedRecord) {
+  write_trace(file("f.fbmt"), sample_packets(10));
+  // Truncate mid-record.
+  const auto full = fs::file_size(file("f.fbmt"));
+  fs::resize_file(file("f.fbmt"), full - 5);
+  TraceReader r(file("f.fbmt"));
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(r.next().has_value());
+  EXPECT_THROW((void)r.next(), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, CsvRoundTrip) {
+  const auto packets = sample_packets(100);
+  export_csv(file("g.csv"), packets);
+  const auto back = import_csv(file("g.csv"));
+  ASSERT_EQ(back.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_NEAR(back[i].timestamp, packets[i].timestamp, 1e-6);
+    EXPECT_EQ(back[i].tuple, packets[i].tuple) << i;
+    EXPECT_EQ(back[i].size_bytes, packets[i].size_bytes);
+  }
+}
+
+TEST_F(TraceFormatTest, CsvImportRejectsGarbage) {
+  std::ofstream out(file("h.csv"));
+  out << "timestamp,src,dst,sport,dport,proto,bytes\n";
+  out << "not,a,valid,line\n";
+  out.close();
+  EXPECT_THROW((void)import_csv(file("h.csv")), std::runtime_error);
+}
+
+TEST_F(TraceFormatTest, RecordSizeIsStable) {
+  // On-disk format is a contract: header 24 bytes + 28 per record.
+  const auto packets = sample_packets(7);
+  write_trace(file("i.fbmt"), packets);
+  EXPECT_EQ(fs::file_size(file("i.fbmt")), kHeaderSize + 7 * kRecordSize);
+}
+
+}  // namespace
+}  // namespace fbm::trace

@@ -1,0 +1,164 @@
+// fbm_analyze — fit the shot-noise model to a packet trace and report it.
+//
+// Usage:
+//   fbm_analyze <trace> [--interval S] [--timeout S] [--delta S]
+//               [--prefix24] [--eps P]
+//
+// <trace> may be .fbmt (native), .pcap, or .csv. For each analysis interval
+// the tool prints the three model parameters, measured vs model mean and
+// CoV, the fitted shot power b, and a capacity recommendation.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fitting.hpp"
+#include "core/moments.hpp"
+#include "dimension/provisioning.hpp"
+#include "flow/classifier.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace_format.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace {
+
+struct Options {
+  std::string path;
+  double interval = 0.0;  // 0 = whole trace
+  double timeout = 60.0;
+  double delta = fbm::measure::kPaperDelta;
+  bool prefix24 = false;
+  double eps = 0.01;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fbm_analyze <trace.fbmt|.pcap|.csv> [--interval S] "
+               "[--timeout S] [--delta S] [--prefix24] [--eps P]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--interval") {
+      opt.interval = need_value("--interval");
+    } else if (arg == "--timeout") {
+      opt.timeout = need_value("--timeout");
+    } else if (arg == "--delta") {
+      opt.delta = need_value("--delta");
+    } else if (arg == "--eps") {
+      opt.eps = need_value("--eps");
+    } else if (arg == "--prefix24") {
+      opt.prefix24 = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage();
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (opt.path.empty()) usage();
+  return opt;
+}
+
+std::vector<fbm::net::PacketRecord> load(const std::string& path) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".pcap")) return fbm::trace::import_pcap(path);
+  if (ends_with(".csv")) return fbm::trace::import_csv(path);
+  return fbm::trace::read_trace(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fbm;
+  const Options opt = parse_args(argc, argv);
+
+  std::vector<net::PacketRecord> packets;
+  try {
+    packets = load(opt.path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (packets.empty()) {
+    std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+    return 1;
+  }
+
+  const auto summary = trace::summarize(packets);
+  std::printf("trace: %llu packets, %s, %.2f Mbps average, mean packet %.0f "
+              "B\n",
+              static_cast<unsigned long long>(summary.packets),
+              trace::format_duration(summary.duration_s()).c_str(),
+              summary.mean_rate_mbps(), summary.mean_packet_bytes());
+
+  const double horizon = summary.last_ts + 1e-9;
+  const double interval_s = opt.interval > 0.0 ? opt.interval : horizon;
+
+  flow::ClassifierOptions copt;
+  copt.timeout = opt.timeout;
+  copt.interval = interval_s;
+  copt.record_discards = true;
+
+  std::vector<flow::FlowRecord> flows;
+  std::vector<flow::DiscardedPacket> discards;
+  if (opt.prefix24) {
+    flow::Prefix24Classifier c(copt);
+    for (const auto& p : packets) c.add(p);
+    c.flush();
+    discards = c.discards();
+    flows = c.take_flows();
+  } else {
+    flow::FiveTupleClassifier c(copt);
+    for (const auto& p : packets) c.add(p);
+    c.flush();
+    discards = c.discards();
+    flows = c.take_flows();
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  std::printf("flows (%s): %zu completed\n\n",
+              opt.prefix24 ? "/24 prefix" : "5-tuple", flows.size());
+
+  const auto intervals = flow::group_by_interval(flows, interval_s, horizon);
+  std::printf("%8s %8s %10s %12s | %9s %9s | %7s %10s\n", "t0", "flows",
+              "lambda", "E[S] kbit", "meas CoV", "mdl CoV", "b_hat",
+              "cap Mbps");
+  for (const auto& iv : intervals) {
+    if (iv.flows.size() < 10) continue;
+    const auto in = flow::estimate_inputs(iv);
+    const auto series =
+        measure::measure_rate(packets, iv.start, iv.end(), opt.delta,
+                              discards);
+    const auto mm = measure::rate_moments(series);
+    const auto b = core::fit_power_b(mm.variance, in);
+    const double bb = b.value_or(1.0);
+    const auto plan = dimension::plan_link(in, bb, opt.eps);
+    std::printf("%8.1f %8zu %10.1f %12.1f | %8.1f%% %8.1f%% | %7.2f %10.2f\n",
+                iv.start, iv.flows.size(), in.lambda,
+                in.mean_size_bits / 1e3, 100.0 * mm.cov,
+                100.0 * core::power_shot_cov(in, bb), bb,
+                plan.capacity_bps / 1e6);
+  }
+  std::printf("\ncapacity column: E[R] + q(1-eps) sigma at eps=%.2g with the "
+              "fitted shot\n", opt.eps);
+  return 0;
+}
