@@ -79,7 +79,7 @@ int main() {
     const auto in = flow::estimate_inputs(intervals[0]);
     stats::RunningStats dur;
     for (const auto& f : row.flows) dur.add(f.duration());
-    const auto b = core::fit_power_b(mm.variance, in);
+    const auto b = core::fit_power_b(mm.variance_bps2, in);
     std::printf("%-16s %10zu %11.1fx %12.2f %10.1f %10.2f\n", row.label,
                 row.flows.size(),
                 base / std::max(1.0, static_cast<double>(row.flows.size())),

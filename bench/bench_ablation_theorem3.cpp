@@ -26,7 +26,7 @@ int main() {
   const auto rect = core::ShotNoiseModel::from_interval(
       iv, core::rectangular_shot());
   const double floor_var = rect.variance();
-  const double measured_var = run.five_tuple[0].measured.variance;
+  const double measured_var = run.five_tuple[0].measured.variance_bps2;
 
   std::printf("%-28s %14s %12s %10s\n", "shot", "variance", "vs rect",
               "CoV");

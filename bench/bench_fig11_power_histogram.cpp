@@ -22,7 +22,7 @@ int main() {
   std::size_t skipped = 0;
   for (const auto& run : runs) {
     for (const auto& r : run.five_tuple) {
-      const auto b = core::fit_power_b(r.measured.variance, r.inputs);
+      const auto b = core::fit_power_b(r.measured.variance_bps2, r.inputs);
       if (!b) {
         ++skipped;
         continue;

@@ -31,7 +31,7 @@ int main() {
   const double measured_cov = r.measured.cov;
 
   // (1) single class, fitted b.
-  const auto b_single = core::fit_power_b(r.measured.variance, r.inputs);
+  const auto b_single = core::fit_power_b(r.measured.variance_bps2, r.inputs);
   const double cov_single =
       core::power_shot_cov(r.inputs, b_single.value_or(1.0));
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "trace/synthetic.hpp"
 
 namespace fbm::bench {
@@ -16,34 +17,23 @@ trace::ScaleOptions default_scale() {
 
 namespace {
 
-template <typename Key>
-std::vector<IntervalResult> analyse(
-    const std::vector<net::PacketRecord>& packets, double horizon,
-    double interval_s, double timeout_s) {
-  flow::ClassifierOptions opt;
-  opt.timeout = timeout_s;
-  opt.interval = interval_s;
-  opt.record_discards = true;
-  flow::FlowClassifier<Key> classifier(opt);
-  for (const auto& p : packets) classifier.add(p);
-  classifier.flush();
-  const auto discards = classifier.discards();
-  const auto flows = classifier.take_flows();
-
-  std::vector<flow::FlowRecord> sorted(flows.begin(), flows.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.start < b.start; });
-  auto intervals = flow::group_by_interval(sorted, interval_s, horizon);
+std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
+                                    const std::vector<net::PacketRecord>& packets,
+                                    double interval_s, double timeout_s) {
+  api::AnalysisConfig config;
+  config.flow_definition(flow_def)
+      .interval_s(interval_s)
+      .timeout_s(timeout_s)
+      .delta_s(measure::kPaperDelta)
+      .min_flows(20)  // skip ragged tail intervals
+      .keep_flows(true);
 
   std::vector<IntervalResult> out;
-  for (auto& iv : intervals) {
-    if (iv.flows.size() < 20) continue;  // skip ragged tail intervals
+  for (auto& report : api::analyze(packets, config)) {
     IntervalResult r;
-    r.inputs = flow::estimate_inputs(iv);
-    const auto series = measure::measure_rate(
-        packets, iv.start, iv.end(), measure::kPaperDelta, discards);
-    r.measured = measure::rate_moments(series);
-    r.interval = std::move(iv);
+    r.inputs = report.inputs;
+    r.measured = report.measured;
+    r.interval = std::move(report.interval);
     out.push_back(std::move(r));
   }
   return out;
@@ -63,10 +53,10 @@ ProfileRun run_profile(std::size_t index, const trace::ScaleOptions& scale) {
   // becomes 1 s : 30 s) so gap structure relative to the analysis window is
   // preserved.
   const double timeout_s = 60.0 * scale.time_scale;
-  run.five_tuple = analyse<flow::FiveTupleKey>(run.packets, run.horizon,
-                                               run.interval_s, timeout_s);
-  run.prefix24 = analyse<flow::PrefixKey<24>>(run.packets, run.horizon,
-                                              run.interval_s, timeout_s);
+  run.five_tuple = analyse(api::FlowDefinition::five_tuple, run.packets,
+                           run.interval_s, timeout_s);
+  run.prefix24 = analyse(api::FlowDefinition::prefix24, run.packets,
+                         run.interval_s, timeout_s);
   return run;
 }
 

@@ -1,9 +1,10 @@
 // Shared machinery for the paper-reproduction benches.
 //
 // Each bench regenerates one table or figure. They share the scaled Sprint
-// profiles (trace/sprint_profiles) and this pipeline: synthetic trace ->
-// 5-tuple and /24 classification (60 s timeout, interval splitting) ->
-// per-interval model inputs + measured rate moments at Delta = 200 ms.
+// profiles (trace/sprint_profiles) and the api::AnalysisPipeline: synthetic
+// trace -> 5-tuple and /24 classification (60 s timeout, interval
+// splitting) -> per-interval model inputs + measured rate moments at
+// Delta = 200 ms, all in one streaming pass.
 //
 // Scaling relative to the paper (documented in EXPERIMENTS.md): the 30-min
 // analysis interval becomes 30 s (time_scale = 1/60), trace lengths are

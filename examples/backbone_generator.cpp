@@ -1,78 +1,80 @@
 // Model-driven traffic generation (paper Section VII-C).
 //
-// Fits the shot-noise model to a "real" (synthetic) trace, then re-generates
-// traffic from the fitted model and verifies the clone matches the original
-// in mean, variance, and correlation — the paper's proposed use in network
-// simulation tools. Also shows why the shot matters: a rectangular-shot
-// clone of the same flows underestimates the variance.
+// Fits the shot-noise model to a "real" (synthetic) trace via the fbm::api
+// pipeline, then re-generates traffic from the fitted model and verifies
+// the clone matches the original in mean and variance — the paper's
+// proposed use in network simulation tools. Two clones are built:
+// the fluid gen:: process and an api::ModelTraceSource *packet* stream that
+// is pushed back through the same analysis pipeline. A rectangular-shot
+// ablation shows why the shot matters.
 //
 // Run:  ./examples/backbone_generator
+#include <cmath>
 #include <cstdio>
 
-#include "core/fitting.hpp"
+#include "api/api.hpp"
 #include "core/model.hpp"
-#include "flow/classifier.hpp"
-#include "flow/interval.hpp"
 #include "gen/traffic_gen.hpp"
-#include "measure/rate_meter.hpp"
-#include "stats/autocorrelation.hpp"
 #include "stats/descriptive.hpp"
-
-#include "trace/synthetic.hpp"
 
 int main() {
   using namespace fbm;
 
-  // "Real" traffic to imitate.
+  // "Real" traffic to imitate, analyzed in one pass; keep_flows retains the
+  // (S, D) population the model resamples from.
   const double horizon = 90.0;
   trace::SyntheticConfig cfg;
   cfg.duration_s = horizon;
   cfg.apply_defaults();
   cfg.target_utilization_bps(10e6);
-  const auto packets = trace::generate_packets(cfg);
-  const auto flows = flow::classify_all<flow::FiveTupleKey>(packets);
-  const auto intervals = flow::group_by_interval(flows, horizon, horizon);
-  const auto in = flow::estimate_inputs(intervals[0]);
+  api::SyntheticTraceSource source(cfg);
 
-  const auto real = measure::measure_rate(packets, 0.0, horizon, 0.2);
-  const auto real_m = measure::rate_moments(real);
+  api::AnalysisConfig config;
+  config.interval_s(horizon).timeout_s(60.0).keep_flows(true);
+  const auto reports = api::analyze(source, config);
+  const api::AnalysisReport& real = reports.at(0);
+  const double b = real.shot_b_used;
 
-  // Fit the shot power to the measured variance, build the model.
-  const auto b = core::fit_power_b(real_m.variance, in).value_or(1.0);
-  const auto model = core::ShotNoiseModel::from_interval(
-      intervals[0], core::power_shot(b));
-
+  const auto model =
+      core::ShotNoiseModel::from_interval(real.interval, core::power_shot(b));
   std::printf("fitted model: lambda=%.1f /s, b=%.2f\n", model.lambda(), b);
 
-  // Clone the traffic from the model (empirical (S,D) resampling).
+  // Clone 1: the fluid rate process (gen::), fitted shot.
   auto gen_cfg = gen::from_model(model, horizon, 0.2);
   gen_cfg.seed = 4242;
   const auto clone = gen::generate(gen_cfg);
   const double clone_mean = stats::mean(clone.series.values);
   const double clone_var = stats::population_variance(clone.series.values);
 
-  // Rectangular-shot ablation on the same flows.
+  // Clone 2: an actual packet stream from the model, analyzed by the same
+  // pipeline that measured the original — the full loop trace -> model ->
+  // trace -> model.
+  api::ModelTraceSource packet_clone(model, horizon, b);
+  const auto clone_reports = api::analyze(packet_clone, config);
+  const api::AnalysisReport& re = clone_reports.at(0);
+
+  // Ablation: rectangular shots on the same flows.
   auto rect_cfg = gen_cfg;
   rect_cfg.shot = core::rectangular_shot();
   const auto rect = gen::generate(rect_cfg);
   const double rect_var = stats::population_variance(rect.series.values);
 
-  std::printf("\n%-26s %12s %14s %12s\n", "", "mean Mbps", "stddev Mbps",
-              "lag-1 acf");
-  const auto lag1 = [](const std::vector<double>& v) {
-    return stats::autocorrelation(v, 1);
-  };
-  std::printf("%-26s %9.2f %14.2f %12.2f\n", "original trace",
-              real_m.mean_bps / 1e6, std::sqrt(real_m.variance) / 1e6,
-              lag1(real.values));
-  std::printf("%-26s %9.2f %14.2f %12.2f\n", "model clone (fitted b)",
-              clone_mean / 1e6, std::sqrt(clone_var) / 1e6,
-              lag1(clone.series.values));
-  std::printf("%-26s %9.2f %14.2f %12.2f\n", "ablation: rectangular b=0",
-              stats::mean(rect.series.values) / 1e6, std::sqrt(rect_var) / 1e6,
-              lag1(rect.series.values));
+  std::printf("\n%-26s %12s %14s\n", "", "mean Mbps", "stddev Mbps");
+  std::printf("%-26s %9.2f %14.2f\n", "original trace",
+              real.measured.mean_bps / 1e6,
+              std::sqrt(real.measured.variance_bps2) / 1e6);
+  std::printf("%-26s %9.2f %14.2f\n", "fluid clone (fitted b)",
+              clone_mean / 1e6, std::sqrt(clone_var) / 1e6);
+  std::printf("%-26s %9.2f %14.2f\n", "packet clone (fitted b)",
+              re.measured.mean_bps / 1e6,
+              std::sqrt(re.measured.variance_bps2) / 1e6);
+  std::printf("%-26s %9.2f %14.2f\n", "ablation: rectangular b=0",
+              stats::mean(rect.series.values) / 1e6,
+              std::sqrt(rect_var) / 1e6);
 
-  std::printf("\nrectangular clone variance deficit: %.0f%% of original\n",
-              100.0 * rect_var / real_m.variance);
+  std::printf("\npacket clone refit: b=%.2f (original fit %.2f)\n",
+              re.shot_b_used, b);
+  std::printf("rectangular clone variance deficit: %.0f%% of original\n",
+              100.0 * rect_var / real.measured.variance_bps2);
   return 0;
 }

@@ -1,17 +1,15 @@
 // Link dimensioning and what-if analysis (paper Section VII-A).
 //
-// An operator collects flow statistics (here: from a synthetic trace) and
-// asks: how much bandwidth does this link need so that congestion occurs
-// less than eps of the time? What happens if a new customer doubles the
-// flow arrival rate, or a new application doubles transfer sizes?
+// An operator collects flow statistics (here: from a synthetic trace via
+// the fbm::api pipeline) and asks: how much bandwidth does this link need
+// so that congestion occurs less than eps of the time? What happens if a
+// new customer doubles the flow arrival rate, or a new application doubles
+// transfer sizes?
 //
 // Run:  ./examples/link_dimensioning
 #include <cstdio>
 
-#include "dimension/provisioning.hpp"
-#include "flow/classifier.hpp"
-#include "flow/interval.hpp"
-#include "trace/synthetic.hpp"
+#include "api/api.hpp"
 
 namespace {
 
@@ -30,19 +28,23 @@ int main() {
   cfg.duration_s = 45.0;
   cfg.apply_defaults();
   cfg.target_utilization_bps(12e6);
-  const auto packets = trace::generate_packets(cfg);
-  const auto flows = flow::classify_all<flow::FiveTupleKey>(packets);
-  const auto intervals = flow::group_by_interval(flows, 45.0, 45.0);
-  const auto in = flow::estimate_inputs(intervals[0]);
+  api::SyntheticTraceSource source(cfg);
 
   const double b = 1.0;     // triangular shots
   const double eps = 0.01;  // tolerate congestion 1% of the time
+
+  api::AnalysisConfig config;
+  config.interval_s(45.0).timeout_s(60.0).fixed_shot_b(b).epsilon(eps);
+  const auto reports = api::analyze(source, config);
+  const auto& in = reports.at(0).inputs;
 
   std::printf("dimensioning for eps = %.2f, triangular shots\n\n", eps);
   std::printf("%-34s %13s %12s %7s %14s %8s\n", "scenario", "mean", "stddev",
               "CoV", "capacity", "headroom");
 
-  print_plan("today", dimension::plan_link(in, b, eps));
+  // "Today" is the pipeline's own capacity recommendation; the what-ifs
+  // re-plan around perturbed inputs.
+  print_plan("today", reports.at(0).plan);
 
   dimension::WhatIf more_flows;
   more_flows.lambda_factor = 2.0;
@@ -63,11 +65,12 @@ int main() {
   std::printf("\nsmoothing law (CoV ~ 1/sqrt(lambda)):\n");
   std::printf("%8s %10s %10s %12s\n", "lambda x", "CoV", "headroom",
               "capacity");
+  const double base_mean = reports.at(0).plan.mean_bps;
   for (const auto& plan : dimension::capacity_sweep(
            in, b, eps, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0})) {
     std::printf("%8.0f %9.1f%% %9.2fx %9.1f Mbps\n",
-                plan.mean_bps / dimension::plan_link(in, b, eps).mean_bps,
-                100.0 * plan.cov, plan.headroom, plan.capacity_bps / 1e6);
+                plan.mean_bps / base_mean, 100.0 * plan.cov, plan.headroom,
+                plan.capacity_bps / 1e6);
   }
   return 0;
 }

@@ -1,70 +1,48 @@
-// Quickstart: the full model pipeline in ~60 lines.
+// Quickstart: the full model pipeline through fbm::api.
 //
-// 1. Generate a synthetic backbone trace (stand-in for an OC-12 capture).
-// 2. Classify packets into 5-tuple flows with a 60 s timeout.
-// 3. Estimate the model's three parameters and compare model vs measured
-//    mean and coefficient of variation, then fit the shot power b.
+// 1. Stream a synthetic backbone trace (stand-in for an OC-12 capture).
+// 2. AnalysisPipeline classifies flows (5-tuple, 60 s timeout), estimates
+//    the model's three parameters, measures the rate at Delta = 200 ms,
+//    and fits the shot power b — all in one pass.
+// 3. Print model vs measured mean and CoV from the report.
 //
 // Run:  ./examples/quickstart
 #include <cstdio>
 
-#include "core/fitting.hpp"
-#include "core/moments.hpp"
-#include "flow/classifier.hpp"
-#include "flow/interval.hpp"
-#include "measure/rate_meter.hpp"
-#include "trace/synthetic.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace fbm;
 
-  // 1. A 60-second link at ~10 Mbps average utilization.
+  // A 60-second link at ~10 Mbps average utilization.
   trace::SyntheticConfig cfg;
   cfg.duration_s = 60.0;
   cfg.apply_defaults();
   cfg.target_utilization_bps(10e6);
-  trace::GenerationReport rep;
-  const auto packets = trace::generate_packets(cfg, &rep);
-  std::printf("trace: %llu packets, %llu flows, %.1f Mbps average\n",
-              static_cast<unsigned long long>(rep.packets),
-              static_cast<unsigned long long>(rep.flows),
-              rep.mean_rate_bps() / 1e6);
+  api::SyntheticTraceSource source(cfg);
 
-  // 2. Flow classification (5-tuple, 60 s timeout, paper Section III).
-  flow::ClassifierOptions opt;
-  opt.record_discards = true;
-  flow::FiveTupleClassifier classifier(opt);
-  for (const auto& p : packets) classifier.add(p);
-  classifier.flush();
-  const auto flows = classifier.take_flows();
-  std::printf("flows: %zu completed (%llu single-packet discarded)\n",
-              flows.size(),
-              static_cast<unsigned long long>(
-                  classifier.counters().single_packet_discards));
+  // One analysis interval covering the whole trace (paper Section III/V-G).
+  api::AnalysisConfig config;
+  config.interval_s(60.0).timeout_s(60.0);
+  const auto reports = api::analyze(source, config);
+  const api::AnalysisReport& r = reports.at(0);
 
-  // 3. Model parameters from the flows (Section V-G: just three numbers).
-  const auto intervals = flow::group_by_interval(flows, 60.0, 60.0);
-  const auto in = flow::estimate_inputs(intervals[0]);
+  std::printf("trace: %llu packets, %.1f Mbps average\n",
+              static_cast<unsigned long long>(source.report().packets),
+              source.report().mean_rate_bps() / 1e6);
   std::printf("parameters: lambda=%.1f flows/s, E[S]=%.1f kbit, "
               "E[S^2/D]=%.3g bit^2/s\n",
-              in.lambda, in.mean_size_bits / 1e3, in.mean_s2_over_d);
-
-  // Measured moments at the paper's 200 ms averaging interval.
-  const auto series = measure::measure_rate(packets, 0.0, 60.0, measure::kPaperDelta,
-                                   classifier.discards());
-  const auto mm = measure::rate_moments(series);
+              r.inputs.lambda, r.inputs.mean_size_bits / 1e3,
+              r.inputs.mean_s2_over_d);
 
   std::printf("\n%-28s %12s %12s\n", "", "model", "measured");
   std::printf("%-28s %9.2f Mbps %9.2f Mbps\n", "mean rate (Corollary 1)",
-              core::mean_rate(in) / 1e6, mm.mean_bps / 1e6);
-  std::printf("%-28s %11.1f%% %11.1f%%\n",
-              "CoV, triangular shot (b=1)",
-              100.0 * core::power_shot_cov(in, 1.0), 100.0 * mm.cov);
-
-  // Fit the shot power so the model matches the measured variance exactly.
-  if (const auto b = core::fit_power_b(mm.variance, in)) {
+              r.plan.mean_bps / 1e6, r.measured.mean_bps / 1e6);
+  std::printf("%-28s %11.1f%% %11.1f%%\n", "CoV, fitted power shot",
+              100.0 * r.model_cov, 100.0 * r.measured.cov);
+  if (r.shot_b) {
     std::printf("\nfitted shot power b = %.2f  (rectangle=0, triangle=1, "
-                "parabola=2)\n", *b);
+                "parabola=2)\n", *r.shot_b);
   }
   return 0;
 }

@@ -1,0 +1,23 @@
+// fbm::api — the library's public entry point.
+//
+//   TraceSource  ──►  AnalysisPipeline  ──►  AnalysisReport
+//   (packets,         (classify + measure     (model inputs, fitted shot,
+//    streamed)         + fit, one pass,        Gaussian approximation,
+//                      window-bounded memory)  capacity plan, JSON)
+//
+// Typical use:
+//
+//   auto source = fbm::api::open_trace("capture.fbmt");
+//   fbm::api::AnalysisConfig config;
+//   config.interval_s(1800.0).timeout_s(60.0).epsilon(0.01);
+//   for (const auto& report : fbm::api::analyze(*source, config)) {
+//     std::puts(fbm::api::to_json(report).c_str());
+//   }
+//
+// The lower-level namespaces (flow::, measure::, core::, dimension::) stay
+// available for research code that needs the pieces individually.
+#pragma once
+
+#include "api/pipeline.hpp"    // IWYU pragma: export
+#include "api/report.hpp"      // IWYU pragma: export
+#include "api/trace_source.hpp"  // IWYU pragma: export

@@ -1,0 +1,168 @@
+// Single-pass streaming analysis (fbm::api, stage 2).
+//
+// AnalysisPipeline pushes each packet through flow classification, rate
+// measurement, and analysis-interval bookkeeping concurrently, in one pass.
+// An interval is closed — its flows sorted, model inputs estimated, shot
+// power fitted, capacity planned — as soon as the stream's clock passes its
+// end by more than the flow timeout, so memory is bounded by the analysis
+// window (plus the active-flow table), never by the trace length. This is
+// exactly the paper's online monitoring story (Section V-G): multi-GB
+// captures analyzed with a fixed-size footprint.
+//
+// The per-interval numbers are bit-for-bit identical to the batch path
+// (classify_all + group_by_interval + estimate_inputs + measure_rate): the
+// same classifier runs underneath, flows are re-sorted by start time with a
+// deterministic tie-break, and rate bins accumulate integral byte counts,
+// which double-precision addition sums exactly in any order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/report.hpp"
+#include "api/trace_source.hpp"
+#include "flow/classifier.hpp"
+#include "measure/rate_meter.hpp"
+#include "net/packet.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace fbm::api {
+
+/// Flow definition (paper Section III): the 5-tuple itself, or the
+/// destination /24 prefix.
+enum class FlowDefinition { five_tuple, prefix24 };
+
+/// Builder-style configuration for AnalysisPipeline.
+class AnalysisConfig {
+ public:
+  AnalysisConfig& flow_definition(FlowDefinition v) { flow_def_ = v; return *this; }
+  /// Idle gap that terminates a flow (paper: 60 s).
+  AnalysisConfig& timeout_s(double v) { timeout_s_ = v; return *this; }
+  /// Analysis-interval length (paper: 30 minutes).
+  AnalysisConfig& interval_s(double v) { interval_s_ = v; return *this; }
+  /// Rate-averaging window Delta (paper: 200 ms).
+  AnalysisConfig& delta_s(double v) { delta_s_ = v; return *this; }
+  /// Target congestion probability for dimensioning (Section VII-A).
+  AnalysisConfig& epsilon(double v) { eps_ = v; return *this; }
+  /// Suppress reports for intervals with fewer flows than this.
+  AnalysisConfig& min_flows(std::size_t v) { min_flows_ = v; return *this; }
+  /// Skip fitting and force this power-shot b everywhere.
+  AnalysisConfig& fixed_shot_b(double v) { fixed_b_ = v; return *this; }
+  /// Shot power used when the fit is unavailable (default: triangular).
+  AnalysisConfig& fallback_shot_b(double v) { fallback_b_ = v; return *this; }
+  /// Carry each interval's FlowRecords in its report (costs memory).
+  AnalysisConfig& keep_flows(bool v) { keep_flows_ = v; return *this; }
+  /// How often (in trace time) idle flows are expired and intervals closed.
+  AnalysisConfig& expire_every_s(double v) { expire_every_s_ = v; return *this; }
+
+  [[nodiscard]] FlowDefinition flow_definition() const { return flow_def_; }
+  [[nodiscard]] double timeout_s() const { return timeout_s_; }
+  [[nodiscard]] double interval_s() const { return interval_s_; }
+  [[nodiscard]] double delta_s() const { return delta_s_; }
+  [[nodiscard]] double epsilon() const { return eps_; }
+  [[nodiscard]] std::size_t min_flows() const { return min_flows_; }
+  [[nodiscard]] double fixed_shot_b() const { return fixed_b_; }
+  [[nodiscard]] bool has_fixed_shot_b() const { return fixed_b_ >= 0.0; }
+  [[nodiscard]] double fallback_shot_b() const { return fallback_b_; }
+  [[nodiscard]] bool keep_flows() const { return keep_flows_; }
+  [[nodiscard]] double expire_every_s() const { return expire_every_s_; }
+
+ private:
+  FlowDefinition flow_def_ = FlowDefinition::five_tuple;
+  double timeout_s_ = 60.0;
+  double interval_s_ = 60.0;
+  double delta_s_ = measure::kPaperDelta;
+  double eps_ = 0.01;
+  std::size_t min_flows_ = 0;
+  double fixed_b_ = -1.0;  ///< < 0 means "fit per interval"
+  double fallback_b_ = 1.0;
+  bool keep_flows_ = false;
+  double expire_every_s_ = 1.0;
+};
+
+/// Streaming pipeline: push packets (timestamp order), poll reports.
+/// Reports are emitted in interval order; every interval index up to the
+/// last packet's interval gets exactly one report (unless filtered by
+/// min_flows), so indices line up with wall-clock windows as in the batch
+/// group_by_interval.
+class AnalysisPipeline {
+ public:
+  /// Type-erased FlowClassifier<Key> (the key is chosen at runtime);
+  /// public only so implementations can derive from it.
+  class ClassifierHandle;
+
+  /// Throws std::invalid_argument on non-positive timeout/interval/delta.
+  explicit AnalysisPipeline(AnalysisConfig config);
+  ~AnalysisPipeline();
+  AnalysisPipeline(AnalysisPipeline&&) noexcept;
+  AnalysisPipeline& operator=(AnalysisPipeline&&) noexcept;
+
+  /// Feed the next packet; timestamps must be non-decreasing (throws
+  /// std::invalid_argument otherwise).
+  void push(const net::PacketRecord& packet);
+
+  /// End of stream: flush the classifier and close all pending intervals.
+  /// push() must not be called afterwards.
+  void finish();
+
+  /// Convenience: drain an entire source through the pipeline and finish.
+  void consume(TraceSource& source);
+
+  /// Closed-interval reports ready so far, oldest first.
+  [[nodiscard]] bool has_report() const { return !ready_.empty(); }
+  [[nodiscard]] AnalysisReport pop_report();
+  /// All pending reports at once (clears the queue).
+  [[nodiscard]] std::vector<AnalysisReport> take_reports();
+
+  /// Running totals over everything pushed so far.
+  [[nodiscard]] const trace::TraceSummary& summary() const { return summary_; }
+  [[nodiscard]] const flow::ClassifierCounters& counters() const;
+  [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+
+  /// Observability for the bounded-memory story: intervals currently held
+  /// open and flows currently tracked by the classifier.
+  [[nodiscard]] std::size_t open_intervals() const { return open_.size(); }
+  [[nodiscard]] std::size_t active_flows() const;
+
+ private:
+  /// One packet's contribution to the rate measurement (timestamps stay
+  /// exact; sizes are integral bytes, so bin sums are exact in doubles).
+  struct PacketEvent {
+    double timestamp;
+    std::uint32_t size_bytes;
+  };
+  struct OpenInterval {
+    std::vector<PacketEvent> events;
+    std::vector<flow::FlowRecord> flows;
+    std::vector<flow::DiscardedPacket> discards;
+  };
+
+  [[nodiscard]] std::int64_t interval_index(double ts) const;
+  void drain_classifier();
+  void sweep(double now);
+  void close_through(std::int64_t last_index);
+  void close_one(std::int64_t index, OpenInterval&& iv);
+
+  AnalysisConfig config_;
+  std::unique_ptr<ClassifierHandle> classifier_;
+  std::map<std::int64_t, OpenInterval> open_;
+  std::deque<AnalysisReport> ready_;
+  trace::TraceSummary summary_;
+  double next_sweep_ = 0.0;
+  std::int64_t next_close_ = 0;  ///< lowest interval index not yet closed
+  std::int64_t max_index_ = -1;  ///< highest interval index seen
+  bool finished_ = false;
+};
+
+/// One-shot convenience: run a whole source through a fresh pipeline and
+/// return every report.
+[[nodiscard]] std::vector<AnalysisReport> analyze(TraceSource& source,
+                                                  const AnalysisConfig& config);
+[[nodiscard]] std::vector<AnalysisReport> analyze(
+    std::span<const net::PacketRecord> packets, const AnalysisConfig& config);
+
+}  // namespace fbm::api

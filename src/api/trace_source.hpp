@@ -1,0 +1,196 @@
+// Streaming packet sources (fbm::api, stage 1 of the pipeline).
+//
+// A TraceSource delivers PacketRecords one at a time in non-decreasing
+// timestamp order, so consumers — above all api::AnalysisPipeline — never
+// need a whole trace in memory. Implementations wrap every way this
+// repository can produce packets:
+//
+//   FileTraceSource       .fbmt files, truly streaming (O(1) memory)
+//   VectorTraceSource     any in-memory vector (also serves pcap/csv, whose
+//                         readers are batch; the memory cost is explicit)
+//   SyntheticTraceSource  the trace/synthetic generator
+//   ModelTraceSource      packets synthesized from the shot-noise model
+//                         itself (Poisson arrivals, power-shot pacing),
+//                         streaming with O(active flows) memory
+//
+// open_trace() picks the right reader from the file extension, mirroring
+// what tools/fbm_analyze did by hand.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "net/packet.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_format.hpp"
+
+namespace fbm::api {
+
+/// Pull-based packet stream. Timestamps are non-decreasing.
+class TraceSource {
+ public:
+  static constexpr std::uint64_t kUnknownCount = ~std::uint64_t{0};
+
+  virtual ~TraceSource() = default;
+
+  /// Next packet, or nullopt at end of stream.
+  [[nodiscard]] virtual std::optional<net::PacketRecord> next() = 0;
+
+  /// Total packets this source will deliver, when knowable up front
+  /// (kUnknownCount otherwise). A hint, not a contract.
+  [[nodiscard]] virtual std::uint64_t count_hint() const {
+    return kUnknownCount;
+  }
+
+  /// Drains the stream through `fn(const net::PacketRecord&)`; returns the
+  /// number of packets delivered.
+  template <typename F>
+  std::uint64_t for_each(F&& fn) {
+    std::uint64_t n = 0;
+    while (auto p = next()) {
+      fn(*p);
+      ++n;
+    }
+    return n;
+  }
+};
+
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+/// Serves an in-memory vector (must already be timestamp-sorted).
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<net::PacketRecord> packets);
+
+  [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::uint64_t count_hint() const override {
+    return packets_.size();
+  }
+
+ private:
+  std::vector<net::PacketRecord> packets_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams a native .fbmt file record by record (O(1) memory).
+class FileTraceSource final : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::filesystem::path& path);
+
+  [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::uint64_t count_hint() const override;
+
+ private:
+  trace::TraceReader reader_;
+};
+
+/// Wraps the synthetic backbone generator. Generation happens eagerly in
+/// the constructor (the generator sorts globally), then packets stream out.
+class SyntheticTraceSource final : public TraceSource {
+ public:
+  explicit SyntheticTraceSource(const trace::SyntheticConfig& config);
+
+  [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::uint64_t count_hint() const override;
+
+  /// What the generator actually produced.
+  [[nodiscard]] const trace::GenerationReport& report() const {
+    return report_;
+  }
+
+ private:
+  trace::GenerationReport report_;
+  VectorTraceSource inner_;
+};
+
+/// Model-driven source: simulates the paper's shot-noise model directly and
+/// packetizes it. Flows arrive as a Poisson process; each draws (S, D)
+/// either from parametric distributions or jointly from an empirical
+/// resample pool (preserving the S-D correlation, as gen::generate does for
+/// the fluid process); packets are paced so the cumulative bits sent at age
+/// u follow the power shot S * (u/D)^(b+1).
+///
+/// Unlike gen::generate (a fluid RateSeries), this emits discrete packets,
+/// so the full analysis pipeline — classification included — can run on
+/// model output. Memory is O(active flows): a heap of per-flow cursors.
+struct ModelSourceConfig {
+  double duration_s = 60.0;
+  double lambda = 100.0;        ///< flow arrivals per second
+  double shot_b = 1.0;          ///< power-shot pacing (0 rect, 1 triangle)
+
+  /// Parametric source: size (bits) and duration (s) drawn independently.
+  stats::DistributionPtr size_bits;
+  stats::DistributionPtr duration_s_dist;
+  /// Empirical source: when non-empty, (S, D) resampled jointly from here
+  /// and the parametric distributions are ignored.
+  std::vector<core::FlowSample> resample_pool;
+
+  std::uint32_t packet_bytes = 1000;  ///< packetization quantum
+  std::size_t prefix_pool = 128;      ///< distinct /24 destination prefixes
+  std::uint64_t seed = stats::Rng::default_seed;
+};
+
+class ModelTraceSource final : public TraceSource {
+ public:
+  /// Throws std::invalid_argument on inconsistent configuration.
+  explicit ModelTraceSource(ModelSourceConfig config);
+
+  /// Convenience: drive the source with a fitted model's lambda, empirical
+  /// population, and (power) shot.
+  ModelTraceSource(const core::ShotNoiseModel& model, double duration_s,
+                   double shot_b);
+
+  [[nodiscard]] std::optional<net::PacketRecord> next() override;
+
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_; }
+
+ private:
+  struct ActiveFlow {
+    double start = 0.0;
+    double size_bits = 0.0;
+    double duration_s = 0.0;
+    std::uint64_t bytes_left = 0;
+    std::uint64_t packets_sent = 0;
+    double next_packet_ts = 0.0;
+    net::FiveTuple tuple;
+  };
+  struct ByNextPacket {
+    [[nodiscard]] bool operator()(const ActiveFlow& a,
+                                  const ActiveFlow& b) const {
+      return a.next_packet_ts > b.next_packet_ts;  // min-heap
+    }
+  };
+
+  void start_flow(double t0);
+  void schedule_next_packet(ActiveFlow& f) const;
+
+  ModelSourceConfig config_;
+  stats::Rng rng_;
+  double next_arrival_ = 0.0;
+  bool arrivals_done_ = false;
+  std::uint64_t flows_ = 0;
+  std::priority_queue<ActiveFlow, std::vector<ActiveFlow>, ByNextPacket>
+      active_;
+};
+
+/// Opens a trace file by extension: .fbmt streams, .pcap / .csv are read
+/// through the existing batch importers and served from memory. Throws
+/// std::runtime_error for unreadable files.
+[[nodiscard]] TraceSourcePtr open_trace(const std::filesystem::path& path);
+
+/// Factory helpers, for symmetry with open_trace().
+[[nodiscard]] TraceSourcePtr make_vector_source(
+    std::vector<net::PacketRecord> packets);
+[[nodiscard]] TraceSourcePtr make_synthetic_source(
+    const trace::SyntheticConfig& config);
+[[nodiscard]] TraceSourcePtr make_model_source(ModelSourceConfig config);
+
+}  // namespace fbm::api

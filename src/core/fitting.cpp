@@ -32,7 +32,7 @@ void OnlineEstimator::observe(const flow::FlowRecord& flow) {
   // arrival order; clamp so the rate estimator sees a monotone clock.
   last_start_ = std::max(last_start_, flow.start);
   arrival_rate_.observe(last_start_);
-  const double s = static_cast<double>(flow.bytes) * 8.0;
+  const double s = flow.size_bits();
   mean_size_bits_.update(s);
   const double d = std::max(flow.duration(), min_duration_s_);
   mean_s2_over_d_.update(s * s / d);

@@ -12,7 +12,7 @@ std::vector<FlowSample> to_samples(std::span<const flow::FlowRecord> flows,
   std::vector<FlowSample> out;
   out.reserve(flows.size());
   for (const auto& f : flows) {
-    out.push_back({static_cast<double>(f.bytes) * 8.0,
+    out.push_back({f.size_bits(),
                    std::max(f.duration(), min_duration_s)});
   }
   return out;

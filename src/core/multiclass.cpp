@@ -76,7 +76,7 @@ MulticlassModel split_by_size(const flow::IntervalData& interval,
   std::vector<flow::FlowRecord> small;
   std::vector<flow::FlowRecord> large;
   for (const auto& f : interval.flows) {
-    (static_cast<double>(f.bytes) < threshold_bytes ? small : large)
+    (static_cast<double>(f.size_bytes) < threshold_bytes ? small : large)
         .push_back(f);
   }
   if (small.empty() && large.empty()) {

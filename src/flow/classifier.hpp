@@ -90,7 +90,7 @@ struct ClassifierOptions {
 /// A packet belonging to a discarded single-packet flow.
 struct DiscardedPacket {
   double timestamp;
-  std::uint64_t bytes;
+  std::uint64_t size_bytes;
 };
 
 struct ClassifierCounters {
@@ -152,11 +152,11 @@ class FlowClassifier {
     if (inserted || a.record.packets == 0) {
       a.record.start = packet.timestamp;
       a.record.end = packet.timestamp;
-      a.record.bytes = 0;
+      a.record.size_bytes = 0;
       a.record.packets = 0;
     }
     a.record.end = packet.timestamp;
-    a.record.bytes += packet.size_bytes;
+    a.record.size_bytes += packet.size_bytes;
     ++a.record.packets;
   }
 
@@ -198,6 +198,11 @@ class FlowClassifier {
   [[nodiscard]] const std::vector<DiscardedPacket>& discards() const {
     return discards_;
   }
+  /// Takes ownership of the discard list (streaming consumers drain it so
+  /// it does not grow with the trace).
+  [[nodiscard]] std::vector<DiscardedPacket> take_discards() {
+    return std::exchange(discards_, {});
+  }
 
  private:
   struct Active {
@@ -214,7 +219,7 @@ class FlowClassifier {
     if (rec.packets == 1 && options_.discard_single_packet) {
       ++counters_.single_packet_discards;
       if (options_.record_discards) {
-        discards_.push_back({rec.start, rec.bytes});
+        discards_.push_back({rec.start, rec.size_bytes});
       }
       return;
     }
@@ -245,10 +250,7 @@ template <typename KeyExtractor>
   for (const auto& p : packets) c.add(p);
   c.flush();
   auto flows = c.take_flows();
-  std::sort(flows.begin(), flows.end(),
-            [](const FlowRecord& a, const FlowRecord& b) {
-              return a.start < b.start;
-            });
+  std::sort(flows.begin(), flows.end(), ByStart{});
   if (counters) *counters = c.counters();
   return flows;
 }

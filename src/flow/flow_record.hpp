@@ -6,13 +6,19 @@
 namespace fbm::flow {
 
 /// One completed flow (or flow piece after interval splitting).
-/// Size is in bytes; the model converts to bits where rates are needed.
+/// The on-wire size is stored in bytes; use size_bits() where the model
+/// needs bits (all rates in this codebase are bits/s).
 struct FlowRecord {
   double start = 0.0;   ///< timestamp of the first packet (T_n)
   double end = 0.0;     ///< timestamp of the last packet
-  std::uint64_t bytes = 0;   ///< S_n
+  std::uint64_t size_bytes = 0;   ///< S_n, bytes on the wire
   std::uint64_t packets = 0;
   bool continued = false;    ///< piece of a flow split at an interval boundary
+
+  /// S_n in model units (bits).
+  [[nodiscard]] double size_bits() const {
+    return static_cast<double>(size_bytes) * 8.0;
+  }
 
   /// D_n = time between first and last packet (paper Section III).
   [[nodiscard]] double duration() const { return end - start; }
@@ -20,7 +26,21 @@ struct FlowRecord {
   /// Mean rate S_n/D_n in bits/s; 0 for zero-duration flows.
   [[nodiscard]] double mean_rate_bps() const {
     const double d = duration();
-    return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
+    return d > 0.0 ? size_bits() / d : 0.0;
+  }
+};
+
+/// Strict-weak ordering by start time with full tie-breaking, so sorting a
+/// permuted set of records is deterministic regardless of input order (the
+/// streaming and batch pipelines must agree bit-for-bit).
+struct ByStart {
+  [[nodiscard]] bool operator()(const FlowRecord& a,
+                                const FlowRecord& b) const {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end < b.end;
+    if (a.size_bytes != b.size_bytes) return a.size_bytes < b.size_bytes;
+    if (a.packets != b.packets) return a.packets < b.packets;
+    return a.continued < b.continued;
   }
 };
 

@@ -26,7 +26,7 @@ PopulationDiagnostics diagnose_population(std::span<const FlowRecord> flows,
   sizes.reserve(flows.size());
   durations.reserve(flows.size());
   for (const auto& f : flows) {
-    sizes.push_back(static_cast<double>(f.bytes));
+    sizes.push_back(static_cast<double>(f.size_bytes));
     durations.push_back(f.duration());
   }
 

@@ -30,10 +30,7 @@ std::vector<IntervalData> group_by_interval(std::span<const FlowRecord> flows,
     if (idx < out.size()) out[idx].flows.push_back(f);
   }
   for (auto& iv : out) {
-    std::sort(iv.flows.begin(), iv.flows.end(),
-              [](const FlowRecord& a, const FlowRecord& b) {
-                return a.start < b.start;
-              });
+    std::sort(iv.flows.begin(), iv.flows.end(), ByStart{});
   }
   return out;
 }
@@ -48,7 +45,7 @@ ModelInputs estimate_inputs(const IntervalData& interval,
   stats::RunningStats size_bits;
   stats::RunningStats s2_over_d;
   for (const auto& f : interval.flows) {
-    const double s = static_cast<double>(f.bytes) * 8.0;
+    const double s = f.size_bits();
     size_bits.add(s);
     const double d = std::max(f.duration(), min_duration_s);
     s2_over_d.add(s * s / d);
@@ -72,7 +69,7 @@ std::vector<double> sizes_bytes(const IntervalData& interval) {
   std::vector<double> out;
   out.reserve(interval.flows.size());
   for (const auto& f : interval.flows) {
-    out.push_back(static_cast<double>(f.bytes));
+    out.push_back(static_cast<double>(f.size_bytes));
   }
   return out;
 }

@@ -14,7 +14,7 @@ stats::RateSeries measure_rate(std::span<const net::PacketRecord> packets,
     binner.add(p.timestamp, static_cast<double>(p.size_bytes));
   }
   for (const auto& d : exclude) {
-    binner.add(d.timestamp, -static_cast<double>(d.bytes));
+    binner.add(d.timestamp, -static_cast<double>(d.size_bytes));
   }
   return binner.series();
 }
@@ -26,7 +26,7 @@ RateMoments rate_moments(const stats::RateSeries& series) {
   stats::RunningStats s;
   for (double v : series.values) s.add(v);
   m.mean_bps = s.mean();
-  m.variance = s.population_variance();
+  m.variance_bps2 = s.population_variance();
   m.cov = s.coefficient_of_variation();
   return m;
 }

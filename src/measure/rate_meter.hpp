@@ -28,8 +28,8 @@ inline constexpr double kPaperDelta = 0.2;  ///< 200 ms averaging interval
 /// Measured first two moments of one interval's rate.
 struct RateMoments {
   double mean_bps = 0.0;
-  double variance = 0.0;       ///< population variance, (bits/s)^2
-  double cov = 0.0;            ///< stddev/mean
+  double variance_bps2 = 0.0;  ///< population variance, (bits/s)^2
+  double cov = 0.0;            ///< stddev/mean, dimensionless
   std::size_t samples = 0;
 };
 

@@ -153,7 +153,7 @@ std::vector<net::PacketRecord> generate_packets(const SyntheticConfig& cfg,
       if (ts >= config.duration_s) break;  // capture horizon
       packets.push_back({ts, tuple, e.size_bytes});
       ++rep.packets;
-      rep.bytes += e.size_bytes;
+      rep.total_bytes += e.size_bytes;
     }
   }
 

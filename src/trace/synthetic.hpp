@@ -60,12 +60,13 @@ struct SyntheticConfig {
 struct GenerationReport {
   std::uint64_t flows = 0;
   std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t total_bytes = 0;
   double duration_s = 0.0;
 
   [[nodiscard]] double mean_rate_bps() const {
-    return duration_s > 0.0 ? static_cast<double>(bytes) * 8.0 / duration_s
-                            : 0.0;
+    return duration_s > 0.0
+               ? static_cast<double>(total_bytes) * 8.0 / duration_s
+               : 0.0;
   }
 };
 

@@ -18,7 +18,7 @@ void accumulate(TraceSummary& s, const net::PacketRecord& r) {
     s.first_ts = std::min(s.first_ts, r.timestamp);
   }
   ++s.packets;
-  s.bytes += r.size_bytes;
+  s.total_bytes += r.size_bytes;
 }
 
 }  // namespace

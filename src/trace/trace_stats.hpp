@@ -12,7 +12,7 @@ namespace fbm::trace {
 
 struct TraceSummary {
   std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t total_bytes = 0;
   double first_ts = 0.0;
   double last_ts = 0.0;
 
@@ -21,12 +21,12 @@ struct TraceSummary {
   }
   [[nodiscard]] double mean_rate_bps() const {
     const double d = duration_s();
-    return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
+    return d > 0.0 ? static_cast<double>(total_bytes) * 8.0 / d : 0.0;
   }
   [[nodiscard]] double mean_rate_mbps() const { return mean_rate_bps() / 1e6; }
   [[nodiscard]] double mean_packet_bytes() const {
     return packets == 0 ? 0.0
-                        : static_cast<double>(bytes) /
+                        : static_cast<double>(total_bytes) /
                               static_cast<double>(packets);
   }
 };

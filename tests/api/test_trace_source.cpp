@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "api/trace_source.hpp"
+#include "stats/distributions.hpp"
+#include "trace/trace_format.hpp"
+
+namespace fbm {
+namespace {
+
+std::vector<net::PacketRecord> tiny_trace() {
+  std::vector<net::PacketRecord> out;
+  net::FiveTuple t;
+  t.src = net::Ipv4Address(10, 0, 0, 1);
+  t.dst = net::Ipv4Address(10, 0, 1, 1);
+  t.src_port = 1234;
+  t.dst_port = 80;
+  t.protocol = 6;
+  for (int i = 0; i < 5; ++i) {
+    out.push_back({0.1 * i, t, static_cast<std::uint32_t>(100 + i)});
+  }
+  return out;
+}
+
+TEST(VectorTraceSource, StreamsInOrder) {
+  const auto packets = tiny_trace();
+  api::VectorTraceSource source(packets);
+  EXPECT_EQ(source.count_hint(), packets.size());
+  for (const auto& expected : packets) {
+    const auto p = source.next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, expected);
+  }
+  EXPECT_FALSE(source.next().has_value());
+  EXPECT_FALSE(source.next().has_value());  // stays exhausted
+}
+
+TEST(FileTraceSource, StreamsAnFbmtFileWithoutMaterializing) {
+  const auto packets = tiny_trace();
+  const auto path =
+      std::filesystem::temp_directory_path() / "fbm_api_source_test.fbmt";
+  trace::write_trace(path, packets);
+
+  api::FileTraceSource source(path);
+  EXPECT_EQ(source.count_hint(), packets.size());
+  std::size_t n = 0;
+  source.for_each([&](const net::PacketRecord& p) {
+    EXPECT_EQ(p, packets[n]);
+    ++n;
+  });
+  EXPECT_EQ(n, packets.size());
+  std::filesystem::remove(path);
+}
+
+TEST(OpenTrace, DispatchesOnExtension) {
+  const auto packets = tiny_trace();
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto fbmt = dir / "fbm_api_open_test.fbmt";
+  const auto csv = dir / "fbm_api_open_test.csv";
+  trace::write_trace(fbmt, packets);
+  trace::export_csv(csv, packets);
+
+  for (const auto& path : {fbmt, csv}) {
+    SCOPED_TRACE(path.string());
+    auto source = api::open_trace(path);
+    std::size_t n = 0;
+    source->for_each([&](const net::PacketRecord&) { ++n; });
+    EXPECT_EQ(n, packets.size());
+  }
+  std::filesystem::remove(fbmt);
+  std::filesystem::remove(csv);
+}
+
+TEST(SyntheticTraceSource, MatchesTheGenerator) {
+  trace::SyntheticConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.apply_defaults();
+  cfg.seed = 11;
+  const auto direct = trace::generate_packets(cfg);
+
+  api::SyntheticTraceSource source(cfg);
+  EXPECT_EQ(source.count_hint(), direct.size());
+  EXPECT_EQ(source.report().packets, direct.size());
+  std::size_t n = 0;
+  source.for_each([&](const net::PacketRecord& p) {
+    ASSERT_LT(n, direct.size());
+    EXPECT_EQ(p, direct[n]);
+    ++n;
+  });
+  EXPECT_EQ(n, direct.size());
+}
+
+api::ModelSourceConfig model_config() {
+  api::ModelSourceConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.lambda = 50.0;
+  cfg.shot_b = 1.0;
+  cfg.size_bits = std::make_shared<stats::LogNormal>(
+      std::log(4e4), 1.0);
+  cfg.duration_s_dist =
+      std::make_shared<stats::LogNormal>(std::log(0.5), 0.8);
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(ModelTraceSource, EmitsTimestampOrderedPacketsInsideTheHorizon) {
+  api::ModelTraceSource source(model_config());
+  double last = -1.0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  source.for_each([&](const net::PacketRecord& p) {
+    EXPECT_GE(p.timestamp, last);
+    EXPECT_LT(p.timestamp, 20.0);
+    EXPECT_GT(p.size_bytes, 0u);
+    last = p.timestamp;
+    ++packets;
+    bytes += p.size_bytes;
+  });
+  EXPECT_GT(source.flows_started(), 500u);  // ~lambda * duration
+  EXPECT_LT(source.flows_started(), 1500u);
+  EXPECT_GT(packets, source.flows_started());  // multi-packet flows exist
+  // Offered load ~ lambda * E[S]; generous band (horizon truncation).
+  const double rate_bps = static_cast<double>(bytes) * 8.0 / 20.0;
+  const double expected = 50.0 * 4e4 * std::exp(0.5);  // lognormal mean
+  EXPECT_GT(rate_bps, 0.3 * expected);
+  EXPECT_LT(rate_bps, 1.5 * expected);
+}
+
+TEST(ModelTraceSource, IsDeterministicPerSeed) {
+  api::ModelTraceSource a(model_config());
+  api::ModelTraceSource b(model_config());
+  while (true) {
+    const auto pa = a.next();
+    const auto pb = b.next();
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    EXPECT_EQ(*pa, *pb);
+  }
+}
+
+TEST(ModelTraceSource, RejectsBadConfig) {
+  auto cfg = model_config();
+  cfg.lambda = 0.0;
+  EXPECT_THROW(api::ModelTraceSource{cfg}, std::invalid_argument);
+  cfg = model_config();
+  cfg.size_bits = nullptr;
+  cfg.resample_pool.clear();
+  EXPECT_THROW(api::ModelTraceSource{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbm

@@ -82,7 +82,7 @@ TEST(OnlineEstimator, ConvergesToPopulationValues) {
     flow::FlowRecord f;
     f.start = t;
     f.end = t + 0.5;              // constant duration
-    f.bytes = 1000;               // constant size: S = 8000 bits
+    f.size_bytes = 1000;               // constant size: S = 8000 bits
     f.packets = 3;
     est.observe(f);
   }
@@ -101,7 +101,7 @@ TEST(OnlineEstimator, TracksRegimeChange) {
     flow::FlowRecord f;
     f.start = t;
     f.end = t + 1.0;
-    f.bytes = 1000;
+    f.size_bytes = 1000;
     est.observe(f);
   }
   const double before = est.inputs().mean_size_bits;
@@ -110,7 +110,7 @@ TEST(OnlineEstimator, TracksRegimeChange) {
     flow::FlowRecord f;
     f.start = t;
     f.end = t + 1.0;
-    f.bytes = 5000;  // regime change
+    f.size_bytes = 5000;  // regime change
     est.observe(f);
   }
   const double after = est.inputs().mean_size_bits;
@@ -123,7 +123,7 @@ TEST(OnlineEstimator, ToleratesOutOfOrderCompletionTimes) {
   // early start after later flows were already seen.
   OnlineEstimator est(0.1);
   flow::FlowRecord f;
-  f.bytes = 1000;
+  f.size_bytes = 1000;
   for (double start : {1.0, 2.0, 0.5, 3.0, 2.5, 4.0}) {
     f.start = start;
     f.end = start + 1.0;
@@ -137,7 +137,7 @@ TEST(OnlineEstimator, MinDurationGuard) {
   flow::FlowRecord f;
   f.start = 1.0;
   f.end = 1.0;  // zero duration
-  f.bytes = 125;
+  f.size_bytes = 125;
   est.observe(f);
   EXPECT_NEAR(est.inputs().mean_s2_over_d, 1000.0 * 1000.0 / 1e-3, 1e-6);
 }

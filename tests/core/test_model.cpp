@@ -194,7 +194,7 @@ TEST(Model, FromIntervalUsesIntervalLambda) {
     flow::FlowRecord f;
     f.start = 0.2 * i;
     f.end = f.start + 1.0;
-    f.bytes = 1000;
+    f.size_bytes = 1000;
     f.packets = 2;
     iv.flows.push_back(f);
   }
@@ -211,7 +211,7 @@ TEST(Model, ToSamplesClampsDurations) {
   std::vector<flow::FlowRecord> flows(1);
   flows[0].start = 1.0;
   flows[0].end = 1.0;
-  flows[0].bytes = 100;
+  flows[0].size_bytes = 100;
   const auto samples = to_samples(flows, 1e-3);
   ASSERT_EQ(samples.size(), 1u);
   EXPECT_DOUBLE_EQ(samples[0].duration_s, 1e-3);

@@ -71,7 +71,7 @@ TEST(SplitBySize, PartitionsAndUsesPerClassShots) {
     flow::FlowRecord f;
     f.start = rng.uniform(0.0, 10.0);
     f.end = f.start + 1.0;
-    f.bytes = i % 10 == 0 ? 500000 : 5000;  // 10% elephants
+    f.size_bytes = i % 10 == 0 ? 500000 : 5000;  // 10% elephants
     f.packets = 3;
     iv.flows.push_back(f);
   }
@@ -93,7 +93,7 @@ TEST(SplitBySize, AllFlowsOnOneSideGivesOneClass) {
   flow::FlowRecord f;
   f.start = 1.0;
   f.end = 2.0;
-  f.bytes = 100;
+  f.size_bytes = 100;
   f.packets = 2;
   iv.flows.push_back(f);
   const auto mc = split_by_size(iv, 1e9, rectangular_shot(),

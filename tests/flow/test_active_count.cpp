@@ -11,7 +11,7 @@ FlowRecord flow(double start, double duration) {
   FlowRecord f;
   f.start = start;
   f.end = start + duration;
-  f.bytes = 1000;
+  f.size_bytes = 1000;
   f.packets = 2;
   return f;
 }

@@ -32,7 +32,7 @@ TEST(Classifier, GroupsPacketsOfSameTuple) {
   EXPECT_DOUBLE_EQ(f.start, 0.0);
   EXPECT_DOUBLE_EQ(f.end, 2.5);
   EXPECT_DOUBLE_EQ(f.duration(), 2.5);
-  EXPECT_EQ(f.bytes, 300u);
+  EXPECT_EQ(f.size_bytes, 300u);
   EXPECT_EQ(f.packets, 3u);
 }
 
@@ -94,7 +94,7 @@ TEST(Classifier, RecordsDiscardedPackets) {
   c.flush();
   ASSERT_EQ(c.discards().size(), 1u);
   EXPECT_DOUBLE_EQ(c.discards()[0].timestamp, 3.0);
-  EXPECT_EQ(c.discards()[0].bytes, 77u);
+  EXPECT_EQ(c.discards()[0].size_bytes, 77u);
 }
 
 TEST(Classifier, IntervalBoundarySplitsAndFlags) {
@@ -151,7 +151,7 @@ TEST(Classifier, PrefixKeyAggregatesAcrossPorts) {
   c.flush();
   ASSERT_EQ(c.flows().size(), 1u);
   EXPECT_EQ(c.flows()[0].packets, 3u);
-  EXPECT_EQ(c.flows()[0].bytes, 300u);
+  EXPECT_EQ(c.flows()[0].size_bytes, 300u);
 }
 
 TEST(Classifier, PrefixKeySeparatesDifferentPrefixes) {
@@ -275,7 +275,7 @@ TEST(FlowRecord, MeanRate) {
   FlowRecord f;
   f.start = 0.0;
   f.end = 2.0;
-  f.bytes = 1000;
+  f.size_bytes = 1000;
   EXPECT_DOUBLE_EQ(f.mean_rate_bps(), 4000.0);
   f.end = 0.0;
   EXPECT_DOUBLE_EQ(f.mean_rate_bps(), 0.0);

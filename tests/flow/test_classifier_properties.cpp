@@ -64,9 +64,9 @@ class ClassifierInvariants : public ::testing::TestWithParam<Param> {
 TEST_P(ClassifierInvariants, BytesAreConserved) {
   const auto r = classify();
   std::uint64_t flow_bytes = 0;
-  for (const auto& f : r.flows) flow_bytes += f.bytes;
+  for (const auto& f : r.flows) flow_bytes += f.size_bytes;
   std::uint64_t discard_bytes = 0;
-  for (const auto& d : r.discards) discard_bytes += d.bytes;
+  for (const auto& d : r.discards) discard_bytes += d.size_bytes;
   std::uint64_t packet_bytes = 0;
   for (const auto& p : packets()) packet_bytes += p.size_bytes;
   EXPECT_EQ(flow_bytes + discard_bytes, packet_bytes);
@@ -86,7 +86,7 @@ TEST_P(ClassifierInvariants, EveryFlowIsWellFormed) {
   for (const auto& f : r.flows) {
     EXPECT_GE(f.duration(), 0.0);
     EXPECT_GE(f.packets, 2u);  // singles are discarded
-    EXPECT_GT(f.bytes, 0u);
+    EXPECT_GT(f.size_bytes, 0u);
     // A flow piece never spans more than one analysis interval.
     if (std::isfinite(interval)) {
       const auto start_idx = static_cast<long>(f.start / interval);
@@ -139,7 +139,7 @@ TEST_P(ClassifierInvariants, DeterministicAcrossRuns) {
   ASSERT_EQ(a.flows.size(), b.flows.size());
   for (std::size_t i = 0; i < a.flows.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.flows[i].start, b.flows[i].start);
-    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+    EXPECT_EQ(a.flows[i].size_bytes, b.flows[i].size_bytes);
   }
 }
 

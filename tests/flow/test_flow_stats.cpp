@@ -21,7 +21,7 @@ std::vector<FlowRecord> poisson_population(std::size_t n, double lambda,
     FlowRecord f;
     f.start = t;
     f.end = t + rng.exponential(0.5);
-    f.bytes = static_cast<std::uint64_t>(1 + rng.exponential(1.0 / 2e4));
+    f.size_bytes = static_cast<std::uint64_t>(1 + rng.exponential(1.0 / 2e4));
     f.packets = 2;
     flows.push_back(f);
   }
@@ -64,7 +64,7 @@ TEST(Diagnostics, PeriodicArrivalsAreNotExponential) {
     FlowRecord f;
     f.start = i * 0.01;  // deterministic arrivals
     f.end = f.start + 0.5;
-    f.bytes = 1000;
+    f.size_bytes = 1000;
     f.packets = 2;
     flows.push_back(f);
   }
@@ -83,7 +83,7 @@ TEST(Diagnostics, CorrelatedSizesAreDetected) {
     FlowRecord f;
     f.start = t;
     f.end = t + 0.5;
-    f.bytes = static_cast<std::uint64_t>(1 + s);
+    f.size_bytes = static_cast<std::uint64_t>(1 + s);
     f.packets = 2;
     flows.push_back(f);
   }

@@ -12,7 +12,7 @@ FlowRecord flow(double start, double duration, std::uint64_t bytes,
   FlowRecord f;
   f.start = start;
   f.end = start + duration;
-  f.bytes = bytes;
+  f.size_bytes = bytes;
   f.packets = 2;
   f.continued = continued;
   return f;

@@ -130,7 +130,7 @@ TEST(EndToEnd, CovWithin20PercentForSomePowerShot) {
   const auto mm = measure::rate_moments(series);
   ASSERT_GT(mm.cov, 0.0);
 
-  const auto b = core::fit_power_b(mm.variance, in);
+  const auto b = core::fit_power_b(mm.variance_bps2, in);
   ASSERT_TRUE(b.has_value());
   const double model_cov = core::power_shot_cov(in, *b);
   EXPECT_NEAR(model_cov, mm.cov, 0.2 * mm.cov);
@@ -146,7 +146,7 @@ TEST(EndToEnd, RectangularUnderestimatesMeasuredVariance) {
   const auto series = measure::measure_rate(p.packets, 0.0, p.horizon,
                                    measure::kPaperDelta, p.discards5);
   const auto mm = measure::rate_moments(series);
-  EXPECT_LT(core::power_shot_variance(in, 0.0), 1.2 * mm.variance);
+  EXPECT_LT(core::power_shot_variance(in, 0.0), 1.2 * mm.variance_bps2);
 }
 
 TEST(EndToEnd, HigherLambdaSmoothsTraffic) {

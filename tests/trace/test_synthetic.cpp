@@ -56,7 +56,7 @@ TEST(Synthetic, ReportIsConsistentWithPackets) {
   EXPECT_EQ(rep.packets, packets.size());
   std::uint64_t bytes = 0;
   for (const auto& p : packets) bytes += p.size_bytes;
-  EXPECT_EQ(rep.bytes, bytes);
+  EXPECT_EQ(rep.total_bytes, bytes);
   EXPECT_GT(rep.flows, 0u);
 }
 
@@ -193,7 +193,7 @@ TEST(TraceStats, SummaryOfGeneratedTrace) {
   const auto packets = generate_packets(small_config(), &rep);
   const TraceSummary s = summarize(packets);
   EXPECT_EQ(s.packets, rep.packets);
-  EXPECT_EQ(s.bytes, rep.bytes);
+  EXPECT_EQ(s.total_bytes, rep.total_bytes);
   EXPECT_GT(s.mean_rate_mbps(), 0.0);
   EXPECT_GT(s.mean_packet_bytes(), 0.0);
 }

@@ -2,26 +2,18 @@
 //
 // Usage:
 //   fbm_analyze <trace> [--interval S] [--timeout S] [--delta S]
-//               [--prefix24] [--eps P]
+//               [--prefix24] [--eps P] [--min-flows N] [--json]
 //
-// <trace> may be .fbmt (native), .pcap, or .csv. For each analysis interval
-// the tool prints the three model parameters, measured vs model mean and
-// CoV, the fitted shot power b, and a capacity recommendation.
+// <trace> may be .fbmt (native, streamed with window-bounded memory), .pcap,
+// or .csv. For each analysis interval the tool prints the three model
+// parameters, measured vs model mean and CoV, the fitted shot power b, and
+// a capacity recommendation; --json emits the same as one JSON document.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/fitting.hpp"
-#include "core/moments.hpp"
-#include "dimension/provisioning.hpp"
-#include "flow/classifier.hpp"
-#include "flow/interval.hpp"
-#include "measure/rate_meter.hpp"
-#include "trace/pcap.hpp"
-#include "trace/trace_format.hpp"
-#include "trace/trace_stats.hpp"
+#include "api/api.hpp"
 
 namespace {
 
@@ -32,12 +24,15 @@ struct Options {
   double delta = fbm::measure::kPaperDelta;
   bool prefix24 = false;
   double eps = 0.01;
+  std::size_t min_flows = 10;
+  bool json = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fbm_analyze <trace.fbmt|.pcap|.csv> [--interval S] "
-               "[--timeout S] [--delta S] [--prefix24] [--eps P]\n");
+               "[--timeout S] [--delta S] [--prefix24] [--eps P] "
+               "[--min-flows N] [--json]\n");
   std::exit(2);
 }
 
@@ -60,8 +55,12 @@ Options parse_args(int argc, char** argv) {
       opt.delta = need_value("--delta");
     } else if (arg == "--eps") {
       opt.eps = need_value("--eps");
+    } else if (arg == "--min-flows") {
+      opt.min_flows = static_cast<std::size_t>(need_value("--min-flows"));
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       usage();
@@ -75,88 +74,97 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-std::vector<fbm::net::PacketRecord> load(const std::string& path) {
-  const auto ends_with = [&](const char* suffix) {
-    const std::size_t n = std::strlen(suffix);
-    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
-  };
-  if (ends_with(".pcap")) return fbm::trace::import_pcap(path);
-  if (ends_with(".csv")) return fbm::trace::import_csv(path);
-  return fbm::trace::read_trace(path);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fbm;
   const Options opt = parse_args(argc, argv);
 
-  std::vector<net::PacketRecord> packets;
+  // Whole-trace mode needs the horizon before the pipeline is configured.
+  // Since a single interval spans the entire capture anyway (the pipeline
+  // holds the whole window), buffer the packets while finding the horizon
+  // and analyze from memory — one read of the file, not two.
+  double interval_s = opt.interval;
+  std::vector<net::PacketRecord> buffered;
   try {
-    packets = load(opt.path);
+    if (interval_s <= 0.0) {
+      auto probe = api::open_trace(opt.path);
+      probe->for_each(
+          [&](const net::PacketRecord& p) { buffered.push_back(p); });
+      if (buffered.empty()) {
+        std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+        return 1;
+      }
+      interval_s = buffered.back().timestamp + 1e-9;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  if (packets.empty()) {
+  if (!(interval_s > 0.0)) {
     std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
     return 1;
   }
 
-  const auto summary = trace::summarize(packets);
+  api::AnalysisConfig config;
+  config
+      .flow_definition(opt.prefix24 ? api::FlowDefinition::prefix24
+                                    : api::FlowDefinition::five_tuple)
+      .interval_s(interval_s)
+      .timeout_s(opt.timeout)
+      .delta_s(opt.delta)
+      .epsilon(opt.eps)
+      .min_flows(opt.min_flows);
+
+  api::AnalysisPipeline pipeline(config);
+  std::vector<api::AnalysisReport> reports;
+  try {
+    auto source = buffered.empty()
+                      ? api::open_trace(opt.path)
+                      : api::make_vector_source(std::move(buffered));
+    source->for_each([&](const net::PacketRecord& p) {
+      pipeline.push(p);
+      // Reports stream out as intervals close; memory stays window-bounded
+      // (interval mode reads the file directly, nothing buffered).
+      while (pipeline.has_report()) reports.push_back(pipeline.pop_report());
+    });
+    pipeline.finish();
+    for (auto& r : pipeline.take_reports()) reports.push_back(std::move(r));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const auto& summary = pipeline.summary();
+  if (summary.packets == 0) {
+    std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+    return 1;
+  }
+
+  if (opt.json) {
+    std::printf("%s\n", api::to_json(summary, reports).c_str());
+    return 0;
+  }
+
   std::printf("trace: %llu packets, %s, %.2f Mbps average, mean packet %.0f "
               "B\n",
               static_cast<unsigned long long>(summary.packets),
               trace::format_duration(summary.duration_s()).c_str(),
               summary.mean_rate_mbps(), summary.mean_packet_bytes());
+  std::printf("flows (%s): %llu completed\n\n",
+              opt.prefix24 ? "/24 prefix" : "5-tuple",
+              static_cast<unsigned long long>(
+                  pipeline.counters().flows_emitted));
 
-  const double horizon = summary.last_ts + 1e-9;
-  const double interval_s = opt.interval > 0.0 ? opt.interval : horizon;
-
-  flow::ClassifierOptions copt;
-  copt.timeout = opt.timeout;
-  copt.interval = interval_s;
-  copt.record_discards = true;
-
-  std::vector<flow::FlowRecord> flows;
-  std::vector<flow::DiscardedPacket> discards;
-  if (opt.prefix24) {
-    flow::Prefix24Classifier c(copt);
-    for (const auto& p : packets) c.add(p);
-    c.flush();
-    discards = c.discards();
-    flows = c.take_flows();
-  } else {
-    flow::FiveTupleClassifier c(copt);
-    for (const auto& p : packets) c.add(p);
-    c.flush();
-    discards = c.discards();
-    flows = c.take_flows();
-  }
-  std::sort(flows.begin(), flows.end(),
-            [](const auto& a, const auto& b) { return a.start < b.start; });
-  std::printf("flows (%s): %zu completed\n\n",
-              opt.prefix24 ? "/24 prefix" : "5-tuple", flows.size());
-
-  const auto intervals = flow::group_by_interval(flows, interval_s, horizon);
   std::printf("%8s %8s %10s %12s | %9s %9s | %7s %10s\n", "t0", "flows",
               "lambda", "E[S] kbit", "meas CoV", "mdl CoV", "b_hat",
               "cap Mbps");
-  for (const auto& iv : intervals) {
-    if (iv.flows.size() < 10) continue;
-    const auto in = flow::estimate_inputs(iv);
-    const auto series =
-        measure::measure_rate(packets, iv.start, iv.end(), opt.delta,
-                              discards);
-    const auto mm = measure::rate_moments(series);
-    const auto b = core::fit_power_b(mm.variance, in);
-    const double bb = b.value_or(1.0);
-    const auto plan = dimension::plan_link(in, bb, opt.eps);
+  for (const auto& r : reports) {
     std::printf("%8.1f %8zu %10.1f %12.1f | %8.1f%% %8.1f%% | %7.2f %10.2f\n",
-                iv.start, iv.flows.size(), in.lambda,
-                in.mean_size_bits / 1e3, 100.0 * mm.cov,
-                100.0 * core::power_shot_cov(in, bb), bb,
-                plan.capacity_bps / 1e6);
+                r.start_s, r.inputs.flows, r.inputs.lambda,
+                r.inputs.mean_size_bits / 1e3, 100.0 * r.measured.cov,
+                100.0 * r.model_cov, r.shot_b_used,
+                r.plan.capacity_bps / 1e6);
   }
   std::printf("\ncapacity column: E[R] + q(1-eps) sigma at eps=%.2g with the "
               "fitted shot\n", opt.eps);
