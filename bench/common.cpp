@@ -1,11 +1,20 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "api/api.hpp"
 #include "trace/synthetic.hpp"
 
 namespace fbm::bench {
+
+std::size_t bench_threads() {
+  if (const char* env = std::getenv("FBM_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
 
 trace::ScaleOptions default_scale() {
   trace::ScaleOptions scale;
@@ -26,7 +35,8 @@ std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
       .timeout_s(timeout_s)
       .delta_s(measure::kPaperDelta)
       .min_flows(20)  // skip ragged tail intervals
-      .keep_flows(true);
+      .keep_flows(true)
+      .threads(bench_threads());
 
   std::vector<IntervalResult> out;
   for (auto& report : api::analyze(packets, config)) {

@@ -12,6 +12,7 @@
 // 2.6-26.2 Mbps) so every bench finishes in seconds on a laptop.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,13 @@ namespace fbm::bench {
 
 /// Default scaling for all benches.
 [[nodiscard]] trace::ScaleOptions default_scale();
+
+/// Worker shards the benches analyze with: FBM_BENCH_THREADS from the
+/// environment, default 1 (serial). Any value yields bit-for-bit identical
+/// results — the parallel pipeline's merge is deterministic — so bench
+/// numbers stay reproducible while the classification work spreads over
+/// cores.
+[[nodiscard]] std::size_t bench_threads();
 
 /// One analysis interval, fully measured, for one flow definition.
 struct IntervalResult {

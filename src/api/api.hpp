@@ -5,6 +5,10 @@
 //    streamed)         + fit, one pass,        Gaussian approximation,
 //                      window-bounded memory)  capacity plan, JSON)
 //
+// AnalysisConfig::threads(N) with N > 1 routes analyze() through
+// ParallelAnalysisPipeline: N flow-key-hashed shards with a deterministic
+// merge, bit-for-bit identical output (see api/parallel_pipeline.hpp).
+//
 // Typical use:
 //
 //   auto source = fbm::api::open_trace("capture.fbmt");
@@ -18,6 +22,7 @@
 // available for research code that needs the pieces individually.
 #pragma once
 
+#include "api/parallel_pipeline.hpp"  // IWYU pragma: export
 #include "api/pipeline.hpp"    // IWYU pragma: export
 #include "api/report.hpp"      // IWYU pragma: export
 #include "api/trace_source.hpp"  // IWYU pragma: export

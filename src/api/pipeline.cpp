@@ -1,101 +1,26 @@
 #include "api/pipeline.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 #include <utility>
 
-#include "core/fitting.hpp"
-#include "core/moments.hpp"
-#include "dimension/provisioning.hpp"
-#include "stats/timeseries.hpp"
+#include "api/parallel_pipeline.hpp"
+#include "api/shard.hpp"
 
 namespace fbm::api {
 
-// -------------------------------------------------------- ClassifierHandle ---
-
-/// Type erasure over FlowClassifier<Key>: the flow definition is a runtime
-/// choice, the classifier a compile-time template.
-class AnalysisPipeline::ClassifierHandle {
- public:
-  virtual ~ClassifierHandle() = default;
-  virtual void add(const net::PacketRecord& packet) = 0;
-  virtual void expire_idle(double now) = 0;
-  virtual void flush() = 0;
-  [[nodiscard]] virtual std::vector<flow::FlowRecord> take_flows() = 0;
-  [[nodiscard]] virtual std::vector<flow::DiscardedPacket> take_discards() = 0;
-  [[nodiscard]] virtual const flow::ClassifierCounters& counters() const = 0;
-  [[nodiscard]] virtual std::size_t active_flows() const = 0;
-};
-
-namespace {
-
-template <typename Key>
-class ClassifierImpl final : public AnalysisPipeline::ClassifierHandle {
- public:
-  explicit ClassifierImpl(const flow::ClassifierOptions& options)
-      : classifier_(options) {}
-
-  void add(const net::PacketRecord& packet) override {
-    classifier_.add(packet);
-  }
-  void expire_idle(double now) override { classifier_.expire_idle(now); }
-  void flush() override { classifier_.flush(); }
-  [[nodiscard]] std::vector<flow::FlowRecord> take_flows() override {
-    return classifier_.take_flows();
-  }
-  [[nodiscard]] std::vector<flow::DiscardedPacket> take_discards() override {
-    return classifier_.take_discards();
-  }
-  [[nodiscard]] const flow::ClassifierCounters& counters() const override {
-    return classifier_.counters();
-  }
-  [[nodiscard]] std::size_t active_flows() const override {
-    return classifier_.active_flows();
-  }
-
- private:
-  flow::FlowClassifier<Key> classifier_;
-};
-
-[[nodiscard]] std::unique_ptr<AnalysisPipeline::ClassifierHandle>
-make_classifier(const AnalysisConfig& config) {
-  flow::ClassifierOptions options;
-  options.timeout = config.timeout_s();
-  options.interval = config.interval_s();
-  options.record_discards = true;
-  switch (config.flow_definition()) {
-    case FlowDefinition::prefix24:
-      return std::make_unique<ClassifierImpl<flow::PrefixKey<24>>>(options);
-    case FlowDefinition::five_tuple:
-      break;
-  }
-  return std::make_unique<ClassifierImpl<flow::FiveTupleKey>>(options);
-}
-
-}  // namespace
-
 // -------------------------------------------------------- AnalysisPipeline ---
+//
+// A thin driver over a single PipelineShard: the shard owns the classifier
+// and all per-interval accumulation, this class owns the clock (sweep
+// cadence, close watermark), the trace summary, and report finalization.
+// The parallel pipeline runs N of the same shards, so serial and sharded
+// analysis share every line of accumulation code.
 
 AnalysisPipeline::AnalysisPipeline(AnalysisConfig config)
     : config_(config) {
-  if (!(config_.timeout_s() > 0.0)) {
-    throw std::invalid_argument("AnalysisPipeline: timeout <= 0");
-  }
-  if (!(config_.interval_s() > 0.0) ||
-      !std::isfinite(config_.interval_s())) {
-    throw std::invalid_argument("AnalysisPipeline: interval must be finite");
-  }
-  if (!(config_.delta_s() > 0.0)) {
-    throw std::invalid_argument("AnalysisPipeline: delta <= 0");
-  }
-  if (!(config_.epsilon() > 0.0 && config_.epsilon() < 1.0)) {
-    throw std::invalid_argument("AnalysisPipeline: eps outside (0,1)");
-  }
-  if (!(config_.expire_every_s() > 0.0)) {
-    throw std::invalid_argument("AnalysisPipeline: expire cadence <= 0");
-  }
-  classifier_ = make_classifier(config_);
+  validate_config(config_);
+  shard_ = std::make_unique<PipelineShard>(config_);
 }
 
 AnalysisPipeline::~AnalysisPipeline() = default;
@@ -103,15 +28,11 @@ AnalysisPipeline::AnalysisPipeline(AnalysisPipeline&&) noexcept = default;
 AnalysisPipeline& AnalysisPipeline::operator=(AnalysisPipeline&&) noexcept =
     default;
 
-std::int64_t AnalysisPipeline::interval_index(double ts) const {
-  return static_cast<std::int64_t>(std::floor(ts / config_.interval_s()));
-}
-
 void AnalysisPipeline::push(const net::PacketRecord& packet) {
   if (finished_) {
     throw std::logic_error("AnalysisPipeline: push after finish");
   }
-  classifier_->add(packet);  // validates timestamp ordering
+  shard_->add(packet);  // validates timestamp ordering, classifies, bins
 
   if (summary_.packets == 0) {
     summary_.first_ts = packet.timestamp;
@@ -121,107 +42,46 @@ void AnalysisPipeline::push(const net::PacketRecord& packet) {
   summary_.total_bytes += packet.size_bytes;
   summary_.last_ts = packet.timestamp;
 
-  const std::int64_t idx = interval_index(packet.timestamp);
-  max_index_ = std::max(max_index_, idx);
-  open_[idx].events.push_back({packet.timestamp, packet.size_bytes});
+  max_index_ = std::max(
+      max_index_, interval_index_of(packet.timestamp, config_.interval_s()));
 
   if (packet.timestamp >= next_sweep_) sweep(packet.timestamp);
-  drain_classifier();
 }
 
 void AnalysisPipeline::sweep(double now) {
-  classifier_->expire_idle(now);
-  drain_classifier();
-  // After the expiry pass, every flow contained in interval k has been
-  // emitted once now - interval_end > timeout, so k can be closed.
+  // After the shard's expiry pass, every flow contained in interval k has
+  // been emitted once now - interval_end > timeout, so k can be closed.
   std::int64_t last = next_close_ - 1;
   while (last + 1 <= max_index_ &&
          now - static_cast<double>(last + 2) * config_.interval_s() >
              config_.timeout_s()) {
     ++last;
   }
-  close_through(last);
+  std::vector<ShardInterval> closed;
+  shard_->close_through(now, last, closed);
+  next_close_ = std::max(next_close_, last + 1);
+  absorb(std::move(closed));
   while (next_sweep_ <= now) next_sweep_ += config_.expire_every_s();
 }
 
-void AnalysisPipeline::drain_classifier() {
-  for (auto& f : classifier_->take_flows()) {
-    const std::int64_t idx = interval_index(f.start);
-    if (idx < next_close_) continue;  // unreachable by the close invariant
-    open_[idx].flows.push_back(std::move(f));
-  }
-  for (const auto& d : classifier_->take_discards()) {
-    const std::int64_t idx = interval_index(d.timestamp);
-    if (idx < next_close_) continue;
-    open_[idx].discards.push_back(d);
-  }
-}
-
-void AnalysisPipeline::close_through(std::int64_t last_index) {
-  for (; next_close_ <= last_index; ++next_close_) {
-    OpenInterval iv;
-    if (const auto it = open_.find(next_close_); it != open_.end()) {
-      iv = std::move(it->second);
-      open_.erase(it);
+void AnalysisPipeline::absorb(std::vector<ShardInterval>&& closed) {
+  for (auto& iv : closed) {
+    AnalysisReport report = finalize_interval(config_, iv.index,
+                                              std::move(iv.flows),
+                                              std::move(iv.bins));
+    if (report.inputs.flows >= config_.min_flows()) {
+      ready_.push_back(std::move(report));
     }
-    close_one(next_close_, std::move(iv));
-  }
-}
-
-void AnalysisPipeline::close_one(std::int64_t index, OpenInterval&& iv) {
-  AnalysisReport report;
-  report.interval_index = static_cast<std::size_t>(index);
-  report.start_s = static_cast<double>(index) * config_.interval_s();
-  report.length_s = config_.interval_s();
-
-  // Identical to the batch path: flows sorted by start time (deterministic
-  // tie-break), then flow::estimate_inputs over the interval.
-  std::sort(iv.flows.begin(), iv.flows.end(), flow::ByStart{});
-  flow::IntervalData data;
-  data.start = report.start_s;
-  data.length = report.length_s;
-  data.flows = std::move(iv.flows);
-  report.inputs = flow::estimate_inputs(data);
-  report.continued_flows = flow::continued_count(data);
-
-  // Identical to measure::measure_rate: packets binned in arrival order,
-  // discarded single-packet flows subtracted. Byte counts are integers, so
-  // the bin sums are exact regardless of accumulation order.
-  stats::RateBinner binner(report.start_s, report.start_s + report.length_s,
-                           config_.delta_s());
-  for (const auto& e : iv.events) {
-    binner.add(e.timestamp, static_cast<double>(e.size_bytes));
-  }
-  for (const auto& d : iv.discards) {
-    binner.add(d.timestamp, -static_cast<double>(d.size_bytes));
-  }
-  report.measured = measure::rate_moments(binner.series());
-
-  if (config_.has_fixed_shot_b()) {
-    report.shot_b_used = config_.fixed_shot_b();
-  } else {
-    report.shot_b =
-        core::fit_power_b(report.measured.variance_bps2, report.inputs);
-    report.shot_b_used = report.shot_b.value_or(config_.fallback_shot_b());
-  }
-  report.model_cov = core::power_shot_cov(report.inputs, report.shot_b_used);
-  report.plan =
-      dimension::plan_link(report.inputs, report.shot_b_used,
-                           config_.epsilon());
-
-  if (config_.keep_flows()) report.interval = std::move(data);
-
-  if (report.inputs.flows >= config_.min_flows()) {
-    ready_.push_back(std::move(report));
   }
 }
 
 void AnalysisPipeline::finish() {
   if (finished_) return;
   finished_ = true;
-  classifier_->flush();
-  drain_classifier();
-  close_through(max_index_);
+  std::vector<ShardInterval> closed;
+  shard_->finish(max_index_, closed);
+  next_close_ = std::max(next_close_, max_index_ + 1);
+  absorb(std::move(closed));
 }
 
 void AnalysisPipeline::consume(TraceSource& source) {
@@ -246,17 +106,26 @@ std::vector<AnalysisReport> AnalysisPipeline::take_reports() {
 }
 
 const flow::ClassifierCounters& AnalysisPipeline::counters() const {
-  return classifier_->counters();
+  return shard_->counters();
 }
 
 std::size_t AnalysisPipeline::active_flows() const {
-  return classifier_->active_flows();
+  return shard_->active_flows();
+}
+
+std::size_t AnalysisPipeline::open_intervals() const {
+  return shard_->open_intervals();
 }
 
 // ------------------------------------------------------------ convenience ---
 
 std::vector<AnalysisReport> analyze(TraceSource& source,
                                     const AnalysisConfig& config) {
+  if (config.threads() > 1) {
+    ParallelAnalysisPipeline pipeline(config);
+    pipeline.consume(source);
+    return pipeline.take_reports();
+  }
   AnalysisPipeline pipeline(config);
   pipeline.consume(source);
   return pipeline.take_reports();
@@ -264,6 +133,12 @@ std::vector<AnalysisReport> analyze(TraceSource& source,
 
 std::vector<AnalysisReport> analyze(std::span<const net::PacketRecord> packets,
                                     const AnalysisConfig& config) {
+  if (config.threads() > 1) {
+    ParallelAnalysisPipeline pipeline(config);
+    for (const auto& p : packets) pipeline.push(p);
+    pipeline.finish();
+    return pipeline.take_reports();
+  }
   AnalysisPipeline pipeline(config);
   for (const auto& p : packets) pipeline.push(p);
   pipeline.finish();

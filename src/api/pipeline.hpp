@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -58,6 +57,13 @@ class AnalysisConfig {
   AnalysisConfig& keep_flows(bool v) { keep_flows_ = v; return *this; }
   /// How often (in trace time) idle flows are expired and intervals closed.
   AnalysisConfig& expire_every_s(double v) { expire_every_s_ = v; return *this; }
+  /// Worker shards for the parallel pipeline; 1 (the default) selects the
+  /// serial AnalysisPipeline in analyze(). Output is bit-for-bit identical
+  /// at every value.
+  AnalysisConfig& threads(std::size_t v) { threads_ = v; return *this; }
+  /// Packets handed to a worker shard per enqueue (parallel path only;
+  /// purely a throughput knob — results do not depend on it).
+  AnalysisConfig& batch_packets(std::size_t v) { batch_packets_ = v; return *this; }
 
   [[nodiscard]] FlowDefinition flow_definition() const { return flow_def_; }
   [[nodiscard]] double timeout_s() const { return timeout_s_; }
@@ -70,6 +76,8 @@ class AnalysisConfig {
   [[nodiscard]] double fallback_shot_b() const { return fallback_b_; }
   [[nodiscard]] bool keep_flows() const { return keep_flows_; }
   [[nodiscard]] double expire_every_s() const { return expire_every_s_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] std::size_t batch_packets() const { return batch_packets_; }
 
  private:
   FlowDefinition flow_def_ = FlowDefinition::five_tuple;
@@ -82,6 +90,8 @@ class AnalysisConfig {
   double fallback_b_ = 1.0;
   bool keep_flows_ = false;
   double expire_every_s_ = 1.0;
+  std::size_t threads_ = 1;
+  std::size_t batch_packets_ = 1024;
 };
 
 /// Streaming pipeline: push packets (timestamp order), poll reports.
@@ -89,12 +99,11 @@ class AnalysisConfig {
 /// last packet's interval gets exactly one report (unless filtered by
 /// min_flows), so indices line up with wall-clock windows as in the batch
 /// group_by_interval.
+class PipelineShard;    // api/shard.hpp
+struct ShardInterval;   // api/shard.hpp
+
 class AnalysisPipeline {
  public:
-  /// Type-erased FlowClassifier<Key> (the key is chosen at runtime);
-  /// public only so implementations can derive from it.
-  class ClassifierHandle;
-
   /// Throws std::invalid_argument on non-positive timeout/interval/delta.
   explicit AnalysisPipeline(AnalysisConfig config);
   ~AnalysisPipeline();
@@ -125,31 +134,19 @@ class AnalysisPipeline {
 
   /// Observability for the bounded-memory story: intervals currently held
   /// open and flows currently tracked by the classifier.
-  [[nodiscard]] std::size_t open_intervals() const { return open_.size(); }
+  [[nodiscard]] std::size_t open_intervals() const;
   [[nodiscard]] std::size_t active_flows() const;
 
  private:
-  /// One packet's contribution to the rate measurement (timestamps stay
-  /// exact; sizes are integral bytes, so bin sums are exact in doubles).
-  struct PacketEvent {
-    double timestamp;
-    std::uint32_t size_bytes;
-  };
-  struct OpenInterval {
-    std::vector<PacketEvent> events;
-    std::vector<flow::FlowRecord> flows;
-    std::vector<flow::DiscardedPacket> discards;
-  };
-
-  [[nodiscard]] std::int64_t interval_index(double ts) const;
-  void drain_classifier();
   void sweep(double now);
-  void close_through(std::int64_t last_index);
-  void close_one(std::int64_t index, OpenInterval&& iv);
+  /// Finalizes closed shard intervals into reports (min_flows applied).
+  void absorb(std::vector<ShardInterval>&& closed);
 
   AnalysisConfig config_;
-  std::unique_ptr<ClassifierHandle> classifier_;
-  std::map<std::int64_t, OpenInterval> open_;
+  /// All accumulation (classifier, per-interval flows and rate bins) lives
+  /// in one PipelineShard — the same class the parallel pipeline runs N of,
+  /// so the two paths cannot drift apart.
+  std::unique_ptr<PipelineShard> shard_;
   std::deque<AnalysisReport> ready_;
   trace::TraceSummary summary_;
   double next_sweep_ = 0.0;

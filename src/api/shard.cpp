@@ -1,0 +1,213 @@
+#include "api/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fitting.hpp"
+#include "core/moments.hpp"
+#include "dimension/provisioning.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
+#include "net/ip.hpp"
+
+namespace fbm::api {
+
+namespace {
+
+template <typename Key>
+class ClassifierImpl final : public FlowClassifierHandle {
+ public:
+  explicit ClassifierImpl(const flow::ClassifierOptions& options)
+      : classifier_(options) {}
+
+  void add(const net::PacketRecord& packet) override {
+    classifier_.add(packet);
+  }
+  void expire_idle(double now) override { classifier_.expire_idle(now); }
+  void flush() override { classifier_.flush(); }
+  [[nodiscard]] std::vector<flow::FlowRecord> take_flows() override {
+    return classifier_.take_flows();
+  }
+  [[nodiscard]] std::vector<flow::DiscardedPacket> take_discards() override {
+    return classifier_.take_discards();
+  }
+  [[nodiscard]] const flow::ClassifierCounters& counters() const override {
+    return classifier_.counters();
+  }
+  [[nodiscard]] std::size_t active_flows() const override {
+    return classifier_.active_flows();
+  }
+
+ private:
+  flow::FlowClassifier<Key> classifier_;
+};
+
+}  // namespace
+
+std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
+    const AnalysisConfig& config) {
+  flow::ClassifierOptions options;
+  options.timeout = config.timeout_s();
+  options.interval = config.interval_s();
+  options.record_discards = true;
+  switch (config.flow_definition()) {
+    case FlowDefinition::prefix24:
+      return std::make_unique<ClassifierImpl<flow::PrefixKey<24>>>(options);
+    case FlowDefinition::five_tuple:
+      break;
+  }
+  return std::make_unique<ClassifierImpl<flow::FiveTupleKey>>(options);
+}
+
+void validate_config(const AnalysisConfig& config) {
+  if (!(config.timeout_s() > 0.0)) {
+    throw std::invalid_argument("AnalysisPipeline: timeout <= 0");
+  }
+  if (!(config.interval_s() > 0.0) || !std::isfinite(config.interval_s())) {
+    throw std::invalid_argument("AnalysisPipeline: interval must be finite");
+  }
+  if (!(config.delta_s() > 0.0)) {
+    throw std::invalid_argument("AnalysisPipeline: delta <= 0");
+  }
+  if (!(config.epsilon() > 0.0 && config.epsilon() < 1.0)) {
+    throw std::invalid_argument("AnalysisPipeline: eps outside (0,1)");
+  }
+  if (!(config.expire_every_s() > 0.0)) {
+    throw std::invalid_argument("AnalysisPipeline: expire cadence <= 0");
+  }
+  if (config.threads() == 0) {
+    throw std::invalid_argument("AnalysisPipeline: threads == 0");
+  }
+  if (config.batch_packets() == 0) {
+    throw std::invalid_argument("AnalysisPipeline: batch_packets == 0");
+  }
+}
+
+std::size_t flow_shard_of(const net::PacketRecord& packet, FlowDefinition def,
+                          std::size_t nshards) {
+  if (nshards <= 1) return 0;
+  std::size_t h = 0;
+  switch (def) {
+    case FlowDefinition::five_tuple:
+      h = net::FiveTupleHash{}(packet.tuple);
+      break;
+    case FlowDefinition::prefix24:
+      h = net::PrefixHash{}(net::Prefix(packet.tuple.dst, 24));
+      break;
+  }
+  return h % nshards;
+}
+
+// ----------------------------------------------------------- PipelineShard ---
+
+PipelineShard::PipelineShard(const AnalysisConfig& config) : config_(config) {
+  validate_config(config_);
+  classifier_ = make_flow_classifier(config_);
+}
+
+stats::RateBinner PipelineShard::make_bins(std::int64_t index) const {
+  const double start = static_cast<double>(index) * config_.interval_s();
+  return stats::RateBinner(start, start + config_.interval_s(),
+                           config_.delta_s());
+}
+
+PipelineShard::Open& PipelineShard::open_at(std::int64_t index) {
+  auto it = open_.find(index);
+  if (it == open_.end()) {
+    it = open_.emplace(index, Open{{}, make_bins(index)}).first;
+  }
+  return it->second;
+}
+
+void PipelineShard::add(const net::PacketRecord& packet) {
+  classifier_->add(packet);  // validates timestamp ordering
+  const std::int64_t idx =
+      interval_index_of(packet.timestamp, config_.interval_s());
+  open_at(idx).bins.add(packet.timestamp,
+                        static_cast<double>(packet.size_bytes));
+  drain_classifier();
+}
+
+void PipelineShard::drain_classifier() {
+  for (auto& f : classifier_->take_flows()) {
+    const std::int64_t idx = interval_index_of(f.start, config_.interval_s());
+    if (idx < next_close_) continue;  // unreachable by the close invariant
+    open_at(idx).flows.push_back(std::move(f));
+  }
+  for (const auto& d : classifier_->take_discards()) {
+    const std::int64_t idx =
+        interval_index_of(d.timestamp, config_.interval_s());
+    if (idx < next_close_) continue;
+    open_at(idx).bins.add(d.timestamp, -static_cast<double>(d.size_bytes));
+  }
+}
+
+void PipelineShard::emit_through(std::int64_t last_index,
+                                 std::vector<ShardInterval>& out) {
+  for (; next_close_ <= last_index; ++next_close_) {
+    if (const auto it = open_.find(next_close_); it != open_.end()) {
+      out.push_back({next_close_, std::move(it->second.flows),
+                     std::move(it->second.bins)});
+      open_.erase(it);
+    } else {
+      out.push_back({next_close_, {}, make_bins(next_close_)});
+    }
+  }
+}
+
+void PipelineShard::close_through(double now, std::int64_t last_index,
+                                  std::vector<ShardInterval>& out) {
+  classifier_->expire_idle(now);
+  drain_classifier();
+  emit_through(last_index, out);
+}
+
+void PipelineShard::finish(std::int64_t last_index,
+                           std::vector<ShardInterval>& out) {
+  classifier_->flush();
+  drain_classifier();
+  emit_through(last_index, out);
+}
+
+// ------------------------------------------------------- finalize_interval ---
+
+AnalysisReport finalize_interval(const AnalysisConfig& config,
+                                 std::int64_t index,
+                                 std::vector<flow::FlowRecord> flows,
+                                 stats::RateBinner bins) {
+  AnalysisReport report;
+  report.interval_index = static_cast<std::size_t>(index);
+  report.start_s = static_cast<double>(index) * config.interval_s();
+  report.length_s = config.interval_s();
+
+  // Flows sorted by start time: flow::ByStart compares every field, so the
+  // sorted sequence is unique no matter how the input was ordered — the key
+  // to the serial/parallel bit-for-bit agreement.
+  std::sort(flows.begin(), flows.end(), flow::ByStart{});
+  flow::IntervalData data;
+  data.start = report.start_s;
+  data.length = report.length_s;
+  data.flows = std::move(flows);
+  report.inputs = flow::estimate_inputs(data);
+  report.continued_flows = flow::continued_count(data);
+
+  report.measured = measure::rate_moments(bins.series());
+
+  if (config.has_fixed_shot_b()) {
+    report.shot_b_used = config.fixed_shot_b();
+  } else {
+    report.shot_b =
+        core::fit_power_b(report.measured.variance_bps2, report.inputs);
+    report.shot_b_used = report.shot_b.value_or(config.fallback_shot_b());
+  }
+  report.model_cov = core::power_shot_cov(report.inputs, report.shot_b_used);
+  report.plan = dimension::plan_link(report.inputs, report.shot_b_used,
+                                     config.epsilon());
+
+  if (config.keep_flows()) report.interval = std::move(data);
+
+  return report;
+}
+
+}  // namespace fbm::api

@@ -1,0 +1,132 @@
+// Sharded flow analysis building blocks (fbm::api).
+//
+// Flow classification over millions of 5-tuples is embarrassingly shardable:
+// every packet of a flow key lands on the shard that owns the key, so each
+// shard's classifier sees exactly the per-key packet subsequence it would
+// have seen in a single-threaded run — timeouts and interval splits depend
+// only on that subsequence, never on other keys. PipelineShard is the
+// single-threaded worker state (classifier + per-interval flow and rate-bin
+// accumulation); ParallelAnalysisPipeline owns N of them behind threads and
+// merges their closed intervals deterministically.
+//
+// finalize_interval() is the one place interval math happens — the serial
+// AnalysisPipeline and the parallel merge both call it, so the two paths
+// agree bit for bit by construction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "flow/classifier.hpp"
+#include "net/packet.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fbm::api {
+
+/// Type erasure over flow::FlowClassifier<Key>: the flow definition is a
+/// runtime choice, the classifier a compile-time template.
+class FlowClassifierHandle {
+ public:
+  virtual ~FlowClassifierHandle() = default;
+  virtual void add(const net::PacketRecord& packet) = 0;
+  virtual void expire_idle(double now) = 0;
+  virtual void flush() = 0;
+  [[nodiscard]] virtual std::vector<flow::FlowRecord> take_flows() = 0;
+  [[nodiscard]] virtual std::vector<flow::DiscardedPacket> take_discards() = 0;
+  [[nodiscard]] virtual const flow::ClassifierCounters& counters() const = 0;
+  [[nodiscard]] virtual std::size_t active_flows() const = 0;
+};
+
+/// Classifier for the configured flow definition, timeout and interval.
+[[nodiscard]] std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
+    const AnalysisConfig& config);
+
+/// Throws std::invalid_argument for out-of-range pipeline parameters (shared
+/// by the serial and parallel constructors, so both reject identically).
+void validate_config(const AnalysisConfig& config);
+
+/// Analysis-interval index of a timestamp — the single definition both
+/// pipelines use, so a flow lands in the same interval everywhere.
+[[nodiscard]] inline std::int64_t interval_index_of(double ts,
+                                                    double interval_s) {
+  return static_cast<std::int64_t>(std::floor(ts / interval_s));
+}
+
+/// Shard of the flow key of `packet` among `nshards` workers. Stable: FNV-1a
+/// over the key's canonical fields, so the same key maps to the same shard
+/// in every run on every platform.
+[[nodiscard]] std::size_t flow_shard_of(const net::PacketRecord& packet,
+                                        FlowDefinition def,
+                                        std::size_t nshards);
+
+/// One closed analysis interval as seen by one shard: the flows whose keys
+/// hash there (unsorted) and this shard's packet bytes binned at delta
+/// (discarded single-packet flows already subtracted).
+struct ShardInterval {
+  std::int64_t index;
+  std::vector<flow::FlowRecord> flows;
+  stats::RateBinner bins;
+};
+
+/// Single-threaded per-shard pipeline state. Not thread-safe: exactly one
+/// thread drives it (ParallelAnalysisPipeline guards each instance with its
+/// worker's mutex). Feed only packets whose flow key hashes to this shard,
+/// in global timestamp order.
+class PipelineShard {
+ public:
+  explicit PipelineShard(const AnalysisConfig& config);
+
+  /// Classify the packet and bin its bytes into its analysis interval.
+  void add(const net::PacketRecord& packet);
+
+  /// Expire flows idle as of `now`, then emit one ShardInterval for every
+  /// index not yet closed up to `last_index` inclusive (empty intervals
+  /// included, so all shards produce the same contiguous index sequence).
+  void close_through(double now, std::int64_t last_index,
+                     std::vector<ShardInterval>& out);
+
+  /// End of stream: terminate all active flows and close through
+  /// `last_index`.
+  void finish(std::int64_t last_index, std::vector<ShardInterval>& out);
+
+  [[nodiscard]] const flow::ClassifierCounters& counters() const {
+    return classifier_->counters();
+  }
+  [[nodiscard]] std::size_t active_flows() const {
+    return classifier_->active_flows();
+  }
+  [[nodiscard]] std::size_t open_intervals() const { return open_.size(); }
+
+ private:
+  struct Open {
+    std::vector<flow::FlowRecord> flows;
+    stats::RateBinner bins;
+  };
+
+  [[nodiscard]] stats::RateBinner make_bins(std::int64_t index) const;
+  [[nodiscard]] Open& open_at(std::int64_t index);
+  void drain_classifier();
+  void emit_through(std::int64_t last_index, std::vector<ShardInterval>& out);
+
+  AnalysisConfig config_;
+  std::unique_ptr<FlowClassifierHandle> classifier_;
+  std::map<std::int64_t, Open> open_;
+  std::int64_t next_close_ = 0;
+};
+
+/// Turns one interval's merged raw material — flows (any order) and exact
+/// byte bins — into the finished AnalysisReport: sort by flow::ByStart,
+/// estimate the model inputs, derive rate moments, fit the shot power, plan
+/// capacity. Both pipelines close intervals through here; min_flows
+/// filtering stays with the caller.
+[[nodiscard]] AnalysisReport finalize_interval(const AnalysisConfig& config,
+                                               std::int64_t index,
+                                               std::vector<flow::FlowRecord>
+                                                   flows,
+                                               stats::RateBinner bins);
+
+}  // namespace fbm::api

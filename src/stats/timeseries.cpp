@@ -55,6 +55,16 @@ void RateBinner::add(double timestamp, double bytes) {
   total_bytes_ += bytes;
 }
 
+void RateBinner::merge(const RateBinner& other) {
+  if (start_ != other.start_ || end_ != other.end_ || delta_ != other.delta_ ||
+      bytes_.size() != other.bytes_.size()) {
+    throw std::invalid_argument("RateBinner::merge: mismatched grids");
+  }
+  for (std::size_t i = 0; i < bytes_.size(); ++i) bytes_[i] += other.bytes_[i];
+  dropped_ += other.dropped_;
+  total_bytes_ += other.total_bytes_;
+}
+
 RateSeries RateBinner::series() const {
   RateSeries out;
   out.start = start_;

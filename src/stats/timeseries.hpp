@@ -50,6 +50,13 @@ class RateBinner {
   /// `dropped()` and otherwise ignored.
   void add(double timestamp, double bytes);
 
+  /// Accumulates another binner built over the identical grid (same start,
+  /// end and delta; throws std::invalid_argument otherwise). Bin contents,
+  /// byte totals and dropped counts add. Because every contribution is an
+  /// integral byte count, the merged bins equal — bit for bit — what a
+  /// single binner fed every event would hold, in any merge order.
+  void merge(const RateBinner& other);
+
   [[nodiscard]] RateSeries series() const;
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
   [[nodiscard]] double total_bytes() const { return total_bytes_; }

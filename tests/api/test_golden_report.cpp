@@ -1,0 +1,123 @@
+// Golden-report regression: a checked-in seeded trace plus the fbm_analyze
+// --json output it produced when this test was written. The pipeline is
+// re-run here with the same configuration and compared field by field, so a
+// refactor that silently drifts any number — an input estimate, a rate
+// moment, the fitted shot, the capacity plan — fails loudly. The sharded
+// pipeline must additionally reproduce the serial JSON byte for byte.
+//
+// Regenerate (only when an intentional change alters the numbers):
+//   fbm_trace_gen tests/data/golden_small.fbmt --duration 10 --mbps 2
+//       --seed 777
+//   fbm_analyze tests/data/golden_small.fbmt --interval 4 --timeout 1
+//       --min-flows 0 --json > tests/data/golden_small.json
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+
+#ifndef FBM_TEST_DATA_DIR
+#error "FBM_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace fbm {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One "key": value pair, in document order. Values are kept as the raw
+/// token ("{" and "[" mark nesting, so structure is compared too).
+struct Field {
+  std::string key;
+  std::string value;
+};
+
+std::vector<Field> parse_fields(const std::string& json) {
+  std::vector<Field> out;
+  std::size_t pos = 0;
+  while ((pos = json.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = json.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    std::string key = json.substr(pos + 1, key_end - pos - 1);
+    std::size_t colon = json.find(':', key_end);
+    if (colon == std::string::npos) break;
+    std::size_t v0 = colon + 1;
+    while (v0 < json.size() && std::isspace(static_cast<unsigned char>(
+                                   json[v0]))) {
+      ++v0;
+    }
+    std::size_t v1 = v0;
+    if (v0 < json.size() && (json[v0] == '{' || json[v0] == '[')) {
+      v1 = v0 + 1;
+    } else {
+      while (v1 < json.size() && json[v1] != ',' && json[v1] != '\n' &&
+             json[v1] != '}' && json[v1] != ']') {
+        ++v1;
+      }
+    }
+    out.push_back({std::move(key), json.substr(v0, v1 - v0)});
+    pos = v1;
+  }
+  return out;
+}
+
+/// The exact analysis fbm_analyze ran to produce the golden file.
+std::string analyze_golden_trace(std::size_t threads) {
+  auto source =
+      api::open_trace(std::string(FBM_TEST_DATA_DIR) + "/golden_small.fbmt");
+  api::AnalysisConfig config;
+  config.interval_s(4.0).timeout_s(1.0).min_flows(0).threads(threads);
+  api::ParallelAnalysisPipeline pipeline(config);
+  pipeline.consume(*source);
+  const auto reports = pipeline.take_reports();
+  return api::to_json(pipeline.summary(), reports) + "\n";
+}
+
+TEST(GoldenReport, FieldByFieldAgainstCheckedInJson) {
+  const std::string golden =
+      read_file(std::string(FBM_TEST_DATA_DIR) + "/golden_small.json");
+  ASSERT_FALSE(golden.empty());
+  const std::string fresh = analyze_golden_trace(1);
+
+  const auto want = parse_fields(golden);
+  const auto got = parse_fields(fresh);
+  ASSERT_GT(want.size(), 20u);  // sanity: the parser found the document
+  ASSERT_EQ(want.size(), got.size()) << fresh;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("field " + std::to_string(i) + " '" + want[i].key + "'");
+    EXPECT_EQ(want[i].key, got[i].key);
+    if (want[i].value == got[i].value) continue;  // bitwise match (or null)
+    // Numbers may legitimately differ in the last ulp across libm versions;
+    // anything beyond that is drift.
+    char* end_w = nullptr;
+    char* end_g = nullptr;
+    const double w = std::strtod(want[i].value.c_str(), &end_w);
+    const double g = std::strtod(got[i].value.c_str(), &end_g);
+    ASSERT_TRUE(end_w != want[i].value.c_str() &&
+                end_g != got[i].value.c_str())
+        << "non-numeric mismatch: '" << want[i].value << "' vs '"
+        << got[i].value << "'";
+    EXPECT_NEAR(g, w, std::abs(w) * 1e-12)
+        << "'" << want[i].value << "' vs '" << got[i].value << "'";
+  }
+}
+
+TEST(GoldenReport, ShardedJsonIsByteIdenticalToSerial) {
+  EXPECT_EQ(analyze_golden_trace(1), analyze_golden_trace(4));
+  EXPECT_EQ(analyze_golden_trace(1), analyze_golden_trace(7));
+}
+
+}  // namespace
+}  // namespace fbm

@@ -2,12 +2,15 @@
 //
 // Usage:
 //   fbm_analyze <trace> [--interval S] [--timeout S] [--delta S]
-//               [--prefix24] [--eps P] [--min-flows N] [--json]
+//               [--prefix24] [--eps P] [--min-flows N] [--threads N] [--json]
 //
 // <trace> may be .fbmt (native, streamed with window-bounded memory), .pcap,
 // or .csv. For each analysis interval the tool prints the three model
 // parameters, measured vs model mean and CoV, the fitted shot power b, and
 // a capacity recommendation; --json emits the same as one JSON document.
+// --threads N > 1 analyzes through N flow-key-hashed worker shards; the
+// output is bit-for-bit identical to the single-threaded run.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +28,7 @@ struct Options {
   bool prefix24 = false;
   double eps = 0.01;
   std::size_t min_flows = 10;
+  std::size_t threads = 1;
   bool json = false;
 };
 
@@ -32,7 +36,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: fbm_analyze <trace.fbmt|.pcap|.csv> [--interval S] "
                "[--timeout S] [--delta S] [--prefix24] [--eps P] "
-               "[--min-flows N] [--json]\n");
+               "[--min-flows N] [--threads N] [--json]\n");
   std::exit(2);
 }
 
@@ -57,6 +61,13 @@ Options parse_args(int argc, char** argv) {
       opt.eps = need_value("--eps");
     } else if (arg == "--min-flows") {
       opt.min_flows = static_cast<std::size_t>(need_value("--min-flows"));
+    } else if (arg == "--threads") {
+      const double v = need_value("--threads");
+      if (!(v >= 1.0) || v > 4096.0) {  // reject NaN/negative before the cast
+        std::fprintf(stderr, "--threads must be in [1, 4096]\n");
+        usage();
+      }
+      opt.threads = static_cast<std::size_t>(v);
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--json") {
@@ -114,11 +125,15 @@ int main(int argc, char** argv) {
       .timeout_s(opt.timeout)
       .delta_s(opt.delta)
       .epsilon(opt.eps)
-      .min_flows(opt.min_flows);
+      .min_flows(opt.min_flows)
+      .threads(opt.threads);
 
-  api::AnalysisPipeline pipeline(config);
   std::vector<api::AnalysisReport> reports;
-  try {
+  trace::TraceSummary summary;
+  std::uint64_t flows_emitted = 0;
+  // Serial and sharded pipelines share one interface; --threads N > 1 picks
+  // the sharded one, with bit-for-bit identical reports.
+  const auto run = [&](auto& pipeline) {
     auto source = buffered.empty()
                       ? api::open_trace(opt.path)
                       : api::make_vector_source(std::move(buffered));
@@ -130,12 +145,22 @@ int main(int argc, char** argv) {
     });
     pipeline.finish();
     for (auto& r : pipeline.take_reports()) reports.push_back(std::move(r));
+    summary = pipeline.summary();
+    flows_emitted = pipeline.counters().flows_emitted;
+  };
+  try {
+    if (opt.threads > 1) {
+      api::ParallelAnalysisPipeline pipeline(config);
+      run(pipeline);
+    } else {
+      api::AnalysisPipeline pipeline(config);
+      run(pipeline);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
-  const auto& summary = pipeline.summary();
   if (summary.packets == 0) {
     std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
     return 1;
@@ -153,8 +178,7 @@ int main(int argc, char** argv) {
               summary.mean_rate_mbps(), summary.mean_packet_bytes());
   std::printf("flows (%s): %llu completed\n\n",
               opt.prefix24 ? "/24 prefix" : "5-tuple",
-              static_cast<unsigned long long>(
-                  pipeline.counters().flows_emitted));
+              static_cast<unsigned long long>(flows_emitted));
 
   std::printf("%8s %8s %10s %12s | %9s %9s | %7s %10s\n", "t0", "flows",
               "lambda", "E[S] kbit", "meas CoV", "mdl CoV", "b_hat",
