@@ -24,7 +24,7 @@ struct Row {
 
 }  // namespace
 
-int main() {
+FBM_BENCH(ablation_aggregation) {
   using namespace fbm;
   bench::print_header(
       "Ablation: flow aggregation level (5-tuple .. routable prefixes)");
@@ -61,6 +61,8 @@ int main() {
   rows.push_back({"routable (FIB)",
                   flow::classify_all_with(flow::RoutableKey(&fib), packets,
                                           opt)});
+  ctx.count_packets(packets.size() * rows.size());
+  for (const auto& row : rows) ctx.count_flows(row.flows.size());
 
   // Measured variance is the same for every definition.
   const auto series =

@@ -16,7 +16,7 @@
 #include "gen/traffic_gen.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+FBM_BENCH(ablation_poisson) {
   using namespace fbm;
   bench::print_header(
       "Ablation: Poisson vs Markov-modulated flow arrivals (Section VIII)");

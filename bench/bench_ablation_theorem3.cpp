@@ -11,7 +11,7 @@
 #include "common.hpp"
 #include "core/model.hpp"
 
-int main() {
+FBM_BENCH(ablation_theorem3) {
   using namespace fbm;
   bench::print_header(
       "Ablation (Theorem 3): shot shape vs total-rate variance");

@@ -14,7 +14,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 
-int main() {
+FBM_BENCH(active_flows) {
   using namespace fbm;
   bench::print_header(
       "Theorem 1 substrate: active-flow count vs M/G/infinity");

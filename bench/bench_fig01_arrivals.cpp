@@ -8,7 +8,7 @@
 
 #include "common.hpp"
 
-int main() {
+FBM_BENCH(fig01_arrivals) {
   using namespace fbm;
   bench::print_header(
       "Figure 1: cumulative flow arrivals in one interval (/24 flows)");

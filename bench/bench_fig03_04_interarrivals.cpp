@@ -35,7 +35,7 @@ void report(const char* title, const fbm::flow::IntervalData& iv) {
 
 }  // namespace
 
-int main() {
+FBM_BENCH(fig03_04_interarrivals) {
   using namespace fbm;
   bench::print_header(
       "Figures 3-4: inter-arrival times vs exponential, both flow "

@@ -30,7 +30,7 @@ void report(const char* title, const fbm::flow::IntervalData& iv) {
 
 }  // namespace
 
-int main() {
+FBM_BENCH(fig05_06_size_duration_corr) {
   using namespace fbm;
   bench::print_header(
       "Figures 5-6: serial correlation of flow sizes and durations");

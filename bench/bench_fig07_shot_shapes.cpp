@@ -9,7 +9,7 @@
 #include "common.hpp"
 #include "core/shot.hpp"
 
-int main() {
+FBM_BENCH(fig07_shot_shapes) {
   using namespace fbm;
   bench::print_header("Figure 7: shot shapes (unit flow, S=1, D=1)");
 

@@ -50,7 +50,7 @@ void report(const char* title, const fbm::flow::IntervalData& iv) {
 
 }  // namespace
 
-int main() {
+FBM_BENCH(fig08_rate_acf) {
   using namespace fbm;
   bench::print_header(
       "Figure 8: auto-correlation of the total rate (Theorem 2)");

@@ -88,7 +88,7 @@ void figure(const char* title, const std::vector<ProfileRun>& runs,
 
 }  // namespace
 
-int main() {
+FBM_BENCH(fig09_13_cov_scatter) {
   using namespace fbm;
   bench::print_header(
       "Figures 9/10/12/13: measured vs model coefficient of variation");

@@ -10,7 +10,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 
-int main() {
+FBM_BENCH(fig11_power_histogram) {
   using namespace fbm;
   bench::print_header(
       "Figure 11: fitted shot power b across intervals (5-tuple flows)");

@@ -14,7 +14,7 @@
 #include "stats/autocorrelation.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+FBM_BENCH(fig14_prediction_series) {
   using namespace fbm;
   bench::print_header("Figure 14: predicted vs measured total rate");
 

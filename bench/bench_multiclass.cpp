@@ -17,7 +17,7 @@
 #include "core/moments.hpp"
 #include "core/multiclass.hpp"
 
-int main() {
+FBM_BENCH(multiclass) {
   using namespace fbm;
   bench::print_header(
       "Ablation: single-class vs mice/elephants multi-class model");

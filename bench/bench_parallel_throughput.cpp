@@ -50,7 +50,7 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-int main() {
+FBM_BENCH(parallel_throughput) {
   using namespace fbm;
   bench::print_header("Sharded pipeline throughput (packets/sec)");
 
@@ -100,6 +100,10 @@ int main() {
     std::printf("%-14s %14.0f %12.3f %9.2fx %10s\n", label, pps, elapsed,
                 serial_s / elapsed, same ? "yes" : "NO");
   }
+
+  // Serial reference plus the four shard configurations each classify the
+  // whole trace.
+  ctx.count_packets(5 * packets.size());
 
   std::printf("\nall shard counts bit-for-bit identical to serial: %s\n",
               all_identical ? "yes" : "NO");

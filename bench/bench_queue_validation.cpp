@@ -15,7 +15,7 @@
 #include "gen/traffic_gen.hpp"
 #include "measure/fluid_queue.hpp"
 
-int main() {
+FBM_BENCH(queue_validation) {
   using namespace fbm;
   bench::print_header(
       "Dimensioning validation: Gaussian rule vs simulated fluid queue");

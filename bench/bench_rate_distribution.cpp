@@ -14,7 +14,7 @@
 #include "core/model.hpp"
 #include "stats/quantile.hpp"
 
-int main() {
+FBM_BENCH(rate_distribution) {
   using namespace fbm;
   bench::print_header(
       "Section V-E: exact rate distribution vs Gaussian approximation");

@@ -19,7 +19,7 @@
 #include "stats/descriptive.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+FBM_BENCH(sec7a_dimensioning) {
   using namespace fbm;
   bench::print_header(
       "Section VII-A: dimensioning and the sqrt-lambda smoothing law");

@@ -12,7 +12,7 @@
 #include "core/model.hpp"
 #include "stats/spectrum.hpp"
 
-int main() {
+FBM_BENCH(spectrum) {
   using namespace fbm;
   bench::print_header(
       "Theorem 2 (spectral form): measured periodogram vs model density");

@@ -9,7 +9,7 @@
 #include "trace/synthetic.hpp"
 #include "trace/trace_stats.hpp"
 
-int main() {
+FBM_BENCH(table1_traces) {
   using namespace fbm;
   bench::print_header(
       "Table I: summary of OC-12 link traces (scaled reproduction)");
@@ -24,6 +24,8 @@ int main() {
     trace::GenerationReport rep;
     const auto packets = trace::generate_packets(cfg, &rep);
     const auto summary = trace::summarize(packets);
+    ctx.count_packets(summary.packets);
+    ctx.count_bytes(summary.total_bytes);
     std::printf("%-16s %12s %11.0f Mbps | %11s %11.1f Mbps %10llu\n",
                 row.date.c_str(), trace::format_duration(row.length_s).c_str(),
                 row.utilization_bps / 1e6,

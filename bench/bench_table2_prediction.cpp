@@ -18,7 +18,7 @@
 #include "stats/autocorrelation.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+FBM_BENCH(table2_prediction) {
   using namespace fbm;
   bench::print_header(
       "Table II: Moving-Average prediction of the total rate");

@@ -2,25 +2,51 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
 
 #include "api/api.hpp"
 #include "trace/synthetic.hpp"
 
 namespace fbm::bench {
 
+namespace {
+
+/// Telemetry sink for the bench currently executing (run_registered sets
+/// it); run_profile counts its work here so individual benches don't have
+/// to. Null outside a registered run (e.g. library use in tests).
+Context* g_active_context = nullptr;
+
+/// Quick mode for the bench currently executing; default_scale() shortens
+/// the trace cap when set.
+bool g_quick = false;
+
+}  // namespace
+
 std::size_t bench_threads() {
-  if (const char* env = std::getenv("FBM_BENCH_THREADS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return 1;
+  // Resolved once per process: the satellite fix for re-reading the
+  // environment on every call. The cached value is logged into every
+  // BenchReport's config by run_registered.
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("FBM_BENCH_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{1};
+  }();
+  return cached;
 }
 
 trace::ScaleOptions default_scale() {
   trace::ScaleOptions scale;
   scale.time_scale = 1.0 / 60.0;  // 30-min interval -> 30 s
   scale.rate_scale = 1.0 / 10.0;  // 26-262 Mbps -> 2.6-26.2 Mbps
-  scale.max_length_s = 240.0;
+  // Quick (CI smoke) keeps three full analysis intervals per trace; the
+  // default keeps the laptop-scale 240 s documented above.
+  scale.max_length_s = g_quick ? 90.0 : 240.0;
   return scale;
 }
 
@@ -45,6 +71,17 @@ std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
     r.measured = report.measured;
     r.interval = std::move(report.interval);
     out.push_back(std::move(r));
+  }
+
+  if (g_active_context != nullptr) {
+    g_active_context->count_packets(packets.size());
+    std::uint64_t bytes = 0;
+    for (const auto& p : packets) bytes += p.size_bytes;
+    g_active_context->count_bytes(bytes);
+    g_active_context->count_intervals(out.size());
+    for (const auto& r : out) {
+      g_active_context->count_flows(r.interval.flows.size());
+    }
   }
   return out;
 }
@@ -85,6 +122,98 @@ void print_header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==================================================="
               "=========================\n");
+}
+
+// --------------------------------------------------------------- registry ---
+
+namespace {
+
+std::vector<BenchInfo>& registry() {
+  static std::vector<BenchInfo> benches;
+  return benches;
+}
+
+}  // namespace
+
+int register_bench(const char* name, BenchFn fn) {
+  registry().push_back({name, fn});
+  return static_cast<int>(registry().size());
+}
+
+const std::vector<BenchInfo>& registered_benches() { return registry(); }
+
+int run_registered(const BenchInfo& info, bool quick,
+                   perf::BenchReport& report) {
+  report.bench = info.name;
+  report.git_sha = perf::current_git_sha();
+
+  Context context(report, quick);
+  g_active_context = &context;
+  g_quick = quick;
+  const auto scale = default_scale();
+  report.set_config("threads", static_cast<std::uint64_t>(bench_threads()));
+  report.set_config("quick", quick);
+  report.set_config("time_scale", scale.time_scale);
+  report.set_config("rate_scale", scale.rate_scale);
+  report.set_config("max_length_s", scale.max_length_s);
+
+  perf::Stopwatch watch;
+  int rc = 1;
+  try {
+    rc = info.fn(context);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench %s threw: %s\n", info.name, e.what());
+  }
+  report.wall_s = watch.elapsed_s();
+  report.packets_per_s =
+      report.wall_s > 0.0
+          ? static_cast<double>(report.counters.packets) / report.wall_s
+          : 0.0;
+  report.peak_rss_kb = perf::peak_rss_kb();
+
+  g_active_context = nullptr;
+  g_quick = false;
+  return rc;
+}
+
+bool write_report_json(const std::string& dir,
+                       const perf::BenchReport& report) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ("BENCH_" + report.bench + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  out << report.to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+int standalone_main(const char* name, int argc, char** argv) {
+  bool quick = false;
+  std::string json_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  for (const auto& info : registered_benches()) {
+    if (std::strcmp(info.name, name) != 0) continue;
+    perf::BenchReport report;
+    const int rc = run_registered(info, quick, report);
+    if (!json_dir.empty() && !write_report_json(json_dir, report)) return 1;
+    return rc;
+  }
+  std::fprintf(stderr, "bench %s is not registered\n", name);
+  return 2;
 }
 
 }  // namespace fbm::bench

@@ -10,9 +10,18 @@
 // analysis interval becomes 30 s (time_scale = 1/60), trace lengths are
 // capped at 240 s, and utilizations are divided by 10 (26-262 Mbps ->
 // 2.6-26.2 Mbps) so every bench finishes in seconds on a laptop.
+//
+// Registry: every bench defines its body with FBM_BENCH(name) instead of a
+// bare main(). That registers the body so the fbm_bench runner can execute
+// any subset with JSON telemetry (--filter, --quick, --json DIR), while the
+// same source compiled with FBM_BENCH_STANDALONE keeps producing the
+// standalone binary (which accepts --quick / --json DIR too). Every run is
+// wrapped in a perf::BenchReport: wall time, packets/s, peak RSS, resolved
+// config, git sha.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,18 +29,23 @@
 #include "flow/interval.hpp"
 #include "measure/rate_meter.hpp"
 #include "net/packet.hpp"
+#include "perf/bench_report.hpp"
+#include "perf/counters.hpp"
+#include "perf/stopwatch.hpp"
 #include "trace/sprint_profiles.hpp"
 
 namespace fbm::bench {
 
-/// Default scaling for all benches.
+/// Default scaling for all benches; quick mode (fbm_bench --quick) shortens
+/// the trace cap so the whole suite smoke-runs in CI.
 [[nodiscard]] trace::ScaleOptions default_scale();
 
 /// Worker shards the benches analyze with: FBM_BENCH_THREADS from the
-/// environment, default 1 (serial). Any value yields bit-for-bit identical
-/// results — the parallel pipeline's merge is deterministic — so bench
-/// numbers stay reproducible while the classification work spreads over
-/// cores.
+/// environment, read once and cached (the resolved value is logged into
+/// every BenchReport's config). Default 1 (serial). Any value yields
+/// bit-for-bit identical results — the parallel pipeline's merge is
+/// deterministic — so bench numbers stay reproducible while the
+/// classification work spreads over cores.
 [[nodiscard]] std::size_t bench_threads();
 
 /// One analysis interval, fully measured, for one flow definition.
@@ -52,7 +66,8 @@ struct ProfileRun {
   std::vector<IntervalResult> prefix24;
 };
 
-/// Generates and analyses one Table-I profile.
+/// Generates and analyses one Table-I profile. Work done here is counted
+/// into the active bench's telemetry automatically.
 [[nodiscard]] ProfileRun run_profile(std::size_t index,
                                      const trace::ScaleOptions& scale);
 
@@ -63,4 +78,79 @@ struct ProfileRun {
 /// Pretty header for bench output.
 void print_header(const std::string& title);
 
+// --------------------------------------------------------------- registry ---
+
+/// Handed to each bench body: quick-mode flag plus the report the bench may
+/// enrich with bench-specific config and metrics.
+class Context {
+ public:
+  Context(perf::BenchReport& report, bool quick)
+      : report_(report), quick_(quick) {}
+
+  [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] perf::BenchReport& report() { return report_; }
+
+  void count_packets(std::uint64_t n) { report_.counters.packets += n; }
+  void count_flows(std::uint64_t n) { report_.counters.flows += n; }
+  void count_intervals(std::uint64_t n) { report_.counters.intervals += n; }
+  void count_bytes(std::uint64_t n) {
+    report_.counters.bytes_classified += n;
+  }
+
+ private:
+  perf::BenchReport& report_;
+  bool quick_;
+};
+
+using BenchFn = int (*)(Context&);
+
+struct BenchInfo {
+  const char* name;
+  BenchFn fn;
+};
+
+/// Called by the FBM_BENCH macro at static-initialization time.
+int register_bench(const char* name, BenchFn fn);
+
+/// Every bench linked into this binary, in registration order.
+[[nodiscard]] const std::vector<BenchInfo>& registered_benches();
+
+/// Runs one bench with telemetry: wall time, packets/s, peak RSS, resolved
+/// config (threads, quick, scaling), git sha. Returns the bench's exit
+/// code; the report is valid either way.
+int run_registered(const BenchInfo& info, bool quick,
+                   perf::BenchReport& report);
+
+/// Writes `<dir>/BENCH_<name>.json` (creating dir); returns false on I/O
+/// failure.
+bool write_report_json(const std::string& dir,
+                       const perf::BenchReport& report);
+
+/// CLI shared by the standalone bench binaries: [--quick] [--json DIR].
+int standalone_main(const char* name, int argc, char** argv);
+
 }  // namespace fbm::bench
+
+#ifdef FBM_BENCH_STANDALONE
+#define FBM_BENCH_STANDALONE_MAIN(name)                      \
+  int main(int argc, char** argv) {                          \
+    return ::fbm::bench::standalone_main(#name, argc, argv); \
+  }
+#else
+#define FBM_BENCH_STANDALONE_MAIN(name)
+#endif
+
+/// Defines a bench body and registers it under `name` (also the standalone
+/// binary's main when FBM_BENCH_STANDALONE is defined):
+///
+///   FBM_BENCH(fig01_arrivals) {
+///     ...                       // `ctx` is the bench::Context
+///     return 0;
+///   }
+#define FBM_BENCH(name)                                            \
+  static int fbm_bench_body_##name(::fbm::bench::Context&);        \
+  [[maybe_unused]] static const int fbm_bench_reg_##name =         \
+      ::fbm::bench::register_bench(#name, &fbm_bench_body_##name); \
+  FBM_BENCH_STANDALONE_MAIN(name)                                  \
+  static int fbm_bench_body_##name(                                \
+      [[maybe_unused]] ::fbm::bench::Context& ctx)

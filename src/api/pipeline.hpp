@@ -64,6 +64,10 @@ class AnalysisConfig {
   /// Packets handed to a worker shard per enqueue (parallel path only;
   /// purely a throughput knob — results do not depend on it).
   AnalysisConfig& batch_packets(std::size_t v) { batch_packets_ = v; return *this; }
+  /// Active-flow table slots reserved ahead per classifier (a throughput
+  /// knob: skips rehash cascades during ramp-up; results do not depend on
+  /// it). 0 grows on demand.
+  AnalysisConfig& reserve_flows(std::size_t v) { reserve_flows_ = v; return *this; }
 
   [[nodiscard]] FlowDefinition flow_definition() const { return flow_def_; }
   [[nodiscard]] double timeout_s() const { return timeout_s_; }
@@ -78,6 +82,7 @@ class AnalysisConfig {
   [[nodiscard]] double expire_every_s() const { return expire_every_s_; }
   [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] std::size_t batch_packets() const { return batch_packets_; }
+  [[nodiscard]] std::size_t reserve_flows() const { return reserve_flows_; }
 
  private:
   FlowDefinition flow_def_ = FlowDefinition::five_tuple;
@@ -92,6 +97,7 @@ class AnalysisConfig {
   double expire_every_s_ = 1.0;
   std::size_t threads_ = 1;
   std::size_t batch_packets_ = 1024;
+  std::size_t reserve_flows_ = 4096;
 };
 
 /// Streaming pipeline: push packets (timestamp order), poll reports.

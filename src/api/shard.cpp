@@ -51,6 +51,14 @@ std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
   options.timeout = config.timeout_s();
   options.interval = config.interval_s();
   options.record_discards = true;
+  // Reserve ahead, split across shards: each worker only ever owns the flow
+  // keys that hash to it, so the per-classifier share shrinks with the
+  // thread count (floor of 64 keeps tiny configs from degenerate tables).
+  options.reserve_flows =
+      config.reserve_flows() == 0
+          ? 0
+          : std::max<std::size_t>(64, config.reserve_flows() /
+                                          config.threads());
   switch (config.flow_definition()) {
     case FlowDefinition::prefix24:
       return std::make_unique<ClassifierImpl<flow::PrefixKey<24>>>(options);

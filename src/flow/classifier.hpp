@@ -12,6 +12,12 @@
 // The classifier is generic over the flow key: FiveTupleKey reproduces flow
 // definition 1, PrefixKey<24> definition 2, and any /n is available for the
 // aggregation-level extension discussed in Section VI-A.
+//
+// The active-flow table is a core::FlatHashMap (open addressing, robin-hood
+// probing) — the per-packet try_emplace is the pipeline's hottest operation
+// and the flat table removes std::unordered_map's per-node allocation and
+// pointer chase. The map type is a template parameter so bench_micro_perf
+// can A/B the two implementations on identical workloads.
 #pragma once
 
 #include <algorithm>
@@ -21,10 +27,10 @@
 #include <limits>
 #include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/flat_hash_map.hpp"
 #include "flow/flow_record.hpp"
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
@@ -85,6 +91,10 @@ struct ClassifierOptions {
   /// Keep (timestamp, bytes) of discarded single-packet flows so the rate
   /// measurement can exclude them, as the paper does.
   bool record_discards = false;
+  /// Active-flow table capacity reserved up front (0 = grow on demand).
+  /// Backbone traces hold tens of thousands of concurrent flows; reserving
+  /// ahead skips the rehash cascade during ramp-up.
+  std::size_t reserve_flows = 0;
 };
 
 /// A packet belonging to a discarded single-packet flow.
@@ -104,7 +114,13 @@ struct ClassifierCounters {
 /// FlowRecords. Completion happens when (a) a packet of the same key arrives
 /// after the idle timeout, (b) a packet of the same key arrives in a later
 /// analysis interval, or (c) flush() is called at end of trace.
-template <typename KeyExtractor>
+///
+/// `Map` is the active-flow table implementation; the default FlatHashMap is
+/// the production choice, std::unordered_map remains pluggable for the
+/// bench_micro_perf A/B comparison.
+template <typename KeyExtractor,
+          template <typename, typename, typename> class Map =
+              core::FlatHashMap>
 class FlowClassifier {
  public:
   using key_type = typename KeyExtractor::key_type;
@@ -121,6 +137,7 @@ class FlowClassifier {
     if (!(options_.interval > 0.0)) {
       throw std::invalid_argument("FlowClassifier: interval <= 0");
     }
+    if (options_.reserve_flows > 0) active_.reserve(options_.reserve_flows);
   }
 
   /// Packets must arrive in non-decreasing timestamp order (throws
@@ -161,10 +178,12 @@ class FlowClassifier {
   }
 
   /// Terminates all active flows (end of capture). The classifier can be
-  /// reused afterwards.
+  /// reused afterwards — the stream clock resets, so the next capture may
+  /// start at any timestamp.
   void flush() {
     for (auto& [key, a] : active_) emit(a.record);
     active_.clear();
+    last_ts_ = -std::numeric_limits<double>::infinity();
   }
 
   /// Emits and removes every flow idle for longer than the timeout as of
@@ -229,8 +248,7 @@ class FlowClassifier {
 
   KeyExtractor extract_;
   ClassifierOptions options_;
-  std::unordered_map<key_type, Active, typename KeyExtractor::hash_type>
-      active_;
+  Map<key_type, Active, typename KeyExtractor::hash_type> active_;
   std::vector<FlowRecord> flows_;
   std::vector<DiscardedPacket> discards_;
   ClassifierCounters counters_;

@@ -1,0 +1,144 @@
+#include "perf/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fbm::perf {
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (same convention as the
+/// api report writer); non-finite values become null.
+[[nodiscard]] std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lg", &parsed);
+  if (parsed == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      std::sscanf(shorter, "%lg", &parsed);
+      if (parsed == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+[[nodiscard]] std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_line(std::string& out, int indent, const std::string& text) {
+  if (!out.empty()) out += '\n';
+  out.append(static_cast<std::size_t>(indent), ' ');
+  out += text;
+}
+
+}  // namespace
+
+void BenchReport::set_config(const std::string& key,
+                             const std::string& value) {
+  config.emplace_back(key, quoted(value));
+}
+
+void BenchReport::set_config(const std::string& key, double value) {
+  config.emplace_back(key, number(value));
+}
+
+void BenchReport::set_config(const std::string& key, std::uint64_t value) {
+  config.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::set_config(const std::string& key, bool value) {
+  config.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchReport::set_metric(const std::string& key, double value) {
+  extra_metrics.emplace_back(key, value);
+}
+
+std::string BenchReport::to_json(int indent) const {
+  std::string out;
+  append_line(out, indent, "{");
+  append_line(out, indent + 2, "\"bench\": " + quoted(bench) + ",");
+  append_line(out, indent + 2, "\"config\": {");
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    append_line(out, indent + 4,
+                quoted(config[i].first) + ": " + config[i].second +
+                    (i + 1 < config.size() ? "," : ""));
+  }
+  append_line(out, indent + 2, "},");
+  append_line(out, indent + 2, "\"metrics\": {");
+  append_line(out, indent + 4, "\"wall_s\": " + number(wall_s) + ",");
+  append_line(out, indent + 4,
+              "\"packets_per_s\": " + number(packets_per_s) + ",");
+  append_line(out, indent + 4,
+              "\"peak_rss_kb\": " + std::to_string(peak_rss_kb) + ",");
+  append_line(out, indent + 4,
+              "\"packets\": " + std::to_string(counters.packets) + ",");
+  append_line(out, indent + 4,
+              "\"flows\": " + std::to_string(counters.flows) + ",");
+  append_line(out, indent + 4,
+              "\"intervals\": " + std::to_string(counters.intervals) + ",");
+  for (const auto& [key, value] : extra_metrics) {
+    append_line(out, indent + 4, quoted(key) + ": " + number(value) + ",");
+  }
+  append_line(out, indent + 4,
+              "\"bytes_classified\": " +
+                  std::to_string(counters.bytes_classified));
+  append_line(out, indent + 2, "},");
+  append_line(out, indent + 2, "\"git_sha\": " + quoted(git_sha));
+  append_line(out, indent, "}");
+  return out;
+}
+
+std::string summary_json(std::span<const BenchReport> reports) {
+  std::string out = "{\n  \"schema\": 1,\n  \"benches\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += reports[i].to_json(4);
+  }
+  out += reports.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes there
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already kB
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string current_git_sha() {
+  if (const char* env = std::getenv("FBM_GIT_SHA"); env != nullptr &&
+                                                    env[0] != '\0') {
+    return env;
+  }
+#ifdef FBM_GIT_SHA
+  return FBM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace fbm::perf

@@ -1,0 +1,25 @@
+// Work counters for the perf telemetry subsystem: what a bench or pipeline
+// run actually processed, so throughput rates (packets/s) are computed from
+// measured work, never hard-coded expectations.
+#pragma once
+
+#include <cstdint>
+
+namespace fbm::perf {
+
+struct Counters {
+  std::uint64_t packets = 0;           ///< packets pushed through analysis
+  std::uint64_t flows = 0;             ///< flow records produced
+  std::uint64_t intervals = 0;         ///< analysis intervals closed
+  std::uint64_t bytes_classified = 0;  ///< payload bytes seen by classifiers
+
+  Counters& operator+=(const Counters& other) {
+    packets += other.packets;
+    flows += other.flows;
+    intervals += other.intervals;
+    bytes_classified += other.bytes_classified;
+    return *this;
+  }
+};
+
+}  // namespace fbm::perf

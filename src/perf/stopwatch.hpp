@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch for the perf telemetry subsystem.
+#pragma once
+
+#include <chrono>
+
+namespace fbm::perf {
+
+/// Measures elapsed wall time against std::chrono::steady_clock (immune to
+/// system clock adjustments). Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fbm::perf

@@ -12,7 +12,6 @@
 //       --min-flows 0 --json > tests/data/golden_small.json
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -20,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "../support/json_fields.hpp"
 #include "api/api.hpp"
 
 #ifndef FBM_TEST_DATA_DIR
@@ -37,41 +37,7 @@ std::string read_file(const std::string& path) {
   return out.str();
 }
 
-/// One "key": value pair, in document order. Values are kept as the raw
-/// token ("{" and "[" mark nesting, so structure is compared too).
-struct Field {
-  std::string key;
-  std::string value;
-};
-
-std::vector<Field> parse_fields(const std::string& json) {
-  std::vector<Field> out;
-  std::size_t pos = 0;
-  while ((pos = json.find('"', pos)) != std::string::npos) {
-    const std::size_t key_end = json.find('"', pos + 1);
-    if (key_end == std::string::npos) break;
-    std::string key = json.substr(pos + 1, key_end - pos - 1);
-    std::size_t colon = json.find(':', key_end);
-    if (colon == std::string::npos) break;
-    std::size_t v0 = colon + 1;
-    while (v0 < json.size() && std::isspace(static_cast<unsigned char>(
-                                   json[v0]))) {
-      ++v0;
-    }
-    std::size_t v1 = v0;
-    if (v0 < json.size() && (json[v0] == '{' || json[v0] == '[')) {
-      v1 = v0 + 1;
-    } else {
-      while (v1 < json.size() && json[v1] != ',' && json[v1] != '\n' &&
-             json[v1] != '}' && json[v1] != ']') {
-        ++v1;
-      }
-    }
-    out.push_back({std::move(key), json.substr(v0, v1 - v0)});
-    pos = v1;
-  }
-  return out;
-}
+using testsupport::parse_fields;
 
 /// The exact analysis fbm_analyze ran to produce the golden file.
 std::string analyze_golden_trace(std::size_t threads) {

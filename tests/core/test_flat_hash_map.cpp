@@ -1,0 +1,290 @@
+// core::FlatHashMap — the open-addressing robin-hood table under the flow
+// classifier. Covers insert/find/erase/rehash, erased-slot reuse without
+// growth (the no-tombstone-accumulation property), wrap-around probe
+// chains, erase-during-sweep semantics, and the real flow keys (5-tuple,
+// /24 prefix) against a std::unordered_map oracle.
+#include "core/flat_hash_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "net/ip.hpp"
+
+namespace fbm::core {
+namespace {
+
+using IntMap = FlatHashMap<int, int>;
+
+TEST(FlatHashMap, StartsEmpty) {
+  IntMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), 0u);  // no allocation before the first insert
+  EXPECT_EQ(map.find(42), map.end());
+  EXPECT_FALSE(map.contains(42));
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatHashMap, InsertFindRoundTrip) {
+  IntMap map;
+  const auto [it, inserted] = map.try_emplace(7, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->first, 7);
+  EXPECT_EQ(it->second, 70);
+  EXPECT_EQ(map.size(), 1u);
+
+  const auto [again, inserted_again] = map.try_emplace(7, 700);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(again->second, 70);  // try_emplace does not overwrite
+  EXPECT_EQ(map.size(), 1u);
+
+  const auto found = map.find(7);
+  ASSERT_NE(found, map.end());
+  EXPECT_EQ(found->second, 70);
+  found->second = 71;
+  EXPECT_EQ(map.find(7)->second, 71);
+}
+
+TEST(FlatHashMap, TryEmplaceDefaultConstructsValue) {
+  FlatHashMap<int, std::string> map;
+  const auto [it, inserted] = map.try_emplace(1);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(it->second.empty());
+  map.try_emplace(2, "two");
+  EXPECT_EQ(map.find(2)->second, "two");
+}
+
+TEST(FlatHashMap, GrowsThroughManyRehashes) {
+  IntMap map;
+  constexpr int kCount = 10000;
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(map.try_emplace(i, i * 3).second);
+  }
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    const auto it = map.find(i);
+    ASSERT_NE(it, map.end()) << "lost key " << i;
+    EXPECT_EQ(it->second, i * 3);
+  }
+  EXPECT_EQ(map.find(kCount), map.end());
+  EXPECT_EQ(map.find(-1), map.end());
+}
+
+TEST(FlatHashMap, EraseByKey) {
+  IntMap map;
+  for (int i = 0; i < 100; ++i) map.try_emplace(i, i);
+  EXPECT_EQ(map.erase(50), 1u);
+  EXPECT_EQ(map.erase(50), 0u);
+  EXPECT_EQ(map.size(), 99u);
+  EXPECT_EQ(map.find(50), map.end());
+  // Neighbours of the erased key survive backward shifting.
+  for (int i = 0; i < 100; ++i) {
+    if (i == 50) continue;
+    ASSERT_NE(map.find(i), map.end()) << "lost key " << i;
+  }
+}
+
+TEST(FlatHashMap, ErasedSlotsAreReusedWithoutGrowth) {
+  // Robin-hood backward shift leaves no tombstones, so churning
+  // insert/erase at a steady population must never grow the table.
+  IntMap map;
+  for (int i = 0; i < 1000; ++i) map.try_emplace(i, i);
+  const std::size_t capacity_before = map.capacity();
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_EQ(map.erase(round * 1000 + i), 1u);
+      EXPECT_TRUE(map.try_emplace((round + 1) * 1000 + i, i).second);
+    }
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(map.capacity(), capacity_before);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(map.find(50 * 1000 + i), map.end());
+  }
+}
+
+TEST(FlatHashMap, ReservePreallocatesForLoadFactor) {
+  IntMap map;
+  map.reserve(1000);
+  const std::size_t capacity = map.capacity();
+  EXPECT_GE(capacity, 1024u);  // 1000 at 7/8 load needs >= 1143 slots... pow2
+  for (int i = 0; i < 1000; ++i) map.try_emplace(i, i);
+  EXPECT_EQ(map.capacity(), capacity);  // no rehash during fill
+}
+
+struct CollidingHash {
+  std::size_t operator()(int v) const noexcept {
+    // Everything lands in one of two home buckets: long probe chains and
+    // heavy robin-hood displacement.
+    return static_cast<std::size_t>(v % 2);
+  }
+};
+
+TEST(FlatHashMap, SurvivesPathologicalCollisions) {
+  FlatHashMap<int, int, CollidingHash> map;
+  for (int i = 0; i < 500; ++i) map.try_emplace(i, i * 7);
+  EXPECT_EQ(map.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const auto it = map.find(i);
+    ASSERT_NE(it, map.end()) << i;
+    EXPECT_EQ(it->second, i * 7);
+  }
+  for (int i = 0; i < 500; i += 2) EXPECT_EQ(map.erase(i), 1u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(map.contains(i), i % 2 == 1) << i;
+  }
+}
+
+struct IdentityHash {
+  std::size_t operator()(std::size_t v) const noexcept { return v; }
+};
+
+TEST(FlatHashMap, WrapAroundChainsStayFindable) {
+  // Pin keys to the last slots of the table so their probe chains wrap
+  // around to index 0, then erase in the middle of the wrapped chain.
+  FlatHashMap<std::size_t, int, IdentityHash> map;
+  map.reserve(10);  // capacity 16, mask 15
+  const std::size_t cap = map.capacity();
+  ASSERT_EQ(cap, 16u);
+  // Five keys with home slot cap-2: occupy cap-2, cap-1, 0, 1, 2.
+  std::vector<std::size_t> keys;
+  for (std::size_t i = 0; i < 5; ++i) keys.push_back(cap - 2 + i * cap);
+  for (const auto k : keys) ASSERT_TRUE(map.try_emplace(k, 1).second);
+  for (const auto k : keys) EXPECT_TRUE(map.contains(k)) << k;
+  // Erase the element sitting right at the wrap point.
+  EXPECT_EQ(map.erase(keys[1]), 1u);
+  for (const auto k : keys) {
+    EXPECT_EQ(map.contains(k), k != keys[1]) << k;
+  }
+  // Reinsert and drain the whole chain.
+  EXPECT_TRUE(map.try_emplace(keys[1], 2).second);
+  for (const auto k : keys) EXPECT_EQ(map.erase(k), 1u);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatHashMap, IterationVisitsEveryElementOnce) {
+  IntMap map;
+  for (int i = 0; i < 777; ++i) map.try_emplace(i, i);
+  std::set<int> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, value);
+    EXPECT_TRUE(seen.insert(key).second) << "visited twice: " << key;
+  }
+  EXPECT_EQ(seen.size(), 777u);
+}
+
+TEST(FlatHashMap, EraseDuringSweepVisitsEverySurvivor) {
+  // The classifier's expire_idle pattern: sweep, erase matching elements,
+  // re-examine the slot erase() returns. Every element present at sweep
+  // start must be seen at least once; survivors stay findable.
+  IntMap map;
+  for (int i = 0; i < 2000; ++i) map.try_emplace(i, i);
+  std::set<int> visited;
+  for (auto it = map.begin(); it != map.end();) {
+    visited.insert(it->first);
+    if (it->first % 3 == 0) {
+      it = map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(visited.size(), 2000u);  // nothing skipped
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(map.contains(i), i % 3 != 0) << i;
+  }
+}
+
+TEST(FlatHashMap, ClearReleasesEverything) {
+  IntMap map;
+  for (int i = 0; i < 100; ++i) map.try_emplace(i, i);
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+  EXPECT_EQ(map.find(1), map.end());
+  // Reusable after clear.
+  EXPECT_TRUE(map.try_emplace(1, 10).second);
+  EXPECT_EQ(map.find(1)->second, 10);
+}
+
+TEST(FlatHashMap, MatchesUnorderedMapUnderRandomChurn) {
+  std::mt19937 rng(20020);
+  std::uniform_int_distribution<int> key_dist(0, 499);
+  FlatHashMap<int, int> map;
+  std::unordered_map<int, int> oracle;
+  for (int step = 0; step < 20000; ++step) {
+    const int key = key_dist(rng);
+    switch (rng() % 3) {
+      case 0: {
+        const auto a = map.try_emplace(key, step);
+        const auto b = oracle.try_emplace(key, step);
+        ASSERT_EQ(a.second, b.second);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(map.erase(key), oracle.erase(key));
+        break;
+      default: {
+        const auto it = map.find(key);
+        const auto oit = oracle.find(key);
+        ASSERT_EQ(it == map.end(), oit == oracle.end());
+        if (oit != oracle.end()) {
+          ASSERT_EQ(it->second, oit->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+}
+
+TEST(FlatHashMap, FiveTupleKeys) {
+  FlatHashMap<net::FiveTuple, std::uint64_t, net::FiveTupleHash> map;
+  std::vector<net::FiveTuple> tuples;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    net::FiveTuple t;
+    t.src = net::Ipv4Address(10, 0, static_cast<std::uint8_t>(i >> 8),
+                             static_cast<std::uint8_t>(i));
+    t.dst = net::Ipv4Address(20, 1, 2, static_cast<std::uint8_t>(i));
+    t.src_port = static_cast<std::uint16_t>(1024 + i);
+    t.dst_port = 443;
+    t.protocol = 6;
+    tuples.push_back(t);
+    EXPECT_TRUE(map.try_emplace(t, i).second);
+  }
+  EXPECT_EQ(map.size(), 300u);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const auto it = map.find(tuples[i]);
+    ASSERT_NE(it, map.end()) << tuples[i].to_string();
+    EXPECT_EQ(it->second, i);
+  }
+  // A near-miss tuple (different port) is a different key.
+  auto other = tuples[0];
+  other.dst_port = 80;
+  EXPECT_EQ(map.find(other), map.end());
+}
+
+TEST(FlatHashMap, Slash24PrefixKeys) {
+  FlatHashMap<net::Prefix, int, net::PrefixHash> map;
+  for (std::uint8_t a = 1; a <= 200; ++a) {
+    const net::Prefix p(net::Ipv4Address(a, 2, 3, 99), 24);
+    EXPECT_TRUE(map.try_emplace(p, a).second);
+  }
+  EXPECT_EQ(map.size(), 200u);
+  // Addresses in the same /24 canonicalise to the same key...
+  const net::Prefix same(net::Ipv4Address(7, 2, 3, 250), 24);
+  ASSERT_NE(map.find(same), map.end());
+  EXPECT_EQ(map.find(same)->second, 7);
+  // ...the same network at a different length is a distinct key.
+  const net::Prefix shorter(net::Ipv4Address(7, 2, 3, 0), 16);
+  EXPECT_EQ(map.find(shorter), map.end());
+}
+
+}  // namespace
+}  // namespace fbm::core

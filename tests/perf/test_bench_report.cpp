@@ -1,0 +1,204 @@
+// perf::BenchReport schema: the BENCH_*.json files are consumed by the CI
+// regression gate and external dashboards, so the key set and nesting are
+// contractual. The emitted JSON must parse with the same field scanner the
+// golden-report regression uses.
+#include "perf/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../support/json_fields.hpp"
+#include "perf/counters.hpp"
+#include "perf/stopwatch.hpp"
+
+#ifdef FBM_HAVE_BENCH_COMMON
+#include "common.hpp"
+#endif
+
+namespace fbm {
+namespace {
+
+using testsupport::Field;
+using testsupport::parse_fields;
+
+perf::BenchReport sample_report() {
+  perf::BenchReport report;
+  report.bench = "schema_probe";
+  report.set_config("threads", std::uint64_t{4});
+  report.set_config("quick", true);
+  report.set_config("label", std::string("scaled sprint corpus"));
+  report.set_config("time_scale", 1.0 / 60.0);
+  report.wall_s = 1.5;
+  report.packets_per_s = 250000.0;
+  report.peak_rss_kb = 10240;
+  report.counters.packets = 375000;
+  report.counters.flows = 420;
+  report.counters.intervals = 7;
+  report.counters.bytes_classified = 99u * 1024 * 1024;
+  report.set_metric("classify_flat_vs_std_speedup", 1.4);
+  report.git_sha = "deadbeef";
+  return report;
+}
+
+std::vector<std::string> keys_of(const std::vector<Field>& fields) {
+  std::vector<std::string> keys;
+  keys.reserve(fields.size());
+  for (const auto& f : fields) keys.push_back(f.key);
+  return keys;
+}
+
+const Field& field_named(const std::vector<Field>& fields,
+                         const std::string& key) {
+  static const Field missing{"<missing>", "<missing>"};
+  const auto it =
+      std::find_if(fields.begin(), fields.end(),
+                   [&](const Field& f) { return f.key == key; });
+  EXPECT_NE(it, fields.end()) << "missing key " << key;
+  return it == fields.end() ? missing : *it;
+}
+
+TEST(BenchReport, JsonParsesWithTheGoldenReportReader) {
+  const auto fields = parse_fields(sample_report().to_json());
+  const auto keys = keys_of(fields);
+
+  // The stable schema: these keys exist, in this document order.
+  const char* required[] = {"bench",       "config",        "metrics",
+                            "wall_s",      "packets_per_s", "peak_rss_kb",
+                            "git_sha"};
+  std::size_t cursor = 0;
+  for (const char* key : required) {
+    const auto it = std::find(keys.begin() + static_cast<std::ptrdiff_t>(cursor),
+                              keys.end(), key);
+    ASSERT_NE(it, keys.end()) << "missing or out of order: " << key;
+    cursor = static_cast<std::size_t>(it - keys.begin()) + 1;
+  }
+
+  EXPECT_EQ(field_named(fields, "bench").value, "\"schema_probe\"");
+  EXPECT_EQ(field_named(fields, "git_sha").value, "\"deadbeef\"");
+  EXPECT_EQ(field_named(fields, "config").value, "{");
+  EXPECT_EQ(field_named(fields, "metrics").value, "{");
+}
+
+TEST(BenchReport, NumericFieldsRoundTrip) {
+  const auto fields = parse_fields(sample_report().to_json());
+  const auto numeric = [&](const std::string& key) {
+    return std::strtod(field_named(fields, key).value.c_str(), nullptr);
+  };
+  EXPECT_DOUBLE_EQ(numeric("wall_s"), 1.5);
+  EXPECT_DOUBLE_EQ(numeric("packets_per_s"), 250000.0);
+  EXPECT_DOUBLE_EQ(numeric("peak_rss_kb"), 10240.0);
+  EXPECT_DOUBLE_EQ(numeric("packets"), 375000.0);
+  EXPECT_DOUBLE_EQ(numeric("flows"), 420.0);
+  EXPECT_DOUBLE_EQ(numeric("intervals"), 7.0);
+  EXPECT_DOUBLE_EQ(numeric("classify_flat_vs_std_speedup"), 1.4);
+  EXPECT_DOUBLE_EQ(numeric("threads"), 4.0);
+  EXPECT_DOUBLE_EQ(numeric("time_scale"), 1.0 / 60.0);
+  EXPECT_DOUBLE_EQ(numeric("bytes_classified"), 99.0 * 1024 * 1024);
+}
+
+TEST(BenchReport, QuotesAreEscapedInStrings) {
+  perf::BenchReport report = sample_report();
+  report.set_config("note", std::string("a \"quoted\" token"));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"a \\\"quoted\\\" token\""), std::string::npos);
+}
+
+TEST(BenchReport, SummaryWrapsEveryReport) {
+  const perf::BenchReport a = sample_report();
+  perf::BenchReport b = sample_report();
+  b.bench = "second_probe";
+  const std::vector<perf::BenchReport> reports = {a, b};
+  const auto fields = parse_fields(perf::summary_json(reports));
+  const auto keys = keys_of(fields);
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), "bench"), 2);
+  EXPECT_EQ(field_named(fields, "schema").value, "1");
+  EXPECT_EQ(field_named(fields, "benches").value, "[");
+}
+
+TEST(BenchReport, PeakRssIsReported) {
+  // getrusage must yield something plausible for a running test binary.
+  EXPECT_GT(perf::peak_rss_kb(), 1000u);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  perf::Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(watch.elapsed_s(), 0.0);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_s(), 1.0);
+}
+
+TEST(Counters, Accumulate) {
+  perf::Counters total;
+  perf::Counters part;
+  part.packets = 10;
+  part.flows = 2;
+  part.intervals = 1;
+  part.bytes_classified = 1500;
+  total += part;
+  total += part;
+  EXPECT_EQ(total.packets, 20u);
+  EXPECT_EQ(total.flows, 4u);
+  EXPECT_EQ(total.intervals, 2u);
+  EXPECT_EQ(total.bytes_classified, 3000u);
+}
+
+#ifdef FBM_HAVE_BENCH_COMMON
+
+int schema_probe_bench(bench::Context& ctx) {
+  ctx.count_packets(1000);
+  ctx.count_bytes(500000);
+  ctx.report().set_metric("probe_metric", 3.25);
+  // Burn a hair of wall time so packets_per_s is finite and positive.
+  perf::Stopwatch watch;
+  while (watch.elapsed_s() <= 0.0) {
+  }
+  return 0;
+}
+
+TEST(BenchRegistry, RunRegisteredEmitsParseableTelemetry) {
+  // Registered here (not via FBM_BENCH: the test binary must not grow a
+  // main), then run through the exact path fbm_bench --quick uses.
+  const bench::BenchInfo info{"schema_probe", &schema_probe_bench};
+  perf::BenchReport report;
+  const int rc = bench::run_registered(info, /*quick=*/true, report);
+  EXPECT_EQ(rc, 0);
+
+  EXPECT_EQ(report.bench, "schema_probe");
+  EXPECT_GT(report.wall_s, 0.0);
+  EXPECT_GT(report.packets_per_s, 0.0);
+  EXPECT_EQ(report.counters.packets, 1000u);
+
+  const auto fields = parse_fields(report.to_json());
+  // Resolved config the satellites demand: threads (cached env read) and
+  // the quick flag land in every report.
+  EXPECT_EQ(field_named(fields, "threads").value,
+            std::to_string(bench::bench_threads()));
+  EXPECT_EQ(field_named(fields, "quick").value, "true");
+  EXPECT_DOUBLE_EQ(
+      std::strtod(field_named(fields, "probe_metric").value.c_str(),
+                  nullptr),
+      3.25);
+  EXPECT_DOUBLE_EQ(
+      std::strtod(field_named(fields, "packets").value.c_str(), nullptr),
+      1000.0);
+}
+
+TEST(BenchRegistry, BenchThreadsIsCachedPerProcess) {
+  // The first call resolves FBM_BENCH_THREADS; later env changes must not
+  // flip the value mid-run (the satellite fix for per-call getenv).
+  const std::size_t resolved = bench::bench_threads();
+  ASSERT_EQ(setenv("FBM_BENCH_THREADS", "97", /*overwrite=*/1), 0);
+  EXPECT_EQ(bench::bench_threads(), resolved);
+  unsetenv("FBM_BENCH_THREADS");
+}
+
+#endif  // FBM_HAVE_BENCH_COMMON
+
+}  // namespace
+}  // namespace fbm

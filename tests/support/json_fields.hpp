@@ -1,0 +1,52 @@
+// Minimal "key": value scanner shared by the golden-report regression and
+// the perf BenchReport schema test — both compare the JSON our writers emit
+// field by field, in document order, without a full JSON parser.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace fbm::testsupport {
+
+/// One "key": value pair, in document order. Values are kept as the raw
+/// token ("{" and "[" mark nesting, so structure is compared too).
+struct Field {
+  std::string key;
+  std::string value;
+};
+
+inline std::vector<Field> parse_fields(const std::string& json) {
+  std::vector<Field> out;
+  std::size_t pos = 0;
+  while ((pos = json.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = json.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    std::string key = json.substr(pos + 1, key_end - pos - 1);
+    std::size_t colon = json.find(':', key_end);
+    if (colon == std::string::npos) break;
+    std::size_t v0 = colon + 1;
+    while (v0 < json.size() && std::isspace(static_cast<unsigned char>(
+                                   json[v0]))) {
+      ++v0;
+    }
+    std::size_t v1 = v0;
+    if (v0 < json.size() && (json[v0] == '{' || json[v0] == '[')) {
+      v1 = v0 + 1;
+    } else if (v0 < json.size() && json[v0] == '"') {
+      v1 = json.find('"', v0 + 1);
+      if (v1 == std::string::npos) break;
+      ++v1;  // include the closing quote in the token
+    } else {
+      while (v1 < json.size() && json[v1] != ',' && json[v1] != '\n' &&
+             json[v1] != '}' && json[v1] != ']') {
+        ++v1;
+      }
+    }
+    out.push_back({std::move(key), json.substr(v0, v1 - v0)});
+    pos = v1;
+  }
+  return out;
+}
+
+}  // namespace fbm::testsupport

@@ -1,0 +1,225 @@
+// fbm_bench — runs the registered paper-reproduction benches with JSON
+// telemetry and enforces the benchmark-regression gate.
+//
+//   fbm_bench --list
+//   fbm_bench --filter fig08 --json out/
+//   fbm_bench --quick --json bench-out/ --baseline bench/baseline.json
+//   fbm_bench --quick --write-baseline bench/baseline.json
+//
+// Every selected bench produces out/BENCH_<name>.json (schema in
+// perf/bench_report.hpp) plus an aggregate out/BENCH_summary.json. With
+// --baseline, any bench whose packets_per_s falls more than
+// --max-regression (default 0.25) below the checked-in value fails the run
+// — the CI bench-smoke job is exactly this invocation.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "perf/bench_report.hpp"
+
+namespace {
+
+using fbm::bench::BenchInfo;
+
+struct Options {
+  std::string filter;
+  std::string json_dir;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  double max_regression = 0.25;
+  bool quick = false;
+  bool list = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--list] [--filter SUBSTR] [--quick] [--json DIR]\n"
+      "          [--baseline FILE] [--max-regression FRAC]\n"
+      "          [--write-baseline FILE]\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--list") == 0) {
+      opt.list = true;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(arg, "--filter") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.filter = v;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.json_dir = v;
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.baseline_path = v;
+    } else if (std::strcmp(arg, "--write-baseline") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.write_baseline_path = v;
+    } else if (std::strcmp(arg, "--max-regression") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.max_regression = std::atof(v);
+      if (!(opt.max_regression > 0.0 && opt.max_regression < 1.0)) {
+        std::fprintf(stderr, "--max-regression must be in (0, 1)\n");
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Baseline file: a flat JSON object mapping bench name -> packets_per_s.
+/// Returns a negative value when the bench has no baseline entry.
+double baseline_value(const std::string& content, const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t pos = content.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(content.c_str() + pos + needle.size(), nullptr);
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<fbm::perf::BenchReport>& reports,
+                    bool quick) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"schema\": 1,\n  \"quick\": " << (quick ? "true" : "false");
+  for (const auto& r : reports) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f", r.packets_per_s);
+    out << ",\n  \"" << r.bench << "\": " << buf;
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto benches = fbm::bench::registered_benches();
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchInfo& a, const BenchInfo& b) {
+              return std::strcmp(a.name, b.name) < 0;
+            });
+
+  if (opt.list) {
+    for (const auto& info : benches) std::printf("%s\n", info.name);
+    return 0;
+  }
+
+  std::vector<fbm::perf::BenchReport> reports;
+  std::vector<std::string> failed;
+  for (const auto& info : benches) {
+    if (!opt.filter.empty() &&
+        std::string(info.name).find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    std::fprintf(stderr, "[fbm_bench] running %s ...\n", info.name);
+    fbm::perf::BenchReport report;
+    const int rc = fbm::bench::run_registered(info, opt.quick, report);
+    std::fprintf(stderr,
+                 "[fbm_bench] %s: rc=%d wall=%.2fs packets/s=%.0f "
+                 "peak_rss=%llu kB\n",
+                 info.name, rc, report.wall_s, report.packets_per_s,
+                 static_cast<unsigned long long>(report.peak_rss_kb));
+    if (rc != 0) failed.push_back(info.name);
+    if (!opt.json_dir.empty() &&
+        !fbm::bench::write_report_json(opt.json_dir, report)) {
+      failed.push_back(info.name + std::string(" (json write)"));
+    }
+    reports.push_back(std::move(report));
+  }
+
+  if (reports.empty()) {
+    std::fprintf(stderr, "no bench matches filter '%s'\n",
+                 opt.filter.c_str());
+    return 2;
+  }
+
+  if (!opt.json_dir.empty()) {
+    const std::string path = opt.json_dir + "/BENCH_summary.json";
+    std::ofstream out(path);
+    if (out) {
+      out << fbm::perf::summary_json(reports);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      failed.push_back("BENCH_summary.json");
+    }
+  }
+
+  if (!opt.write_baseline_path.empty() &&
+      !write_baseline(opt.write_baseline_path, reports, opt.quick)) {
+    failed.push_back("baseline write");
+  }
+
+  if (!opt.baseline_path.empty()) {
+    std::ifstream in(opt.baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    for (const auto& r : reports) {
+      const double base = baseline_value(content, r.bench);
+      // Benches without a baseline entry or without packet telemetry are
+      // not gated — but say so, so a bench silently dropping out of the
+      // gate (renamed, or its counting broke) is visible in the log.
+      if (base <= 0.0 || r.packets_per_s <= 0.0) {
+        std::fprintf(stderr, "[fbm_bench] gate %-28s UNGATED (%s)\n",
+                     r.bench.c_str(),
+                     base <= 0.0 ? "no baseline entry"
+                                 : "no packets counted");
+        continue;
+      }
+      const double floor = base * (1.0 - opt.max_regression);
+      const bool regressed = r.packets_per_s < floor;
+      std::fprintf(stderr,
+                   "[fbm_bench] gate %-28s %12.0f vs baseline %12.0f "
+                   "(floor %12.0f) %s\n",
+                   r.bench.c_str(), r.packets_per_s, base, floor,
+                   regressed ? "REGRESSED" : "ok");
+      if (regressed) failed.push_back(r.bench + std::string(" (regression)"));
+    }
+  }
+
+  if (!failed.empty()) {
+    std::fprintf(stderr, "[fbm_bench] FAILED:");
+    for (const auto& name : failed) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  std::fprintf(stderr, "[fbm_bench] %zu bench(es) ok\n", reports.size());
+  return 0;
+}
