@@ -263,7 +263,11 @@ void ParallelAnalysisPipeline::merge_front() {
                                             std::move(flows),
                                             std::move(bins));
   if (report.inputs.flows >= config_.min_flows()) {
-    ready_.push_back(std::move(report));
+    if (sink_) {
+      sink_(std::move(report));
+    } else {
+      ready_.push_back(std::move(report));
+    }
   }
   ++next_merge_;
 }

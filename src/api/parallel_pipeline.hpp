@@ -68,6 +68,11 @@ class ParallelAnalysisPipeline {
   [[nodiscard]] AnalysisReport pop_report();
   [[nodiscard]] std::vector<AnalysisReport> take_reports();
 
+  /// Per-window flush hook, same contract as AnalysisPipeline: reports go to
+  /// `sink` in interval order as the merge finalizes them. Set before the
+  /// first push.
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
   /// Running totals over everything pushed so far (caller-side, exact).
   [[nodiscard]] const trace::TraceSummary& summary() const { return summary_; }
   /// Classifier counters summed over shards. Counts packets the workers
@@ -95,6 +100,7 @@ class ParallelAnalysisPipeline {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::vector<net::PacketRecord>> pending_;
   std::deque<AnalysisReport> ready_;
+  ReportSink sink_;
   trace::TraceSummary summary_;
   double last_ts_ = -std::numeric_limits<double>::infinity();
   double next_sweep_ = 0.0;

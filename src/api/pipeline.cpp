@@ -70,7 +70,11 @@ void AnalysisPipeline::absorb(std::vector<ShardInterval>&& closed) {
                                               std::move(iv.flows),
                                               std::move(iv.bins));
     if (report.inputs.flows >= config_.min_flows()) {
-      ready_.push_back(std::move(report));
+      if (sink_) {
+        sink_(std::move(report));
+      } else {
+        ready_.push_back(std::move(report));
+      }
     }
   }
 }

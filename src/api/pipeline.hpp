@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "api/report.hpp"
@@ -108,6 +110,12 @@ class AnalysisConfig {
 class PipelineShard;    // api/shard.hpp
 struct ShardInterval;   // api/shard.hpp
 
+/// Per-window flush hook: invoked exactly once per closed analysis interval,
+/// in interval order, as soon as the interval is finalized (min_flows
+/// filtering already applied). Serial and sharded pipelines share the same
+/// contract, so a sink never needs to know which one is underneath.
+using ReportSink = std::function<void(AnalysisReport&&)>;
+
 class AnalysisPipeline {
  public:
   /// Throws std::invalid_argument on non-positive timeout/interval/delta.
@@ -133,6 +141,11 @@ class AnalysisPipeline {
   /// All pending reports at once (clears the queue).
   [[nodiscard]] std::vector<AnalysisReport> take_reports();
 
+  /// Streams reports into `sink` the moment each interval closes instead of
+  /// queueing them (pop_report/take_reports then never see them). Set before
+  /// the first push.
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
   /// Running totals over everything pushed so far.
   [[nodiscard]] const trace::TraceSummary& summary() const { return summary_; }
   [[nodiscard]] const flow::ClassifierCounters& counters() const;
@@ -154,6 +167,7 @@ class AnalysisPipeline {
   /// so the two paths cannot drift apart.
   std::unique_ptr<PipelineShard> shard_;
   std::deque<AnalysisReport> ready_;
+  ReportSink sink_;
   trace::TraceSummary summary_;
   double next_sweep_ = 0.0;
   std::int64_t next_close_ = 0;  ///< lowest interval index not yet closed

@@ -6,11 +6,9 @@
 
 namespace fbm::api {
 
-namespace {
+namespace detail {
 
-/// Shortest decimal form that round-trips a double; JSON has no literal for
-/// non-finite values, so those become null.
-[[nodiscard]] std::string number(double v) {
+std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -27,6 +25,12 @@ namespace {
   }
   return buf;
 }
+
+}  // namespace detail
+
+namespace {
+
+[[nodiscard]] std::string number(double v) { return detail::json_number(v); }
 
 [[nodiscard]] std::string number(std::uint64_t v) { return std::to_string(v); }
 

@@ -60,4 +60,13 @@ struct AnalysisReport {
 [[nodiscard]] std::string to_json(const trace::TraceSummary& summary,
                                   std::span<const AnalysisReport> reports);
 
+namespace detail {
+
+/// Shortest decimal form that round-trips the double ("null" for non-finite
+/// values — JSON has no literal for them). Shared by every hand-rolled JSON
+/// writer in the tree so numbers render identically everywhere.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace detail
+
 }  // namespace fbm::api

@@ -59,7 +59,12 @@ std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
           ? 0
           : std::max<std::size_t>(64, config.reserve_flows() /
                                           config.threads());
-  switch (config.flow_definition()) {
+  return make_flow_classifier(config.flow_definition(), options);
+}
+
+std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
+    FlowDefinition def, const flow::ClassifierOptions& options) {
+  switch (def) {
     case FlowDefinition::prefix24:
       return std::make_unique<ClassifierImpl<flow::PrefixKey<24>>>(options);
     case FlowDefinition::five_tuple:
@@ -178,43 +183,60 @@ void PipelineShard::finish(std::int64_t last_index,
   emit_through(last_index, out);
 }
 
+// -------------------------------------------------------------- fit_window ---
+
+WindowFit fit_window(const AnalysisConfig& config, double start_s,
+                     double length_s, std::vector<flow::FlowRecord> flows,
+                     const stats::RateBinner& bins) {
+  WindowFit fit;
+
+  // Flows sorted by start time: flow::ByStart compares every field, so the
+  // sorted sequence is unique no matter how the input was ordered — the key
+  // to the serial/parallel/live bit-for-bit agreement.
+  std::sort(flows.begin(), flows.end(), flow::ByStart{});
+  fit.interval.start = start_s;
+  fit.interval.length = length_s;
+  fit.interval.flows = std::move(flows);
+  fit.inputs = flow::estimate_inputs(fit.interval);
+  fit.continued_flows = flow::continued_count(fit.interval);
+
+  fit.series = bins.series();
+  fit.measured = measure::rate_moments(fit.series);
+
+  if (config.has_fixed_shot_b()) {
+    fit.shot_b_used = config.fixed_shot_b();
+  } else {
+    fit.shot_b = core::fit_power_b(fit.measured.variance_bps2, fit.inputs);
+    fit.shot_b_used = fit.shot_b.value_or(config.fallback_shot_b());
+  }
+  fit.model_cov = core::power_shot_cov(fit.inputs, fit.shot_b_used);
+  fit.plan = dimension::plan_link(fit.inputs, fit.shot_b_used,
+                                  config.epsilon());
+  return fit;
+}
+
 // ------------------------------------------------------- finalize_interval ---
 
 AnalysisReport finalize_interval(const AnalysisConfig& config,
                                  std::int64_t index,
                                  std::vector<flow::FlowRecord> flows,
                                  stats::RateBinner bins) {
+  const double start_s = static_cast<double>(index) * config.interval_s();
+  WindowFit fit = fit_window(config, start_s, config.interval_s(),
+                             std::move(flows), bins);
+
   AnalysisReport report;
   report.interval_index = static_cast<std::size_t>(index);
-  report.start_s = static_cast<double>(index) * config.interval_s();
+  report.start_s = start_s;
   report.length_s = config.interval_s();
-
-  // Flows sorted by start time: flow::ByStart compares every field, so the
-  // sorted sequence is unique no matter how the input was ordered — the key
-  // to the serial/parallel bit-for-bit agreement.
-  std::sort(flows.begin(), flows.end(), flow::ByStart{});
-  flow::IntervalData data;
-  data.start = report.start_s;
-  data.length = report.length_s;
-  data.flows = std::move(flows);
-  report.inputs = flow::estimate_inputs(data);
-  report.continued_flows = flow::continued_count(data);
-
-  report.measured = measure::rate_moments(bins.series());
-
-  if (config.has_fixed_shot_b()) {
-    report.shot_b_used = config.fixed_shot_b();
-  } else {
-    report.shot_b =
-        core::fit_power_b(report.measured.variance_bps2, report.inputs);
-    report.shot_b_used = report.shot_b.value_or(config.fallback_shot_b());
-  }
-  report.model_cov = core::power_shot_cov(report.inputs, report.shot_b_used);
-  report.plan = dimension::plan_link(report.inputs, report.shot_b_used,
-                                     config.epsilon());
-
-  if (config.keep_flows()) report.interval = std::move(data);
-
+  report.inputs = fit.inputs;
+  report.measured = fit.measured;
+  report.continued_flows = fit.continued_flows;
+  report.shot_b = fit.shot_b;
+  report.shot_b_used = fit.shot_b_used;
+  report.model_cov = fit.model_cov;
+  report.plan = fit.plan;
+  if (config.keep_flows()) report.interval = std::move(fit.interval);
   return report;
 }
 

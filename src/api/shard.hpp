@@ -18,10 +18,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "api/pipeline.hpp"
+#include "dimension/provisioning.hpp"
 #include "flow/classifier.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
 #include "net/packet.hpp"
 #include "stats/timeseries.hpp"
 
@@ -44,6 +48,12 @@ class FlowClassifierHandle {
 /// Classifier for the configured flow definition, timeout and interval.
 [[nodiscard]] std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
     const AnalysisConfig& config);
+
+/// Classifier with explicit options (fbm::live runs one classifier per
+/// sliding window, with boundary splitting disabled — the window itself is
+/// the interval).
+[[nodiscard]] std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
+    FlowDefinition def, const flow::ClassifierOptions& options);
 
 /// Throws std::invalid_argument for out-of-range pipeline parameters (shared
 /// by the serial and parallel constructors, so both reject identically).
@@ -118,11 +128,36 @@ class PipelineShard {
   std::int64_t next_close_ = 0;
 };
 
+/// One fitted window of trace time: everything the paper derives from a set
+/// of completed flows plus the window's exact byte bins. Produced by
+/// fit_window() — the single implementation of the per-window math that the
+/// serial pipeline, the sharded merge and live::WindowedEstimator all share,
+/// so all three agree bit for bit by construction.
+struct WindowFit {
+  flow::ModelInputs inputs;
+  measure::RateMoments measured;
+  std::size_t continued_flows = 0;
+  std::optional<double> shot_b;
+  double shot_b_used = 1.0;
+  double model_cov = 0.0;
+  dimension::ProvisioningPlan plan;
+  stats::RateSeries series;       ///< the Delta-binned measured rate
+  flow::IntervalData interval;    ///< flows sorted by flow::ByStart
+};
+
+/// Fits one window [start_s, start_s + length_s): sort flows by
+/// flow::ByStart, estimate the model inputs, derive rate moments from the
+/// bins, fit the shot power (or apply the configured fixed/fallback b), plan
+/// capacity. `flows` may arrive in any order; `bins` must cover the window.
+[[nodiscard]] WindowFit fit_window(const AnalysisConfig& config,
+                                   double start_s, double length_s,
+                                   std::vector<flow::FlowRecord> flows,
+                                   const stats::RateBinner& bins);
+
 /// Turns one interval's merged raw material — flows (any order) and exact
-/// byte bins — into the finished AnalysisReport: sort by flow::ByStart,
-/// estimate the model inputs, derive rate moments, fit the shot power, plan
-/// capacity. Both pipelines close intervals through here; min_flows
-/// filtering stays with the caller.
+/// byte bins — into the finished AnalysisReport via fit_window(). Both
+/// pipelines close intervals through here; min_flows filtering stays with
+/// the caller.
 [[nodiscard]] AnalysisReport finalize_interval(const AnalysisConfig& config,
                                                std::int64_t index,
                                                std::vector<flow::FlowRecord>

@@ -20,16 +20,38 @@ std::optional<net::PacketRecord> VectorTraceSource::next() {
 
 // -------------------------------------------------------- FileTraceSource ---
 
-FileTraceSource::FileTraceSource(const std::filesystem::path& path)
-    : reader_(path) {}
+FileTraceSource::FileTraceSource(const std::filesystem::path& path,
+                                 bool follow)
+    : path_(path), follow_(follow), reader_(path) {}
 
 std::optional<net::PacketRecord> FileTraceSource::next() {
-  return reader_.next();
+  return follow_ ? reader_.poll() : reader_.next();
 }
 
 std::uint64_t FileTraceSource::count_hint() const {
   const std::uint64_t n = reader_.header_count();
   return n == trace::kUnknownCount ? kUnknownCount : n;
+}
+
+bool FileTraceSource::reset() {
+  reader_ = trace::TraceReader(path_);
+  return true;
+}
+
+// -------------------------------------------------------- PcapTraceSource ---
+
+PcapTraceSource::PcapTraceSource(const std::filesystem::path& path,
+                                 bool follow)
+    : path_(path), follow_(follow),
+      reader_(path, trace::kPcapDefaultEpoch, follow) {}
+
+std::optional<net::PacketRecord> PcapTraceSource::next() {
+  return reader_.next();
+}
+
+bool PcapTraceSource::reset() {
+  reader_ = trace::PcapReader(path_, trace::kPcapDefaultEpoch, follow_);
+  return true;
 }
 
 // --------------------------------------------------- SyntheticTraceSource ---
@@ -137,6 +159,15 @@ void ModelTraceSource::schedule_next_packet(ActiveFlow& f) const {
   f.next_packet_ts = f.start + age;
 }
 
+bool ModelTraceSource::reset() {
+  rng_ = stats::Rng(config_.seed);
+  next_arrival_ = rng_.exponential(config_.lambda);
+  arrivals_done_ = false;
+  flows_ = 0;
+  active_ = {};
+  return true;
+}
+
 std::optional<net::PacketRecord> ModelTraceSource::next() {
   while (true) {
     // Admit every arrival up to the next pending packet so the merged
@@ -174,15 +205,18 @@ std::optional<net::PacketRecord> ModelTraceSource::next() {
 
 // -------------------------------------------------------------- factories ---
 
-TraceSourcePtr open_trace(const std::filesystem::path& path) {
+TraceSourcePtr open_trace(const std::filesystem::path& path, bool follow) {
   const std::string s = path.string();
   if (s.ends_with(".pcap")) {
-    return std::make_unique<VectorTraceSource>(trace::import_pcap(path));
+    return std::make_unique<PcapTraceSource>(path, follow);
   }
   if (s.ends_with(".csv")) {
+    if (follow) {
+      throw std::invalid_argument("open_trace: --follow needs .fbmt or .pcap");
+    }
     return std::make_unique<VectorTraceSource>(trace::import_csv(path));
   }
-  return std::make_unique<FileTraceSource>(path);
+  return std::make_unique<FileTraceSource>(path, follow);
 }
 
 TraceSourcePtr make_vector_source(std::vector<net::PacketRecord> packets) {

@@ -6,15 +6,19 @@
 // repository can produce packets:
 //
 //   FileTraceSource       .fbmt files, truly streaming (O(1) memory)
-//   VectorTraceSource     any in-memory vector (also serves pcap/csv, whose
-//                         readers are batch; the memory cost is explicit)
+//   PcapTraceSource       .pcap captures, truly streaming (O(1) memory)
+//   VectorTraceSource     any in-memory vector (also serves csv, whose
+//                         reader is batch; the memory cost is explicit)
 //   SyntheticTraceSource  the trace/synthetic generator
 //   ModelTraceSource      packets synthesized from the shot-noise model
 //                         itself (Poisson arrivals, power-shot pacing),
 //                         streaming with O(active flows) memory
 //
 // open_trace() picks the right reader from the file extension, mirroring
-// what tools/fbm_analyze did by hand.
+// what tools/fbm_analyze did by hand. Every source built here supports
+// reset() (rewind to the first packet), which windowed replay and the
+// differential test harnesses rely on; sources that cannot rewind return
+// false and stay single-pass.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,7 @@
 #include "net/packet.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
+#include "trace/pcap.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_format.hpp"
 
@@ -49,6 +54,12 @@ class TraceSource {
   [[nodiscard]] virtual std::uint64_t count_hint() const {
     return kUnknownCount;
   }
+
+  /// Rewinds to the first packet so the stream can be replayed; returns
+  /// false when the source cannot rewind (the default — a TraceSource is
+  /// single-pass unless it says otherwise). After a successful reset the
+  /// source delivers exactly the same packet sequence again.
+  [[nodiscard]] virtual bool reset() { return false; }
 
   /// Drains the stream through `fn(const net::PacketRecord&)`; returns the
   /// number of packets delivered.
@@ -74,22 +85,52 @@ class VectorTraceSource final : public TraceSource {
   [[nodiscard]] std::uint64_t count_hint() const override {
     return packets_.size();
   }
+  [[nodiscard]] bool reset() override {
+    pos_ = 0;
+    return true;
+  }
 
  private:
   std::vector<net::PacketRecord> packets_;
   std::size_t pos_ = 0;
 };
 
-/// Streams a native .fbmt file record by record (O(1) memory).
+/// Streams a native .fbmt file record by record (O(1) memory). With
+/// `follow`, end of file means "no data yet": next() returns nullopt but a
+/// later call picks up records appended in the meantime (fbm_live --follow).
 class FileTraceSource final : public TraceSource {
  public:
-  explicit FileTraceSource(const std::filesystem::path& path);
+  explicit FileTraceSource(const std::filesystem::path& path,
+                           bool follow = false);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
   [[nodiscard]] std::uint64_t count_hint() const override;
+  [[nodiscard]] bool reset() override;
 
  private:
+  std::filesystem::path path_;
+  bool follow_;
   trace::TraceReader reader_;
+};
+
+/// Streams a .pcap capture packet by packet (O(1) memory) — no more
+/// materializing multi-GB captures through a vector. `follow` has
+/// FileTraceSource semantics.
+class PcapTraceSource final : public TraceSource {
+ public:
+  explicit PcapTraceSource(const std::filesystem::path& path,
+                           bool follow = false);
+
+  [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] bool reset() override;
+
+  /// Non-IPv4/TCP/UDP packets skipped so far.
+  [[nodiscard]] std::size_t skipped() const { return reader_.skipped(); }
+
+ private:
+  std::filesystem::path path_;
+  bool follow_;
+  trace::PcapReader reader_;
 };
 
 /// Wraps the synthetic backbone generator. Generation happens eagerly in
@@ -100,6 +141,7 @@ class SyntheticTraceSource final : public TraceSource {
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
   [[nodiscard]] std::uint64_t count_hint() const override;
+  [[nodiscard]] bool reset() override { return inner_.reset(); }
 
   /// What the generator actually produced.
   [[nodiscard]] const trace::GenerationReport& report() const {
@@ -149,6 +191,8 @@ class ModelTraceSource final : public TraceSource {
                    double shot_b);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  /// Restarts the simulation from its seed: the replay is identical.
+  [[nodiscard]] bool reset() override;
 
   [[nodiscard]] std::uint64_t flows_started() const { return flows_; }
 
@@ -181,10 +225,13 @@ class ModelTraceSource final : public TraceSource {
       active_;
 };
 
-/// Opens a trace file by extension: .fbmt streams, .pcap / .csv are read
-/// through the existing batch importers and served from memory. Throws
-/// std::runtime_error for unreadable files.
-[[nodiscard]] TraceSourcePtr open_trace(const std::filesystem::path& path);
+/// Opens a trace file by extension: .fbmt and .pcap stream with O(1)
+/// memory; .csv still goes through the batch importer and is served from
+/// memory. `follow` requests tail -f semantics (.fbmt/.pcap only; throws
+/// std::invalid_argument for .csv). Throws std::runtime_error for
+/// unreadable files.
+[[nodiscard]] TraceSourcePtr open_trace(const std::filesystem::path& path,
+                                        bool follow = false);
 
 /// Factory helpers, for symmetry with open_trace().
 [[nodiscard]] TraceSourcePtr make_vector_source(

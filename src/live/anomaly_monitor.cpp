@@ -1,0 +1,59 @@
+#include "live/anomaly_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbm::live {
+
+AnomalyMonitor::AnomalyMonitor(const LiveConfig& config)
+    : band_k_sigma_(config.band_k_sigma),
+      alert_min_consecutive_(config.alert_min_consecutive) {
+  bin_options_.k_sigma = config.bin_k_sigma;
+  bin_options_.min_consecutive = config.bin_min_consecutive;
+}
+
+void AnomalyMonitor::evaluate(WindowReport& report,
+                              const stats::RateSeries& series) {
+  WindowAnomaly& a = report.anomaly;
+
+  // Band check against the rolling forecast. Without a forecast (cold
+  // start) the window cannot be judged; hysteresis state is left alone so a
+  // short history gap does not reset a building alert.
+  if (report.forecast.available) {
+    const WindowForecast& f = report.forecast;
+    const double observed = report.measured.mean_bps;
+    AlertKind kind = AlertKind::none;
+    if (observed > f.band_high_bps) {
+      kind = AlertKind::spike;
+    } else if (observed < f.band_low_bps) {
+      kind = AlertKind::drop;
+    }
+    a.deviation_sigma =
+        f.sigma_bps > 0.0 ? (observed - f.predicted_mean_bps) / f.sigma_bps
+                          : 0.0;
+    if (kind == AlertKind::none) {
+      consecutive_ = 0;
+      last_kind_ = AlertKind::none;
+    } else {
+      consecutive_ = kind == last_kind_ ? consecutive_ + 1 : 1;
+      last_kind_ = kind;
+      if (consecutive_ >= alert_min_consecutive_) {
+        a.alert = true;
+        a.kind = kind;
+      }
+    }
+    a.consecutive = consecutive_;
+  }
+
+  // Bin check: sub-window excursions against the fitted model envelope.
+  if (!series.empty() && report.plan.stddev_bps > 0.0) {
+    const auto events = dimension::detect_anomalies(
+        series, report.plan.mean_bps, report.plan.stddev_bps, bin_options_);
+    a.bin_events = events.size();
+    for (const auto& e : events) {
+      a.bin_peak_sigma = std::max(a.bin_peak_sigma, e.peak_deviation_sigma);
+    }
+  }
+}
+
+}  // namespace fbm::live

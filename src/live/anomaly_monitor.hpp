@@ -1,0 +1,44 @@
+// Window-level anomaly alerting for the live subsystem.
+//
+// Two detectors run per closed window, both applications the paper's
+// introduction names (DoS attacks, link failures):
+//
+//  - Band check: the window's observed mean rate against the rolling
+//    forecast band [predicted - k*sigma, predicted + k*sigma]. Hysteresis:
+//    the alert fires after `alert_min_consecutive` consecutive windows
+//    outside the band on the same side (1 = every excursion alerts).
+//  - Bin check: the window's Delta-binned rate series against the fitted
+//    model envelope via dimension::detect_anomalies — sub-window bursts that
+//    the window mean averages away still show up here.
+#pragma once
+
+#include "dimension/anomaly.hpp"
+#include "live/live_config.hpp"
+#include "live/window_report.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fbm::live {
+
+class AnomalyMonitor {
+ public:
+  explicit AnomalyMonitor(const LiveConfig& config);
+
+  /// Fills report.anomaly from report.forecast / report.measured and the
+  /// window's Delta-binned rate series; updates the hysteresis state.
+  /// Windows must be evaluated in index order.
+  void evaluate(WindowReport& report, const stats::RateSeries& series);
+
+  /// Consecutive out-of-band windows at the moment (0 when inside).
+  [[nodiscard]] std::size_t consecutive_outside() const {
+    return consecutive_;
+  }
+
+ private:
+  double band_k_sigma_;
+  std::size_t alert_min_consecutive_;
+  dimension::AnomalyOptions bin_options_;
+  std::size_t consecutive_ = 0;
+  AlertKind last_kind_ = AlertKind::none;
+};
+
+}  // namespace fbm::live

@@ -1,0 +1,63 @@
+#include "live/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "predict/predictor.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fbm::live {
+
+RollingForecaster::RollingForecaster(std::size_t max_order,
+                                     std::size_t history_capacity,
+                                     double k_sigma)
+    : max_order_(max_order), capacity_(history_capacity), k_sigma_(k_sigma) {
+  if (max_order_ == 0) {
+    throw std::invalid_argument("RollingForecaster: max_order == 0");
+  }
+  if (capacity_ < 4) {
+    throw std::invalid_argument("RollingForecaster: history capacity < 4");
+  }
+  if (!(k_sigma_ > 0.0)) {
+    throw std::invalid_argument("RollingForecaster: k_sigma <= 0");
+  }
+}
+
+void RollingForecaster::observe(double mean_bps) {
+  if (history_.size() == capacity_) {
+    history_.erase(history_.begin());
+  }
+  history_.push_back(mean_bps);
+}
+
+std::optional<WindowForecast> RollingForecaster::forecast() const {
+  // An order-M predictor needs M past samples, an ACF estimated over at
+  // least 2M of them to mean anything, and select_order needs a non-empty
+  // walk-forward training evaluation. history/2 caps the order accordingly.
+  if (history_.size() < 4) return std::nullopt;
+  const std::size_t max_order =
+      std::max<std::size_t>(1, std::min(max_order_, history_.size() / 2));
+
+  const auto acf = stats::autocorrelation_series(history_, max_order);
+  const std::size_t order =
+      predict::select_order(acf, history_, max_order);
+  const double mean = stats::mean(history_);
+  const predict::MovingAveragePredictor predictor(acf, order, mean);
+
+  WindowForecast f;
+  f.available = true;
+  f.order = predictor.order();
+  f.predicted_mean_bps = predictor.predict(history_);
+  // theoretical_error() is the one-step MSE normalised by c(0); scale it
+  // back by the history variance to get the band in bits/s.
+  const double c0 = stats::population_variance(history_);
+  f.sigma_bps =
+      std::sqrt(std::max(0.0, predictor.theoretical_error()) * c0);
+  f.band_low_bps = f.predicted_mean_bps - k_sigma_ * f.sigma_bps;
+  f.band_high_bps = f.predicted_mean_bps + k_sigma_ * f.sigma_bps;
+  return f;
+}
+
+}  // namespace fbm::live

@@ -1,0 +1,49 @@
+// Rolling next-window rate forecast (the live counterpart of Section VII-B).
+//
+// Each closed window contributes one sample of the window-rate process
+// {R_k} (mean bits/s over window k). The forecaster keeps a bounded history
+// of those samples, estimates the data-driven ACF over it, picks the
+// predictor order the paper's way (predict::select_order) and produces the
+// one-window-ahead Moving-Average forecast with a confidence band
+//   predicted +- k_sigma * sigma,
+// sigma^2 = (theoretical normalised MSE from the Levinson recursion) x
+// (population variance of the history). No forecast is produced until the
+// history is long enough to support at least an order-1 predictor with a
+// usable ACF (4 samples) — callers must tolerate nullopt, which is exactly
+// the "series shorter than the lag order" edge the satellite tests pin.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "live/window_report.hpp"
+
+namespace fbm::live {
+
+class RollingForecaster {
+ public:
+  /// max_order >= 1; history_capacity >= 4; k_sigma > 0 (validated by
+  /// LiveConfig; throws std::invalid_argument here for standalone use).
+  RollingForecaster(std::size_t max_order, std::size_t history_capacity,
+                    double k_sigma);
+
+  /// Forecast for the next observation, from the history so far. nullopt
+  /// while fewer than 4 samples have been observed (an order-M predictor
+  /// needs M past samples plus a non-degenerate ACF estimate).
+  [[nodiscard]] std::optional<WindowForecast> forecast() const;
+
+  /// Appends one window's mean rate (the oldest sample falls out once the
+  /// capacity is reached).
+  void observe(double mean_bps);
+
+  [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+
+ private:
+  std::size_t max_order_;
+  std::size_t capacity_;
+  double k_sigma_;
+  std::vector<double> history_;  ///< oldest first
+};
+
+}  // namespace fbm::live

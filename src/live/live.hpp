@@ -1,0 +1,27 @@
+// fbm::live — sliding-window online estimation, rolling prediction and
+// anomaly alerting over an unbounded packet stream.
+//
+//   TraceSource ──► WindowedEstimator ──► WindowReport (JSONL)
+//                   (per-window batch-exact fit          │
+//                    + RollingForecaster                 ▼
+//                    + AnomalyMonitor)            fbm_live / dashboards
+//
+// Typical use:
+//
+//   fbm::live::LiveConfig config;
+//   config.window_s = 30.0;
+//   config.stride_s = 10.0;
+//   config.analysis.timeout_s(60.0).epsilon(0.01);
+//   fbm::live::WindowedEstimator monitor(config);
+//   monitor.set_window_sink([](fbm::live::WindowReport&& w) {
+//     std::puts(fbm::live::to_jsonl(w).c_str());
+//   });
+//   auto source = fbm::api::open_trace("capture.fbmt", /*follow=*/true);
+//   monitor.consume(*source);
+#pragma once
+
+#include "live/anomaly_monitor.hpp"     // IWYU pragma: export
+#include "live/forecast.hpp"            // IWYU pragma: export
+#include "live/live_config.hpp"         // IWYU pragma: export
+#include "live/window_report.hpp"       // IWYU pragma: export
+#include "live/windowed_estimator.hpp"  // IWYU pragma: export

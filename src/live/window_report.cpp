@@ -1,0 +1,104 @@
+#include "live/window_report.hpp"
+
+#include "api/report.hpp"
+
+namespace fbm::live {
+
+namespace {
+
+using api::detail::json_number;
+
+void field(std::string& out, const char* key, const std::string& value,
+           bool last = false) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += value;
+  out += last ? "" : ", ";
+}
+
+void field(std::string& out, const char* key, double v, bool last = false) {
+  field(out, key, json_number(v), last);
+}
+
+void field(std::string& out, const char* key, std::uint64_t v,
+           bool last = false) {
+  field(out, key, std::to_string(v), last);
+}
+
+}  // namespace
+
+std::string to_jsonl(const WindowReport& r) {
+  std::string out = "{";
+  field(out, "window", static_cast<std::uint64_t>(r.window_index));
+  field(out, "start_s", r.start_s);
+  field(out, "width_s", r.width_s);
+  field(out, "stride_s", r.stride_s);
+  field(out, "packets", r.packets);
+  field(out, "bytes", r.bytes);
+  field(out, "discards", r.discards);
+
+  out += "\"flows\": {";
+  field(out, "count", static_cast<std::uint64_t>(r.inputs.flows));
+  field(out, "lambda_per_s", r.inputs.lambda);
+  field(out, "mean_size_bits", r.inputs.mean_size_bits);
+  field(out, "mean_s2_over_d_bits2_per_s", r.inputs.mean_s2_over_d);
+  field(out, "mean_duration_s", r.flow_moments.mean_duration_s);
+  field(out, "stddev_size_bits", r.flow_moments.stddev_size_bits);
+  field(out, "stddev_duration_s", r.flow_moments.stddev_duration_s);
+  field(out, "mean_rate_bps", r.flow_moments.mean_rate_bps, true);
+  out += "}, ";
+
+  out += "\"measured\": {";
+  field(out, "samples", static_cast<std::uint64_t>(r.measured.samples));
+  field(out, "mean_bps", r.measured.mean_bps);
+  field(out, "variance_bps2", r.measured.variance_bps2);
+  field(out, "cov", r.measured.cov, true);
+  out += "}, ";
+
+  out += "\"model\": {";
+  field(out, "shot_b_fitted",
+        r.shot_b ? json_number(*r.shot_b) : std::string("null"));
+  field(out, "shot_b_used", r.shot_b_used);
+  field(out, "mean_bps", r.plan.mean_bps);
+  field(out, "stddev_bps", r.plan.stddev_bps);
+  field(out, "cov", r.model_cov, true);
+  out += "}, ";
+
+  out += "\"provisioning\": {";
+  field(out, "eps", r.plan.eps);
+  field(out, "capacity_bps", r.plan.capacity_bps);
+  field(out, "headroom", r.plan.headroom, true);
+  out += "}, ";
+
+  out += "\"forecast\": {";
+  const auto& f = r.forecast;
+  field(out, "predicted_mean_bps",
+        f.available ? json_number(f.predicted_mean_bps)
+                    : std::string("null"));
+  field(out, "band_low_bps",
+        f.available ? json_number(f.band_low_bps) : std::string("null"));
+  field(out, "band_high_bps",
+        f.available ? json_number(f.band_high_bps) : std::string("null"));
+  field(out, "sigma_bps",
+        f.available ? json_number(f.sigma_bps) : std::string("null"));
+  field(out, "order", static_cast<std::uint64_t>(f.order), true);
+  out += "}, ";
+
+  out += "\"anomaly\": {";
+  const auto& a = r.anomaly;
+  field(out, "alert", std::string(a.alert ? "true" : "false"));
+  field(out, "kind",
+        a.kind == AlertKind::none
+            ? std::string("null")
+            : std::string(a.kind == AlertKind::spike ? "\"spike\""
+                                                     : "\"drop\""));
+  field(out, "deviation_sigma", a.deviation_sigma);
+  field(out, "consecutive", static_cast<std::uint64_t>(a.consecutive));
+  field(out, "bin_events", static_cast<std::uint64_t>(a.bin_events));
+  field(out, "bin_peak_sigma", a.bin_peak_sigma, true);
+  out += "}}";
+  return out;
+}
+
+}  // namespace fbm::live

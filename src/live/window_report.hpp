@@ -1,0 +1,105 @@
+// Per-window results of the live monitoring subsystem.
+//
+// One WindowReport summarizes one sliding window the way an operator's
+// dashboard consumes it: the three model inputs, streaming flow-population
+// moments, the measured Delta-averaged rate, the fitted shot and Gaussian
+// envelope, the capacity plan, the rolling next-window forecast with its
+// confidence band, and the anomaly verdict.
+//
+// to_jsonl() renders one report as a single JSON line. Stable schema —
+// external tooling and the live-smoke CI job parse these lines, so the keys
+// below are append-only (additions fine, never rename or reorder):
+//
+//   {"window": u, "start_s": d, "width_s": d, "stride_s": d,
+//    "packets": u, "bytes": u, "discards": u,
+//    "flows": {"count": u, "lambda_per_s": d, "mean_size_bits": d,
+//              "mean_s2_over_d_bits2_per_s": d, "mean_duration_s": d,
+//              "stddev_size_bits": d, "stddev_duration_s": d,
+//              "mean_rate_bps": d},
+//    "measured": {"samples": u, "mean_bps": d, "variance_bps2": d, "cov": d},
+//    "model": {"shot_b_fitted": d|null, "shot_b_used": d, "mean_bps": d,
+//              "stddev_bps": d, "cov": d},
+//    "provisioning": {"eps": d, "capacity_bps": d, "headroom": d},
+//    "forecast": {"predicted_mean_bps": d|null, "band_low_bps": d|null,
+//                 "band_high_bps": d|null, "sigma_bps": d|null, "order": u},
+//    "anomaly": {"alert": bool, "kind": "spike"|"drop"|null,
+//                "deviation_sigma": d, "consecutive": u,
+//                "bin_events": u, "bin_peak_sigma": d}}
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/gaussian.hpp"
+#include "dimension/provisioning.hpp"
+#include "flow/interval.hpp"
+#include "measure/rate_meter.hpp"
+
+namespace fbm::live {
+
+/// Streaming (single-pass) moments of the window's completed-flow
+/// population, beyond the three model inputs.
+struct FlowMoments {
+  double mean_duration_s = 0.0;
+  double stddev_size_bits = 0.0;
+  double stddev_duration_s = 0.0;
+  double mean_rate_bps = 0.0;  ///< mean of per-flow S/D
+};
+
+/// Rolling one-window-ahead forecast, made before this window's data was
+/// seen. `available` is false while the rate history is still too short.
+struct WindowForecast {
+  bool available = false;
+  double predicted_mean_bps = 0.0;
+  double band_low_bps = 0.0;   ///< predicted - k * sigma
+  double band_high_bps = 0.0;  ///< predicted + k * sigma
+  double sigma_bps = 0.0;      ///< theoretical one-step prediction error
+  std::size_t order = 0;       ///< predictor order actually used
+};
+
+enum class AlertKind { none, spike, drop };
+
+/// Verdict of live::AnomalyMonitor for this window.
+struct WindowAnomaly {
+  bool alert = false;
+  AlertKind kind = AlertKind::none;
+  double deviation_sigma = 0.0;   ///< (observed - predicted) / sigma
+  std::size_t consecutive = 0;    ///< windows outside the band so far
+  std::size_t bin_events = 0;     ///< dimension::detect_anomalies events
+  double bin_peak_sigma = 0.0;    ///< worst |z| across those events
+};
+
+struct WindowReport {
+  std::size_t window_index = 0;
+  double start_s = 0.0;
+  double width_s = 0.0;
+  double stride_s = 0.0;
+
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t discards = 0;  ///< single-packet-flow packets excluded
+
+  flow::ModelInputs inputs;       ///< lambda, E[S], E[S^2/D], flow count
+  FlowMoments flow_moments;
+  measure::RateMoments measured;  ///< Delta-averaged moments, bits/s
+
+  std::optional<double> shot_b;   ///< fitted power-shot b, when fittable
+  double shot_b_used = 1.0;
+  double model_cov = 0.0;
+
+  dimension::ProvisioningPlan plan;
+
+  WindowForecast forecast;
+  WindowAnomaly anomaly;
+
+  [[nodiscard]] double end_s() const { return start_s + width_s; }
+  [[nodiscard]] core::GaussianApproximation gaussian() const {
+    return {plan.mean_bps, plan.stddev_bps * plan.stddev_bps};
+  }
+};
+
+/// One report as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const WindowReport& report);
+
+}  // namespace fbm::live

@@ -1,0 +1,267 @@
+#include "live/windowed_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/descriptive.hpp"
+
+namespace fbm::live {
+
+WindowedEstimator::WindowedEstimator(LiveConfig config)
+    : config_(std::move(config)),
+      forecaster_(config_.forecast_max_order, config_.forecast_history,
+                  config_.band_k_sigma),
+      monitor_(config_) {
+  config_.validate();
+  stride_ = config_.stride();
+
+  classifier_options_.timeout = config_.analysis.timeout_s();
+  // No boundary splitting inside a window: the window is the interval. A
+  // flow straddling a window edge simply appears in every window that saw
+  // its packets, re-derived from that window's packets alone.
+  classifier_options_.interval = std::numeric_limits<double>::infinity();
+  classifier_options_.record_discards = true;
+  const std::size_t reserve = config_.analysis.reserve_flows();
+  classifier_options_.reserve_flows =
+      reserve == 0 ? 0
+                   : std::max<std::size_t>(64, reserve / config_.overlap());
+
+  tiled_ = stride_ == config_.window_s;
+  // One extra candidate below ceil(width/stride) guards the floor/ceil edge;
+  // every candidate is membership-checked anyway.
+  candidates_ = static_cast<std::int64_t>(config_.overlap()) + 1;
+  kmax_boundary_ = 0.0;  // first packet advances cur_kmax_ from -1
+  next_close_end_ = window_end(0);
+}
+
+std::size_t WindowedEstimator::active_flows() const {
+  std::size_t n = 0;
+  for (const auto& s : open_) {
+    if (s) n += s->classifier->active_flows();
+  }
+  return n;
+}
+
+WindowedEstimator::WindowState& WindowedEstimator::state_at(std::int64_t k) {
+  auto& slot = open_[static_cast<std::size_t>(k - next_close_)];
+  if (!slot) {
+    slot = std::make_unique<WindowState>(WindowState{
+        api::make_flow_classifier(config_.analysis.flow_definition(),
+                                  classifier_options_),
+        {},
+        stats::RateBinner(window_start(k), window_end(k),
+                          config_.analysis.delta_s()),
+        0,
+        0,
+        0});
+  }
+  return *slot;
+}
+
+void WindowedEstimator::feed(WindowState& state,
+                             const net::PacketRecord& packet) {
+  state.classifier->add(packet);
+  state.bins.add(packet.timestamp, static_cast<double>(packet.size_bytes));
+  ++state.packets;
+  state.bytes += packet.size_bytes;
+  // Completed flows stay queued inside the classifier until the next expiry
+  // sweep or the window flush — they already belong to this window, so
+  // nothing needs them per packet (unlike the pipeline, which must route
+  // flows to their interval as they complete).
+}
+
+void WindowedEstimator::drain(WindowState& state) {
+  for (auto& f : state.classifier->take_flows()) {
+    state.flows.push_back(std::move(f));
+  }
+  for (const auto& d : state.classifier->take_discards()) {
+    // The paper excludes discarded single-packet flows from the variance
+    // measurement; subtract them from their bin, as the batch path does.
+    state.bins.add(d.timestamp, -static_cast<double>(d.size_bytes));
+    ++state.discards;
+  }
+}
+
+void WindowedEstimator::push(const net::PacketRecord& packet) {
+  if (finished_) {
+    throw std::logic_error("WindowedEstimator: push after finish");
+  }
+  const double ts = packet.timestamp;
+  if (ts < 0.0) {
+    throw std::invalid_argument("WindowedEstimator: negative timestamp");
+  }
+  if (ts < last_ts_) {
+    throw std::invalid_argument("WindowedEstimator: out-of-order packet");
+  }
+  if (counters_.packets == 0) {
+    next_expire_ = ts + config_.analysis.expire_every_s();
+  }
+  last_ts_ = ts;
+  ++counters_.packets;
+  counters_.bytes += packet.size_bytes;
+
+  // Close (and report) every window the stream clock has passed, empty
+  // windows included, so the emitted index sequence stays contiguous.
+  if (ts >= next_close_end_) close_through(ts);
+
+  // Newest window whose start is <= ts, tracked by boundary comparison (a
+  // loop iteration per stride crossed, no per-packet division).
+  while (ts >= kmax_boundary_) {
+    ++cur_kmax_;
+    kmax_boundary_ = window_start(cur_kmax_ + 1);
+  }
+  max_window_ = std::max(max_window_, cur_kmax_);
+  while (next_close_ + static_cast<std::int64_t>(open_.size()) <= cur_kmax_) {
+    open_.emplace_back(nullptr);
+  }
+
+  // Windows containing ts: k*stride <= ts < k*stride + window. With tiling
+  // windows that is exactly cur_kmax_; otherwise every candidate in reach
+  // is verified with the same comparison close_through() uses, so an edge
+  // timestamp never lands in a window the close watermark disagrees about.
+  if (tiled_) {
+    feed(state_at(cur_kmax_), packet);
+  } else {
+    const std::int64_t k_min =
+        std::max(next_close_, cur_kmax_ - candidates_);
+    for (std::int64_t k = k_min; k <= cur_kmax_; ++k) {
+      if (!(window_start(k) <= ts && ts < window_end(k))) continue;
+      feed(state_at(k), packet);
+    }
+  }
+
+  if (ts >= next_expire_) {
+    // Result-neutral early completion of idle flows (NetFlow's inactive
+    // timer): emitting now or at the window flush yields the same records,
+    // but the active tables stay O(active flows).
+    for (auto& s : open_) {
+      if (!s) continue;
+      s->classifier->expire_idle(ts);
+      drain(*s);
+    }
+    while (next_expire_ <= ts) {
+      next_expire_ += config_.analysis.expire_every_s();
+    }
+  }
+}
+
+void WindowedEstimator::close_through(double now) {
+  while (now >= next_close_end_) {
+    std::unique_ptr<WindowState> state;
+    if (!open_.empty()) {
+      state = std::move(open_.front());
+      open_.pop_front();
+    }
+    finalize_window(next_close_, state.get());
+    ++next_close_;
+    next_close_end_ = window_end(next_close_);
+  }
+}
+
+void WindowedEstimator::finalize_window(std::int64_t k, WindowState* state) {
+  WindowReport report;
+  report.window_index = static_cast<std::size_t>(k);
+  report.start_s = window_start(k);
+  report.width_s = config_.window_s;
+  report.stride_s = stride_;
+
+  // The exact same fit the serial pipeline and the sharded merge run when
+  // they close an analysis interval. Untouched windows build their (zero)
+  // bins here; touched windows hand over what they accumulated.
+  api::WindowFit fit = [&] {
+    if (state != nullptr) {
+      state->classifier->flush();
+      drain(*state);
+      report.packets = state->packets;
+      report.bytes = state->bytes;
+      report.discards = state->discards;
+      return api::fit_window(config_.analysis, report.start_s,
+                             config_.window_s, std::move(state->flows),
+                             state->bins);
+    }
+    return api::fit_window(config_.analysis, report.start_s,
+                           config_.window_s, {},
+                           stats::RateBinner(report.start_s, window_end(k),
+                                             config_.analysis.delta_s()));
+  }();
+  report.inputs = fit.inputs;
+  report.measured = fit.measured;
+  report.shot_b = fit.shot_b;
+  report.shot_b_used = fit.shot_b_used;
+  report.model_cov = fit.model_cov;
+  report.plan = fit.plan;
+
+  // Streaming flow-population moments over the sorted flows (single pass).
+  stats::RunningStats size_bits;
+  stats::RunningStats duration_s;
+  stats::RunningStats rate_bps;
+  for (const auto& f : fit.interval.flows) {
+    size_bits.add(f.size_bits());
+    duration_s.add(f.duration());
+    rate_bps.add(f.mean_rate_bps());
+  }
+  report.flow_moments.mean_duration_s = duration_s.mean();
+  report.flow_moments.stddev_size_bits = size_bits.population_stddev();
+  report.flow_moments.stddev_duration_s = duration_s.population_stddev();
+  report.flow_moments.mean_rate_bps = rate_bps.mean();
+
+  // Forecast made from windows < k, then judge this window against it, then
+  // fold this window's rate into the history for the next one.
+  if (auto f = forecaster_.forecast()) report.forecast = *f;
+  monitor_.evaluate(report, fit.series);
+  forecaster_.observe(report.measured.mean_bps);
+
+  ++counters_.windows;
+  counters_.flows += report.inputs.flows;
+  emit(std::move(report));
+}
+
+void WindowedEstimator::emit(WindowReport&& report) {
+  if (sink_) {
+    sink_(std::move(report));
+  } else {
+    ready_.push_back(std::move(report));
+  }
+}
+
+void WindowedEstimator::finish() {
+  if (finished_) return;
+  finished_ = true;
+  while (next_close_ <= max_window_) {
+    std::unique_ptr<WindowState> state;
+    if (!open_.empty()) {
+      state = std::move(open_.front());
+      open_.pop_front();
+    }
+    finalize_window(next_close_, state.get());
+    ++next_close_;
+  }
+  open_.clear();
+}
+
+std::uint64_t WindowedEstimator::consume(api::TraceSource& source) {
+  const std::uint64_t n =
+      source.for_each([this](const net::PacketRecord& p) { push(p); });
+  finish();
+  return n;
+}
+
+WindowReport WindowedEstimator::pop_report() {
+  if (ready_.empty()) {
+    throw std::logic_error("WindowedEstimator: no report ready");
+  }
+  WindowReport r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+std::vector<WindowReport> WindowedEstimator::take_reports() {
+  std::vector<WindowReport> out(std::make_move_iterator(ready_.begin()),
+                                std::make_move_iterator(ready_.end()));
+  ready_.clear();
+  return out;
+}
+
+}  // namespace fbm::live

@@ -1,0 +1,139 @@
+// Sliding-window online estimation (fbm::live, the tentpole).
+//
+// WindowedEstimator consumes an unbounded packet stream (any
+// api::TraceSource, or push() by hand) and re-derives the paper's
+// flow-level parameters per sliding window with bounded state: each of the
+// ceil(window/stride) concurrently open windows owns a flow classifier
+// (idle-timeout semantics, no boundary splitting — the window IS the
+// analysis interval), its completed-flow list and exact Delta byte bins.
+// A window closes the moment the stream clock passes its end: the
+// classifier flushes, flows sort by flow::ByStart, and api::fit_window —
+// the same function the serial and sharded pipelines close intervals
+// through — produces the parameters. Replaying a finished trace therefore
+// reproduces, bit for bit, what a batch fit restricted to each window's
+// packets computes in isolation (tests/live/test_windowed_differential.cpp
+// proves it against the independent batch primitives and against
+// api::analyze for tiling windows).
+//
+// On top of the per-window fit, a RollingForecaster predicts each next
+// window's mean rate with a confidence band and an AnomalyMonitor flags
+// windows that leave it — the paper's monitoring story running
+// continuously: estimate, predict, alert, in one pass, O(active flows +
+// open windows) memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "api/shard.hpp"
+#include "api/trace_source.hpp"
+#include "live/anomaly_monitor.hpp"
+#include "live/forecast.hpp"
+#include "live/live_config.hpp"
+#include "live/window_report.hpp"
+
+namespace fbm::live {
+
+/// Running totals of one estimator's life.
+struct LiveCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t windows = 0;  ///< windows closed (reports emitted)
+  std::uint64_t flows = 0;    ///< completed flow records across windows
+};
+
+class WindowedEstimator {
+ public:
+  /// Throws std::invalid_argument on bad configuration (LiveConfig rules).
+  explicit WindowedEstimator(LiveConfig config);
+
+  /// Feed the next packet. Timestamps must be non-negative and
+  /// non-decreasing (throws std::invalid_argument otherwise). Windows whose
+  /// end the timestamp passes are closed and reported before the packet is
+  /// classified.
+  void push(const net::PacketRecord& packet);
+
+  /// End of stream: close every window up to the last packet's. push() must
+  /// not be called afterwards.
+  void finish();
+
+  /// Drains `source` through push() and finishes; returns packets consumed.
+  std::uint64_t consume(api::TraceSource& source);
+
+  /// Reports stream here the moment each window closes, in window order,
+  /// when set (pop_report/take_reports then never see them). Set before the
+  /// first push.
+  using WindowSink = std::function<void(WindowReport&&)>;
+  void set_window_sink(WindowSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool has_report() const { return !ready_.empty(); }
+  [[nodiscard]] WindowReport pop_report();
+  [[nodiscard]] std::vector<WindowReport> take_reports();
+
+  [[nodiscard]] const LiveConfig& config() const { return config_; }
+  [[nodiscard]] const LiveCounters& counters() const { return counters_; }
+
+  /// Observability for the bounded-memory story.
+  [[nodiscard]] std::size_t open_windows() const { return open_.size(); }
+  [[nodiscard]] std::size_t active_flows() const;
+
+ private:
+  /// Per-open-window accumulation. nullptr in open_ marks a window no
+  /// packet has touched yet (finalized straight to an empty report).
+  struct WindowState {
+    std::unique_ptr<api::FlowClassifierHandle> classifier;
+    std::vector<flow::FlowRecord> flows;
+    stats::RateBinner bins;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t discards = 0;
+  };
+
+  [[nodiscard]] double window_start(std::int64_t k) const {
+    return static_cast<double>(k) * stride_;
+  }
+  [[nodiscard]] double window_end(std::int64_t k) const {
+    return window_start(k) + config_.window_s;
+  }
+
+  [[nodiscard]] WindowState& state_at(std::int64_t k);
+  void feed(WindowState& state, const net::PacketRecord& packet);
+  void drain(WindowState& state);
+  void close_through(double now);  ///< close windows with end <= now
+  void finalize_window(std::int64_t k, WindowState* state);
+  void emit(WindowReport&& report);
+
+  LiveConfig config_;
+  double stride_ = 0.0;
+  flow::ClassifierOptions classifier_options_;
+
+  /// Open windows, indices [next_close_, next_close_ + open_.size()).
+  std::deque<std::unique_ptr<WindowState>> open_;
+  std::int64_t next_close_ = 0;   ///< lowest window index not yet closed
+  std::int64_t max_window_ = -1;  ///< highest window index seen
+
+  // Hot-path caches: the newest window index is tracked by boundary
+  // comparison (one multiply per stride crossed) instead of a per-packet
+  // floor division, and the close watermark keeps its end precomputed.
+  std::int64_t cur_kmax_ = -1;     ///< newest window whose start <= last ts
+  double kmax_boundary_ = 0.0;     ///< window_start(cur_kmax_ + 1)
+  double next_close_end_ = 0.0;    ///< window_end(next_close_)
+  std::int64_t candidates_ = 1;    ///< windows probed per packet (overlap)
+  bool tiled_ = true;              ///< stride == width: membership is free
+
+  RollingForecaster forecaster_;
+  AnomalyMonitor monitor_;
+
+  std::deque<WindowReport> ready_;
+  WindowSink sink_;
+  LiveCounters counters_;
+  double last_ts_ = -std::numeric_limits<double>::infinity();
+  double next_expire_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace fbm::live

@@ -93,6 +93,8 @@ std::string BenchReport::to_json(int indent) const {
               "\"flows\": " + std::to_string(counters.flows) + ",");
   append_line(out, indent + 4,
               "\"intervals\": " + std::to_string(counters.intervals) + ",");
+  append_line(out, indent + 4,
+              "\"windows\": " + std::to_string(counters.windows) + ",");
   for (const auto& [key, value] : extra_metrics) {
     append_line(out, indent + 4, quoted(key) + ": " + number(value) + ",");
   }

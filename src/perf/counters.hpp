@@ -11,12 +11,14 @@ struct Counters {
   std::uint64_t packets = 0;           ///< packets pushed through analysis
   std::uint64_t flows = 0;             ///< flow records produced
   std::uint64_t intervals = 0;         ///< analysis intervals closed
+  std::uint64_t windows = 0;           ///< live sliding windows closed
   std::uint64_t bytes_classified = 0;  ///< payload bytes seen by classifiers
 
   Counters& operator+=(const Counters& other) {
     packets += other.packets;
     flows += other.flows;
     intervals += other.intervals;
+    windows += other.windows;
     bytes_classified += other.bytes_classified;
     return *this;
   }

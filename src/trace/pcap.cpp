@@ -106,16 +106,15 @@ void export_pcap(const std::filesystem::path& path,
   }
 }
 
-std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
-                                           double epoch,
-                                           std::size_t* skipped) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+PcapReader::PcapReader(const std::filesystem::path& path, double epoch,
+                       bool follow)
+    : in_(path, std::ios::binary), epoch_(epoch), follow_(follow) {
+  if (!in_) {
     throw std::runtime_error("import_pcap: cannot open " + path.string());
   }
   std::array<unsigned char, 24> header;
-  in.read(reinterpret_cast<char*>(header.data()), header.size());
-  if (!in) throw std::runtime_error("import_pcap: truncated global header");
+  in_.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!in_) throw std::runtime_error("import_pcap: truncated global header");
   std::uint32_t magic;
   std::memcpy(&magic, header.data(), 4);
   if (magic != kPcapMagic) {
@@ -126,13 +125,24 @@ std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
   if (linktype != kLinktypeEthernet) {
     throw std::runtime_error("import_pcap: only Ethernet linktype supported");
   }
+}
 
-  std::vector<net::PacketRecord> out;
-  std::size_t skip_count = 0;
+std::optional<net::PacketRecord> PcapReader::next() {
   std::array<unsigned char, 16> rec_header;
-  std::vector<unsigned char> payload;
-  while (in.read(reinterpret_cast<char*>(rec_header.data()),
-                 rec_header.size())) {
+  while (true) {
+    in_.clear();  // a read ending exactly at EOF leaves eofbit set
+    const std::streampos rec_start = in_.tellg();
+    in_.read(reinterpret_cast<char*>(rec_header.data()), rec_header.size());
+    if (static_cast<std::size_t>(in_.gcount()) != rec_header.size()) {
+      if (in_.gcount() != 0 && !follow_) {
+        throw std::runtime_error("import_pcap: truncated record");
+      }
+      // End of file — or, when following, a record header still being
+      // written: rewind so the next call retries from the record start.
+      in_.clear();
+      in_.seekg(rec_start);
+      return std::nullopt;
+    }
     std::uint32_t sec;
     std::uint32_t usec;
     std::uint32_t incl;
@@ -144,31 +154,36 @@ std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
     if (incl > 1u << 20) {
       throw std::runtime_error("import_pcap: implausible record length");
     }
-    payload.resize(incl);
-    in.read(reinterpret_cast<char*>(payload.data()), incl);
-    if (!in) throw std::runtime_error("import_pcap: truncated record");
+    payload_.resize(incl);
+    in_.read(reinterpret_cast<char*>(payload_.data()), incl);
+    if (static_cast<std::size_t>(in_.gcount()) != incl) {
+      if (!follow_) throw std::runtime_error("import_pcap: truncated record");
+      in_.clear();
+      in_.seekg(rec_start);
+      return std::nullopt;
+    }
 
     if (incl < kEthernetLen + kIpv4Len ||
-        get_u16be(payload.data() + 12) != 0x0800) {
-      ++skip_count;
+        get_u16be(payload_.data() + 12) != 0x0800) {
+      ++skipped_;
       continue;
     }
-    const unsigned char* ip = payload.data() + kEthernetLen;
+    const unsigned char* ip = payload_.data() + kEthernetLen;
     if ((ip[0] >> 4) != 4) {
-      ++skip_count;
+      ++skipped_;
       continue;
     }
     const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
     const std::uint8_t proto = ip[9];
     if ((proto != 6 && proto != 17) ||
         incl < kEthernetLen + ihl + (proto == 6 ? kTcpLen : kUdpLen)) {
-      ++skip_count;
+      ++skipped_;
       continue;
     }
     const unsigned char* l4 = ip + ihl;
 
     net::PacketRecord rec;
-    rec.timestamp = static_cast<double>(sec) - epoch +
+    rec.timestamp = static_cast<double>(sec) - epoch_ +
                     static_cast<double>(usec) * 1e-6;
     rec.tuple.src = net::Ipv4Address{get_u32be(ip + 12)};
     rec.tuple.dst = net::Ipv4Address{get_u32be(ip + 16)};
@@ -178,9 +193,18 @@ std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
     rec.size_bytes = orig >= kEthernetLen
                          ? orig - static_cast<std::uint32_t>(kEthernetLen)
                          : get_u16be(ip + 2);
-    out.push_back(rec);
+    ++read_;
+    return rec;
   }
-  if (skipped) *skipped = skip_count;
+}
+
+std::vector<net::PacketRecord> import_pcap(const std::filesystem::path& path,
+                                           double epoch,
+                                           std::size_t* skipped) {
+  PcapReader reader(path, epoch);
+  std::vector<net::PacketRecord> out;
+  while (auto rec = reader.next()) out.push_back(*rec);
+  if (skipped) *skipped = reader.skipped();
   return out;
 }
 

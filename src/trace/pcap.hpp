@@ -9,7 +9,10 @@
 // Sprint monitors' 44-byte snapshots).
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -17,19 +20,54 @@
 
 namespace fbm::trace {
 
+/// Default pcap epoch: 2001-09-05 (seconds since 1970), Table I's first
+/// capture day. Writers and readers must agree on it for timestamps to
+/// round-trip.
+inline constexpr double kPcapDefaultEpoch = 999648000.0;
+
 /// Writes a pcap file (microsecond timestamps, LINKTYPE_ETHERNET).
-/// Timestamps are offset from `epoch` (seconds since 1970; default places
-/// traces at 2001-09-05, matching Table I's first capture day).
+/// Timestamps are offset from `epoch`.
 void export_pcap(const std::filesystem::path& path,
                  std::span<const net::PacketRecord> recs,
-                 double epoch = 999648000.0);
+                 double epoch = kPcapDefaultEpoch);
 
-/// Reads a pcap file produced by export_pcap (or any Ethernet/IPv4 capture
-/// whose packets carry TCP or UDP). Packets that are not IPv4/TCP/UDP are
-/// skipped and counted in `skipped` when provided. Timestamps are rebased
-/// so the first packet is at its absolute pcap time minus `epoch`.
+/// Streaming pcap reader: one record per next() call, O(1) memory no matter
+/// how large the capture. Accepts anything export_pcap writes, or any
+/// Ethernet/IPv4 capture whose packets carry TCP or UDP; other packets are
+/// skipped and counted in skipped(). Timestamps are absolute pcap seconds
+/// minus `epoch`.
+///
+/// In `follow` mode a truncated record at end of file is treated as
+/// "not written yet": the reader seeks back to the record start, clears the
+/// stream state and returns nullopt, so the next call retries — tail -f
+/// semantics for captures that are still being appended to. Without follow,
+/// truncation throws std::runtime_error, exactly like import_pcap.
+class PcapReader {
+ public:
+  explicit PcapReader(const std::filesystem::path& path,
+                      double epoch = kPcapDefaultEpoch,
+                      bool follow = false);
+
+  /// Next IPv4/TCP|UDP packet, or nullopt at end of stream (in follow mode:
+  /// none available yet — call again).
+  [[nodiscard]] std::optional<net::PacketRecord> next();
+
+  [[nodiscard]] std::size_t skipped() const { return skipped_; }
+  [[nodiscard]] std::uint64_t read_so_far() const { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::vector<unsigned char> payload_;
+  double epoch_;
+  bool follow_;
+  std::size_t skipped_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Reads a whole pcap file through PcapReader (kept for batch call sites;
+/// prefer the reader — or api::open_trace — for anything large).
 [[nodiscard]] std::vector<net::PacketRecord> import_pcap(
-    const std::filesystem::path& path, double epoch = 999648000.0,
+    const std::filesystem::path& path, double epoch = kPcapDefaultEpoch,
     std::size_t* skipped = nullptr);
 
 }  // namespace fbm::trace

@@ -172,6 +172,22 @@ std::optional<net::PacketRecord> TraceReader::next() {
   return decode_record(buf);
 }
 
+std::optional<net::PacketRecord> TraceReader::poll() {
+  in_.clear();  // a prior next()/poll() may have left eofbit set
+  const std::streampos rec_start = in_.tellg();
+  std::array<char, kRecordSize> buf;
+  in_.read(buf.data(), buf.size());
+  if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
+    // End of file, or a record the writer has not finished appending:
+    // rewind so the next poll retries once more bytes have landed.
+    in_.clear();
+    in_.seekg(rec_start);
+    return std::nullopt;
+  }
+  ++read_;
+  return decode_record(buf);
+}
+
 void write_trace(const std::filesystem::path& path,
                  std::span<const net::PacketRecord> recs) {
   TraceWriter w(path);

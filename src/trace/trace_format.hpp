@@ -62,8 +62,15 @@ class TraceReader {
  public:
   explicit TraceReader(const std::filesystem::path& path);
 
-  /// Next record, or nullopt at end of file.
+  /// Next record, or nullopt at end of file. Throws std::runtime_error on a
+  /// truncated record.
   [[nodiscard]] std::optional<net::PacketRecord> next();
+
+  /// Like next(), but treats a partial trailing record as "not written yet":
+  /// rewinds to the record start, clears the stream state and returns
+  /// nullopt so a later call retries — tail -f semantics for traces that are
+  /// still being appended to (fbm_live --follow).
+  [[nodiscard]] std::optional<net::PacketRecord> poll();
 
   /// Record count from the header; kUnknownCount for unclosed files.
   [[nodiscard]] std::uint64_t header_count() const { return header_count_; }

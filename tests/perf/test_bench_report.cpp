@@ -38,6 +38,7 @@ perf::BenchReport sample_report() {
   report.counters.packets = 375000;
   report.counters.flows = 420;
   report.counters.intervals = 7;
+  report.counters.windows = 12;
   report.counters.bytes_classified = 99u * 1024 * 1024;
   report.set_metric("classify_flat_vs_std_speedup", 1.4);
   report.git_sha = "deadbeef";
@@ -94,6 +95,7 @@ TEST(BenchReport, NumericFieldsRoundTrip) {
   EXPECT_DOUBLE_EQ(numeric("packets"), 375000.0);
   EXPECT_DOUBLE_EQ(numeric("flows"), 420.0);
   EXPECT_DOUBLE_EQ(numeric("intervals"), 7.0);
+  EXPECT_DOUBLE_EQ(numeric("windows"), 12.0);
   EXPECT_DOUBLE_EQ(numeric("classify_flat_vs_std_speedup"), 1.4);
   EXPECT_DOUBLE_EQ(numeric("threads"), 4.0);
   EXPECT_DOUBLE_EQ(numeric("time_scale"), 1.0 / 60.0);
@@ -139,12 +141,14 @@ TEST(Counters, Accumulate) {
   part.packets = 10;
   part.flows = 2;
   part.intervals = 1;
+  part.windows = 3;
   part.bytes_classified = 1500;
   total += part;
   total += part;
   EXPECT_EQ(total.packets, 20u);
   EXPECT_EQ(total.flows, 4u);
   EXPECT_EQ(total.intervals, 2u);
+  EXPECT_EQ(total.windows, 6u);
   EXPECT_EQ(total.bytes_classified, 3000u);
 }
 

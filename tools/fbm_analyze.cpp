@@ -137,14 +137,12 @@ int main(int argc, char** argv) {
     auto source = buffered.empty()
                       ? api::open_trace(opt.path)
                       : api::make_vector_source(std::move(buffered));
-    source->for_each([&](const net::PacketRecord& p) {
-      pipeline.push(p);
-      // Reports stream out as intervals close; memory stays window-bounded
-      // (interval mode reads the file directly, nothing buffered).
-      while (pipeline.has_report()) reports.push_back(pipeline.pop_report());
-    });
-    pipeline.finish();
-    for (auto& r : pipeline.take_reports()) reports.push_back(std::move(r));
+    // Reports stream out through the per-window flush hook as intervals
+    // close; memory stays window-bounded (interval mode reads the file
+    // directly, nothing buffered).
+    pipeline.set_report_sink(
+        [&](api::AnalysisReport&& r) { reports.push_back(std::move(r)); });
+    pipeline.consume(*source);
     summary = pipeline.summary();
     flows_emitted = pipeline.counters().flows_emitted;
   };

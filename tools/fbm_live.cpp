@@ -1,0 +1,198 @@
+// fbm_live — continuous sliding-window monitoring of a packet trace.
+//
+// Usage:
+//   fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] [--timeout S]
+//            [--delta S] [--prefix24] [--eps P] [--k-sigma K] [--max-order M]
+//            [--consecutive N] [--follow] [--idle S] [--max-windows N]
+//            [--json]
+//
+// Streams the trace through live::WindowedEstimator: per sliding window the
+// three model parameters, measured vs model rate, fitted shot, capacity
+// plan, the rolling next-window forecast and the anomaly verdict. --json
+// emits one JSON object per window (JSONL, schema in
+// src/live/window_report.hpp); the default is a human-readable table with
+// ALERT markers. --follow keeps polling the file for appended records
+// (tail -f; .fbmt/.pcap only), stopping after --idle seconds without new
+// data (default: forever). --max-windows stops after N reports either way.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "api/api.hpp"
+#include "live/live.hpp"
+
+namespace {
+
+struct Options {
+  std::string path;
+  double window = 60.0;
+  double stride = 0.0;  // 0 = window
+  double timeout = 60.0;
+  double delta = fbm::measure::kPaperDelta;
+  bool prefix24 = false;
+  double eps = 0.01;
+  double k_sigma = 3.0;
+  std::size_t max_order = 8;
+  std::size_t consecutive = 1;
+  bool follow = false;
+  double idle = 0.0;  // 0 = wait forever
+  std::uint64_t max_windows = 0;  // 0 = unlimited
+  bool json = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] "
+      "[--timeout S] [--delta S] [--prefix24] [--eps P] [--k-sigma K] "
+      "[--max-order M] [--consecutive N] [--follow] [--idle S] "
+      "[--max-windows N] [--json]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--window") {
+      opt.window = need_value("--window");
+    } else if (arg == "--stride") {
+      opt.stride = need_value("--stride");
+    } else if (arg == "--timeout") {
+      opt.timeout = need_value("--timeout");
+    } else if (arg == "--delta") {
+      opt.delta = need_value("--delta");
+    } else if (arg == "--eps") {
+      opt.eps = need_value("--eps");
+    } else if (arg == "--k-sigma") {
+      opt.k_sigma = need_value("--k-sigma");
+    } else if (arg == "--max-order") {
+      opt.max_order = static_cast<std::size_t>(need_value("--max-order"));
+    } else if (arg == "--consecutive") {
+      opt.consecutive = static_cast<std::size_t>(need_value("--consecutive"));
+    } else if (arg == "--idle") {
+      opt.idle = need_value("--idle");
+    } else if (arg == "--max-windows") {
+      opt.max_windows =
+          static_cast<std::uint64_t>(need_value("--max-windows"));
+    } else if (arg == "--prefix24") {
+      opt.prefix24 = true;
+    } else if (arg == "--follow") {
+      opt.follow = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage();
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (opt.path.empty()) usage();
+  return opt;
+}
+
+void print_human(const fbm::live::WindowReport& r) {
+  const char* mark = "";
+  if (r.anomaly.alert) {
+    mark = r.anomaly.kind == fbm::live::AlertKind::spike ? "  ALERT spike"
+                                                         : "  ALERT drop";
+  }
+  if (r.forecast.available) {
+    std::printf(
+        "%6zu %8.1f %8zu %9.1f | %8.2f in [%7.2f, %7.2f] %+6.1fs%s\n",
+        r.window_index, r.start_s, r.inputs.flows, r.inputs.lambda,
+        r.measured.mean_bps / 1e6, r.forecast.band_low_bps / 1e6,
+        r.forecast.band_high_bps / 1e6, r.anomaly.deviation_sigma, mark);
+  } else {
+    std::printf("%6zu %8.1f %8zu %9.1f | %8.2f (warming up)%s\n",
+                r.window_index, r.start_s, r.inputs.flows, r.inputs.lambda,
+                r.measured.mean_bps / 1e6, mark);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fbm;
+  const Options opt = parse_args(argc, argv);
+
+  live::LiveConfig config;
+  config.window_s = opt.window;
+  config.stride_s = opt.stride;
+  config.band_k_sigma = opt.k_sigma;
+  config.forecast_max_order = opt.max_order;
+  config.alert_min_consecutive = opt.consecutive;
+  config.analysis
+      .flow_definition(opt.prefix24 ? api::FlowDefinition::prefix24
+                                    : api::FlowDefinition::five_tuple)
+      .timeout_s(opt.timeout)
+      .delta_s(opt.delta)
+      .epsilon(opt.eps);
+
+  try {
+    auto source = api::open_trace(opt.path, opt.follow);
+    live::WindowedEstimator estimator(config);
+
+    bool done = false;
+    estimator.set_window_sink([&](live::WindowReport&& r) {
+      // One push() can close many windows at once (a quiet gap in the
+      // stream); stop printing the moment the cap is reached, not just at
+      // the next outer-loop check.
+      if (done) return;
+      if (opt.json) {
+        std::printf("%s\n", live::to_jsonl(r).c_str());
+      } else {
+        print_human(r);
+      }
+      std::fflush(stdout);
+      if (opt.max_windows > 0 &&
+          estimator.counters().windows >= opt.max_windows) {
+        done = true;
+      }
+    });
+
+    if (!opt.json) {
+      std::printf("%6s %8s %8s %9s | %s\n", "window", "t0", "flows",
+                  "lambda", "measured Mbps vs forecast band");
+    }
+
+    const auto poll = std::chrono::milliseconds(50);
+    double idle_s = 0.0;
+    while (!done) {
+      if (auto p = source->next()) {
+        estimator.push(*p);
+        idle_s = 0.0;
+        continue;
+      }
+      if (!opt.follow) break;
+      if (opt.idle > 0.0 && idle_s >= opt.idle) break;
+      std::this_thread::sleep_for(poll);
+      idle_s += 0.05;
+    }
+    if (!done) estimator.finish();
+
+    if (!opt.json) {
+      const auto& c = estimator.counters();
+      std::printf("\n%llu windows, %llu packets, %llu flows\n",
+                  static_cast<unsigned long long>(c.windows),
+                  static_cast<unsigned long long>(c.packets),
+                  static_cast<unsigned long long>(c.flows));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
