@@ -1,19 +1,21 @@
-// Live sliding-window monitor with online estimation and anomaly alerting.
+// Multi-link live monitor with online estimation and anomaly alerting.
 //
-// The fbm::live rebuild of the original "NetFlow" demo: instead of one
-// hand-rolled EWMA envelope trained offline, a live::WindowedEstimator
-// re-derives the paper's flow parameters per 5-second window, rolls a
-// next-window forecast with a confidence band, and flags a simulated
-// denial-of-service burst injected mid-trace — the anomaly-detection
-// application from the paper's introduction, running the way an operator
-// would actually run it: continuously, in one pass.
+// The fbm::engine rebuild of the "NetFlow" demo: one tapped stream, three
+// monitored links — the victim's /16 customer link, the rest of the
+// backbone (a covering /8 that longest-match carves the victim out of),
+// and a match-all aggregate. Each link runs its own live::WindowedEstimator
+// session behind the engine's demux: per 5-second window the paper's flow
+// parameters, a rolling next-window forecast band, and spike/drop alerts.
+// A simulated denial-of-service burst injected mid-trace must be caught on
+// the victim link — and only there: the backbone link never sees the
+// victim's traffic, so its forecast band stays calm.
 //
 // Run:  ./examples/netflow_monitor
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "api/api.hpp"
-#include "live/live.hpp"
 #include "trace/synthetic.hpp"
 
 int main() {
@@ -27,7 +29,7 @@ int main() {
   auto packets = trace::generate_packets(cfg);
 
   // Inject a DoS-like constant blast from t=60 to t=63 (small packets, one
-  // destination).
+  // destination inside the victim /16).
   {
     net::FiveTuple attack;
     attack.src = net::Ipv4Address(66, 6, 6, 6);
@@ -43,44 +45,58 @@ int main() {
   }
 
   // 5-second windows, short idle timeout (the trace is seconds-scale), a
-  // 4-sigma band: the forecaster warms up on the clean traffic, then the
-  // burst windows leave the band.
-  live::LiveConfig config;
-  config.window_s = 5.0;
-  config.band_k_sigma = 4.0;
-  config.analysis.timeout_s(5.0);
+  // 4-sigma band shared by every session: the forecasters warm up on the
+  // clean traffic, then the burst windows leave the victim link's band.
+  engine::EngineConfig config;
+  config.mode = engine::EngineMode::live;
+  config.live.window_s = 5.0;
+  config.live.band_k_sigma = 4.0;
+  config.live.analysis.timeout_s(5.0);
 
-  std::printf("%6s %8s %8s %10s | %s\n", "window", "t0", "flows", "lambda",
-              "measured vs forecast band (Mbps)");
+  engine::Engine monitor(config);
+  (void)monitor.attach(engine::parse_link_spec("victim=10.0.0.0/16"));
+  (void)monitor.attach(engine::parse_link_spec("backbone=10.0.0.0/8"));
+  (void)monitor.attach(engine::parse_link_spec("tap=all"));
 
-  std::size_t alerts = 0;
-  live::WindowedEstimator monitor(config);
-  monitor.set_window_sink([&](live::WindowReport&& w) {
+  std::printf("%-9s %6s %8s %8s %10s | %s\n", "link", "window", "t0",
+              "flows", "lambda", "measured vs forecast band (Mbps)");
+
+  std::map<std::string, std::size_t> alerts;
+  monitor.set_report_sink([&](engine::LinkReport&& r) {
+    const auto& w = *r.window;
     if (w.forecast.available) {
       const char* mark = "";
       if (w.anomaly.alert) {
-        ++alerts;
+        ++alerts[r.name];
         mark = w.anomaly.kind == live::AlertKind::spike ? "  << SPIKE"
                                                         : "  << DROP";
       }
-      std::printf("%6zu %8.1f %8zu %10.1f | %6.2f in [%5.2f, %5.2f]%s\n",
-                  w.window_index, w.start_s, w.inputs.flows, w.inputs.lambda,
-                  w.measured.mean_bps / 1e6, w.forecast.band_low_bps / 1e6,
+      std::printf("%-9s %6zu %8.1f %8zu %10.1f | %6.2f in [%5.2f, %5.2f]%s\n",
+                  r.name.c_str(), w.window_index, w.start_s, w.inputs.flows,
+                  w.inputs.lambda, w.measured.mean_bps / 1e6,
+                  w.forecast.band_low_bps / 1e6,
                   w.forecast.band_high_bps / 1e6, mark);
     } else {
-      std::printf("%6zu %8.1f %8zu %10.1f | %6.2f (warming up)\n",
-                  w.window_index, w.start_s, w.inputs.flows, w.inputs.lambda,
-                  w.measured.mean_bps / 1e6);
+      std::printf("%-9s %6zu %8.1f %8zu %10.1f | %6.2f (warming up)\n",
+                  r.name.c_str(), w.window_index, w.start_s, w.inputs.flows,
+                  w.inputs.lambda, w.measured.mean_bps / 1e6);
     }
   });
 
   auto source = api::make_vector_source(std::move(packets));
   monitor.consume(*source);
 
-  const auto& c = monitor.counters();
-  std::printf("\n%llu windows, %llu packets, %llu flows, %zu alert(s)\n",
-              static_cast<unsigned long long>(c.windows),
-              static_cast<unsigned long long>(c.packets),
-              static_cast<unsigned long long>(c.flows), alerts);
-  return alerts > 0 ? 0 : 1;  // the injected burst must be caught
+  std::printf("\n%llu packets over %zu links\n",
+              static_cast<unsigned long long>(monitor.summary().packets),
+              monitor.links().size());
+  for (const auto& link : monitor.links()) {
+    std::printf("  %-9s %llu packets, %llu windows, %zu alert(s)\n",
+                link.name.c_str(),
+                static_cast<unsigned long long>(link.counters.packets),
+                static_cast<unsigned long long>(link.counters.reports),
+                alerts[link.name]);
+  }
+  // The injected burst must be caught on the victim link; the backbone link
+  // (which longest-match shields from the victim's traffic) must stay calm.
+  return alerts["victim"] > 0 && alerts["backbone"] == 0 ? 0 : 1;
 }

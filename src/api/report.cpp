@@ -1,139 +1,79 @@
 #include "api/report.hpp"
 
-#include <cmath>
-#include <cstdint>
-#include <cstdio>
+#include <utility>
+
+#include "core/json_writer.hpp"
 
 namespace fbm::api {
 
-namespace detail {
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lg", &parsed);
-  if (parsed == v) {
-    // Try shorter forms first for readability.
-    for (int prec = 1; prec < 17; ++prec) {
-      char shorter[32];
-      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
-      std::sscanf(shorter, "%lg", &parsed);
-      if (parsed == v) return shorter;
-    }
-  }
-  return buf;
-}
-
-}  // namespace detail
-
 namespace {
 
-[[nodiscard]] std::string number(double v) { return detail::json_number(v); }
-
-[[nodiscard]] std::string number(std::uint64_t v) { return std::to_string(v); }
-
-class Writer {
- public:
-  explicit Writer(int indent) : indent_(indent) {}
-
-  void open(const char* key = nullptr) { line(key, "{"); ++depth_; }
-  void close(bool last = true) {
-    --depth_;
-    line(nullptr, last ? "}" : "},");
-  }
-  template <typename T>
-  void field(const char* key, const T& value, bool last = false) {
-    line(key, number(value) + (last ? "" : ","));
-  }
-  void raw(const char* key, std::string value, bool last = false) {
-    line(key, value + (last ? "" : ","));
-  }
-
-  [[nodiscard]] std::string str() && { return std::move(out_); }
-
- private:
-  void line(const char* key, const std::string& value) {
-    if (!out_.empty()) out_ += '\n';
-    out_.append(static_cast<std::size_t>(indent_) + 2 * depth_, ' ');
-    if (key) {
-      out_ += '"';
-      out_ += key;
-      out_ += "\": ";
-    }
-    out_ += value;
-  }
-
-  std::string out_;
-  int indent_;
-  std::size_t depth_ = 0;
-};
-
-void write_report(Writer& w, const AnalysisReport& r) {
-  w.field("interval_index", r.interval_index);
+void write_report(core::JsonWriter& w, const AnalysisReport& r) {
+  w.field("interval_index", static_cast<std::uint64_t>(r.interval_index));
   w.field("start_s", r.start_s);
   w.field("length_s", r.length_s);
 
-  w.open("inputs");
-  w.field("flows", r.inputs.flows);
-  w.field("continued_flows", r.continued_flows);
+  w.begin_object("inputs");
+  w.field("flows", static_cast<std::uint64_t>(r.inputs.flows));
+  w.field("continued_flows", static_cast<std::uint64_t>(r.continued_flows));
   w.field("lambda_per_s", r.inputs.lambda);
   w.field("mean_size_bits", r.inputs.mean_size_bits);
-  w.field("mean_s2_over_d_bits2_per_s", r.inputs.mean_s2_over_d, true);
-  w.close(false);
+  w.field("mean_s2_over_d_bits2_per_s", r.inputs.mean_s2_over_d);
+  w.end_object();
 
-  w.open("measured");
-  w.field("samples", r.measured.samples);
+  w.begin_object("measured");
+  w.field("samples", static_cast<std::uint64_t>(r.measured.samples));
   w.field("mean_bps", r.measured.mean_bps);
   w.field("variance_bps2", r.measured.variance_bps2);
-  w.field("cov", r.measured.cov, true);
-  w.close(false);
+  w.field("cov", r.measured.cov);
+  w.end_object();
 
-  w.open("model");
-  w.raw("shot_b_fitted",
-        r.shot_b ? number(*r.shot_b) : std::string("null"));
+  w.begin_object("model");
+  if (r.shot_b) {
+    w.field("shot_b_fitted", *r.shot_b);
+  } else {
+    w.null_field("shot_b_fitted");
+  }
   w.field("shot_b_used", r.shot_b_used);
   w.field("mean_bps", r.plan.mean_bps);
   w.field("stddev_bps", r.plan.stddev_bps);
-  w.field("cov", r.model_cov, true);
-  w.close(false);
+  w.field("cov", r.model_cov);
+  w.end_object();
 
-  w.open("provisioning");
+  w.begin_object("provisioning");
   w.field("eps", r.plan.eps);
   w.field("capacity_bps", r.plan.capacity_bps);
-  w.field("headroom", r.plan.headroom, true);
-  w.close();
+  w.field("headroom", r.plan.headroom);
+  w.end_object();
 }
 
 }  // namespace
 
 std::string to_json(const AnalysisReport& report, int indent) {
-  Writer w(indent);
-  w.open();
+  core::JsonWriter w(core::JsonWriter::Style::pretty, indent);
+  w.begin_object();
   write_report(w, report);
-  w.close();
+  w.end_object();
   return std::move(w).str();
 }
 
 std::string to_json(const trace::TraceSummary& summary,
                     std::span<const AnalysisReport> reports) {
-  Writer w(0);
-  w.open();
-  w.open("trace");
+  core::JsonWriter w(core::JsonWriter::Style::pretty, 0);
+  w.begin_object();
+  w.begin_object("trace");
   w.field("packets", summary.packets);
   w.field("total_bytes", summary.total_bytes);
   w.field("duration_s", summary.duration_s());
-  w.field("mean_rate_bps", summary.mean_rate_bps(), true);
-  w.close(false);
-  std::string out = std::move(w).str();
-  out += "\n  \"intervals\": [";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    out += i == 0 ? "\n" : ",\n";
-    out += to_json(reports[i], 4);
+  w.field("mean_rate_bps", summary.mean_rate_bps());
+  w.end_object();
+  w.begin_array("intervals");
+  for (const auto& report : reports) {
+    w.raw_element(to_json(report, 4));
   }
-  out += reports.empty() ? "]\n}" : "\n  ]\n}";
-  return out;
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
 }
 
 }  // namespace fbm::api

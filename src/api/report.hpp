@@ -6,9 +6,9 @@
 // the Gaussian approximation of the total rate (Section V-E), and the
 // capacity recommendation C = E[R] + q(1-eps) sigma (Section VII-A).
 //
-// to_json() renders reports for dashboards and external tooling; there is
-// no JSON dependency in the container, so the writer is hand-rolled (keys
-// are fixed, all values are numbers or arrays — nothing needs escaping).
+// to_json() renders reports for dashboards and external tooling through the
+// shared core::JsonWriter (no JSON dependency in the container; number
+// rendering and string escaping live in exactly one place).
 #pragma once
 
 #include <optional>
@@ -57,16 +57,9 @@ struct AnalysisReport {
                                   int indent = 0);
 
 /// A whole run: trace totals plus the per-interval reports, as one object.
+/// (Number rendering and escaping live in core/json_writer.hpp, shared by
+/// every JSON emitter in the tree.)
 [[nodiscard]] std::string to_json(const trace::TraceSummary& summary,
                                   std::span<const AnalysisReport> reports);
-
-namespace detail {
-
-/// Shortest decimal form that round-trips the double ("null" for non-finite
-/// values — JSON has no literal for them). Shared by every hand-rolled JSON
-/// writer in the tree so numbers render identically everywhere.
-[[nodiscard]] std::string json_number(double v);
-
-}  // namespace detail
 
 }  // namespace fbm::api

@@ -1,0 +1,86 @@
+// Shared hand-rolled JSON emission (no JSON dependency in the container).
+//
+// Every JSON document this tree writes — api::to_json, live::to_jsonl,
+// perf::BenchReport::to_json, engine reports — goes through this writer, so
+// number rendering (shortest round-trip form) and string escaping (quotes,
+// backslashes, control characters) are implemented exactly once.
+//
+// Two styles:
+//   pretty  — one "key": value per line, two-space nesting under a caller
+//             base indent, no trailing newline (fbm_analyze --json, bench
+//             telemetry);
+//   compact — a single line with ", " separators (JSONL streams).
+//
+// Separators are emitted *before* each value, so callers never have to flag
+// the last field of a container.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbm::core {
+
+/// Shortest decimal form that round-trips the double ("null" for non-finite
+/// values — JSON has no literal for them).
+[[nodiscard]] std::string json_number(double v);
+
+/// `s` as a JSON string literal: quoted, with `"` and `\` escaped and
+/// control characters rendered as \n, \t, \r, \b, \f or \u00XX.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+class JsonWriter {
+ public:
+  enum class Style { pretty, compact };
+
+  /// `indent` leading spaces are applied to every pretty-style line.
+  explicit JsonWriter(Style style, int indent = 0)
+      : style_(style), indent_(indent) {}
+
+  JsonWriter& begin_object(std::string_view key = {});
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key = {});
+  JsonWriter& end_array();
+
+  JsonWriter& field(std::string_view key, double v) {
+    return raw_field(key, json_number(v));
+  }
+  JsonWriter& field(std::string_view key, std::uint64_t v) {
+    return raw_field(key, std::to_string(v));
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    return raw_field(key, v ? "true" : "false");
+  }
+  /// String value, escaped through json_quote.
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    return raw_field(key, json_quote(v));
+  }
+  JsonWriter& field(std::string_view key, const char* v) {
+    return raw_field(key, json_quote(v));
+  }
+  JsonWriter& null_field(std::string_view key) {
+    return raw_field(key, "null");
+  }
+
+  /// Pre-rendered value token (a number kept as text, "null", ...).
+  JsonWriter& raw_field(std::string_view key, std::string_view token);
+  /// Array element from a pre-rendered token. In pretty style the token is
+  /// emitted verbatim after the separator newline, so nested documents
+  /// rendered at their own indent compose unchanged.
+  JsonWriter& raw_element(std::string_view token);
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  void separate();  ///< comma/newline/indent before the next item
+  void open(std::string_view key, char bracket);
+  void close(char open_bracket, char close_bracket);
+
+  std::string out_;
+  Style style_;
+  int indent_;
+  std::vector<std::size_t> items_;  ///< items written per open container
+};
+
+}  // namespace fbm::core

@@ -1,0 +1,426 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace fbm::engine {
+
+namespace {
+
+/// Backpressure bound, as in api::ParallelAnalysisPipeline: a demux thread
+/// that outruns a worker blocks here, keeping memory bounded.
+constexpr std::size_t kMaxQueuedCommands = 256;
+
+}  // namespace
+
+/// One per-link session: the analysis state (exactly one of batch/live) plus
+/// demux bookkeeping. Driven by exactly one thread at a time — the caller
+/// inline, or the owning pool worker.
+struct Engine::Session {
+  LinkId id = 0;
+  std::string name;
+  MatchRule rule;
+  bool attached = true;
+  std::size_t worker = 0;  ///< owning pool worker (pool mode)
+
+  std::unique_ptr<api::AnalysisPipeline> batch;
+  std::unique_ptr<live::WindowedEstimator> live;
+
+  std::vector<net::PacketRecord> pending;  ///< demux buffer (pool mode)
+  LinkCounters counters;  ///< packets/bytes: demux thread; reports: emit_mu_
+};
+
+struct Engine::Worker {
+  /// One unit of work, processed strictly in queue order — so each session
+  /// (pinned to one worker) sees its packets in stream order.
+  struct Command {
+    enum class Kind { batch, finish_session, stop };
+    Kind kind = Kind::batch;
+    Session* session = nullptr;
+    std::vector<net::PacketRecord> packets;
+  };
+
+  std::mutex mu;
+  std::condition_variable work_cv;   ///< worker waits for commands
+  std::condition_variable space_cv;  ///< demux waits for queue space
+  std::deque<Command> queue;
+  std::exception_ptr error;  ///< guarded by mu
+  std::atomic<bool> failed{false};
+  std::thread thread;
+
+  void run() {
+    for (;;) {
+      Command cmd;
+      {
+        std::unique_lock lock(mu);
+        work_cv.wait(lock, [&] { return !queue.empty(); });
+        cmd = std::move(queue.front());
+        queue.pop_front();
+      }
+      space_cv.notify_one();
+      if (cmd.kind == Command::Kind::stop) return;
+      try {
+        Session& s = *cmd.session;
+        if (cmd.kind == Command::Kind::batch) {
+          if (s.batch) {
+            for (const auto& p : cmd.packets) s.batch->push(p);
+          } else {
+            for (const auto& p : cmd.packets) s.live->push(p);
+          }
+        } else {  // finish_session
+          if (s.batch) {
+            s.batch->finish();
+          } else {
+            s.live->finish();
+          }
+          // The session is done: free the analysis state (classifier flow
+          // tables above all) right here on the owning worker, so detached
+          // links don't hold memory for the engine's lifetime. Counters
+          // stay in the Session for links().
+          s.batch.reset();
+          s.live.reset();
+        }
+      } catch (...) {
+        {
+          std::lock_guard lock(mu);
+          error = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
+        space_cv.notify_all();
+        return;
+      }
+    }
+  }
+
+  void enqueue(Command cmd) {
+    {
+      std::unique_lock lock(mu);
+      space_cv.wait(lock, [&] {
+        return queue.size() < kMaxQueuedCommands ||
+               failed.load(std::memory_order_acquire) || !thread.joinable();
+      });
+      queue.push_back(std::move(cmd));
+    }
+    work_cv.notify_one();
+  }
+};
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  if (config_.threads == 0) {
+    throw std::invalid_argument("Engine: threads == 0");
+  }
+  if (config_.batch_packets == 0) {
+    throw std::invalid_argument("Engine: batch_packets == 0");
+  }
+  if (!(config_.flush_every_s > 0.0)) {
+    throw std::invalid_argument("Engine: flush cadence <= 0");
+  }
+  if (config_.threads > 1) {
+    workers_.reserve(config_.threads);
+    for (std::size_t i = 0; i < config_.threads; ++i) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    for (auto& w : workers_) {
+      w->thread = std::thread([worker = w.get()] { worker->run(); });
+    }
+  }
+}
+
+Engine::~Engine() {
+  // Workers hold raw Session pointers: stop and join them before the
+  // sessions go away. Sessions left unfinished are simply dropped.
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->enqueue({Worker::Command::Kind::stop, nullptr, {}});
+      w->thread.join();
+    }
+  }
+}
+
+LinkId Engine::attach(LinkSpec spec) {
+  if (finished_) throw std::logic_error("Engine: attach after finish");
+  if (spec.name.empty()) {
+    throw std::invalid_argument("Engine: empty link name");
+  }
+  for (const auto& s : sessions_) {
+    if (s->attached && s->name == spec.name) {
+      throw std::invalid_argument("Engine: duplicate link name \"" +
+                                  spec.name + "\"");
+    }
+  }
+
+  auto session = std::make_unique<Session>();
+  session->id = next_id_;
+  session->name = spec.name;
+  session->rule = spec.rule;
+
+  // Build the layered session config and its analysis state first: a
+  // throwing override or an invalid config must leave the engine unchanged.
+  Session* raw = session.get();
+  if (config_.mode == EngineMode::batch) {
+    api::AnalysisConfig cfg = config_.analysis;
+    if (spec.tune_analysis) spec.tune_analysis(cfg);
+    cfg.threads(1);  // the engine pool is the only threading
+    session->batch = std::make_unique<api::AnalysisPipeline>(cfg);
+    session->batch->set_report_sink([this, raw](api::AnalysisReport&& r) {
+      LinkReport report;
+      report.link = raw->id;
+      report.name = raw->name;
+      report.interval = std::move(r);
+      emit(*raw, std::move(report));
+    });
+  } else {
+    live::LiveConfig cfg = config_.live;
+    if (spec.tune_live) spec.tune_live(cfg);
+    session->live = std::make_unique<live::WindowedEstimator>(cfg);
+    session->live->set_window_sink([this, raw](live::WindowReport&& r) {
+      LinkReport report;
+      report.link = raw->id;
+      report.name = raw->name;
+      report.window = std::move(r);
+      emit(*raw, std::move(report));
+    });
+  }
+
+  // Index the match rule. Prefix links share one routing table, so inserts
+  // can collide with another attached link's claim — roll back for the
+  // strong guarantee.
+  if (const auto* match = std::get_if<MatchPrefixes>(&spec.rule)) {
+    if (match->prefixes.empty()) {
+      throw std::invalid_argument("Engine: link \"" + spec.name +
+                                  "\" has no prefixes");
+    }
+    std::vector<net::Prefix> inserted;
+    inserted.reserve(match->prefixes.size());
+    for (const auto& prefix : match->prefixes) {
+      if (const auto prev = prefix_table_.insert(prefix, session->id)) {
+        // insert() replaced the previous owner's entry — restore it, then
+        // unwind the prefixes this attach already claimed (for a duplicate
+        // within this very spec, the restored entry is among them).
+        (void)prefix_table_.insert(prefix, *prev);
+        for (const auto& p : inserted) (void)prefix_table_.erase(p);
+        throw std::invalid_argument(
+            *prev == session->id
+                ? "Engine: duplicate prefix " + prefix.to_string() +
+                      " in link \"" + spec.name + "\""
+                : "Engine: prefix " + prefix.to_string() +
+                      " already claimed by another link");
+      }
+      inserted.push_back(prefix);
+    }
+    ++prefix_links_;
+  }
+
+  if (!workers_.empty()) session->worker = next_worker_++ % workers_.size();
+  routing_.push_back(session.get());
+  sessions_.push_back(std::move(session));
+  return next_id_++;
+}
+
+bool Engine::detach(LinkId id) {
+  for (auto& s : sessions_) {
+    if (s->id != id) continue;
+    if (!s->attached) return false;
+    s->attached = false;
+    std::erase(routing_, s.get());
+    if (const auto* match = std::get_if<MatchPrefixes>(&s->rule)) {
+      for (const auto& prefix : match->prefixes) {
+        (void)prefix_table_.erase(prefix);
+      }
+      --prefix_links_;
+    }
+    if (!finished_) {
+      flush_session(*s);
+      finish_session(*s);
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::push(const net::PacketRecord& packet) {
+  if (finished_) throw std::logic_error("Engine: push after finish");
+  if (packet.timestamp < last_ts_) {
+    throw std::invalid_argument("Engine: out-of-order packet");
+  }
+  last_ts_ = packet.timestamp;
+  if (!workers_.empty()) rethrow_worker_error();
+
+  if (summary_.packets == 0) summary_.first_ts = packet.timestamp;
+  ++summary_.packets;
+  summary_.total_bytes += packet.size_bytes;
+  summary_.last_ts = packet.timestamp;
+
+  route(packet);
+  if (packet.timestamp >= flush_deadline_) {
+    flush_all_pending(packet.timestamp);
+  }
+}
+
+void Engine::route(const net::PacketRecord& packet) {
+  // Longest-prefix match across every attached prefix link: at most one
+  // winner, decided exactly as the router's forwarding table would.
+  std::optional<std::uint32_t> lpm;
+  if (prefix_links_ > 0) {
+    lpm = prefix_table_.lookup(packet.tuple.dst);
+  }
+  for (Session* s : routing_) {
+    bool matched = false;
+    if (std::holds_alternative<MatchAll>(s->rule)) {
+      matched = true;
+    } else if (std::holds_alternative<MatchPrefixes>(s->rule)) {
+      matched = lpm && *lpm == s->id;
+    } else {
+      matched = std::get<MatchTuple>(s->rule).matches(packet.tuple);
+    }
+    if (matched) deliver(*s, packet);
+  }
+}
+
+void Engine::deliver(Session& s, const net::PacketRecord& packet) {
+  ++s.counters.packets;
+  s.counters.bytes += packet.size_bytes;
+  if (workers_.empty()) {
+    feed(s, packet);
+    return;
+  }
+  if (s.pending.empty()) {
+    flush_deadline_ = std::min(
+        flush_deadline_, packet.timestamp + config_.flush_every_s);
+  }
+  s.pending.push_back(packet);
+  if (s.pending.size() >= config_.batch_packets) flush_session(s);
+}
+
+void Engine::feed(Session& s, const net::PacketRecord& packet) {
+  if (s.batch) {
+    s.batch->push(packet);
+  } else {
+    s.live->push(packet);
+  }
+}
+
+void Engine::flush_session(Session& s) {
+  if (workers_.empty() || s.pending.empty()) return;
+  Worker::Command cmd;
+  cmd.kind = Worker::Command::Kind::batch;
+  cmd.session = &s;
+  cmd.packets = std::exchange(s.pending, {});
+  workers_[s.worker]->enqueue(std::move(cmd));
+}
+
+void Engine::flush_all_pending(double /*now*/) {
+  for (auto& s : sessions_) flush_session(*s);
+  flush_deadline_ = std::numeric_limits<double>::infinity();
+}
+
+void Engine::flush() {
+  if (finished_) return;
+  if (!workers_.empty()) rethrow_worker_error();
+  flush_all_pending(last_ts_);
+}
+
+void Engine::finish_session(Session& s) {
+  if (workers_.empty()) {
+    if (s.batch) {
+      s.batch->finish();
+    } else {
+      s.live->finish();
+    }
+    // Free the analysis state now (the pool path does this on the owning
+    // worker); only the counters outlive the session.
+    s.batch.reset();
+    s.live.reset();
+    return;
+  }
+  Worker::Command cmd;
+  cmd.kind = Worker::Command::Kind::finish_session;
+  cmd.session = &s;
+  workers_[s.worker]->enqueue(std::move(cmd));
+}
+
+void Engine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& s : sessions_) {
+    if (!s->attached) continue;
+    flush_session(*s);
+    finish_session(*s);
+  }
+  for (auto& w : workers_) {
+    w->enqueue({Worker::Command::Kind::stop, nullptr, {}});
+  }
+  for (auto& w : workers_) w->thread.join();
+  for (auto& w : workers_) {
+    std::lock_guard lock(w->mu);
+    if (w->error) std::rethrow_exception(w->error);
+  }
+}
+
+std::uint64_t Engine::consume(api::TraceSource& source) {
+  const std::uint64_t n =
+      source.for_each([this](const net::PacketRecord& p) { push(p); });
+  finish();
+  return n;
+}
+
+void Engine::emit(Session& s, LinkReport&& report) {
+  std::lock_guard lock(emit_mu_);
+  ++s.counters.reports;
+  if (sink_) {
+    sink_(std::move(report));
+  } else {
+    ready_.push_back(std::move(report));
+  }
+}
+
+LinkReport Engine::pop_report() {
+  std::lock_guard lock(emit_mu_);
+  if (ready_.empty()) throw std::logic_error("Engine: no report ready");
+  LinkReport r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+std::vector<LinkReport> Engine::take_reports() {
+  std::lock_guard lock(emit_mu_);
+  std::vector<LinkReport> out(std::make_move_iterator(ready_.begin()),
+                              std::make_move_iterator(ready_.end()));
+  ready_.clear();
+  return out;
+}
+
+void Engine::rethrow_worker_error() {
+  for (auto& w : workers_) {
+    if (!w->failed.load(std::memory_order_acquire)) continue;
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(w->mu);
+      err = w->error;
+    }
+    finished_ = true;  // the failed worker is gone; no more pushes
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+std::vector<LinkInfo> Engine::links() const {
+  std::lock_guard lock(emit_mu_);  // counters.reports updates under it
+  std::vector<LinkInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    out.push_back({s->id, s->name, s->attached, s->counters});
+  }
+  return out;
+}
+
+std::size_t Engine::link_count() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) n += s->attached ? 1 : 0;
+  return n;
+}
+
+}  // namespace fbm::engine

@@ -1,0 +1,203 @@
+// fbm::engine — one process, many links (the session-oriented front door).
+//
+//   TraceSource ──► Engine (demux) ──► per-link sessions ──► ReportSink
+//                    │  RoutingTable LPM / 5-tuple      (AnalysisReport or
+//                    │  predicates / match-all           WindowReport, each
+//                    └─ shared worker pool               tagged with a link)
+//
+// A real POP monitors dozens of backbone links from a single tap; the paper
+// models each link independently. Engine closes that gap: it owns a set of
+// LinkSpecs, demuxes one packet stream to a session per link, and drives
+// every session through either batch analysis (api::AnalysisPipeline — one
+// api::PipelineShard per session, intervals closed through api::fit_window)
+// or live sliding-window monitoring (live::WindowedEstimator), with
+// per-link config overrides layered over a base config.
+//
+// Sessions never own threads. With threads == 1 (the default) the demux
+// thread drives every session inline and report order is fully
+// deterministic (attach order within a timestamp). With threads > 1 the
+// engine runs one shared worker pool and pins each session to a worker
+// (round-robin at attach), so N links cost min(N, threads) threads, not N;
+// per-link output is unchanged — every session still sees exactly its own
+// packet subsequence in stream order — only the interleaving of *different*
+// links' reports becomes scheduling-dependent.
+//
+// The contract the differential tests pin (tests/engine/): each link's
+// report stream is bit-for-bit identical to running the ordinary
+// single-link pipeline (api::analyze / live::WindowedEstimator) on that
+// link's pre-filtered packets.
+//
+// Links can be attached and detached at runtime: a session attached
+// mid-stream sees packets from that point on; detach(id) finalizes the
+// session immediately (its pending windows flush through the sink) and
+// stops routing to it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/trace_source.hpp"
+#include "engine/link_spec.hpp"
+#include "live/live.hpp"
+#include "net/lpm.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace fbm::engine {
+
+enum class EngineMode { batch, live };
+
+struct EngineConfig {
+  EngineMode mode = EngineMode::batch;
+  /// Base analysis knobs for batch sessions (per-link tune_analysis layers
+  /// on a copy). threads/batch_packets inside are ignored: the engine's own
+  /// pool below is the only threading.
+  api::AnalysisConfig analysis;
+  /// Base configuration for live sessions (mode == live).
+  live::LiveConfig live;
+
+  /// Worker pool size. 1 = no threads, sessions run inline on the caller.
+  std::size_t threads = 1;
+  /// Packets handed to a worker per enqueue (pool only; a throughput knob —
+  /// per-link results do not depend on it).
+  std::size_t batch_packets = 512;
+  /// Max trace time a routed packet may sit in a demux buffer before being
+  /// flushed to its worker (pool only; bounds live-report latency).
+  double flush_every_s = 1.0;
+};
+
+/// One report, tagged with the link that produced it. Exactly one of
+/// `interval` (batch mode) / `window` (live mode) is set.
+struct LinkReport {
+  LinkId link = 0;
+  std::string name;
+  std::optional<api::AnalysisReport> interval;
+  std::optional<live::WindowReport> window;
+};
+
+/// Unified sink: every session's reports funnel here, in per-link order.
+/// Invoked on the caller's thread when threads == 1, on worker threads
+/// otherwise (serialized — never concurrently). Must not call back into the
+/// engine.
+using ReportSink = std::function<void(LinkReport&&)>;
+
+struct LinkCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t reports = 0;
+};
+
+struct LinkInfo {
+  LinkId id = 0;
+  std::string name;
+  bool attached = true;  ///< false once detached
+  LinkCounters counters;
+};
+
+class Engine {
+ public:
+  /// Throws std::invalid_argument on bad engine knobs (threads == 0,
+  /// batch_packets == 0, flush cadence <= 0). Per-link analysis parameters
+  /// are validated at attach(), where the layered config is known.
+  explicit Engine(EngineConfig config);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Adds a link and starts its session. Throws std::invalid_argument on an
+  /// empty/duplicate name, an empty prefix list, a prefix already claimed
+  /// by another attached link, or an invalid layered session config (strong
+  /// guarantee: a failed attach leaves the engine unchanged).
+  LinkId attach(LinkSpec spec);
+
+  /// Stops routing to the link and finalizes its session now — pending
+  /// intervals/windows flush through the sink before this returns (the
+  /// worker finishes them asynchronously when the pool is on; they are
+  /// complete by finish()). Returns false if the id is unknown or already
+  /// detached. The link's counters remain visible through links().
+  bool detach(LinkId id);
+
+  /// Set before the first push. See ReportSink for the threading contract.
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  /// Feed the next packet; timestamps must be non-decreasing (throws
+  /// std::invalid_argument otherwise).
+  void push(const net::PacketRecord& packet);
+
+  /// Hands any demux-buffered packets to their workers now (pool mode; a
+  /// no-op when sessions run inline). The per-packet flush cadence is trace
+  /// time, so a quiet --follow stream can leave routed packets buffered —
+  /// call this from the idle poll loop to bound report latency by wall
+  /// clock too.
+  void flush();
+
+  /// End of stream: finalize every attached session, join the pool.
+  /// push()/attach() must not be called afterwards.
+  void finish();
+
+  /// Drains `source` through push() and finishes; returns packets consumed.
+  std::uint64_t consume(api::TraceSource& source);
+
+  /// Queued reports (only when no sink is set), oldest first per link.
+  /// (Locked: pool workers fill the queue from their own threads.)
+  [[nodiscard]] bool has_report() const {
+    std::lock_guard lock(emit_mu_);
+    return !ready_.empty();
+  }
+  [[nodiscard]] LinkReport pop_report();
+  [[nodiscard]] std::vector<LinkReport> take_reports();
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  /// Totals over the whole stream (every packet, routed or not).
+  [[nodiscard]] const trace::TraceSummary& summary() const {
+    return summary_;
+  }
+  /// Attached links (detached ones included, flagged), in attach order.
+  [[nodiscard]] std::vector<LinkInfo> links() const;
+  [[nodiscard]] std::size_t link_count() const;  ///< attached only
+
+ private:
+  struct Session;
+  struct Worker;
+
+  void route(const net::PacketRecord& packet);
+  void deliver(Session& s, const net::PacketRecord& packet);
+  void feed(Session& s, const net::PacketRecord& packet);
+  void finish_session(Session& s);
+  void flush_session(Session& s);
+  void flush_all_pending(double now);
+  void emit(Session& s, LinkReport&& report);
+  void rethrow_worker_error();
+
+  EngineConfig config_;
+  ReportSink sink_;
+
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< attach order
+  /// Attached sessions only, attach order — the per-packet routing scan.
+  /// Rebuilt on attach/detach so detached links cost nothing per packet
+  /// (their Session stays in sessions_ for counters and in-flight work).
+  std::vector<Session*> routing_;
+  net::RoutingTable prefix_table_;  ///< prefix -> LinkId, shared LPM
+  std::size_t prefix_links_ = 0;    ///< attached links with prefix rules
+  LinkId next_id_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;  ///< empty when threads==1
+  std::size_t next_worker_ = 0;
+
+  mutable std::mutex emit_mu_;  ///< serializes sink_/ready_/report counters
+  std::deque<LinkReport> ready_;
+
+  trace::TraceSummary summary_;
+  double last_ts_ = -std::numeric_limits<double>::infinity();
+  double flush_deadline_ = std::numeric_limits<double>::infinity();
+  bool finished_ = false;
+};
+
+}  // namespace fbm::engine

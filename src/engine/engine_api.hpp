@@ -1,0 +1,21 @@
+// fbm::engine — umbrella header (one process, many links).
+//
+// Typical use:
+//
+//   fbm::engine::EngineConfig config;
+//   config.mode = fbm::engine::EngineMode::live;
+//   config.live.window_s = 30.0;
+//   fbm::engine::Engine engine(config);
+//   engine.attach(fbm::engine::parse_link_spec("transit=10.0.0.0/8"));
+//   engine.attach(fbm::engine::parse_link_spec("peering=192.168.0.0/16"));
+//   engine.attach(fbm::engine::parse_link_spec("tap=all"));
+//   engine.set_report_sink([](fbm::engine::LinkReport&& r) {
+//     std::puts(fbm::engine::to_jsonl(r).c_str());
+//   });
+//   auto source = fbm::api::open_trace("capture.fbmt");
+//   engine.consume(*source);
+#pragma once
+
+#include "engine/engine.hpp"     // IWYU pragma: export
+#include "engine/link_spec.hpp"  // IWYU pragma: export
+#include "engine/report.hpp"     // IWYU pragma: export

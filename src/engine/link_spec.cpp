@@ -1,0 +1,69 @@
+#include "engine/link_spec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace fbm::engine {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("link spec \"" + std::string(text) +
+                              "\": " + why);
+}
+
+[[nodiscard]] net::Prefix parse_prefix(std::string_view text,
+                                       std::string_view token) {
+  std::string_view addr_part = token;
+  int length = 32;
+  if (const auto slash = token.find('/'); slash != std::string_view::npos) {
+    addr_part = token.substr(0, slash);
+    const std::string_view len_part = token.substr(slash + 1);
+    const auto* end = len_part.data() + len_part.size();
+    const auto [ptr, ec] =
+        std::from_chars(len_part.data(), end, length);
+    if (ec != std::errc{} || ptr != end || length < 0 || length > 32) {
+      bad_spec(text, "bad prefix length \"" + std::string(len_part) + "\"");
+    }
+  }
+  const auto addr = net::Ipv4Address::parse(addr_part);
+  if (!addr) {
+    bad_spec(text, "bad address \"" + std::string(addr_part) + "\"");
+  }
+  return net::Prefix(*addr, length);
+}
+
+}  // namespace
+
+LinkSpec parse_link_spec(std::string_view text) {
+  const auto eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    bad_spec(text, "expected NAME=PREFIX[,PREFIX...] or NAME=all");
+  }
+  LinkSpec spec;
+  spec.name = std::string(text.substr(0, eq));
+  if (spec.name.empty()) bad_spec(text, "empty link name");
+
+  const std::string_view rule = text.substr(eq + 1);
+  if (rule == "all" || rule == "*") {
+    spec.rule = MatchAll{};
+    return spec;
+  }
+  if (rule.empty()) bad_spec(text, "empty match rule");
+
+  MatchPrefixes match;
+  std::size_t pos = 0;
+  while (pos <= rule.size()) {
+    const auto comma = rule.find(',', pos);
+    const auto end = comma == std::string_view::npos ? rule.size() : comma;
+    const std::string_view token = rule.substr(pos, end - pos);
+    if (token.empty()) bad_spec(text, "empty prefix");
+    match.prefixes.push_back(parse_prefix(text, token));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  spec.rule = std::move(match);
+  return spec;
+}
+
+}  // namespace fbm::engine

@@ -1,0 +1,45 @@
+#include "engine/report.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/json_writer.hpp"
+
+namespace fbm::engine {
+
+std::string to_json(const trace::TraceSummary& summary,
+                    std::span<const LinkBatchResult> links) {
+  core::JsonWriter w(core::JsonWriter::Style::pretty, 0);
+  w.begin_object();
+  w.begin_object("trace");
+  w.field("packets", summary.packets);
+  w.field("total_bytes", summary.total_bytes);
+  w.field("duration_s", summary.duration_s());
+  w.field("mean_rate_bps", summary.mean_rate_bps());
+  w.end_object();
+  w.begin_array("links");
+  for (const auto& link : links) {
+    w.begin_object();
+    w.field("name", link.name);
+    w.field("packets", link.counters.packets);
+    w.field("bytes", link.counters.bytes);
+    w.begin_array("intervals");
+    for (const auto& report : link.reports) {
+      w.raw_element(api::to_json(report, 8));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string to_jsonl(const LinkReport& report) {
+  if (!report.window) {
+    throw std::logic_error("engine::to_jsonl: not a live-mode report");
+  }
+  return live::to_jsonl(*report.window, report.name);
+}
+
+}  // namespace fbm::engine

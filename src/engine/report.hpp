@@ -1,0 +1,47 @@
+// JSON rendering for multi-link engine output.
+//
+// Live mode streams JSONL: one line per closed window, the live schema with
+// `"link": "<name>"` prepended (see live/window_report.hpp; the engine-smoke
+// CI job pins this shape).
+//
+// Batch mode renders one document per run, the fbm_analyze --json shape
+// with the intervals grouped per link:
+//
+//   {
+//     "trace": { ... api::to_json trace totals ... },
+//     "links": [
+//       {
+//         "name": "<link>",
+//         "packets": u, "bytes": u,
+//         "intervals": [ { ... api::to_json report ... } ]
+//       }
+//     ]
+//   }
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "engine/engine.hpp"
+
+namespace fbm::engine {
+
+/// One link's finished batch run, ready for rendering.
+struct LinkBatchResult {
+  std::string name;
+  LinkCounters counters;
+  std::vector<api::AnalysisReport> reports;
+};
+
+/// The whole multi-link batch run as one JSON document.
+[[nodiscard]] std::string to_json(const trace::TraceSummary& summary,
+                                  std::span<const LinkBatchResult> links);
+
+/// One live-mode report as a single JSON line (delegates to
+/// live::to_jsonl(window, link_name)). Throws std::logic_error for a
+/// batch-mode report.
+[[nodiscard]] std::string to_jsonl(const LinkReport& report);
+
+}  // namespace fbm::engine

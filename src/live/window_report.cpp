@@ -1,104 +1,106 @@
 #include "live/window_report.hpp"
 
-#include "api/report.hpp"
+#include <utility>
+
+#include "core/json_writer.hpp"
 
 namespace fbm::live {
 
 namespace {
 
-using api::detail::json_number;
+void write_report(core::JsonWriter& w, const WindowReport& r) {
+  w.field("window", static_cast<std::uint64_t>(r.window_index));
+  w.field("start_s", r.start_s);
+  w.field("width_s", r.width_s);
+  w.field("stride_s", r.stride_s);
+  w.field("packets", r.packets);
+  w.field("bytes", r.bytes);
+  w.field("discards", r.discards);
 
-void field(std::string& out, const char* key, const std::string& value,
-           bool last = false) {
-  out += '"';
-  out += key;
-  out += "\": ";
-  out += value;
-  out += last ? "" : ", ";
-}
+  w.begin_object("flows");
+  w.field("count", static_cast<std::uint64_t>(r.inputs.flows));
+  w.field("lambda_per_s", r.inputs.lambda);
+  w.field("mean_size_bits", r.inputs.mean_size_bits);
+  w.field("mean_s2_over_d_bits2_per_s", r.inputs.mean_s2_over_d);
+  w.field("mean_duration_s", r.flow_moments.mean_duration_s);
+  w.field("stddev_size_bits", r.flow_moments.stddev_size_bits);
+  w.field("stddev_duration_s", r.flow_moments.stddev_duration_s);
+  w.field("mean_rate_bps", r.flow_moments.mean_rate_bps);
+  w.end_object();
 
-void field(std::string& out, const char* key, double v, bool last = false) {
-  field(out, key, json_number(v), last);
-}
+  w.begin_object("measured");
+  w.field("samples", static_cast<std::uint64_t>(r.measured.samples));
+  w.field("mean_bps", r.measured.mean_bps);
+  w.field("variance_bps2", r.measured.variance_bps2);
+  w.field("cov", r.measured.cov);
+  w.end_object();
 
-void field(std::string& out, const char* key, std::uint64_t v,
-           bool last = false) {
-  field(out, key, std::to_string(v), last);
+  w.begin_object("model");
+  if (r.shot_b) {
+    w.field("shot_b_fitted", *r.shot_b);
+  } else {
+    w.null_field("shot_b_fitted");
+  }
+  w.field("shot_b_used", r.shot_b_used);
+  w.field("mean_bps", r.plan.mean_bps);
+  w.field("stddev_bps", r.plan.stddev_bps);
+  w.field("cov", r.model_cov);
+  w.end_object();
+
+  w.begin_object("provisioning");
+  w.field("eps", r.plan.eps);
+  w.field("capacity_bps", r.plan.capacity_bps);
+  w.field("headroom", r.plan.headroom);
+  w.end_object();
+
+  w.begin_object("forecast");
+  const auto& f = r.forecast;
+  if (f.available) {
+    w.field("predicted_mean_bps", f.predicted_mean_bps);
+    w.field("band_low_bps", f.band_low_bps);
+    w.field("band_high_bps", f.band_high_bps);
+    w.field("sigma_bps", f.sigma_bps);
+  } else {
+    w.null_field("predicted_mean_bps");
+    w.null_field("band_low_bps");
+    w.null_field("band_high_bps");
+    w.null_field("sigma_bps");
+  }
+  w.field("order", static_cast<std::uint64_t>(f.order));
+  w.end_object();
+
+  w.begin_object("anomaly");
+  const auto& a = r.anomaly;
+  w.field("alert", a.alert);
+  if (a.kind == AlertKind::none) {
+    w.null_field("kind");
+  } else {
+    w.field("kind", a.kind == AlertKind::spike ? "spike" : "drop");
+  }
+  w.field("deviation_sigma", a.deviation_sigma);
+  w.field("consecutive", static_cast<std::uint64_t>(a.consecutive));
+  w.field("bin_events", static_cast<std::uint64_t>(a.bin_events));
+  w.field("bin_peak_sigma", a.bin_peak_sigma);
+  w.end_object();
 }
 
 }  // namespace
 
 std::string to_jsonl(const WindowReport& r) {
-  std::string out = "{";
-  field(out, "window", static_cast<std::uint64_t>(r.window_index));
-  field(out, "start_s", r.start_s);
-  field(out, "width_s", r.width_s);
-  field(out, "stride_s", r.stride_s);
-  field(out, "packets", r.packets);
-  field(out, "bytes", r.bytes);
-  field(out, "discards", r.discards);
+  core::JsonWriter w(core::JsonWriter::Style::compact);
+  w.begin_object();
+  write_report(w, r);
+  w.end_object();
+  return std::move(w).str();
+}
 
-  out += "\"flows\": {";
-  field(out, "count", static_cast<std::uint64_t>(r.inputs.flows));
-  field(out, "lambda_per_s", r.inputs.lambda);
-  field(out, "mean_size_bits", r.inputs.mean_size_bits);
-  field(out, "mean_s2_over_d_bits2_per_s", r.inputs.mean_s2_over_d);
-  field(out, "mean_duration_s", r.flow_moments.mean_duration_s);
-  field(out, "stddev_size_bits", r.flow_moments.stddev_size_bits);
-  field(out, "stddev_duration_s", r.flow_moments.stddev_duration_s);
-  field(out, "mean_rate_bps", r.flow_moments.mean_rate_bps, true);
-  out += "}, ";
-
-  out += "\"measured\": {";
-  field(out, "samples", static_cast<std::uint64_t>(r.measured.samples));
-  field(out, "mean_bps", r.measured.mean_bps);
-  field(out, "variance_bps2", r.measured.variance_bps2);
-  field(out, "cov", r.measured.cov, true);
-  out += "}, ";
-
-  out += "\"model\": {";
-  field(out, "shot_b_fitted",
-        r.shot_b ? json_number(*r.shot_b) : std::string("null"));
-  field(out, "shot_b_used", r.shot_b_used);
-  field(out, "mean_bps", r.plan.mean_bps);
-  field(out, "stddev_bps", r.plan.stddev_bps);
-  field(out, "cov", r.model_cov, true);
-  out += "}, ";
-
-  out += "\"provisioning\": {";
-  field(out, "eps", r.plan.eps);
-  field(out, "capacity_bps", r.plan.capacity_bps);
-  field(out, "headroom", r.plan.headroom, true);
-  out += "}, ";
-
-  out += "\"forecast\": {";
-  const auto& f = r.forecast;
-  field(out, "predicted_mean_bps",
-        f.available ? json_number(f.predicted_mean_bps)
-                    : std::string("null"));
-  field(out, "band_low_bps",
-        f.available ? json_number(f.band_low_bps) : std::string("null"));
-  field(out, "band_high_bps",
-        f.available ? json_number(f.band_high_bps) : std::string("null"));
-  field(out, "sigma_bps",
-        f.available ? json_number(f.sigma_bps) : std::string("null"));
-  field(out, "order", static_cast<std::uint64_t>(f.order), true);
-  out += "}, ";
-
-  out += "\"anomaly\": {";
-  const auto& a = r.anomaly;
-  field(out, "alert", std::string(a.alert ? "true" : "false"));
-  field(out, "kind",
-        a.kind == AlertKind::none
-            ? std::string("null")
-            : std::string(a.kind == AlertKind::spike ? "\"spike\""
-                                                     : "\"drop\""));
-  field(out, "deviation_sigma", a.deviation_sigma);
-  field(out, "consecutive", static_cast<std::uint64_t>(a.consecutive));
-  field(out, "bin_events", static_cast<std::uint64_t>(a.bin_events));
-  field(out, "bin_peak_sigma", a.bin_peak_sigma, true);
-  out += "}}";
-  return out;
+std::string to_jsonl(const WindowReport& r, std::string_view link_name) {
+  core::JsonWriter w(core::JsonWriter::Style::compact);
+  w.begin_object();
+  w.field("link", link_name);
+  write_report(w, r);
+  w.end_object();
+  return std::move(w).str();
 }
 
 }  // namespace fbm::live

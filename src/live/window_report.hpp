@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/gaussian.hpp"
 #include "dimension/provisioning.hpp"
@@ -101,5 +102,11 @@ struct WindowReport {
 
 /// One report as a single JSON line (no trailing newline).
 [[nodiscard]] std::string to_jsonl(const WindowReport& report);
+
+/// Engine-mode variant: the same line with `"link": "<name>"` as the first
+/// field (fbm::engine multi-link streams; the engine-smoke CI job pins this
+/// shape). The single-link schema above is unchanged.
+[[nodiscard]] std::string to_jsonl(const WindowReport& report,
+                                   std::string_view link_name);
 
 }  // namespace fbm::live

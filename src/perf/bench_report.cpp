@@ -1,8 +1,9 @@
 #include "perf/bench_report.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "core/json_writer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -10,52 +11,13 @@
 
 namespace fbm::perf {
 
-namespace {
-
-/// Shortest decimal form that round-trips a double (same convention as the
-/// api report writer); non-finite values become null.
-[[nodiscard]] std::string number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lg", &parsed);
-  if (parsed == v) {
-    for (int prec = 1; prec < 17; ++prec) {
-      char shorter[32];
-      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
-      std::sscanf(shorter, "%lg", &parsed);
-      if (parsed == v) return shorter;
-    }
-  }
-  return buf;
-}
-
-[[nodiscard]] std::string quoted(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-void append_line(std::string& out, int indent, const std::string& text) {
-  if (!out.empty()) out += '\n';
-  out.append(static_cast<std::size_t>(indent), ' ');
-  out += text;
-}
-
-}  // namespace
-
 void BenchReport::set_config(const std::string& key,
                              const std::string& value) {
-  config.emplace_back(key, quoted(value));
+  config.emplace_back(key, core::json_quote(value));
 }
 
 void BenchReport::set_config(const std::string& key, double value) {
-  config.emplace_back(key, number(value));
+  config.emplace_back(key, core::json_number(value));
 }
 
 void BenchReport::set_config(const std::string& key, std::uint64_t value) {
@@ -71,40 +33,26 @@ void BenchReport::set_metric(const std::string& key, double value) {
 }
 
 std::string BenchReport::to_json(int indent) const {
-  std::string out;
-  append_line(out, indent, "{");
-  append_line(out, indent + 2, "\"bench\": " + quoted(bench) + ",");
-  append_line(out, indent + 2, "\"config\": {");
-  for (std::size_t i = 0; i < config.size(); ++i) {
-    append_line(out, indent + 4,
-                quoted(config[i].first) + ": " + config[i].second +
-                    (i + 1 < config.size() ? "," : ""));
-  }
-  append_line(out, indent + 2, "},");
-  append_line(out, indent + 2, "\"metrics\": {");
-  append_line(out, indent + 4, "\"wall_s\": " + number(wall_s) + ",");
-  append_line(out, indent + 4,
-              "\"packets_per_s\": " + number(packets_per_s) + ",");
-  append_line(out, indent + 4,
-              "\"peak_rss_kb\": " + std::to_string(peak_rss_kb) + ",");
-  append_line(out, indent + 4,
-              "\"packets\": " + std::to_string(counters.packets) + ",");
-  append_line(out, indent + 4,
-              "\"flows\": " + std::to_string(counters.flows) + ",");
-  append_line(out, indent + 4,
-              "\"intervals\": " + std::to_string(counters.intervals) + ",");
-  append_line(out, indent + 4,
-              "\"windows\": " + std::to_string(counters.windows) + ",");
-  for (const auto& [key, value] : extra_metrics) {
-    append_line(out, indent + 4, quoted(key) + ": " + number(value) + ",");
-  }
-  append_line(out, indent + 4,
-              "\"bytes_classified\": " +
-                  std::to_string(counters.bytes_classified));
-  append_line(out, indent + 2, "},");
-  append_line(out, indent + 2, "\"git_sha\": " + quoted(git_sha));
-  append_line(out, indent, "}");
-  return out;
+  core::JsonWriter w(core::JsonWriter::Style::pretty, indent);
+  w.begin_object();
+  w.field("bench", bench);
+  w.begin_object("config");
+  for (const auto& [key, token] : config) w.raw_field(key, token);
+  w.end_object();
+  w.begin_object("metrics");
+  w.field("wall_s", wall_s);
+  w.field("packets_per_s", packets_per_s);
+  w.field("peak_rss_kb", peak_rss_kb);
+  w.field("packets", counters.packets);
+  w.field("flows", counters.flows);
+  w.field("intervals", counters.intervals);
+  w.field("windows", counters.windows);
+  for (const auto& [key, value] : extra_metrics) w.field(key, value);
+  w.field("bytes_classified", counters.bytes_classified);
+  w.end_object();
+  w.field("git_sha", git_sha);
+  w.end_object();
+  return std::move(w).str();
 }
 
 std::string summary_json(std::span<const BenchReport> reports) {

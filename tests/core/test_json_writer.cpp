@@ -1,0 +1,116 @@
+// core::JsonWriter — the one JSON emitter every writer in the tree shares.
+// Escaping (the bug class this consolidation fixed: control characters and
+// backslashes passed through unescaped), number round-tripping, and the two
+// output styles.
+#include "core/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace fbm::core {
+namespace {
+
+TEST(JsonQuote, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a \"quoted\" token"), "\"a \\\"quoted\\\" token\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote("cr\rbs\bff\f"), "\"cr\\rbs\\bff\\f\"");
+  EXPECT_EQ(json_quote(std::string("nul\x01" "byte")), "\"nul\\u0001byte\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x1f')), "\"\\u001f\"");
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(json_quote("naïve"), "\"naïve\"");
+}
+
+TEST(JsonNumber, ShortestRoundTripForm) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.25), "1.25");
+  EXPECT_EQ(json_number(5e6), "5e+06");
+  EXPECT_EQ(json_number(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonWriter, CompactStyle) {
+  JsonWriter w(JsonWriter::Style::compact);
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.field("b", 2.5);
+  w.begin_object("nested");
+  w.field("c", true);
+  w.field("d", "tri\"cky");
+  w.end_object();
+  w.null_field("e");
+  w.begin_array("f");
+  w.raw_element("1");
+  w.raw_element("2");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"a\": 1, \"b\": 2.5, \"nested\": {\"c\": true, "
+            "\"d\": \"tri\\\"cky\"}, \"e\": null, \"f\": [1, 2]}");
+}
+
+TEST(JsonWriter, PrettyStyle) {
+  JsonWriter w(JsonWriter::Style::pretty, 2);
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.begin_object("nested");
+  w.field("b", 2.0);
+  w.end_object();
+  w.begin_object("empty");
+  w.end_object();
+  w.begin_array("list");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "  {\n"
+            "    \"a\": 1,\n"
+            "    \"nested\": {\n"
+            "      \"b\": 2\n"
+            "    },\n"
+            "    \"empty\": {},\n"
+            "    \"list\": []\n"
+            "  }");
+}
+
+TEST(JsonWriter, PrettyRawElementsComposeNestedDocuments) {
+  JsonWriter inner(JsonWriter::Style::pretty, 4);
+  inner.begin_object();
+  inner.field("x", std::uint64_t{1});
+  inner.end_object();
+  const std::string nested = std::move(inner).str();
+
+  JsonWriter w(JsonWriter::Style::pretty, 0);
+  w.begin_object();
+  w.begin_array("items");
+  w.raw_element(nested);
+  w.raw_element(nested);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\n"
+            "  \"items\": [\n"
+            "    {\n"
+            "      \"x\": 1\n"
+            "    },\n"
+            "    {\n"
+            "      \"x\": 1\n"
+            "    }\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  JsonWriter w(JsonWriter::Style::compact);
+  w.begin_object();
+  w.field("we\"ird", std::uint64_t{1});
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"we\\\"ird\": 1}");
+}
+
+}  // namespace
+}  // namespace fbm::core

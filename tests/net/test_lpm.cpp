@@ -73,6 +73,85 @@ TEST(RoutingTable, HostRoutes) {
   EXPECT_FALSE(t.lookup(Ipv4Address(192, 0, 2, 2)).has_value());
 }
 
+// The engine's multi-link demux rides on this table (src/engine/), so the
+// edge cases below are load-bearing for link routing, not just flow keying.
+
+TEST(RoutingTable, OverlapFallsThroughEveryLevel) {
+  // /0 default under /8 under /24 under /32: each address lands on the
+  // longest cover, and erasing a level re-exposes the next shorter one.
+  RoutingTable t;
+  t.insert(pfx("0.0.0.0", 0), 0);
+  t.insert(pfx("10.0.0.0", 8), 8);
+  t.insert(pfx("10.0.0.0", 24), 24);
+  t.insert(pfx("10.0.0.80", 32), 32);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 80)).value(), 32u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 81)).value(), 24u);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 1, 80)).value(), 8u);
+  EXPECT_EQ(t.lookup(Ipv4Address(11, 0, 0, 80)).value(), 0u);
+  EXPECT_TRUE(t.erase(pfx("10.0.0.80", 32)));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 80)).value(), 24u);
+  EXPECT_TRUE(t.erase(pfx("10.0.0.0", 24)));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 80)).value(), 8u);
+  EXPECT_TRUE(t.erase(pfx("10.0.0.0", 8)));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 0, 0, 80)).value(), 0u);
+}
+
+TEST(RoutingTable, MissOnSiblingBranchDespiteDeepEntries) {
+  // A populated table must still miss when only sibling branches are
+  // installed — the walk passes through non-terminal interior nodes.
+  RoutingTable t;
+  t.insert(pfx("10.1.2.0", 24), 1);
+  t.insert(pfx("10.1.3.0", 24), 2);
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 1, 4, 1)).has_value());   // uncle
+  EXPECT_FALSE(t.lookup(Ipv4Address(10, 2, 2, 1)).has_value());   // higher
+  EXPECT_FALSE(t.lookup(Ipv4Address(192, 0, 2, 1)).has_value());  // far off
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 2, 1)).value(), 1u);
+}
+
+TEST(RoutingTable, DefaultRouteReplaceAndErase) {
+  RoutingTable t;
+  t.insert(pfx("0.0.0.0", 0), 1);
+  const auto prev = t.insert(pfx("0.0.0.0", 0), 2);  // replace, not add
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(Ipv4Address(203, 0, 113, 1)).value(), 2u);
+  const auto p = t.lookup_prefix(Ipv4Address(203, 0, 113, 1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 0);
+  EXPECT_TRUE(t.erase(pfx("0.0.0.0", 0)));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(Ipv4Address(203, 0, 113, 1)).has_value());
+}
+
+TEST(RoutingTable, AdjacentHostRoutesStayDistinct) {
+  // /32 twins differing in the last bit: the deepest possible fork.
+  RoutingTable t;
+  t.insert(pfx("192.0.2.6", 32), 6);
+  t.insert(pfx("192.0.2.7", 32), 7);
+  EXPECT_EQ(t.lookup(Ipv4Address(192, 0, 2, 6)).value(), 6u);
+  EXPECT_EQ(t.lookup(Ipv4Address(192, 0, 2, 7)).value(), 7u);
+  const auto p = t.lookup_prefix(Ipv4Address(192, 0, 2, 7));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "192.0.2.7/32");
+  EXPECT_TRUE(t.erase(pfx("192.0.2.7", 32)));
+  EXPECT_FALSE(t.lookup(Ipv4Address(192, 0, 2, 7)).has_value());
+  EXPECT_EQ(t.lookup(Ipv4Address(192, 0, 2, 6)).value(), 6u);
+}
+
+TEST(RoutingTable, NonCanonicalPrefixCanonicalizes) {
+  // Host bits below the mask are zeroed at construction, so insert, lookup
+  // and erase all agree on the canonical entry.
+  RoutingTable t;
+  t.insert(pfx("10.1.2.3", 16), 1);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 200, 200)).value(), 1u);
+  const auto p = t.lookup_prefix(Ipv4Address(10, 1, 0, 1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+  EXPECT_TRUE(t.erase(pfx("10.1.99.99", 16)));
+  EXPECT_TRUE(t.empty());
+}
+
 TEST(RoutingTable, EntriesRoundTrip) {
   RoutingTable t;
   t.insert(pfx("10.0.0.0", 8), 1);

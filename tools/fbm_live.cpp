@@ -4,7 +4,7 @@
 //   fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] [--timeout S]
 //            [--delta S] [--prefix24] [--eps P] [--k-sigma K] [--max-order M]
 //            [--consecutive N] [--follow] [--idle S] [--max-windows N]
-//            [--json]
+//            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N] [--json]
 //
 // Streams the trace through live::WindowedEstimator: per sliding window the
 // three model parameters, measured vs model rate, fitted shot, capacity
@@ -14,11 +14,20 @@
 // ALERT markers. --follow keeps polling the file for appended records
 // (tail -f; .fbmt/.pcap only), stopping after --idle seconds without new
 // data (default: forever). --max-windows stops after N reports either way.
+//
+// --link (repeatable) switches to the multi-link engine: the stream is
+// demuxed to one session per link (longest-prefix match for overlapping
+// claims; NAME=all or NAME=* for a match-all aggregate) and every window
+// report carries its link — a "link" name column, or a leading "link" JSONL
+// field (schema pinned by the engine-smoke CI job). --threads N spreads the
+// sessions over a worker pool.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "api/api.hpp"
 #include "live/live.hpp"
@@ -39,6 +48,8 @@ struct Options {
   bool follow = false;
   double idle = 0.0;  // 0 = wait forever
   std::uint64_t max_windows = 0;  // 0 = unlimited
+  std::vector<std::string> links;  // empty = single-link estimator
+  std::size_t threads = 1;
   bool json = false;
 };
 
@@ -48,7 +59,8 @@ struct Options {
       "usage: fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] "
       "[--timeout S] [--delta S] [--prefix24] [--eps P] [--k-sigma K] "
       "[--max-order M] [--consecutive N] [--follow] [--idle S] "
-      "[--max-windows N] [--json]\n");
+      "[--max-windows N] [--link NAME=PREFIX[,PREFIX...]] [--threads N] "
+      "[--json]\n");
   std::exit(2);
 }
 
@@ -84,6 +96,19 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--max-windows") {
       opt.max_windows =
           static_cast<std::uint64_t>(need_value("--max-windows"));
+    } else if (arg == "--link") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --link\n");
+        usage();
+      }
+      opt.links.emplace_back(argv[++i]);
+    } else if (arg == "--threads") {
+      const double v = need_value("--threads");
+      if (!(v >= 1.0) || v > 4096.0) {
+        std::fprintf(stderr, "--threads must be in [1, 4096]\n");
+        usage();
+      }
+      opt.threads = static_cast<std::size_t>(v);
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--follow") {
@@ -100,15 +125,22 @@ Options parse_args(int argc, char** argv) {
     }
   }
   if (opt.path.empty()) usage();
+  if (opt.threads > 1 && opt.links.empty()) {
+    std::fprintf(stderr,
+                 "--threads sizes the multi-link worker pool; give at least "
+                 "one --link\n");
+    usage();
+  }
   return opt;
 }
 
-void print_human(const fbm::live::WindowReport& r) {
+void print_human(const fbm::live::WindowReport& r, const char* link) {
   const char* mark = "";
   if (r.anomaly.alert) {
     mark = r.anomaly.kind == fbm::live::AlertKind::spike ? "  ALERT spike"
                                                          : "  ALERT drop";
   }
+  if (link != nullptr) std::printf("%-10s ", link);
   if (r.forecast.available) {
     std::printf(
         "%6zu %8.1f %8zu %9.1f | %8.2f in [%7.2f, %7.2f] %+6.1fs%s\n",
@@ -122,12 +154,8 @@ void print_human(const fbm::live::WindowReport& r) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+fbm::live::LiveConfig make_live_config(const Options& opt) {
   using namespace fbm;
-  const Options opt = parse_args(argc, argv);
-
   live::LiveConfig config;
   config.window_s = opt.window;
   config.stride_s = opt.stride;
@@ -140,59 +168,138 @@ int main(int argc, char** argv) {
       .timeout_s(opt.timeout)
       .delta_s(opt.delta)
       .epsilon(opt.eps);
+  return config;
+}
 
+/// Drains the source into `push`, with --follow/--idle polling; `done`
+/// flips when --max-windows is reached. `idle_tick` runs before each quiet
+/// sleep (the engine flushes its demux buffers there, so a stalled stream
+/// still delivers buffered windows).
+template <typename Push, typename IdleTick>
+void drain(fbm::api::TraceSource& source, const Options& opt,
+           const std::atomic<bool>& done, Push&& push, IdleTick&& idle_tick) {
+  const auto poll = std::chrono::milliseconds(50);
+  double idle_s = 0.0;
+  while (!done) {
+    if (auto p = source.next()) {
+      push(*p);
+      idle_s = 0.0;
+      continue;
+    }
+    if (!opt.follow) break;
+    if (opt.idle > 0.0 && idle_s >= opt.idle) break;
+    idle_tick();
+    std::this_thread::sleep_for(poll);
+    idle_s += 0.05;
+  }
+}
+
+int run_single(const Options& opt) {
+  using namespace fbm;
+  auto source = api::open_trace(opt.path, opt.follow);
+  live::WindowedEstimator estimator(make_live_config(opt));
+
+  std::atomic<bool> done{false};
+  estimator.set_window_sink([&](live::WindowReport&& r) {
+    // One push() can close many windows at once (a quiet gap in the
+    // stream); stop printing the moment the cap is reached, not just at
+    // the next outer-loop check.
+    if (done) return;
+    if (opt.json) {
+      std::printf("%s\n", live::to_jsonl(r).c_str());
+    } else {
+      print_human(r, nullptr);
+    }
+    std::fflush(stdout);
+    if (opt.max_windows > 0 &&
+        estimator.counters().windows >= opt.max_windows) {
+      done = true;
+    }
+  });
+
+  if (!opt.json) {
+    std::printf("%6s %8s %8s %9s | %s\n", "window", "t0", "flows",
+                "lambda", "measured Mbps vs forecast band");
+  }
+  drain(
+      *source, opt, done,
+      [&](const net::PacketRecord& p) { estimator.push(p); }, [] {});
+  if (!done) estimator.finish();
+
+  if (!opt.json) {
+    const auto& c = estimator.counters();
+    std::printf("\n%llu windows, %llu packets, %llu flows\n",
+                static_cast<unsigned long long>(c.windows),
+                static_cast<unsigned long long>(c.packets),
+                static_cast<unsigned long long>(c.flows));
+  }
+  return 0;
+}
+
+int run_engine(const Options& opt) {
+  using namespace fbm;
+  auto source = api::open_trace(opt.path, opt.follow);
+
+  engine::EngineConfig config;
+  config.mode = engine::EngineMode::live;
+  config.live = make_live_config(opt);
+  config.threads = opt.threads;
+
+  // The sink runs on pool workers under --threads, possibly until ~Engine
+  // joins them — so the state it captures is declared before the engine
+  // (destroyed after it). The drain loop polls `done` from the caller.
+  std::atomic<bool> done{false};
+  std::uint64_t windows = 0;
+
+  engine::Engine eng(config);
+  for (const auto& text : opt.links) {
+    (void)eng.attach(engine::parse_link_spec(text));
+  }
+  eng.set_report_sink([&](engine::LinkReport&& r) {
+    if (done) return;
+    if (opt.json) {
+      std::printf("%s\n", engine::to_jsonl(r).c_str());
+    } else {
+      print_human(*r.window, r.name.c_str());
+    }
+    std::fflush(stdout);
+    ++windows;
+    if (opt.max_windows > 0 && windows >= opt.max_windows) done = true;
+  });
+
+  if (!opt.json) {
+    std::printf("%-10s %6s %8s %8s %9s | %s\n", "link", "window", "t0",
+                "flows", "lambda", "measured Mbps vs forecast band");
+  }
+  drain(
+      *source, opt, done, [&](const net::PacketRecord& p) { eng.push(p); },
+      [&] { eng.flush(); });
+  // Unconditional: when --max-windows tripped, finish() joins the pool
+  // workers (the sink drops further reports via `done`) so the footer below
+  // reads the counters race-free.
+  eng.finish();
+
+  if (!opt.json) {
+    std::printf("\n%llu windows over %zu links, %llu packets\n",
+                static_cast<unsigned long long>(windows), opt.links.size(),
+                static_cast<unsigned long long>(eng.summary().packets));
+    for (const auto& link : eng.links()) {
+      std::printf("  %-10s %llu packets, %llu windows\n", link.name.c_str(),
+                  static_cast<unsigned long long>(link.counters.packets),
+                  static_cast<unsigned long long>(link.counters.reports));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
   try {
-    auto source = api::open_trace(opt.path, opt.follow);
-    live::WindowedEstimator estimator(config);
-
-    bool done = false;
-    estimator.set_window_sink([&](live::WindowReport&& r) {
-      // One push() can close many windows at once (a quiet gap in the
-      // stream); stop printing the moment the cap is reached, not just at
-      // the next outer-loop check.
-      if (done) return;
-      if (opt.json) {
-        std::printf("%s\n", live::to_jsonl(r).c_str());
-      } else {
-        print_human(r);
-      }
-      std::fflush(stdout);
-      if (opt.max_windows > 0 &&
-          estimator.counters().windows >= opt.max_windows) {
-        done = true;
-      }
-    });
-
-    if (!opt.json) {
-      std::printf("%6s %8s %8s %9s | %s\n", "window", "t0", "flows",
-                  "lambda", "measured Mbps vs forecast band");
-    }
-
-    const auto poll = std::chrono::milliseconds(50);
-    double idle_s = 0.0;
-    while (!done) {
-      if (auto p = source->next()) {
-        estimator.push(*p);
-        idle_s = 0.0;
-        continue;
-      }
-      if (!opt.follow) break;
-      if (opt.idle > 0.0 && idle_s >= opt.idle) break;
-      std::this_thread::sleep_for(poll);
-      idle_s += 0.05;
-    }
-    if (!done) estimator.finish();
-
-    if (!opt.json) {
-      const auto& c = estimator.counters();
-      std::printf("\n%llu windows, %llu packets, %llu flows\n",
-                  static_cast<unsigned long long>(c.windows),
-                  static_cast<unsigned long long>(c.packets),
-                  static_cast<unsigned long long>(c.flows));
-    }
+    return opt.links.empty() ? run_single(opt) : run_engine(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }
