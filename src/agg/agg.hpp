@@ -1,0 +1,23 @@
+// fbm::agg — distributed aggregation: serialize sufficient statistics,
+// merge across shards/processes/hosts, fit once.
+//
+//   fbm_analyze --emit-partial ──► part0.fbmp ─┐
+//   fbm_analyze --emit-partial ──► part1.fbmp ─┼─► fbm_aggregate ──► JSON
+//   fbm_analyze --emit-partial ──► part2.fbmp ─┘   (agg::Merger)
+//
+// Typical use:
+//
+//   fbm::agg::Merger merger;
+//   for (const auto& path : partial_paths) merger.add_file(path);
+//   fbm::agg::MergeResult merged = merger.finish();
+//   std::puts(merged.document.c_str());   // batch: one JSON document
+//
+// The contract (tests/agg/): splitting a trace by flow key across K
+// producers, emitting K partial files and merging them reproduces —
+// byte for byte — the JSON a single fbm_analyze/fbm_live run over the whole
+// trace prints. Corrupt, truncated or incompatible partials are rejected
+// with a one-line diagnostic, never silently merged.
+#pragma once
+
+#include "agg/merger.hpp"         // IWYU pragma: export
+#include "agg/partial_codec.hpp"  // IWYU pragma: export

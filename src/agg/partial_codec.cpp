@@ -1,0 +1,543 @@
+#include "agg/partial_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fbm::agg {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "partial format assumes a little-endian host");
+
+constexpr std::uint32_t kFrameMeta = 1;
+constexpr std::uint32_t kFrameWindow = 2;
+constexpr std::uint32_t kFrameEnd = 3;
+
+[[nodiscard]] std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- serializing ---
+
+struct Buffer {
+  std::vector<char> bytes;
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = bytes.size();
+    bytes.resize(at + sizeof(v));
+    std::memcpy(bytes.data() + at, &v, sizeof(v));
+  }
+  void put_string(const std::string& s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  }
+};
+
+void write_frame(std::ofstream& out, std::uint32_t type, const Buffer& body) {
+  const auto put = [&out](auto v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(type);
+  put(std::uint32_t{0});
+  put(static_cast<std::uint64_t>(body.bytes.size()));
+  out.write(body.bytes.data(),
+            static_cast<std::streamsize>(body.bytes.size()));
+  put(fnv1a64(body.bytes.data(), body.bytes.size()));
+}
+
+[[nodiscard]] Buffer encode_meta(const PartialMeta& m) {
+  Buffer b;
+  b.put(static_cast<std::uint32_t>(m.kind));
+  b.put(static_cast<std::uint32_t>(m.flow_def));
+  b.put(m.timeout_s);
+  b.put(m.interval_s);
+  b.put(m.delta_s);
+  b.put(m.eps);
+  b.put(m.min_flows);
+  b.put(m.fixed_b);
+  b.put(m.fallback_b);
+  b.put(m.window_s);
+  b.put(m.stride_s);
+  b.put(m.forecast_max_order);
+  b.put(m.forecast_history);
+  b.put(m.band_k_sigma);
+  b.put(m.alert_min_consecutive);
+  b.put(m.bin_k_sigma);
+  b.put(m.bin_min_consecutive);
+  b.put(static_cast<std::uint32_t>(m.engine ? 1 : 0));
+  b.put(static_cast<std::uint32_t>(m.links.size()));
+  for (const auto& link : m.links) {
+    b.put(link.id);
+    b.put_string(link.name);
+  }
+  return b;
+}
+
+[[nodiscard]] Buffer encode_window(std::uint32_t link_id,
+                                   const live::WindowPartial& w) {
+  Buffer b;
+  b.put(link_id);
+  b.put(std::uint32_t{0});
+  b.put(w.index);
+  b.put(w.packets);
+  b.put(w.bytes);
+  b.put(w.discards);
+  b.put(w.bins.grid_start());
+  b.put(w.bins.grid_end());
+  b.put(w.bins.grid_delta());
+  b.put(static_cast<std::uint64_t>(w.bins.dropped()));
+  b.put(w.bins.total_bytes());
+  const auto bins = w.bins.bin_bytes();
+  b.put(static_cast<std::uint64_t>(bins.size()));
+  for (const double v : bins) b.put(v);
+  b.put(static_cast<std::uint64_t>(w.flows.size()));
+  for (const auto& f : w.flows) {
+    b.put(f.start);
+    b.put(f.end);
+    b.put(f.size_bytes);
+    b.put(f.packets);
+    b.put(static_cast<std::uint64_t>(f.continued ? 1 : 0));
+  }
+  return b;
+}
+
+[[nodiscard]] Buffer encode_end(std::uint64_t windows,
+                                const PartialTotals& t) {
+  Buffer b;
+  b.put(windows);
+  b.put(t.summary.packets);
+  b.put(t.summary.total_bytes);
+  b.put(t.summary.first_ts);
+  b.put(t.summary.last_ts);
+  b.put(static_cast<std::uint32_t>(t.links.size()));
+  b.put(std::uint32_t{0});
+  for (const auto& link : t.links) {
+    b.put(link.id);
+    b.put(std::uint32_t{0});
+    b.put(link.packets);
+    b.put(link.bytes);
+  }
+  return b;
+}
+
+// --------------------------------------------------------------- deserializing
+
+/// Bounds-checked cursor over one verified frame payload. Every overrun is
+/// a corruption diagnostic, never UB.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t at = 0;
+  const std::string& where;  ///< "partial file <path>" prefix for errors
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size - at < sizeof(T)) {
+      throw std::runtime_error(where + ": malformed frame payload");
+    }
+    T v;
+    std::memcpy(&v, data + at, sizeof(v));
+    at += sizeof(v);
+    return v;
+  }
+  [[nodiscard]] std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    if (size - at < n) {
+      throw std::runtime_error(where + ": malformed frame payload");
+    }
+    std::string s(data + at, n);
+    at += n;
+    return s;
+  }
+  void expect_done() const {
+    if (at != size) {
+      throw std::runtime_error(where + ": malformed frame payload");
+    }
+  }
+};
+
+[[nodiscard]] PartialMeta decode_meta(Cursor& c) {
+  PartialMeta m;
+  const auto kind = c.get<std::uint32_t>();
+  if (kind != static_cast<std::uint32_t>(PartialKind::batch) &&
+      kind != static_cast<std::uint32_t>(PartialKind::live)) {
+    throw std::runtime_error(c.where + ": unknown partial kind");
+  }
+  m.kind = static_cast<PartialKind>(kind);
+  const auto def = c.get<std::uint32_t>();
+  if (def > 1) {
+    throw std::runtime_error(c.where + ": unknown flow definition");
+  }
+  m.flow_def = def == 0 ? api::FlowDefinition::five_tuple
+                        : api::FlowDefinition::prefix24;
+  m.timeout_s = c.get<double>();
+  m.interval_s = c.get<double>();
+  m.delta_s = c.get<double>();
+  m.eps = c.get<double>();
+  m.min_flows = c.get<std::uint64_t>();
+  m.fixed_b = c.get<double>();
+  m.fallback_b = c.get<double>();
+  m.window_s = c.get<double>();
+  m.stride_s = c.get<double>();
+  m.forecast_max_order = c.get<std::uint64_t>();
+  m.forecast_history = c.get<std::uint64_t>();
+  m.band_k_sigma = c.get<double>();
+  m.alert_min_consecutive = c.get<std::uint64_t>();
+  m.bin_k_sigma = c.get<double>();
+  m.bin_min_consecutive = c.get<std::uint64_t>();
+  m.engine = c.get<std::uint32_t>() != 0;
+  const auto nlinks = c.get<std::uint32_t>();
+  m.links.reserve(nlinks);
+  for (std::uint32_t i = 0; i < nlinks; ++i) {
+    LinkDecl link;
+    link.id = c.get<std::uint32_t>();
+    link.name = c.get_string();
+    m.links.push_back(std::move(link));
+  }
+  c.expect_done();
+  if (m.engine != !m.links.empty()) {
+    throw std::runtime_error(c.where + ": inconsistent link declarations");
+  }
+  return m;
+}
+
+[[nodiscard]] PartialWindow decode_window(Cursor& c) {
+  const auto link_id = c.get<std::uint32_t>();
+  (void)c.get<std::uint32_t>();  // reserved
+  const auto index = c.get<std::int64_t>();
+  const auto packets = c.get<std::uint64_t>();
+  const auto bytes = c.get<std::uint64_t>();
+  const auto discards = c.get<std::uint64_t>();
+  const double grid_start = c.get<double>();
+  const double grid_end = c.get<double>();
+  const double grid_delta = c.get<double>();
+  const auto dropped = c.get<std::uint64_t>();
+  const double total_bytes = c.get<double>();
+  const auto bin_count = c.get<std::uint64_t>();
+  if (bin_count > (c.size - c.at) / sizeof(double)) {
+    throw std::runtime_error(c.where + ": malformed frame payload");
+  }
+  std::vector<double> bins;
+  bins.reserve(bin_count);
+  for (std::uint64_t i = 0; i < bin_count; ++i) bins.push_back(c.get<double>());
+
+  stats::RateBinner binner = [&] {
+    try {
+      return stats::RateBinner(grid_start, grid_end, grid_delta,
+                               std::move(bins),
+                               static_cast<std::size_t>(dropped), total_bytes);
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error(c.where + ": window bins do not match grid");
+    }
+  }();
+
+  const auto flow_count = c.get<std::uint64_t>();
+  if (flow_count > (c.size - c.at) / 40) {  // 5 x 8 bytes per flow record
+    throw std::runtime_error(c.where + ": malformed frame payload");
+  }
+  std::vector<flow::FlowRecord> flows;
+  flows.reserve(flow_count);
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    flow::FlowRecord f;
+    f.start = c.get<double>();
+    f.end = c.get<double>();
+    f.size_bytes = c.get<std::uint64_t>();
+    f.packets = c.get<std::uint64_t>();
+    f.continued = c.get<std::uint64_t>() != 0;
+    flows.push_back(f);
+  }
+  c.expect_done();
+  return PartialWindow{
+      link_id, live::WindowPartial{index, packets, bytes, discards,
+                                   std::move(flows), std::move(binner)}};
+}
+
+[[nodiscard]] std::pair<std::uint64_t, PartialTotals> decode_end(Cursor& c) {
+  const auto windows = c.get<std::uint64_t>();
+  PartialTotals t;
+  t.summary.packets = c.get<std::uint64_t>();
+  t.summary.total_bytes = c.get<std::uint64_t>();
+  t.summary.first_ts = c.get<double>();
+  t.summary.last_ts = c.get<double>();
+  const auto nlinks = c.get<std::uint32_t>();
+  (void)c.get<std::uint32_t>();  // reserved
+  t.links.reserve(nlinks);
+  for (std::uint32_t i = 0; i < nlinks; ++i) {
+    LinkTotals link;
+    link.id = c.get<std::uint32_t>();
+    (void)c.get<std::uint32_t>();
+    link.packets = c.get<std::uint64_t>();
+    link.bytes = c.get<std::uint64_t>();
+    t.links.push_back(link);
+  }
+  c.expect_done();
+  return {windows, std::move(t)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ PartialMeta ---
+
+PartialMeta PartialMeta::from_batch(const api::AnalysisConfig& cfg) {
+  PartialMeta m;
+  m.kind = PartialKind::batch;
+  m.flow_def = cfg.flow_definition();
+  m.timeout_s = cfg.timeout_s();
+  m.interval_s = cfg.interval_s();
+  m.delta_s = cfg.delta_s();
+  m.eps = cfg.epsilon();
+  m.min_flows = cfg.min_flows();
+  m.fixed_b = cfg.has_fixed_shot_b() ? cfg.fixed_shot_b() : -1.0;
+  m.fallback_b = cfg.fallback_shot_b();
+  return m;
+}
+
+PartialMeta PartialMeta::from_live(const live::LiveConfig& cfg) {
+  PartialMeta m = from_batch(cfg.analysis);
+  m.kind = PartialKind::live;
+  m.interval_s = 0.0;  // the window is the analysis interval
+  m.window_s = cfg.window_s;
+  m.stride_s = cfg.stride_s;
+  m.forecast_max_order = cfg.forecast_max_order;
+  m.forecast_history = cfg.forecast_history;
+  m.band_k_sigma = cfg.band_k_sigma;
+  m.alert_min_consecutive = cfg.alert_min_consecutive;
+  m.bin_k_sigma = cfg.bin_k_sigma;
+  m.bin_min_consecutive = cfg.bin_min_consecutive;
+  return m;
+}
+
+api::AnalysisConfig PartialMeta::analysis_config() const {
+  api::AnalysisConfig cfg;
+  cfg.flow_definition(flow_def)
+      .timeout_s(timeout_s)
+      .delta_s(delta_s)
+      .epsilon(eps)
+      .min_flows(static_cast<std::size_t>(min_flows))
+      .fallback_shot_b(fallback_b)
+      .threads(1);
+  if (kind == PartialKind::batch) cfg.interval_s(interval_s);
+  if (fixed_b >= 0.0) cfg.fixed_shot_b(fixed_b);
+  return cfg;
+}
+
+live::LiveConfig PartialMeta::live_config() const {
+  live::LiveConfig cfg;
+  cfg.analysis = analysis_config();
+  cfg.window_s = window_s;
+  cfg.stride_s = stride_s;
+  cfg.forecast_max_order = static_cast<std::size_t>(forecast_max_order);
+  cfg.forecast_history = static_cast<std::size_t>(forecast_history);
+  cfg.band_k_sigma = band_k_sigma;
+  cfg.alert_min_consecutive = static_cast<std::size_t>(alert_min_consecutive);
+  cfg.bin_k_sigma = bin_k_sigma;
+  cfg.bin_min_consecutive = static_cast<std::size_t>(bin_min_consecutive);
+  return cfg;
+}
+
+void check_compatible(const PartialMeta& a, const PartialMeta& b) {
+  const auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("partial files disagree on ") +
+                             what + " and cannot be merged");
+  };
+  if (a.kind != b.kind) fail("kind (batch vs live)");
+  if (a.flow_def != b.flow_def) fail("flow definition");
+  if (a.timeout_s != b.timeout_s) fail("timeout");
+  if (a.interval_s != b.interval_s) fail("analysis interval");
+  if (a.delta_s != b.delta_s) fail("delta");
+  if (a.eps != b.eps) fail("epsilon");
+  if (a.min_flows != b.min_flows) fail("min-flows");
+  if (a.fixed_b != b.fixed_b) fail("fixed shot b");
+  if (a.fallback_b != b.fallback_b) fail("fallback shot b");
+  if (a.window_s != b.window_s) fail("window");
+  if (a.stride_s != b.stride_s) fail("stride");
+  if (a.forecast_max_order != b.forecast_max_order) fail("forecast order");
+  if (a.forecast_history != b.forecast_history) fail("forecast history");
+  if (a.band_k_sigma != b.band_k_sigma) fail("band k-sigma");
+  if (a.alert_min_consecutive != b.alert_min_consecutive) {
+    fail("alert consecutive-window threshold");
+  }
+  if (a.bin_k_sigma != b.bin_k_sigma) fail("bin k-sigma");
+  if (a.bin_min_consecutive != b.bin_min_consecutive) {
+    fail("bin consecutive threshold");
+  }
+  if (a.engine != b.engine) fail("engine mode");
+  if (a.links.size() != b.links.size()) fail("link set");
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    if (a.links[i].id != b.links[i].id ||
+        a.links[i].name != b.links[i].name) {
+      fail("link set");
+    }
+  }
+}
+
+// ----------------------------------------------------------- PartialWriter ---
+
+PartialWriter::PartialWriter(const std::filesystem::path& path,
+                             PartialMeta meta)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("PartialWriter: cannot open " + path.string());
+  }
+  const auto put = [this](auto v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(kPartialMagic);
+  put(kPartialVersion);
+  put(std::uint64_t{0});  // reserved
+  write_frame(out_, kFrameMeta, encode_meta(meta));
+}
+
+PartialWriter::~PartialWriter() = default;
+
+void PartialWriter::add(std::uint32_t link_id,
+                        const live::WindowPartial& window) {
+  if (finished_) {
+    throw std::logic_error("PartialWriter: add after finish");
+  }
+  write_frame(out_, kFrameWindow, encode_window(link_id, window));
+  ++windows_;
+}
+
+void PartialWriter::finish(const PartialTotals& totals) {
+  if (finished_) return;
+  finished_ = true;
+  write_frame(out_, kFrameEnd, encode_end(windows_, totals));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("PartialWriter: write failed for " +
+                             path_.string());
+  }
+  out_.close();
+}
+
+// ------------------------------------------------------- read_partial_file ---
+
+PartialFile read_partial_file(const std::filesystem::path& path) {
+  const std::string where = "partial file " + path.string();
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error(where + ": cannot open");
+  }
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  std::uint64_t remaining = file_size;
+
+  const auto read_raw = [&](void* dst, std::size_t n, const char* what) {
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n) {
+      throw std::runtime_error(where + ": truncated " + what);
+    }
+    remaining -= n;
+  };
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t reserved = 0;
+  if (file_size < 16) throw std::runtime_error(where + ": truncated header");
+  read_raw(&magic, sizeof(magic), "header");
+  read_raw(&version, sizeof(version), "header");
+  read_raw(&reserved, sizeof(reserved), "header");
+  if (magic != kPartialMagic) {
+    throw std::runtime_error(where + ": not a partial report (bad magic)");
+  }
+  if (version != kPartialVersion) {
+    throw std::runtime_error(
+        where + ": unsupported version " + std::to_string(version) +
+        " (written by a newer fbm?)");
+  }
+
+  PartialFile file;
+  bool have_meta = false;
+  bool have_end = false;
+  std::uint64_t declared_windows = 0;
+  std::vector<char> payload;
+
+  while (!have_end) {
+    if (remaining == 0) {
+      throw std::runtime_error(where +
+                               ": truncated (missing end frame)");
+    }
+    std::uint32_t type = 0;
+    std::uint32_t frame_reserved = 0;
+    std::uint64_t len = 0;
+    if (remaining < 16) {
+      throw std::runtime_error(where + ": truncated frame header");
+    }
+    read_raw(&type, sizeof(type), "frame header");
+    read_raw(&frame_reserved, sizeof(frame_reserved), "frame header");
+    read_raw(&len, sizeof(len), "frame header");
+    if (len + 8 > remaining) {  // payload + checksum must fit in the file
+      throw std::runtime_error(where + ": truncated frame payload");
+    }
+    payload.resize(static_cast<std::size_t>(len));
+    if (len > 0) read_raw(payload.data(), payload.size(), "frame payload");
+    std::uint64_t checksum = 0;
+    read_raw(&checksum, sizeof(checksum), "frame checksum");
+    if (checksum != fnv1a64(payload.data(), payload.size())) {
+      throw std::runtime_error(where + ": checksum mismatch (corrupt frame)");
+    }
+
+    Cursor c{payload.data(), payload.size(), 0, where};
+    if (!have_meta) {
+      if (type != kFrameMeta) {
+        throw std::runtime_error(where + ": first frame is not a meta frame");
+      }
+      file.meta = decode_meta(c);
+      have_meta = true;
+      continue;
+    }
+    switch (type) {
+      case kFrameMeta:
+        throw std::runtime_error(where + ": duplicate meta frame");
+      case kFrameWindow:
+        file.windows.push_back(decode_window(c));
+        break;
+      case kFrameEnd: {
+        auto [windows, totals] = decode_end(c);
+        declared_windows = windows;
+        file.totals = std::move(totals);
+        have_end = true;
+        break;
+      }
+      default:
+        throw std::runtime_error(where + ": unknown frame type " +
+                                 std::to_string(type));
+    }
+  }
+  if (remaining != 0) {
+    throw std::runtime_error(where + ": trailing data after end frame");
+  }
+  if (declared_windows != file.windows.size()) {
+    throw std::runtime_error(
+        where + ": window count mismatch (end frame says " +
+        std::to_string(declared_windows) + ", file holds " +
+        std::to_string(file.windows.size()) + ")");
+  }
+  for (const auto& w : file.windows) {
+    const bool known =
+        !file.meta.engine
+            ? w.link_id == 0
+            : std::any_of(file.meta.links.begin(), file.meta.links.end(),
+                          [&](const LinkDecl& l) { return l.id == w.link_id; });
+    if (!known) {
+      throw std::runtime_error(where + ": window frame for undeclared link");
+    }
+  }
+  return file;
+}
+
+}  // namespace fbm::agg

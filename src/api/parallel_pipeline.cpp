@@ -122,6 +122,9 @@ struct ParallelAnalysisPipeline::Worker {
 
 ParallelAnalysisPipeline::ParallelAnalysisPipeline(AnalysisConfig config)
     : config_(config) {
+  // threads == 0 means "use every core" — resolve before the shard count,
+  // the per-shard reserve split and the worker spawn all read it.
+  config_.threads(resolve_threads(config_.threads()));
   validate_config(config_);
   const std::size_t n = config_.threads();
   workers_.reserve(n);
@@ -257,6 +260,14 @@ void ParallelAnalysisPipeline::merge_front() {
                  std::make_move_iterator(parts[i].flows.begin()),
                  std::make_move_iterator(parts[i].flows.end()));
     bins.merge(parts[i].bins);
+  }
+
+  if (partial_sink_) {
+    // Distributed mode: the worker-merged raw material leaves for
+    // agg::Merger, which fits once after the final (cross-process) fold.
+    partial_sink_({next_merge_, std::move(flows), std::move(bins)});
+    ++next_merge_;
+    return;
   }
 
   AnalysisReport report = finalize_interval(config_, next_merge_,

@@ -73,6 +73,15 @@ class ParallelAnalysisPipeline {
   /// first push.
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
+  /// Diverts merged intervals to `sink` as raw pre-fit material (see
+  /// api/pipeline.hpp PartialSink). The in-process shard merge still runs —
+  /// one ShardInterval per interval leaves, already folded across this
+  /// process's workers — but fitting defers to agg::Merger. Set before the
+  /// first push; runs on the caller's thread.
+  void set_partial_sink(PartialSink sink) {
+    partial_sink_ = std::move(sink);
+  }
+
   /// Running totals over everything pushed so far (caller-side, exact).
   [[nodiscard]] const trace::TraceSummary& summary() const { return summary_; }
   /// Classifier counters summed over shards. Counts packets the workers
@@ -101,6 +110,7 @@ class ParallelAnalysisPipeline {
   std::vector<std::vector<net::PacketRecord>> pending_;
   std::deque<AnalysisReport> ready_;
   ReportSink sink_;
+  PartialSink partial_sink_;
   trace::TraceSummary summary_;
   double last_ts_ = -std::numeric_limits<double>::infinity();
   double next_sweep_ = 0.0;

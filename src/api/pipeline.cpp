@@ -66,6 +66,12 @@ void AnalysisPipeline::sweep(double now) {
 
 void AnalysisPipeline::absorb(std::vector<ShardInterval>&& closed) {
   for (auto& iv : closed) {
+    if (partial_sink_) {
+      // Distributed mode: the raw material leaves for agg::Merger, which
+      // fits once after the final fold. Nothing is fitted here.
+      partial_sink_(std::move(iv));
+      continue;
+    }
     AnalysisReport report = finalize_interval(config_, iv.index,
                                               std::move(iv.flows),
                                               std::move(iv.bins));
@@ -125,7 +131,9 @@ std::size_t AnalysisPipeline::open_intervals() const {
 
 std::vector<AnalysisReport> analyze(TraceSource& source,
                                     const AnalysisConfig& config) {
-  if (config.threads() > 1) {
+  // threads != 1 includes 0 ("auto"): both go through the sharded pipeline,
+  // which resolves 0 to the core count. Results are identical either way.
+  if (config.threads() != 1) {
     ParallelAnalysisPipeline pipeline(config);
     pipeline.consume(source);
     return pipeline.take_reports();
@@ -137,7 +145,7 @@ std::vector<AnalysisReport> analyze(TraceSource& source,
 
 std::vector<AnalysisReport> analyze(std::span<const net::PacketRecord> packets,
                                     const AnalysisConfig& config) {
-  if (config.threads() > 1) {
+  if (config.threads() != 1) {
     ParallelAnalysisPipeline pipeline(config);
     for (const auto& p : packets) pipeline.push(p);
     pipeline.finish();

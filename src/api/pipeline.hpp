@@ -60,8 +60,9 @@ class AnalysisConfig {
   /// How often (in trace time) idle flows are expired and intervals closed.
   AnalysisConfig& expire_every_s(double v) { expire_every_s_ = v; return *this; }
   /// Worker shards for the parallel pipeline; 1 (the default) selects the
-  /// serial AnalysisPipeline in analyze(). Output is bit-for-bit identical
-  /// at every value.
+  /// serial AnalysisPipeline in analyze(); 0 auto-detects the machine's
+  /// core count (std::thread::hardware_concurrency). Output is bit-for-bit
+  /// identical at every value.
   AnalysisConfig& threads(std::size_t v) { threads_ = v; return *this; }
   /// Packets handed to a worker shard per enqueue (parallel path only;
   /// purely a throughput knob — results do not depend on it).
@@ -110,6 +111,16 @@ class AnalysisConfig {
 class PipelineShard;    // api/shard.hpp
 struct ShardInterval;   // api/shard.hpp
 
+/// Pre-fit flush hook for distributed aggregation: when set, every closed
+/// analysis interval is handed over as raw sufficient statistics (flows in
+/// any order + exact integral byte bins, see api/shard.hpp) instead of
+/// being fitted locally — agg::Merger runs api::fit_window exactly once
+/// after the final fold, so K processes x M hosts reproduce a
+/// single-machine run bit for bit. min_flows filtering defers with the
+/// fit. Mutually exclusive with ReportSink-queued reports: while a partial
+/// sink is set, no AnalysisReports are produced at all.
+using PartialSink = std::function<void(ShardInterval&&)>;
+
 /// Per-window flush hook: invoked exactly once per closed analysis interval,
 /// in interval order, as soon as the interval is finalized (min_flows
 /// filtering already applied). Serial and sharded pipelines share the same
@@ -146,6 +157,13 @@ class AnalysisPipeline {
   /// the first push.
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
+  /// Diverts closed intervals to `sink` as raw pre-fit material (see
+  /// PartialSink): no fitting, no min_flows filtering, no reports. Set
+  /// before the first push.
+  void set_partial_sink(PartialSink sink) {
+    partial_sink_ = std::move(sink);
+  }
+
   /// Running totals over everything pushed so far.
   [[nodiscard]] const trace::TraceSummary& summary() const { return summary_; }
   [[nodiscard]] const flow::ClassifierCounters& counters() const;
@@ -168,6 +186,7 @@ class AnalysisPipeline {
   std::unique_ptr<PipelineShard> shard_;
   std::deque<AnalysisReport> ready_;
   ReportSink sink_;
+  PartialSink partial_sink_;
   trace::TraceSummary summary_;
   double next_sweep_ = 0.0;
   std::int64_t next_close_ = 0;  ///< lowest interval index not yet closed

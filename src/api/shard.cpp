@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/fitting.hpp"
@@ -54,11 +55,13 @@ std::unique_ptr<FlowClassifierHandle> make_flow_classifier(
   // Reserve ahead, split across shards: each worker only ever owns the flow
   // keys that hash to it, so the per-classifier share shrinks with the
   // thread count (floor of 64 keeps tiny configs from degenerate tables).
+  // threads() is already resolved by the parallel pipeline; the max guards
+  // a serial pipeline handed a still-unresolved "auto" (0) config.
+  const std::size_t shards = std::max<std::size_t>(1, config.threads());
   options.reserve_flows =
       config.reserve_flows() == 0
           ? 0
-          : std::max<std::size_t>(64, config.reserve_flows() /
-                                          config.threads());
+          : std::max<std::size_t>(64, config.reserve_flows() / shards);
   return make_flow_classifier(config.flow_definition(), options);
 }
 
@@ -89,12 +92,16 @@ void validate_config(const AnalysisConfig& config) {
   if (!(config.expire_every_s() > 0.0)) {
     throw std::invalid_argument("AnalysisPipeline: expire cadence <= 0");
   }
-  if (config.threads() == 0) {
-    throw std::invalid_argument("AnalysisPipeline: threads == 0");
-  }
+  // threads == 0 is valid: "auto-detect", resolved by resolve_threads().
   if (config.batch_packets() == 0) {
     throw std::invalid_argument("AnalysisPipeline: batch_packets == 0");
   }
+}
+
+std::size_t resolve_threads(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
 std::size_t flow_shard_of(const net::PacketRecord& packet, FlowDefinition def,

@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -59,6 +60,11 @@ class FlowClassifierHandle {
 /// by the serial and parallel constructors, so both reject identically).
 void validate_config(const AnalysisConfig& config);
 
+/// AnalysisConfig::threads() == 0 means "use every core": resolves to
+/// std::thread::hardware_concurrency() (floor 1 when the runtime cannot
+/// tell). Any explicit value passes through unchanged.
+[[nodiscard]] std::size_t resolve_threads(std::size_t configured);
+
 /// Analysis-interval index of a timestamp — the single definition both
 /// pipelines use, so a flow lands in the same interval everywhere.
 [[nodiscard]] inline std::int64_t interval_index_of(double ts,
@@ -81,6 +87,14 @@ struct ShardInterval {
   std::vector<flow::FlowRecord> flows;
   stats::RateBinner bins;
 };
+
+// PartialSink (api/pipeline.hpp) hands ShardIntervals to fbm::agg: when set
+// on a pipeline, every closed analysis interval leaves as this raw
+// sufficient-statistics form — completed flow records (any order) plus exact
+// integral byte bins — INSTEAD of being fitted locally. Fitting (and
+// min_flows filtering) then happens exactly once, after agg::Merger folds
+// the partials of every producer, which is what keeps the distributed
+// result bit-for-bit equal to a single-machine run.
 
 /// Single-threaded per-shard pipeline state. Not thread-safe: exactly one
 /// thread drives it (ParallelAnalysisPipeline guards each instance with its

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "api/shard.hpp"
+
 namespace fbm::engine {
 
 namespace {
@@ -110,9 +112,8 @@ struct Engine::Worker {
 };
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
-  if (config_.threads == 0) {
-    throw std::invalid_argument("Engine: threads == 0");
-  }
+  // threads == 0 means "use every core", exactly as in api::AnalysisConfig.
+  config_.threads = api::resolve_threads(config_.threads);
   if (config_.batch_packets == 0) {
     throw std::invalid_argument("Engine: batch_packets == 0");
   }
@@ -166,24 +167,38 @@ LinkId Engine::attach(LinkSpec spec) {
     if (spec.tune_analysis) spec.tune_analysis(cfg);
     cfg.threads(1);  // the engine pool is the only threading
     session->batch = std::make_unique<api::AnalysisPipeline>(cfg);
-    session->batch->set_report_sink([this, raw](api::AnalysisReport&& r) {
-      LinkReport report;
-      report.link = raw->id;
-      report.name = raw->name;
-      report.interval = std::move(r);
-      emit(*raw, std::move(report));
-    });
+    if (partial_sink_) {
+      session->batch->set_partial_sink([this, raw](api::ShardInterval&& iv) {
+        emit_partial(*raw, live::WindowPartial{iv.index, 0, 0, 0,
+                                               std::move(iv.flows),
+                                               std::move(iv.bins)});
+      });
+    } else {
+      session->batch->set_report_sink([this, raw](api::AnalysisReport&& r) {
+        LinkReport report;
+        report.link = raw->id;
+        report.name = raw->name;
+        report.interval = std::move(r);
+        emit(*raw, std::move(report));
+      });
+    }
   } else {
     live::LiveConfig cfg = config_.live;
     if (spec.tune_live) spec.tune_live(cfg);
     session->live = std::make_unique<live::WindowedEstimator>(cfg);
-    session->live->set_window_sink([this, raw](live::WindowReport&& r) {
-      LinkReport report;
-      report.link = raw->id;
-      report.name = raw->name;
-      report.window = std::move(r);
-      emit(*raw, std::move(report));
-    });
+    if (partial_sink_) {
+      session->live->set_partial_sink([this, raw](live::WindowPartial&& p) {
+        emit_partial(*raw, std::move(p));
+      });
+    } else {
+      session->live->set_window_sink([this, raw](live::WindowReport&& r) {
+        LinkReport report;
+        report.link = raw->id;
+        report.name = raw->name;
+        report.window = std::move(r);
+        emit(*raw, std::move(report));
+      });
+    }
   }
 
   // Index the match rule. Prefix links share one routing table, so inserts
@@ -376,6 +391,12 @@ void Engine::emit(Session& s, LinkReport&& report) {
   } else {
     ready_.push_back(std::move(report));
   }
+}
+
+void Engine::emit_partial(Session& s, live::WindowPartial&& partial) {
+  std::lock_guard lock(emit_mu_);  // pool workers flush concurrently
+  ++s.counters.reports;
+  partial_sink_(s.id, s.name, std::move(partial));
 }
 
 LinkReport Engine::pop_report() {

@@ -63,7 +63,10 @@ struct EngineConfig {
   /// Base configuration for live sessions (mode == live).
   live::LiveConfig live;
 
-  /// Worker pool size. 1 = no threads, sessions run inline on the caller.
+  /// Worker pool size. 1 = no threads, sessions run inline on the caller;
+  /// 0 auto-detects the machine's core count
+  /// (std::thread::hardware_concurrency). Per-link output is identical at
+  /// every value.
   std::size_t threads = 1;
   /// Packets handed to a worker per enqueue (pool only; a throughput knob —
   /// per-link results do not depend on it).
@@ -88,6 +91,17 @@ struct LinkReport {
 /// engine.
 using ReportSink = std::function<void(LinkReport&&)>;
 
+/// Pre-fit flush hook for distributed aggregation: every closed analysis
+/// interval (batch mode) or sliding window (live mode) of every link leaves
+/// as raw sufficient statistics tagged with its link, instead of being
+/// fitted locally — agg::Merger folds partials across processes/hosts by
+/// link name and window index and fits once. Batch intervals ride the same
+/// live::WindowPartial carrier with zero packet/byte/discard counters (the
+/// batch report schema never shows them). Same threading contract as
+/// ReportSink.
+using PartialSink =
+    std::function<void(LinkId, const std::string&, live::WindowPartial&&)>;
+
 struct LinkCounters {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
@@ -103,8 +117,8 @@ struct LinkInfo {
 
 class Engine {
  public:
-  /// Throws std::invalid_argument on bad engine knobs (threads == 0,
-  /// batch_packets == 0, flush cadence <= 0). Per-link analysis parameters
+  /// Throws std::invalid_argument on bad engine knobs (batch_packets == 0,
+  /// flush cadence <= 0). Per-link analysis parameters
   /// are validated at attach(), where the layered config is known.
   explicit Engine(EngineConfig config);
   ~Engine();
@@ -126,6 +140,16 @@ class Engine {
 
   /// Set before the first push. See ReportSink for the threading contract.
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  /// Diverts every session's closed intervals/windows to `sink` as raw
+  /// pre-fit material (see PartialSink). Must be set before the first
+  /// attach(): sessions wire their flush path when they are created.
+  void set_partial_sink(PartialSink sink) {
+    if (!sessions_.empty()) {
+      throw std::logic_error("Engine: set_partial_sink after attach");
+    }
+    partial_sink_ = std::move(sink);
+  }
 
   /// Feed the next packet; timestamps must be non-decreasing (throws
   /// std::invalid_argument otherwise).
@@ -174,10 +198,12 @@ class Engine {
   void flush_session(Session& s);
   void flush_all_pending(double now);
   void emit(Session& s, LinkReport&& report);
+  void emit_partial(Session& s, live::WindowPartial&& partial);
   void rethrow_worker_error();
 
   EngineConfig config_;
   ReportSink sink_;
+  PartialSink partial_sink_;
 
   std::vector<std::unique_ptr<Session>> sessions_;  ///< attach order
   /// Attached sessions only, attach order — the per-packet routing scan.

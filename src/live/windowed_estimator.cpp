@@ -9,6 +9,52 @@
 
 namespace fbm::live {
 
+WindowReport fit_window_report(const LiveConfig& config, WindowPartial&& raw,
+                               RollingForecaster& forecaster,
+                               AnomalyMonitor& monitor) {
+  WindowReport report;
+  report.window_index = static_cast<std::size_t>(raw.index);
+  report.start_s = static_cast<double>(raw.index) * config.stride();
+  report.width_s = config.window_s;
+  report.stride_s = config.stride();
+  report.packets = raw.packets;
+  report.bytes = raw.bytes;
+  report.discards = raw.discards;
+
+  // The exact same fit the serial pipeline and the sharded merge run when
+  // they close an analysis interval.
+  api::WindowFit fit =
+      api::fit_window(config.analysis, report.start_s, config.window_s,
+                      std::move(raw.flows), raw.bins);
+  report.inputs = fit.inputs;
+  report.measured = fit.measured;
+  report.shot_b = fit.shot_b;
+  report.shot_b_used = fit.shot_b_used;
+  report.model_cov = fit.model_cov;
+  report.plan = fit.plan;
+
+  // Streaming flow-population moments over the sorted flows (single pass).
+  stats::RunningStats size_bits;
+  stats::RunningStats duration_s;
+  stats::RunningStats rate_bps;
+  for (const auto& f : fit.interval.flows) {
+    size_bits.add(f.size_bits());
+    duration_s.add(f.duration());
+    rate_bps.add(f.mean_rate_bps());
+  }
+  report.flow_moments.mean_duration_s = duration_s.mean();
+  report.flow_moments.stddev_size_bits = size_bits.population_stddev();
+  report.flow_moments.stddev_duration_s = duration_s.population_stddev();
+  report.flow_moments.mean_rate_bps = rate_bps.mean();
+
+  // Forecast made from windows < k, then judge this window against it, then
+  // fold this window's rate into the history for the next one.
+  if (auto f = forecaster.forecast()) report.forecast = *f;
+  monitor.evaluate(report, fit.series);
+  forecaster.observe(report.measured.mean_bps);
+  return report;
+}
+
 WindowedEstimator::WindowedEstimator(LiveConfig config)
     : config_(std::move(config)),
       forecaster_(config_.forecast_max_order, config_.forecast_history,
@@ -161,61 +207,38 @@ void WindowedEstimator::close_through(double now) {
 }
 
 void WindowedEstimator::finalize_window(std::int64_t k, WindowState* state) {
-  WindowReport report;
-  report.window_index = static_cast<std::size_t>(k);
-  report.start_s = window_start(k);
-  report.width_s = config_.window_s;
-  report.stride_s = stride_;
-
-  // The exact same fit the serial pipeline and the sharded merge run when
-  // they close an analysis interval. Untouched windows build their (zero)
-  // bins here; touched windows hand over what they accumulated.
-  api::WindowFit fit = [&] {
-    if (state != nullptr) {
-      state->classifier->flush();
-      drain(*state);
-      report.packets = state->packets;
-      report.bytes = state->bytes;
-      report.discards = state->discards;
-      return api::fit_window(config_.analysis, report.start_s,
-                             config_.window_s, std::move(state->flows),
-                             state->bins);
-    }
-    return api::fit_window(config_.analysis, report.start_s,
-                           config_.window_s, {},
-                           stats::RateBinner(report.start_s, window_end(k),
-                                             config_.analysis.delta_s()));
-  }();
-  report.inputs = fit.inputs;
-  report.measured = fit.measured;
-  report.shot_b = fit.shot_b;
-  report.shot_b_used = fit.shot_b_used;
-  report.model_cov = fit.model_cov;
-  report.plan = fit.plan;
-
-  // Streaming flow-population moments over the sorted flows (single pass).
-  stats::RunningStats size_bits;
-  stats::RunningStats duration_s;
-  stats::RunningStats rate_bps;
-  for (const auto& f : fit.interval.flows) {
-    size_bits.add(f.size_bits());
-    duration_s.add(f.duration());
-    rate_bps.add(f.mean_rate_bps());
+  // Flush/drain the window into its raw material. Untouched windows build
+  // their (zero) bins here; touched windows hand over what they accumulated.
+  WindowPartial raw{k,
+                    0,
+                    0,
+                    0,
+                    {},
+                    stats::RateBinner(window_start(k), window_end(k),
+                                      config_.analysis.delta_s())};
+  if (state != nullptr) {
+    state->classifier->flush();
+    drain(*state);
+    raw.packets = state->packets;
+    raw.bytes = state->bytes;
+    raw.discards = state->discards;
+    raw.flows = std::move(state->flows);
+    raw.bins = std::move(state->bins);
   }
-  report.flow_moments.mean_duration_s = duration_s.mean();
-  report.flow_moments.stddev_size_bits = size_bits.population_stddev();
-  report.flow_moments.stddev_duration_s = duration_s.population_stddev();
-  report.flow_moments.mean_rate_bps = rate_bps.mean();
-
-  // Forecast made from windows < k, then judge this window against it, then
-  // fold this window's rate into the history for the next one.
-  if (auto f = forecaster_.forecast()) report.forecast = *f;
-  monitor_.evaluate(report, fit.series);
-  forecaster_.observe(report.measured.mean_bps);
 
   ++counters_.windows;
-  counters_.flows += report.inputs.flows;
-  emit(std::move(report));
+  counters_.flows += raw.flows.size();
+
+  if (partial_sink_) {
+    // Distributed mode: the raw material leaves for agg::Merger, which
+    // fits/forecasts/judges once after the final fold. The local forecaster
+    // and monitor never advance (they only ever saw this producer's key
+    // slice, which would poison the merged history).
+    partial_sink_(std::move(raw));
+    return;
+  }
+
+  emit(fit_window_report(config_, std::move(raw), forecaster_, monitor_));
 }
 
 void WindowedEstimator::emit(WindowReport&& report) {

@@ -46,6 +46,40 @@ struct LiveCounters {
   std::uint64_t flows = 0;    ///< completed flow records across windows
 };
 
+/// One closed window's raw pre-fit material: exactly what fit_window_report
+/// consumes, and what the agg::PartialReport codec ships across processes.
+/// Flows may be in any order (fitting re-sorts with flow::ByStart); the bins
+/// hold exact integral byte counts over the window's Delta grid, so folding
+/// the partials of key-disjoint producers and fitting once reproduces a
+/// single-machine run bit for bit.
+struct WindowPartial {
+  std::int64_t index = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t discards = 0;
+  std::vector<flow::FlowRecord> flows;
+  stats::RateBinner bins;
+};
+
+/// Pre-fit flush hook for distributed aggregation: when set on a
+/// WindowedEstimator, closed windows leave as WindowPartials instead of
+/// being fitted — no forecast or anomaly state advances locally; the merger
+/// replays fit_window_report over the folded windows in order.
+using WindowPartialSink = std::function<void(WindowPartial&&)>;
+
+/// Turns one window's merged raw material into the finished WindowReport:
+/// api::fit_window (the same function the serial pipeline and the sharded
+/// merge close intervals through), the streaming flow-population moments,
+/// then forecast/judge/observe against the rolling state. The single
+/// implementation WindowedEstimator and agg::Merger share, so live
+/// monitoring and distributed aggregation agree bit for bit by
+/// construction. Windows must be finalized in index order (the forecaster
+/// and monitor are stateful).
+[[nodiscard]] WindowReport fit_window_report(const LiveConfig& config,
+                                             WindowPartial&& raw,
+                                             RollingForecaster& forecaster,
+                                             AnomalyMonitor& monitor);
+
 class WindowedEstimator {
  public:
   /// Throws std::invalid_argument on bad configuration (LiveConfig rules).
@@ -69,6 +103,14 @@ class WindowedEstimator {
   /// first push.
   using WindowSink = std::function<void(WindowReport&&)>;
   void set_window_sink(WindowSink sink) { sink_ = std::move(sink); }
+
+  /// Diverts closed windows to `sink` as raw pre-fit material (see
+  /// WindowPartialSink): no fitting, no forecast, no anomaly judgement —
+  /// those run once, downstream, after the merge. Set before the first
+  /// push.
+  void set_partial_sink(WindowPartialSink sink) {
+    partial_sink_ = std::move(sink);
+  }
 
   [[nodiscard]] bool has_report() const { return !ready_.empty(); }
   [[nodiscard]] WindowReport pop_report();
@@ -130,6 +172,7 @@ class WindowedEstimator {
 
   std::deque<WindowReport> ready_;
   WindowSink sink_;
+  WindowPartialSink partial_sink_;
   LiveCounters counters_;
   double last_ts_ = -std::numeric_limits<double>::infinity();
   double next_expire_ = 0.0;

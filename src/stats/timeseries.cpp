@@ -44,6 +44,18 @@ RateBinner::RateBinner(double start, double end, double delta)
   bytes_.assign(bins == 0 ? 1 : bins, 0.0);
 }
 
+RateBinner::RateBinner(double start, double end, double delta,
+                       std::vector<double> bytes, std::size_t dropped,
+                       double total_bytes)
+    : RateBinner(start, end, delta) {
+  if (bytes.size() != bytes_.size()) {
+    throw std::invalid_argument("RateBinner: raw bins do not match the grid");
+  }
+  bytes_ = std::move(bytes);
+  dropped_ = dropped;
+  total_bytes_ = total_bytes;
+}
+
 void RateBinner::add(double timestamp, double bytes) {
   if (timestamp < start_ || timestamp >= end_) {
     ++dropped_;

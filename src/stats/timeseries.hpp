@@ -46,6 +46,15 @@ class RateBinner {
   /// Throws std::invalid_argument unless end > start and delta > 0.
   RateBinner(double start, double end, double delta);
 
+  /// Rebuilds a binner from its raw state (the agg::PartialReport codec
+  /// ships bins across processes as exact byte counts, never as derived
+  /// bits/s — a bins/dropped/total triple read back through this constructor
+  /// is indistinguishable from the binner that was serialized). Throws
+  /// std::invalid_argument when `bytes` does not match the grid size.
+  RateBinner(double start, double end, double delta,
+             std::vector<double> bytes, std::size_t dropped,
+             double total_bytes);
+
   /// Adds `bytes` at `timestamp`; events outside [start, end) are counted in
   /// `dropped()` and otherwise ignored.
   void add(double timestamp, double bytes);
@@ -60,6 +69,12 @@ class RateBinner {
   [[nodiscard]] RateSeries series() const;
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
   [[nodiscard]] double total_bytes() const { return total_bytes_; }
+
+  /// Raw grid and per-bin byte sums, for serialization.
+  [[nodiscard]] double grid_start() const { return start_; }
+  [[nodiscard]] double grid_end() const { return end_; }
+  [[nodiscard]] double grid_delta() const { return delta_; }
+  [[nodiscard]] std::span<const double> bin_bytes() const { return bytes_; }
 
  private:
   double start_;

@@ -108,22 +108,28 @@ void export_pcap(const std::filesystem::path& path,
 
 PcapReader::PcapReader(const std::filesystem::path& path, double epoch,
                        bool follow)
-    : in_(path, std::ios::binary), epoch_(epoch), follow_(follow) {
+    : in_(path, std::ios::binary), path_(path), epoch_(epoch),
+      follow_(follow) {
   if (!in_) {
     throw std::runtime_error("import_pcap: cannot open " + path.string());
   }
   std::array<unsigned char, 24> header;
   in_.read(reinterpret_cast<char*>(header.data()), header.size());
-  if (!in_) throw std::runtime_error("import_pcap: truncated global header");
+  if (!in_) {
+    throw std::runtime_error("import_pcap: truncated global header in " +
+                             path.string());
+  }
   std::uint32_t magic;
   std::memcpy(&magic, header.data(), 4);
   if (magic != kPcapMagic) {
-    throw std::runtime_error("import_pcap: unsupported pcap magic");
+    throw std::runtime_error("import_pcap: unsupported pcap magic in " +
+                             path.string());
   }
   std::uint32_t linktype;
   std::memcpy(&linktype, header.data() + 20, 4);
   if (linktype != kLinktypeEthernet) {
-    throw std::runtime_error("import_pcap: only Ethernet linktype supported");
+    throw std::runtime_error(
+        "import_pcap: only Ethernet linktype supported in " + path.string());
   }
 }
 
@@ -135,7 +141,8 @@ std::optional<net::PacketRecord> PcapReader::next() {
     in_.read(reinterpret_cast<char*>(rec_header.data()), rec_header.size());
     if (static_cast<std::size_t>(in_.gcount()) != rec_header.size()) {
       if (in_.gcount() != 0 && !follow_) {
-        throw std::runtime_error("import_pcap: truncated record");
+        throw std::runtime_error("import_pcap: truncated record in " +
+                                 path_.string());
       }
       // End of file — or, when following, a record header still being
       // written: rewind so the next call retries from the record start.
@@ -152,12 +159,16 @@ std::optional<net::PacketRecord> PcapReader::next() {
     std::memcpy(&incl, rec_header.data() + 8, 4);
     std::memcpy(&orig, rec_header.data() + 12, 4);
     if (incl > 1u << 20) {
-      throw std::runtime_error("import_pcap: implausible record length");
+      throw std::runtime_error("import_pcap: implausible record length in " +
+                               path_.string());
     }
     payload_.resize(incl);
     in_.read(reinterpret_cast<char*>(payload_.data()), incl);
     if (static_cast<std::size_t>(in_.gcount()) != incl) {
-      if (!follow_) throw std::runtime_error("import_pcap: truncated record");
+      if (!follow_) {
+        throw std::runtime_error("import_pcap: truncated record in " +
+                                 path_.string());
+      }
       in_.clear();
       in_.seekg(rec_start);
       return std::nullopt;

@@ -57,6 +57,7 @@ class PcapReader {
 
  private:
   std::ifstream in_;
+  std::filesystem::path path_;  ///< for diagnostics — every error names it
   std::vector<unsigned char> payload_;
   double epoch_;
   bool follow_;

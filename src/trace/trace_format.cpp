@@ -138,7 +138,7 @@ void TraceWriter::close() {
 }
 
 TraceReader::TraceReader(const std::filesystem::path& path)
-    : in_(path, std::ios::binary) {
+    : in_(path, std::ios::binary), path_(path) {
   if (!in_) {
     throw std::runtime_error("TraceReader: cannot open " + path.string());
   }
@@ -166,7 +166,8 @@ std::optional<net::PacketRecord> TraceReader::next() {
   in_.read(buf.data(), buf.size());
   if (in_.gcount() == 0) return std::nullopt;
   if (static_cast<std::size_t>(in_.gcount()) != buf.size()) {
-    throw std::runtime_error("TraceReader: truncated record");
+    throw std::runtime_error("TraceReader: truncated record in " +
+                             path_.string());
   }
   ++read_;
   return decode_record(buf);

@@ -78,6 +78,7 @@ class TraceReader {
 
  private:
   std::ifstream in_;
+  std::filesystem::path path_;  ///< for diagnostics — every error names it
   std::uint64_t header_count_ = kUnknownCount;
   std::uint64_t read_ = 0;
 };

@@ -248,9 +248,10 @@ TEST(ParallelConfig, RejectsBadParameters) {
   EXPECT_THROW(
       api::ParallelAnalysisPipeline(api::AnalysisConfig{}.timeout_s(0.0)),
       std::invalid_argument);
-  EXPECT_THROW(
-      api::ParallelAnalysisPipeline(api::AnalysisConfig{}.threads(0)),
-      std::invalid_argument);
+  // threads(0) is not bad — it auto-detects the core count (see
+  // test_threads_auto.cpp).
+  EXPECT_NO_THROW(
+      api::ParallelAnalysisPipeline(api::AnalysisConfig{}.threads(0)));
   EXPECT_THROW(
       api::ParallelAnalysisPipeline(api::AnalysisConfig{}.batch_packets(0)),
       std::invalid_argument);

@@ -94,9 +94,11 @@ TEST(LinkSpec, TuplePredicateMatchesSetFieldsOnly) {
 
 TEST(Engine, RejectsBadConfigAndSpecs) {
   {
+    // threads == 0 is not bad — it auto-detects the core count (see
+    // test_threads_auto.cpp).
     engine::EngineConfig config = batch_config();
     config.threads = 0;
-    EXPECT_THROW(engine::Engine e(config), std::invalid_argument);
+    EXPECT_NO_THROW(engine::Engine e(config));
   }
   engine::Engine eng(batch_config());
   EXPECT_THROW((void)eng.attach({}), std::invalid_argument);  // empty name

@@ -187,6 +187,49 @@ TEST_F(TraceMalformedTest, PcapTruncatedPacketRecordThrows) {
                std::runtime_error);
 }
 
+TEST_F(TraceMalformedTest, DiagnosticsNameTheOffendingFile) {
+  // Every reader error must carry the path — a fleet operator staring at
+  // one line of stderr from a 40-trace batch job needs to know which input
+  // died (ISSUE 6 satellite: reader error-path hardening).
+  const auto expect_names = [](const auto& fn, const std::string& file) {
+    try {
+      fn();
+      FAIL() << "expected a throw naming " << file;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(file), std::string::npos)
+          << "diagnostic \"" << e.what() << "\" does not name " << file;
+    }
+  };
+
+  // .fbmt: truncated mid-record (the header errors already name the file).
+  std::vector<net::PacketRecord> recs{packet(0.0, 500), packet(0.5, 700)};
+  trace::write_trace(path("cutrec.fbmt"), recs);
+  std::filesystem::resize_file(
+      path("cutrec.fbmt"),
+      std::filesystem::file_size(path("cutrec.fbmt")) - 3);
+  expect_names(
+      [&] {
+        trace::TraceReader reader(path("cutrec.fbmt"));
+        while (reader.next()) {
+        }
+      },
+      "cutrec.fbmt");
+
+  // pcap: truncated global header, wrong magic, truncated record.
+  write_bytes(path("hdr.pcap"), std::vector<char>(10, 0));
+  expect_names([&] { (void)trace::import_pcap(path("hdr.pcap")); },
+               "hdr.pcap");
+  write_bytes(path("magic.pcap"), std::vector<char>(24, 'x'));
+  expect_names([&] { (void)trace::import_pcap(path("magic.pcap")); },
+               "magic.pcap");
+  trace::export_pcap(path("cutrec.pcap"), recs);
+  std::filesystem::resize_file(
+      path("cutrec.pcap"),
+      std::filesystem::file_size(path("cutrec.pcap")) - 5);
+  expect_names([&] { (void)trace::import_pcap(path("cutrec.pcap")); },
+               "cutrec.pcap");
+}
+
 TEST_F(TraceMalformedTest, PcapZeroLengthPacketRoundTrips) {
   // orig_len = Ethernet header only (zero-byte IP payload reported by the
   // wire): the importer must keep the record with size 0, not crash or

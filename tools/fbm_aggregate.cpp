@@ -1,0 +1,68 @@
+// fbm_aggregate — merge partial reports and fit the model once.
+//
+// Usage:
+//   fbm_aggregate <partial.fbmp> [<partial.fbmp> ...] [--json]
+//
+// Each input is a PartialReport file written by `fbm_analyze --emit-partial`
+// or `fbm_live --emit-partial` (one per shard process, or one per remote
+// collector). The tool folds them — flow records concatenate, exact byte
+// bins sum, trace totals add — and fits every window exactly once, printing
+// the same document the producing tool would have: the fbm_analyze --json
+// shape for batch partials (engine shape when the producers ran multi-link),
+// one JSONL line per window for live partials. The output is bit-for-bit
+// identical to a single-machine run over the union of the producers'
+// packets (tests/agg/ pins this).
+//
+// Corrupt, truncated or incompatible partials are rejected with a one-line
+// diagnostic and a nonzero exit — never silently merged. --json is accepted
+// for symmetry with the producing tools; JSON is the only output format.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "agg/agg.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fbm_aggregate <partial.fbmp> [<partial.fbmp> ...] "
+               "[--json]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      continue;  // JSON is the only output format
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage();
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) usage();
+
+  try {
+    fbm::agg::Merger merger;
+    for (const auto& path : paths) merger.add_file(path);
+    fbm::agg::MergeResult merged = merger.finish();
+    if (merged.kind == fbm::agg::PartialKind::batch) {
+      std::printf("%s\n", merged.document.c_str());
+    } else {
+      for (const auto& line : merged.lines) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

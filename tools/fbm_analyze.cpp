@@ -3,14 +3,16 @@
 // Usage:
 //   fbm_analyze <trace> [--interval S] [--timeout S] [--delta S]
 //               [--prefix24] [--eps P] [--min-flows N] [--threads N]
-//               [--link NAME=PREFIX[,PREFIX...] ...] [--json]
+//               [--link NAME=PREFIX[,PREFIX...] ...]
+//               [--emit-partial FILE] [--shard I/K] [--json]
 //
 // <trace> may be .fbmt (native, streamed with window-bounded memory), .pcap,
 // or .csv. For each analysis interval the tool prints the three model
 // parameters, measured vs model mean and CoV, the fitted shot power b, and
 // a capacity recommendation; --json emits the same as one JSON document.
 // --threads N > 1 analyzes through N flow-key-hashed worker shards; the
-// output is bit-for-bit identical to the single-threaded run.
+// output is bit-for-bit identical to the single-threaded run. --threads 0
+// auto-detects the machine's core count.
 //
 // --link (repeatable) switches to the multi-link engine: the stream is
 // demuxed to one analysis session per link (longest-prefix match across
@@ -18,13 +20,26 @@
 // proven bit-for-bit equal to analyzing that link's packets alone. The
 // table gains a link column; --json groups intervals per link. --threads
 // then sizes the engine's session worker pool instead.
+//
+// --emit-partial FILE switches to distributed-aggregation mode: nothing is
+// fitted; every closed interval's raw sufficient statistics (flow records +
+// exact byte bins) are serialized to FILE as an agg::PartialReport, for a
+// later fbm_aggregate run to merge and fit once. --shard I/K (with
+// --emit-partial) makes this process shard I of K: only packets whose flow
+// key hashes to shard I are analyzed, so K such runs partition the trace
+// and their K partials merge into a byte-identical replica of the
+// single-process output. Requires an explicit --interval (the whole-trace
+// horizon of one shard would differ from the full trace's).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "agg/agg.hpp"
 #include "api/api.hpp"
 
 namespace {
@@ -39,6 +54,9 @@ struct Options {
   std::size_t min_flows = 10;
   std::size_t threads = 1;
   std::vector<std::string> links;  // empty = single-link pipeline
+  std::string emit_partial;        // empty = fit locally
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   bool json = false;
 };
 
@@ -47,8 +65,34 @@ struct Options {
                "usage: fbm_analyze <trace.fbmt|.pcap|.csv> [--interval S] "
                "[--timeout S] [--delta S] [--prefix24] [--eps P] "
                "[--min-flows N] [--threads N] "
-               "[--link NAME=PREFIX[,PREFIX...]] [--json]\n");
+               "[--link NAME=PREFIX[,PREFIX...]] [--emit-partial FILE] "
+               "[--shard I/K] [--json]\n");
   std::exit(2);
+}
+
+/// Parses "--shard I/K" (0-based I < K). Exits through usage() on malformed
+/// input.
+void parse_shard(const std::string& text, Options& opt) {
+  const auto slash = text.find('/');
+  std::size_t index = 0;
+  std::size_t count = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(text);
+    index = std::stoul(text.substr(0, slash));
+    count = std::stoul(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--shard wants I/K (e.g. 0/4), got \"%s\"\n",
+                 text.c_str());
+    usage();
+  }
+  if (count == 0 || count > 1024 || index >= count) {
+    std::fprintf(stderr,
+                 "--shard %s out of range (need 0 <= I < K <= 1024)\n",
+                 text.c_str());
+    usage();
+  }
+  opt.shard_index = index;
+  opt.shard_count = count;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -74,8 +118,8 @@ Options parse_args(int argc, char** argv) {
       opt.min_flows = static_cast<std::size_t>(need_value("--min-flows"));
     } else if (arg == "--threads") {
       const double v = need_value("--threads");
-      if (!(v >= 1.0) || v > 4096.0) {  // reject NaN/negative before the cast
-        std::fprintf(stderr, "--threads must be in [1, 4096]\n");
+      if (!(v >= 0.0) || v > 4096.0) {  // reject NaN/negative before the cast
+        std::fprintf(stderr, "--threads must be in [0, 4096] (0 = auto)\n");
         usage();
       }
       opt.threads = static_cast<std::size_t>(v);
@@ -85,6 +129,18 @@ Options parse_args(int argc, char** argv) {
         usage();
       }
       opt.links.emplace_back(argv[++i]);
+    } else if (arg == "--emit-partial") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --emit-partial\n");
+        usage();
+      }
+      opt.emit_partial = argv[++i];
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --shard\n");
+        usage();
+      }
+      parse_shard(argv[++i], opt);
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--json") {
@@ -99,7 +155,36 @@ Options parse_args(int argc, char** argv) {
     }
   }
   if (opt.path.empty()) usage();
+  if (opt.shard_count > 1 && opt.emit_partial.empty()) {
+    std::fprintf(stderr, "--shard only makes sense with --emit-partial\n");
+    usage();
+  }
+  if (opt.shard_count > 1 && !opt.links.empty()) {
+    // Per-link overrides could change the flow definition the shard hash
+    // must agree on; key-sharding and link demux do not compose.
+    std::fprintf(stderr, "--shard cannot be combined with --link\n");
+    usage();
+  }
+  if (!opt.emit_partial.empty() && opt.interval <= 0.0) {
+    std::fprintf(stderr,
+                 "--emit-partial requires an explicit --interval (a shard "
+                 "cannot derive the whole-trace horizon)\n");
+    usage();
+  }
   return opt;
+}
+
+/// Shard-mode packet filter: keep exactly the packets whose flow key hashes
+/// to this shard (the same stable hash the parallel pipeline shards by), so
+/// K such processes partition the trace by flow and every flow's packet
+/// subsequence survives intact — the property that makes merged partials
+/// bit-identical to a single run.
+[[nodiscard]] bool shard_keeps(const Options& opt,
+                               const fbm::api::AnalysisConfig& config,
+                               const fbm::net::PacketRecord& p) {
+  return opt.shard_count <= 1 ||
+         fbm::api::flow_shard_of(p, config.flow_definition(),
+                                 opt.shard_count) == opt.shard_index;
 }
 
 }  // namespace
@@ -155,12 +240,36 @@ int main(int argc, char** argv) {
       // Declared before the engine: pool workers can still invoke the sink
       // while ~Engine drains their queues on an error-path unwind.
       std::map<engine::LinkId, std::vector<api::AnalysisReport>> by_link;
+      std::unique_ptr<agg::PartialWriter> writer;
       engine::Engine eng(engine_config);
-      eng.set_report_sink([&](engine::LinkReport&& r) {
-        by_link[r.link].push_back(std::move(*r.interval));
-      });
-      for (const auto& text : opt.links) {
-        (void)eng.attach(engine::parse_link_spec(text));
+      if (!opt.emit_partial.empty()) {
+        // Distributed mode: declare the link set in the meta frame, stream
+        // every link's closed intervals as window frames, fit nothing.
+        std::vector<engine::LinkSpec> specs;
+        specs.reserve(opt.links.size());
+        for (const auto& text : opt.links) {
+          specs.push_back(engine::parse_link_spec(text));
+        }
+        agg::PartialMeta meta = agg::PartialMeta::from_batch(config);
+        meta.engine = true;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          meta.links.push_back(
+              {static_cast<std::uint32_t>(i), specs[i].name});
+        }
+        writer = std::make_unique<agg::PartialWriter>(opt.emit_partial,
+                                                      std::move(meta));
+        eng.set_partial_sink([&](engine::LinkId link, const std::string&,
+                                 live::WindowPartial&& partial) {
+          writer->add(static_cast<std::uint32_t>(link), partial);
+        });
+        for (auto& spec : specs) (void)eng.attach(std::move(spec));
+      } else {
+        eng.set_report_sink([&](engine::LinkReport&& r) {
+          by_link[r.link].push_back(std::move(*r.interval));
+        });
+        for (const auto& text : opt.links) {
+          (void)eng.attach(engine::parse_link_spec(text));
+        }
       }
       auto source = buffered.empty()
                         ? api::open_trace(opt.path)
@@ -170,6 +279,22 @@ int main(int argc, char** argv) {
       if (eng.summary().packets == 0) {
         std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
         return 1;
+      }
+      if (writer) {
+        agg::PartialTotals totals;
+        totals.summary = eng.summary();
+        for (const auto& link : eng.links()) {
+          totals.links.push_back({static_cast<std::uint32_t>(link.id),
+                                  link.counters.packets,
+                                  link.counters.bytes});
+        }
+        writer->finish(totals);
+        std::fprintf(stderr,
+                     "wrote %llu window partials for %zu links to %s\n",
+                     static_cast<unsigned long long>(
+                         writer->windows_written()),
+                     opt.links.size(), opt.emit_partial.c_str());
+        return 0;
       }
       std::vector<engine::LinkBatchResult> results;
       for (auto& link : eng.links()) {
@@ -211,23 +336,44 @@ int main(int argc, char** argv) {
   std::vector<api::AnalysisReport> reports;
   trace::TraceSummary summary;
   std::uint64_t flows_emitted = 0;
-  // Serial and sharded pipelines share one interface; --threads N > 1 picks
-  // the sharded one, with bit-for-bit identical reports.
+  std::unique_ptr<agg::PartialWriter> writer;
+  // Serial and sharded pipelines share one interface; --threads N != 1
+  // picks the sharded one (0 = every core), with bit-for-bit identical
+  // reports.
   const auto run = [&](auto& pipeline) {
     auto source = buffered.empty()
                       ? api::open_trace(opt.path)
                       : api::make_vector_source(std::move(buffered));
-    // Reports stream out through the per-window flush hook as intervals
-    // close; memory stays window-bounded (interval mode reads the file
-    // directly, nothing buffered).
-    pipeline.set_report_sink(
-        [&](api::AnalysisReport&& r) { reports.push_back(std::move(r)); });
-    pipeline.consume(*source);
+    if (!opt.emit_partial.empty()) {
+      // Distributed mode: closed intervals leave as raw sufficient
+      // statistics; fbm_aggregate folds the shards and fits once.
+      writer = std::make_unique<agg::PartialWriter>(
+          opt.emit_partial, agg::PartialMeta::from_batch(config));
+      pipeline.set_partial_sink([&](api::ShardInterval&& iv) {
+        writer->add(0, live::WindowPartial{iv.index, 0, 0, 0,
+                                           std::move(iv.flows),
+                                           std::move(iv.bins)});
+      });
+    } else {
+      // Reports stream out through the per-window flush hook as intervals
+      // close; memory stays window-bounded (interval mode reads the file
+      // directly, nothing buffered).
+      pipeline.set_report_sink(
+          [&](api::AnalysisReport&& r) { reports.push_back(std::move(r)); });
+    }
+    if (opt.shard_count > 1) {
+      source->for_each([&](const net::PacketRecord& p) {
+        if (shard_keeps(opt, config, p)) pipeline.push(p);
+      });
+      pipeline.finish();
+    } else {
+      pipeline.consume(*source);
+    }
     summary = pipeline.summary();
     flows_emitted = pipeline.counters().flows_emitted;
   };
   try {
-    if (opt.threads > 1) {
+    if (opt.threads != 1) {
       api::ParallelAnalysisPipeline pipeline(config);
       run(pipeline);
     } else {
@@ -239,9 +385,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (summary.packets == 0) {
+  if (summary.packets == 0 && (writer == nullptr || opt.shard_count <= 1)) {
+    // In shard mode an empty shard is legitimate (a small trace may hash
+    // every flow elsewhere); the partial below records zero windows and the
+    // merger folds it as a no-op.
     std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
     return 1;
+  }
+
+  if (writer) {
+    try {
+      writer->finish({summary, {}});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(
+        stderr, "wrote %llu interval partials to %s\n",
+        static_cast<unsigned long long>(writer->windows_written()),
+        opt.emit_partial.c_str());
+    return 0;
   }
 
   if (opt.json) {

@@ -4,7 +4,8 @@
 //   fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] [--timeout S]
 //            [--delta S] [--prefix24] [--eps P] [--k-sigma K] [--max-order M]
 //            [--consecutive N] [--follow] [--idle S] [--max-windows N]
-//            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N] [--json]
+//            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N]
+//            [--emit-partial FILE] [--shard I/K] [--json]
 //
 // Streams the trace through live::WindowedEstimator: per sliding window the
 // three model parameters, measured vs model rate, fitted shot, capacity
@@ -20,17 +21,31 @@
 // claims; NAME=all or NAME=* for a match-all aggregate) and every window
 // report carries its link — a "link" name column, or a leading "link" JSONL
 // field (schema pinned by the engine-smoke CI job). --threads N spreads the
-// sessions over a worker pool.
+// sessions over a worker pool (0 = every core).
+//
+// --emit-partial FILE switches to distributed-aggregation mode: no window
+// is fitted, forecast or judged; each closed window's raw sufficient
+// statistics stream to FILE as an agg::PartialReport for fbm_aggregate to
+// merge and fit once — the merged JSONL is byte-identical to a
+// single-machine run. --shard I/K keeps only the packets whose flow key
+// hashes to shard I of K, so K such runs partition the stream by flow.
+// Incompatible with --follow and --max-windows (a partial file is valid
+// only once the stream ends cleanly and the end frame is written).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "agg/agg.hpp"
 #include "api/api.hpp"
+#include "api/shard.hpp"
 #include "live/live.hpp"
+#include "trace/trace_stats.hpp"
 
 namespace {
 
@@ -50,6 +65,9 @@ struct Options {
   std::uint64_t max_windows = 0;  // 0 = unlimited
   std::vector<std::string> links;  // empty = single-link estimator
   std::size_t threads = 1;
+  std::string emit_partial;  // empty = fit locally
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   bool json = false;
 };
 
@@ -60,8 +78,33 @@ struct Options {
       "[--timeout S] [--delta S] [--prefix24] [--eps P] [--k-sigma K] "
       "[--max-order M] [--consecutive N] [--follow] [--idle S] "
       "[--max-windows N] [--link NAME=PREFIX[,PREFIX...]] [--threads N] "
-      "[--json]\n");
+      "[--emit-partial FILE] [--shard I/K] [--json]\n");
   std::exit(2);
+}
+
+/// Parses "--shard I/K" (0-based I < K). Exits through usage() on malformed
+/// input.
+void parse_shard(const std::string& text, Options& opt) {
+  const auto slash = text.find('/');
+  std::size_t index = 0;
+  std::size_t count = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(text);
+    index = std::stoul(text.substr(0, slash));
+    count = std::stoul(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--shard wants I/K (e.g. 0/4), got \"%s\"\n",
+                 text.c_str());
+    usage();
+  }
+  if (count == 0 || count > 1024 || index >= count) {
+    std::fprintf(stderr,
+                 "--shard %s out of range (need 0 <= I < K <= 1024)\n",
+                 text.c_str());
+    usage();
+  }
+  opt.shard_index = index;
+  opt.shard_count = count;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -104,11 +147,23 @@ Options parse_args(int argc, char** argv) {
       opt.links.emplace_back(argv[++i]);
     } else if (arg == "--threads") {
       const double v = need_value("--threads");
-      if (!(v >= 1.0) || v > 4096.0) {
-        std::fprintf(stderr, "--threads must be in [1, 4096]\n");
+      if (!(v >= 0.0) || v > 4096.0) {
+        std::fprintf(stderr, "--threads must be in [0, 4096] (0 = auto)\n");
         usage();
       }
       opt.threads = static_cast<std::size_t>(v);
+    } else if (arg == "--emit-partial") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --emit-partial\n");
+        usage();
+      }
+      opt.emit_partial = argv[++i];
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --shard\n");
+        usage();
+      }
+      parse_shard(argv[++i], opt);
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--follow") {
@@ -125,13 +180,48 @@ Options parse_args(int argc, char** argv) {
     }
   }
   if (opt.path.empty()) usage();
-  if (opt.threads > 1 && opt.links.empty()) {
+  if (opt.threads != 1 && opt.links.empty()) {
     std::fprintf(stderr,
                  "--threads sizes the multi-link worker pool; give at least "
                  "one --link\n");
     usage();
   }
+  if (opt.shard_count > 1 && opt.emit_partial.empty()) {
+    std::fprintf(stderr,
+                 "--shard only makes sense with --emit-partial (a fitted "
+                 "shard is not a fitted trace)\n");
+    usage();
+  }
+  if (opt.shard_count > 1 && !opt.links.empty()) {
+    std::fprintf(stderr,
+                 "--shard partitions by flow key and cannot combine with "
+                 "--link demux; emit one multi-link partial instead\n");
+    usage();
+  }
+  if (!opt.emit_partial.empty() && opt.follow) {
+    std::fprintf(stderr,
+                 "--emit-partial needs a finite stream (the end frame seals "
+                 "the file); drop --follow\n");
+    usage();
+  }
+  if (!opt.emit_partial.empty() && opt.max_windows > 0) {
+    std::fprintf(stderr,
+                 "--emit-partial streams every window; drop --max-windows\n");
+    usage();
+  }
   return opt;
+}
+
+/// Shard-mode packet filter: keep exactly the packets whose flow key hashes
+/// to this shard, so K such processes partition the stream by flow and every
+/// flow's packet subsequence survives intact — the property that makes
+/// merged partials bit-identical to a single run.
+[[nodiscard]] bool shard_keeps(const Options& opt,
+                               const fbm::live::LiveConfig& config,
+                               const fbm::net::PacketRecord& p) {
+  return opt.shard_count <= 1 ||
+         fbm::api::flow_shard_of(p, config.analysis.flow_definition(),
+                                 opt.shard_count) == opt.shard_index;
 }
 
 void print_human(const fbm::live::WindowReport& r, const char* link) {
@@ -197,7 +287,43 @@ void drain(fbm::api::TraceSource& source, const Options& opt,
 int run_single(const Options& opt) {
   using namespace fbm;
   auto source = api::open_trace(opt.path, opt.follow);
-  live::WindowedEstimator estimator(make_live_config(opt));
+  const live::LiveConfig config = make_live_config(opt);
+  live::WindowedEstimator estimator(config);
+
+  // Distributed mode: raw window partials stream to the writer instead of
+  // being fitted; the shard's trace totals accumulate at the push site
+  // (the estimator counts packets but not timestamps) for the end frame.
+  std::unique_ptr<agg::PartialWriter> writer;
+  trace::TraceSummary shard_summary;
+  if (!opt.emit_partial.empty()) {
+    writer = std::make_unique<agg::PartialWriter>(
+        opt.emit_partial, agg::PartialMeta::from_live(config));
+    estimator.set_partial_sink(
+        [&](live::WindowPartial&& partial) { writer->add(0, partial); });
+
+    std::atomic<bool> done{false};
+    drain(
+        *source, opt, done,
+        [&](const net::PacketRecord& p) {
+          if (!shard_keeps(opt, config, p)) return;
+          if (shard_summary.packets == 0) shard_summary.first_ts = p.timestamp;
+          shard_summary.last_ts = p.timestamp;
+          ++shard_summary.packets;
+          shard_summary.total_bytes += p.size_bytes;
+          estimator.push(p);
+        },
+        [] {});
+    estimator.finish();
+    if (shard_summary.packets == 0 && opt.shard_count <= 1) {
+      std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+      return 1;
+    }
+    writer->finish({shard_summary, {}});
+    std::fprintf(stderr, "wrote %llu window partials to %s\n",
+                 static_cast<unsigned long long>(writer->windows_written()),
+                 opt.emit_partial.c_str());
+    return 0;
+  }
 
   std::atomic<bool> done{false};
   estimator.set_window_sink([&](live::WindowReport&& r) {
@@ -226,6 +352,10 @@ int run_single(const Options& opt) {
       [&](const net::PacketRecord& p) { estimator.push(p); }, [] {});
   if (!done) estimator.finish();
 
+  if (estimator.counters().packets == 0) {
+    std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+    return 1;
+  }
   if (!opt.json) {
     const auto& c = estimator.counters();
     std::printf("\n%llu windows, %llu packets, %llu flows\n",
@@ -251,7 +381,49 @@ int run_engine(const Options& opt) {
   std::atomic<bool> done{false};
   std::uint64_t windows = 0;
 
+  std::unique_ptr<agg::PartialWriter> writer;
   engine::Engine eng(config);
+  if (!opt.emit_partial.empty()) {
+    // Distributed mode: declare the link set in the meta frame, stream
+    // every link's closed windows as window frames, fit nothing.
+    std::vector<engine::LinkSpec> specs;
+    specs.reserve(opt.links.size());
+    for (const auto& text : opt.links) {
+      specs.push_back(engine::parse_link_spec(text));
+    }
+    agg::PartialMeta meta = agg::PartialMeta::from_live(config.live);
+    meta.engine = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      meta.links.push_back({static_cast<std::uint32_t>(i), specs[i].name});
+    }
+    writer = std::make_unique<agg::PartialWriter>(opt.emit_partial,
+                                                  std::move(meta));
+    eng.set_partial_sink([&](engine::LinkId link, const std::string&,
+                             live::WindowPartial&& partial) {
+      writer->add(static_cast<std::uint32_t>(link), partial);
+    });
+    for (auto& spec : specs) (void)eng.attach(std::move(spec));
+
+    drain(
+        *source, opt, done, [&](const net::PacketRecord& p) { eng.push(p); },
+        [&] { eng.flush(); });
+    eng.finish();
+    if (eng.summary().packets == 0) {
+      std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+      return 1;
+    }
+    agg::PartialTotals totals;
+    totals.summary = eng.summary();
+    for (const auto& link : eng.links()) {
+      totals.links.push_back({static_cast<std::uint32_t>(link.id),
+                              link.counters.packets, link.counters.bytes});
+    }
+    writer->finish(totals);
+    std::fprintf(stderr, "wrote %llu window partials for %zu links to %s\n",
+                 static_cast<unsigned long long>(writer->windows_written()),
+                 opt.links.size(), opt.emit_partial.c_str());
+    return 0;
+  }
   for (const auto& text : opt.links) {
     (void)eng.attach(engine::parse_link_spec(text));
   }
@@ -279,6 +451,10 @@ int run_engine(const Options& opt) {
   // reads the counters race-free.
   eng.finish();
 
+  if (eng.summary().packets == 0) {
+    std::fprintf(stderr, "error: no packets in %s\n", opt.path.c_str());
+    return 1;
+  }
   if (!opt.json) {
     std::printf("\n%llu windows over %zu links, %llu packets\n",
                 static_cast<unsigned long long>(windows), opt.links.size(),
