@@ -18,9 +18,9 @@ namespace {
 struct Command {
   enum class Kind { batch, sweep, finish, stop };
   Kind kind = Kind::batch;
-  std::vector<net::PacketRecord> packets;  ///< batch
-  double now = 0.0;                        ///< sweep: expiry clock
-  std::int64_t close_through = -1;         ///< sweep/finish: last index
+  net::PacketBatch batch;           ///< batch (SoA, already shard-routed)
+  double now = 0.0;                 ///< sweep: expiry clock
+  std::int64_t close_through = -1;  ///< sweep/finish: last index
 };
 
 /// Backpressure bound: a caller that outruns a worker blocks once this many
@@ -71,7 +71,7 @@ struct ParallelAnalysisPipeline::Worker {
           std::lock_guard lock(state_mu);
           switch (cmd.kind) {
             case Command::Kind::batch:
-              for (const auto& p : cmd.packets) shard.add(p);
+              shard.add_batch(cmd.batch);
               break;
             case Command::Kind::sweep:
               shard.close_through(cmd.now, cmd.close_through, closed);
@@ -152,7 +152,7 @@ void ParallelAnalysisPipeline::flush_pending(std::size_t shard) {
   if (pending_[shard].empty()) return;
   Command cmd;
   cmd.kind = Command::Kind::batch;
-  cmd.packets = std::exchange(pending_[shard], {});
+  cmd.batch = std::exchange(pending_[shard], {});
   workers_[shard]->enqueue(std::move(cmd));
 }
 
@@ -200,6 +200,58 @@ void ParallelAnalysisPipeline::push(const net::PacketRecord& packet) {
     while (next_sweep_ <= packet.timestamp) {
       next_sweep_ += config_.expire_every_s();
     }
+    rethrow_worker_error();
+    try_merge();
+  }
+}
+
+void ParallelAnalysisPipeline::push_batch(const net::PacketBatch& batch) {
+  if (batch.empty()) return;
+  if (finished_) {
+    throw std::logic_error("ParallelAnalysisPipeline: push after finish");
+  }
+  const std::size_t n = batch.size();
+  const double* ts = batch.timestamps.data();
+  if (ts[0] < last_ts_) {
+    throw std::invalid_argument(
+        "ParallelAnalysisPipeline: out-of-order packet");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ts[i] < ts[i - 1]) {
+      throw std::invalid_argument(
+          "ParallelAnalysisPipeline: out-of-order packet");
+    }
+  }
+
+  if (summary_.packets == 0) {
+    summary_.first_ts = ts[0];
+    next_sweep_ = ts[0] + config_.expire_every_s();
+  }
+  summary_.packets += n;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) bytes += batch.sizes[i];
+  summary_.total_bytes += bytes;
+  const double last_ts = ts[n - 1];
+  summary_.last_ts = last_ts;
+  last_ts_ = last_ts;
+
+  max_index_ =
+      std::max(max_index_, interval_index_of(last_ts, config_.interval_s()));
+
+  // Route into the per-shard staging batches (SoA stays SoA end to end).
+  const FlowDefinition def = config_.flow_definition();
+  const std::size_t nshards = workers_.size();
+  const std::size_t cap = config_.batch_packets();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = flow_shard_of(batch.tuples[i], def, nshards);
+    pending_[s].emplace_back(ts[i], batch.tuples[i], batch.sizes[i]);
+    if (pending_[s].size() >= cap) flush_pending(s);
+  }
+
+  // Sweep once at batch end: result-neutral, see AnalysisPipeline.
+  if (last_ts >= next_sweep_) {
+    broadcast_sweep(last_ts);
+    while (next_sweep_ <= last_ts) next_sweep_ += config_.expire_every_s();
     rethrow_worker_error();
     try_merge();
   }
@@ -303,7 +355,10 @@ void ParallelAnalysisPipeline::finish() {
 }
 
 void ParallelAnalysisPipeline::consume(TraceSource& source) {
-  source.for_each([this](const net::PacketRecord& p) { push(p); });
+  net::PacketBatch batch;
+  const std::size_t cap = config_.batch_packets();
+  batch.reserve(cap);
+  while (source.next_batch(batch, cap) > 0) push_batch(batch);
   finish();
 }
 

@@ -31,6 +31,7 @@
 #include "api/trace_source.hpp"
 #include "flow/classifier.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace fbm::api {
@@ -53,6 +54,11 @@ class ParallelAnalysisPipeline {
   /// Feed the next packet; timestamps must be non-decreasing (throws
   /// std::invalid_argument otherwise).
   void push(const net::PacketRecord& packet);
+
+  /// Feed a whole batch; reports are bit-for-bit identical to push() per
+  /// packet at every batch size (routing, sharding and merge are unchanged —
+  /// only per-packet overheads are hoisted).
+  void push_batch(const net::PacketBatch& batch);
 
   /// End of stream: flush every shard, join the workers, merge everything.
   /// push() must not be called afterwards. Rethrows any worker failure.
@@ -107,7 +113,7 @@ class ParallelAnalysisPipeline {
 
   AnalysisConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::vector<net::PacketRecord>> pending_;
+  std::vector<net::PacketBatch> pending_;  ///< per-shard staging batches
   std::deque<AnalysisReport> ready_;
   ReportSink sink_;
   PartialSink partial_sink_;

@@ -29,6 +29,7 @@
 #include "flow/classifier.hpp"
 #include "measure/rate_meter.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace fbm::api {
@@ -138,6 +139,11 @@ class AnalysisPipeline {
   /// Feed the next packet; timestamps must be non-decreasing (throws
   /// std::invalid_argument otherwise).
   void push(const net::PacketRecord& packet);
+
+  /// Feed a whole batch; reports are bit-for-bit identical to push() per
+  /// packet at every batch size — batching only hoists per-packet work
+  /// (ordering checks, summary updates, sweep-clock checks) to per-batch.
+  void push_batch(const net::PacketBatch& batch);
 
   /// End of stream: flush the classifier and close all pending intervals.
   /// push() must not be called afterwards.

@@ -25,6 +25,10 @@ class ClassifierImpl final : public FlowClassifierHandle {
   void add(const net::PacketRecord& packet) override {
     classifier_.add(packet);
   }
+  void add_batch(const net::PacketBatch& batch, std::size_t begin,
+                 std::size_t end) override {
+    classifier_.add_batch(batch, begin, end);
+  }
   void expire_idle(double now) override { classifier_.expire_idle(now); }
   void flush() override { classifier_.flush(); }
   [[nodiscard]] std::vector<flow::FlowRecord> take_flows() override {
@@ -104,16 +108,16 @@ std::size_t resolve_threads(std::size_t configured) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-std::size_t flow_shard_of(const net::PacketRecord& packet, FlowDefinition def,
+std::size_t flow_shard_of(const net::FiveTuple& tuple, FlowDefinition def,
                           std::size_t nshards) {
   if (nshards <= 1) return 0;
   std::size_t h = 0;
   switch (def) {
     case FlowDefinition::five_tuple:
-      h = net::FiveTupleHash{}(packet.tuple);
+      h = net::FiveTupleHash{}(tuple);
       break;
     case FlowDefinition::prefix24:
-      h = net::PrefixHash{}(net::Prefix(packet.tuple.dst, 24));
+      h = net::PrefixHash{}(net::Prefix(tuple.dst, 24));
       break;
   }
   return h % nshards;
@@ -146,6 +150,51 @@ void PipelineShard::add(const net::PacketRecord& packet) {
       interval_index_of(packet.timestamp, config_.interval_s());
   open_at(idx).bins.add(packet.timestamp,
                         static_cast<double>(packet.size_bytes));
+  drain_classifier();
+}
+
+namespace {
+
+/// First index in (i, end) of `ts` whose interval index differs from `idx`,
+/// or `end` when the whole range shares it. Timestamps are non-decreasing,
+/// so the crossing bisects — and only the canonical interval_index_of
+/// expression is ever evaluated, so run splitting cannot disagree with the
+/// per-packet path.
+std::size_t interval_run_end(const double* ts, std::size_t i, std::size_t end,
+                             double interval_s, std::int64_t idx) {
+  if (interval_index_of(ts[end - 1], interval_s) == idx) return end;
+  std::size_t lo = i + 1;
+  std::size_t hi = end - 1;  // known: interval_index_of(ts[hi]) != idx
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (interval_index_of(ts[mid], interval_s) == idx) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void PipelineShard::add_batch(const net::PacketBatch& batch) {
+  if (batch.empty()) return;
+  classifier_->add_batch(batch);  // validates timestamp ordering
+  const double interval_s = config_.interval_s();
+  const double* ts = batch.timestamps.data();
+  const std::uint32_t* sizes = batch.sizes.data();
+  const std::size_t n = batch.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::int64_t idx = interval_index_of(ts[i], interval_s);
+    const std::size_t run = interval_run_end(ts, i, n, interval_s, idx);
+    stats::RateBinner& bins = open_at(idx).bins;
+    for (std::size_t k = i; k < run; ++k) {
+      bins.add(ts[k], static_cast<double>(sizes[k]));
+    }
+    i = run;
+  }
   drain_classifier();
 }
 

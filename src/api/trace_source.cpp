@@ -1,5 +1,6 @@
 #include "api/trace_source.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,14 @@ std::optional<net::PacketRecord> VectorTraceSource::next() {
   return packets_[pos_++];
 }
 
+std::size_t VectorTraceSource::next_batch(net::PacketBatch& out,
+                                          std::size_t max_n) {
+  const std::size_t n = std::min(max_n, packets_.size() - pos_);
+  out.assign({packets_.data() + pos_, n});
+  pos_ += n;
+  return n;
+}
+
 // -------------------------------------------------------- FileTraceSource ---
 
 FileTraceSource::FileTraceSource(const std::filesystem::path& path,
@@ -26,6 +35,14 @@ FileTraceSource::FileTraceSource(const std::filesystem::path& path,
 
 std::optional<net::PacketRecord> FileTraceSource::next() {
   return follow_ ? reader_.poll() : reader_.next();
+}
+
+std::size_t FileTraceSource::next_batch(net::PacketBatch& out,
+                                        std::size_t max_n) {
+  // Follow mode keeps poll()'s per-record rewind semantics; the plain path
+  // bulk-reads whole batches in one ifstream::read.
+  if (follow_) return TraceSource::next_batch(out, max_n);
+  return reader_.next_batch(out, max_n);
 }
 
 std::uint64_t FileTraceSource::count_hint() const {
@@ -47,6 +64,19 @@ PcapTraceSource::PcapTraceSource(const std::filesystem::path& path,
 
 std::optional<net::PacketRecord> PcapTraceSource::next() {
   return reader_.next();
+}
+
+std::size_t PcapTraceSource::next_batch(net::PacketBatch& out,
+                                        std::size_t max_n) {
+  // Parsing dominates pcap reads; batching still drops the per-packet
+  // virtual dispatch and optional<> shuffle seen by consumers.
+  out.clear();
+  while (out.size() < max_n) {
+    const auto p = reader_.next();
+    if (!p) break;
+    out.push_back(*p);
+  }
+  return out.size();
 }
 
 bool PcapTraceSource::reset() {

@@ -31,6 +31,7 @@
 
 #include "core/model.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
 #include "trace/pcap.hpp"
@@ -48,6 +49,23 @@ class TraceSource {
 
   /// Next packet, or nullopt at end of stream.
   [[nodiscard]] virtual std::optional<net::PacketRecord> next() = 0;
+
+  /// Fills `out` (cleared first) with up to `max_n` packets and returns the
+  /// count; 0 means end of stream (or, in follow mode, nothing available
+  /// yet). The default implementation loops next(); file-backed sources
+  /// override it with bulk reads so the per-packet virtual call and
+  /// optional<> shuffle disappear from the hot path. The delivered sequence
+  /// is identical to calling next() repeatedly, for every max_n.
+  [[nodiscard]] virtual std::size_t next_batch(net::PacketBatch& out,
+                                               std::size_t max_n) {
+    out.clear();
+    while (out.size() < max_n) {
+      const auto p = next();
+      if (!p) break;
+      out.push_back(*p);
+    }
+    return out.size();
+  }
 
   /// Total packets this source will deliver, when knowable up front
   /// (kUnknownCount otherwise). A hint, not a contract.
@@ -82,6 +100,8 @@ class VectorTraceSource final : public TraceSource {
   explicit VectorTraceSource(std::vector<net::PacketRecord> packets);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::size_t next_batch(net::PacketBatch& out,
+                                       std::size_t max_n) override;
   [[nodiscard]] std::uint64_t count_hint() const override {
     return packets_.size();
   }
@@ -104,6 +124,8 @@ class FileTraceSource final : public TraceSource {
                            bool follow = false);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::size_t next_batch(net::PacketBatch& out,
+                                       std::size_t max_n) override;
   [[nodiscard]] std::uint64_t count_hint() const override;
   [[nodiscard]] bool reset() override;
 
@@ -122,6 +144,8 @@ class PcapTraceSource final : public TraceSource {
                            bool follow = false);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::size_t next_batch(net::PacketBatch& out,
+                                       std::size_t max_n) override;
   [[nodiscard]] bool reset() override;
 
   /// Non-IPv4/TCP/UDP packets skipped so far.
@@ -140,6 +164,10 @@ class SyntheticTraceSource final : public TraceSource {
   explicit SyntheticTraceSource(const trace::SyntheticConfig& config);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  [[nodiscard]] std::size_t next_batch(net::PacketBatch& out,
+                                       std::size_t max_n) override {
+    return inner_.next_batch(out, max_n);
+  }
   [[nodiscard]] std::uint64_t count_hint() const override;
   [[nodiscard]] bool reset() override { return inner_.reset(); }
 

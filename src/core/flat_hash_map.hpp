@@ -157,9 +157,40 @@ class FlatHashMap {
   /// on the inlinable find path; only a miss pays the insert machinery.
   template <typename... Args>
   std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
-    const size_type idx = find_index(key);
+    return try_emplace_hashed(hash_of(key), key, std::forward<Args>(args)...);
+  }
+
+  /// The raw user hash of `key`, before Fibonacci mixing. Batch callers
+  /// compute all hashes up front, prefetch_hashed() a few slots ahead, and
+  /// feed the hash back through try_emplace_hashed() — so the table is
+  /// already in cache when the probe runs (hash-ahead).
+  [[nodiscard]] std::uint64_t hash_of(const Key& key) const {
+    return static_cast<std::uint64_t>(hash_(key));
+  }
+
+  /// Warms the probe-start cache lines (distance array + key/value slot)
+  /// for a key whose hash_of() value is already known. Safe at any time;
+  /// a no-op on an empty table.
+  void prefetch_hashed(std::uint64_t hash) const {
+    if (dist_.empty()) return;
+    const size_type idx = home_of_hash(hash);
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&dist_[idx]);
+    __builtin_prefetch(&kv_[idx]);
+#endif
+  }
+
+  /// try_emplace with the user hash precomputed by hash_of(). `hash` MUST
+  /// equal hash_of(key); batch callers hoist the hash computation out of
+  /// the probe loop.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace_hashed(std::uint64_t hash,
+                                               const Key& key,
+                                               Args&&... args) {
+    const size_type idx = find_index_hashed(hash, key);
     if (idx != dist_.size()) return {iterator(this, idx), false};
-    return {iterator(this, insert_new(key, T(std::forward<Args>(args)...))),
+    return {iterator(this,
+                     insert_new(hash, key, T(std::forward<Args>(args)...))),
             true};
   }
 
@@ -201,17 +232,24 @@ class FlatHashMap {
   /// Fibonacci hashing: one multiply by 2^64/phi, then keep the HIGH bits
   /// (see the header comment). shift_ is maintained as 64 - log2(capacity)
   /// so the result is already a valid slot index.
+  [[nodiscard]] size_type home_of_hash(std::uint64_t hash) const {
+    return static_cast<size_type>((hash * 0x9e3779b97f4a7c15ULL) >> shift_);
+  }
+
   [[nodiscard]] size_type home_of(const Key& key) const {
-    const std::uint64_t h =
-        static_cast<std::uint64_t>(hash_(key)) * 0x9e3779b97f4a7c15ULL;
-    return static_cast<size_type>(h >> shift_);
+    return home_of_hash(hash_of(key));
   }
 
   [[nodiscard]] size_type find_index(const Key& key) const {
+    return find_index_hashed(hash_of(key), key);
+  }
+
+  [[nodiscard]] size_type find_index_hashed(std::uint64_t hash,
+                                            const Key& key) const {
     if (dist_.empty()) return 0;  // == dist_.size(): not found
     const size_type mask = dist_.size() - 1;
     const std::uint32_t* dists = dist_.data();
-    size_type idx = home_of(key);
+    size_type idx = home_of_hash(hash);
     std::uint32_t dist = 1;
     while (true) {
       const std::uint32_t d = dists[idx];
@@ -228,12 +266,12 @@ class FlatHashMap {
   __attribute__((noinline))
 #endif
   size_type
-  insert_new(const Key& key, T&& value) {
+  insert_new(std::uint64_t hash, const Key& key, T&& value) {
     if (dist_.empty() || (size_ + 1) * kLoadDen > dist_.size() * kLoadNum) {
       rehash(dist_.empty() ? kMinCapacity : dist_.size() * 2);
     }
     const size_type mask = dist_.size() - 1;
-    size_type idx = home_of(key);
+    size_type idx = home_of_hash(hash);
     std::uint32_t dist = 1;
     // Find the first slot that is empty or holds a richer resident.
     while (dist_[idx] >= dist) {

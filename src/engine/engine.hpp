@@ -48,6 +48,7 @@
 #include "engine/link_spec.hpp"
 #include "live/live.hpp"
 #include "net/lpm.hpp"
+#include "net/packet_batch.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace fbm::engine {
@@ -155,6 +156,15 @@ class Engine {
   /// std::invalid_argument otherwise).
   void push(const net::PacketRecord& packet);
 
+  /// Feed a whole batch. Per-link results are bit-for-bit identical to
+  /// push() per packet at every batch size: the destination addresses run
+  /// through one batched LPM pass, each link then consumes its matching
+  /// sub-batch through the session's own batch path. With inline sessions
+  /// (threads == 1) reports still come out in attach order, at batch rather
+  /// than per-packet granularity — link A's reports for the whole batch
+  /// precede link B's.
+  void push_batch(const net::PacketBatch& batch);
+
   /// Hands any demux-buffered packets to their workers now (pool mode; a
   /// no-op when sessions run inline). The per-packet flush cadence is trace
   /// time, so a quiet --follow stream can leave routed packets buffered —
@@ -192,7 +202,9 @@ class Engine {
   struct Worker;
 
   void route(const net::PacketRecord& packet);
+  void route_batch(const net::PacketBatch& batch);
   void deliver(Session& s, const net::PacketRecord& packet);
+  void deliver_batch(Session& s, const net::PacketBatch& batch);
   void feed(Session& s, const net::PacketRecord& packet);
   void finish_session(Session& s);
   void flush_session(Session& s);
@@ -213,6 +225,11 @@ class Engine {
   net::RoutingTable prefix_table_;  ///< prefix -> LinkId, shared LPM
   std::size_t prefix_links_ = 0;    ///< attached links with prefix rules
   LinkId next_id_ = 0;
+
+  // push_batch scratch, reused across batches (no per-batch allocation).
+  std::vector<std::uint32_t> addr_scratch_;  ///< batch dst address values
+  std::vector<std::uint32_t> lpm_scratch_;   ///< batched LPM results
+  net::PacketBatch stage_;  ///< one link's matching sub-batch
 
   std::vector<std::unique_ptr<Worker>> workers_;  ///< empty when threads==1
   std::size_t next_worker_ = 0;

@@ -4,7 +4,9 @@
 //  - a flow ends when no packet arrives for `timeout` (default 60 s);
 //  - duration = last packet time - first packet time;
 //  - single-packet flows are discarded (their duration would be zero) and
-//    their packets are excluded from rate-variance measurements;
+//    their packets are excluded from rate-variance measurements. The rule
+//    applies to whole flows, not split pieces: a one-packet piece that
+//    continues an earlier piece or is continued by a later one is kept;
 //  - flows overlapping an analysis-interval boundary are split: the piece in
 //    each interval is recorded separately, the later pieces flagged
 //    `continued` (this is what produces the step at t=0 in Figure 1).
@@ -34,6 +36,7 @@
 #include "flow/flow_record.hpp"
 #include "net/lpm.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 
 namespace fbm::flow {
 
@@ -148,40 +151,64 @@ class FlowClassifier {
     }
     last_ts_ = packet.timestamp;
     ++counters_.packets;
-
     const key_type key = extract_(packet);
-    auto [it, inserted] = active_.try_emplace(key);
-    Active& a = it->second;
-    if (!inserted) {
-      const bool timed_out =
-          packet.timestamp - a.record.end > options_.timeout;
-      const bool crossed =
-          interval_index(packet.timestamp) != interval_index(a.record.start);
-      if (timed_out || crossed) {
-        const bool continuation = crossed && !timed_out;
-        emit(a.record);
-        a.record = FlowRecord{};
-        a.record.continued = continuation;
-        if (continuation) ++counters_.boundary_splits;
-        inserted = true;
+    step(key, hash_value(key), packet.timestamp, packet.size_bytes,
+         interval_index(packet.timestamp));
+  }
+
+  void add_batch(const net::PacketBatch& batch) {
+    add_batch(batch, 0, batch.size());
+  }
+
+  /// Batched add of packets [begin, end) of `batch`. Emits exactly what an
+  /// add() per packet would — the batch form only hoists work: ordering is
+  /// validated in one scan, keys and hashes are computed for the whole
+  /// range up front (hash-ahead, prefetching the flow-table slot a few
+  /// packets ahead of use), and the interval index is evaluated once per
+  /// interval-homogeneous run instead of once per packet.
+  void add_batch(const net::PacketBatch& batch, std::size_t begin,
+                 std::size_t end) {
+    if (begin >= end) return;
+    const double* ts = batch.timestamps.data();
+    const std::uint32_t* sizes = batch.sizes.data();
+    if (ts[begin] < last_ts_) {
+      throw std::invalid_argument("FlowClassifier: out-of-order packet");
+    }
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      if (ts[i] < ts[i - 1]) {
+        throw std::invalid_argument("FlowClassifier: out-of-order packet");
       }
     }
-    if (inserted || a.record.packets == 0) {
-      a.record.start = packet.timestamp;
-      a.record.end = packet.timestamp;
-      a.record.size_bytes = 0;
-      a.record.packets = 0;
+    last_ts_ = ts[end - 1];
+    const std::size_t n = end - begin;
+    counters_.packets += n;
+
+    keys_scratch_.resize(n);
+    hash_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys_scratch_[i] = extract_(batch.record(begin + i));
+      hash_scratch_[i] = hash_value(keys_scratch_[i]);
     }
-    a.record.end = packet.timestamp;
-    a.record.size_bytes += packet.size_bytes;
-    ++a.record.packets;
+
+    std::size_t i = begin;
+    while (i < end) {
+      const std::int64_t idx = interval_index(ts[i]);
+      const std::size_t run = run_end(ts, i, end, idx);
+      for (std::size_t k = i; k < run; ++k) {
+        const std::size_t ahead = k - begin + kPrefetchAhead;
+        if (ahead < n) prefetch_slot(hash_scratch_[ahead]);
+        step(keys_scratch_[k - begin], hash_scratch_[k - begin], ts[k],
+             sizes[k], idx);
+      }
+      i = run;
+    }
   }
 
   /// Terminates all active flows (end of capture). The classifier can be
   /// reused afterwards — the stream clock resets, so the next capture may
   /// start at any timestamp.
   void flush() {
-    for (auto& [key, a] : active_) emit(a.record);
+    for (auto& [key, a] : active_) emit(a.record, false);
     active_.clear();
     last_ts_ = -std::numeric_limits<double>::infinity();
   }
@@ -193,7 +220,7 @@ class FlowClassifier {
   void expire_idle(double now) {
     for (auto it = active_.begin(); it != active_.end();) {
       if (now - it->second.record.end > options_.timeout) {
-        emit(it->second.record);
+        emit(it->second.record, false);
         it = active_.erase(it);
       } else {
         ++it;
@@ -226,16 +253,114 @@ class FlowClassifier {
  private:
   struct Active {
     FlowRecord record;
+    /// interval_index(record.start), cached at piece start so the per-packet
+    /// boundary check is an integer compare instead of a floor division.
+    std::int64_t start_index = 0;
   };
 
-  [[nodiscard]] long interval_index(double ts) const {
+  using map_type = Map<key_type, Active, typename KeyExtractor::hash_type>;
+
+  /// Flow-table slots to prefetch ahead of the packet being classified in
+  /// add_batch (hash-ahead distance). Far enough to cover a memory load,
+  /// near enough that the line is still resident when the probe runs.
+  static constexpr std::size_t kPrefetchAhead = 8;
+
+  /// Canonical interval index: floor division, matching api::interval_index_of
+  /// and stats::group_by_interval. Floor — not truncation toward zero — so
+  /// negative timestamps land in negative intervals instead of folding into
+  /// index 0 and never splitting at the t=0 boundary.
+  [[nodiscard]] std::int64_t interval_index(double ts) const {
     if (!std::isfinite(options_.interval)) return 0;
-    return static_cast<long>(ts / options_.interval);
+    return static_cast<std::int64_t>(std::floor(ts / options_.interval));
   }
 
-  void emit(const FlowRecord& rec) {
+  /// First index in (i, end) whose interval index differs from `idx`, or
+  /// `end` when the whole range shares it. Timestamps are non-decreasing, so
+  /// floor(ts/interval) is non-decreasing and the crossing can be bisected:
+  /// O(log n) evaluations of the canonical index expression per interval
+  /// crossing instead of one per packet — and every index the classifier
+  /// ever uses comes from the same expression, so the batched path cannot
+  /// disagree with the per-packet path by a ulp.
+  [[nodiscard]] std::size_t run_end(const double* ts, std::size_t i,
+                                    std::size_t end, std::int64_t idx) const {
+    if (interval_index(ts[end - 1]) == idx) return end;
+    std::size_t lo = i + 1;
+    std::size_t hi = end - 1;  // known: interval_index(ts[hi]) != idx
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (interval_index(ts[mid]) == idx) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::uint64_t hash_value(const key_type& key) const {
+    if constexpr (requires(const map_type& m) { m.hash_of(key); }) {
+      return active_.hash_of(key);
+    } else {
+      return static_cast<std::uint64_t>(
+          typename KeyExtractor::hash_type{}(key));
+    }
+  }
+
+  void prefetch_slot(std::uint64_t hash) const {
+    if constexpr (requires(const map_type& m) { m.prefetch_hashed(hash); }) {
+      active_.prefetch_hashed(hash);
+    }
+  }
+
+  auto emplace_key(const key_type& key, std::uint64_t hash) {
+    if constexpr (requires(map_type& m) { m.try_emplace_hashed(hash, key); }) {
+      return active_.try_emplace_hashed(hash, key);
+    } else {
+      (void)hash;
+      return active_.try_emplace(key);
+    }
+  }
+
+  /// One packet's worth of classification, ordering/counters already
+  /// handled by the caller. `idx` must equal interval_index(ts).
+  void step(const key_type& key, std::uint64_t hash, double ts,
+            std::uint32_t size_bytes, std::int64_t idx) {
+    auto [it, inserted] = emplace_key(key, hash);
+    Active& a = it->second;
+    if (!inserted) {
+      const bool timed_out = ts - a.record.end > options_.timeout;
+      const bool crossed = idx != a.start_index;
+      if (timed_out || crossed) {
+        const bool continuation = crossed && !timed_out;
+        emit(a.record, continuation);
+        a.record = FlowRecord{};
+        a.record.continued = continuation;
+        if (continuation) ++counters_.boundary_splits;
+        inserted = true;
+      }
+    }
+    if (inserted || a.record.packets == 0) {
+      a.record.start = ts;
+      a.record.end = ts;
+      a.record.size_bytes = 0;
+      a.record.packets = 0;
+      a.start_index = idx;
+    }
+    a.record.end = ts;
+    a.record.size_bytes += size_bytes;
+    ++a.record.packets;
+  }
+
+  /// `continues` marks a record being closed because a later piece of the
+  /// same flow is starting (boundary split). The paper discards
+  /// single-packet FLOWS, not pieces: a one-packet record still belongs to
+  /// a multi-packet flow when it continues an earlier piece (rec.continued)
+  /// or is continued by a later one (`continues`), so only records with
+  /// neither are discarded.
+  void emit(const FlowRecord& rec, bool continues) {
     if (rec.packets == 0) return;
-    if (rec.packets == 1 && options_.discard_single_packet) {
+    if (rec.packets == 1 && options_.discard_single_packet &&
+        !rec.continued && !continues) {
       ++counters_.single_packet_discards;
       if (options_.record_discards) {
         discards_.push_back({rec.start, rec.size_bytes});
@@ -248,10 +373,12 @@ class FlowClassifier {
 
   KeyExtractor extract_;
   ClassifierOptions options_;
-  Map<key_type, Active, typename KeyExtractor::hash_type> active_;
+  map_type active_;
   std::vector<FlowRecord> flows_;
   std::vector<DiscardedPacket> discards_;
   ClassifierCounters counters_;
+  std::vector<key_type> keys_scratch_;
+  std::vector<std::uint64_t> hash_scratch_;
   double last_ts_ = -std::numeric_limits<double>::infinity();
 };
 

@@ -178,18 +178,112 @@ void WindowedEstimator::push(const net::PacketRecord& packet) {
     }
   }
 
-  if (ts >= next_expire_) {
-    // Result-neutral early completion of idle flows (NetFlow's inactive
-    // timer): emitting now or at the window flush yields the same records,
-    // but the active tables stay O(active flows).
-    for (auto& s : open_) {
-      if (!s) continue;
-      s->classifier->expire_idle(ts);
-      drain(*s);
+  if (ts >= next_expire_) expire_all(ts);
+}
+
+void WindowedEstimator::expire_all(double now) {
+  // Result-neutral early completion of idle flows (NetFlow's inactive
+  // timer): emitting now or at the window flush yields the same records,
+  // but the active tables stay O(active flows).
+  for (auto& s : open_) {
+    if (!s) continue;
+    s->classifier->expire_idle(now);
+    drain(*s);
+  }
+  while (next_expire_ <= now) {
+    next_expire_ += config_.analysis.expire_every_s();
+  }
+}
+
+void WindowedEstimator::push_batch(const net::PacketBatch& batch) {
+  if (batch.empty()) return;
+  if (finished_) {
+    throw std::logic_error("WindowedEstimator: push after finish");
+  }
+  if (!tiled_) {
+    // Overlapping windows fan one packet out to several classifiers; the
+    // per-packet path already amortizes membership with the candidate scan,
+    // so batching buys nothing there.
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) push(batch.record(i));
+    return;
+  }
+
+  const double* ts = batch.timestamps.data();
+  const std::uint32_t* sizes = batch.sizes.data();
+  const std::size_t n = batch.size();
+
+  // Bulk validation up front so the run loop below never mutates state for
+  // a batch that would have thrown mid-way on the per-packet path.
+  if (ts[0] < 0.0) {
+    throw std::invalid_argument("WindowedEstimator: negative timestamp");
+  }
+  if (ts[0] < last_ts_) {
+    throw std::invalid_argument("WindowedEstimator: out-of-order packet");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ts[i] < ts[i - 1]) {
+      throw std::invalid_argument("WindowedEstimator: out-of-order packet");
     }
-    while (next_expire_ <= ts) {
-      next_expire_ += config_.analysis.expire_every_s();
+  }
+
+  if (counters_.packets == 0) {
+    next_expire_ = ts[0] + config_.analysis.expire_every_s();
+  }
+  last_ts_ = ts[n - 1];
+  counters_.packets += n;
+
+  std::size_t i = 0;
+  while (i < n) {
+    const double t = ts[i];
+    if (t >= next_close_end_) close_through(t);
+    while (t >= kmax_boundary_) {
+      ++cur_kmax_;
+      kmax_boundary_ = window_start(cur_kmax_ + 1);
     }
+    max_window_ = std::max(max_window_, cur_kmax_);
+    while (next_close_ + static_cast<std::int64_t>(open_.size()) <=
+           cur_kmax_) {
+      open_.emplace_back(nullptr);
+    }
+    // Expiring before the run instead of after each crossing packet is
+    // result-neutral: a flow idle past the timeout at t emits the same
+    // record whether the sweep or the classifier's own timeout step
+    // completes it.
+    if (t >= next_expire_) expire_all(t);
+
+    // Maximal run sharing this window with no close/expire deadline inside:
+    // every packet in [i, j) has ts < limit, found by bisection (timestamps
+    // are non-decreasing). Only the boundaries the per-packet path compares
+    // against are used, so run splitting cannot disagree with it.
+    const double limit =
+        std::min(kmax_boundary_, std::min(next_close_end_, next_expire_));
+    std::size_t j = n;
+    if (!(ts[n - 1] < limit)) {
+      std::size_t lo = i + 1;
+      std::size_t hi = n - 1;  // known: ts[hi] >= limit
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (ts[mid] < limit) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      j = lo;
+    }
+
+    WindowState& state = state_at(cur_kmax_);
+    state.classifier->add_batch(batch, i, j);
+    std::uint64_t run_bytes = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      state.bins.add(ts[k], static_cast<double>(sizes[k]));
+      run_bytes += sizes[k];
+    }
+    state.packets += j - i;
+    state.bytes += run_bytes;
+    counters_.bytes += run_bytes;
+    i = j;
   }
 }
 
@@ -265,8 +359,15 @@ void WindowedEstimator::finish() {
 }
 
 std::uint64_t WindowedEstimator::consume(api::TraceSource& source) {
-  const std::uint64_t n =
-      source.for_each([this](const net::PacketRecord& p) { push(p); });
+  net::PacketBatch batch;
+  const std::size_t cap =
+      std::max<std::size_t>(1, config_.analysis.batch_packets());
+  batch.reserve(cap);
+  std::uint64_t n = 0;
+  while (source.next_batch(batch, cap) > 0) {
+    n += batch.size();
+    push_batch(batch);
+  }
   finish();
   return n;
 }

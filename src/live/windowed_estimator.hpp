@@ -31,6 +31,7 @@
 
 #include "api/shard.hpp"
 #include "api/trace_source.hpp"
+#include "net/packet_batch.hpp"
 #include "live/anomaly_monitor.hpp"
 #include "live/forecast.hpp"
 #include "live/live_config.hpp"
@@ -91,6 +92,14 @@ class WindowedEstimator {
   /// classified.
   void push(const net::PacketRecord& packet);
 
+  /// Feed a whole batch; reports are bit-for-bit identical to push() per
+  /// packet at every batch size. With tiling windows (stride == width) the
+  /// batch runs through a vectorized fast path: packets are fed to their
+  /// window in maximal runs bounded by the next window boundary, close
+  /// watermark and expiry deadline, so the classifier's hash-ahead batch
+  /// path and the bin accumulation loop both run over contiguous spans.
+  void push_batch(const net::PacketBatch& batch);
+
   /// End of stream: close every window up to the last packet's. push() must
   /// not be called afterwards.
   void finish();
@@ -145,6 +154,7 @@ class WindowedEstimator {
   [[nodiscard]] WindowState& state_at(std::int64_t k);
   void feed(WindowState& state, const net::PacketRecord& packet);
   void drain(WindowState& state);
+  void expire_all(double now);  ///< expire + drain every open window
   void close_through(double now);  ///< close windows with end <= now
   void finalize_window(std::int64_t k, WindowState* state);
   void emit(WindowReport&& report);

@@ -1,6 +1,7 @@
 #include "net/lpm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <random>
 
 namespace fbm::net {
@@ -13,10 +14,17 @@ std::optional<std::uint32_t> RoutingTable::insert(const Prefix& prefix,
   for (int depth = 0; depth < prefix.length(); ++depth) {
     const int b = bit(prefix.network().value(), depth) ? 1 : 0;
     if (nodes_[idx].child[b] < 0) {
-      nodes_[idx].child[b] = static_cast<std::int32_t>(nodes_.size());
-      Node node;
-      node.depth = static_cast<std::int8_t>(depth + 1);
-      nodes_.push_back(node);
+      std::int32_t slot;
+      if (free_.empty()) {
+        slot = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+      } else {
+        slot = free_.back();
+        free_.pop_back();
+      }
+      nodes_[idx].child[b] = slot;
+      nodes_[static_cast<std::size_t>(slot)].depth =
+          static_cast<std::int8_t>(depth + 1);
     }
     idx = static_cast<std::size_t>(nodes_[idx].child[b]);
   }
@@ -57,17 +65,79 @@ std::optional<Prefix> RoutingTable::lookup_prefix(Ipv4Address addr) const {
 }
 
 bool RoutingTable::erase(const Prefix& prefix) {
+  std::array<std::int32_t, 33> path;  // node index at each depth of the walk
+  path[0] = 0;
   std::size_t idx = 0;
   for (int depth = 0; depth < prefix.length(); ++depth) {
     const int b = bit(prefix.network().value(), depth) ? 1 : 0;
     const std::int32_t next = nodes_[idx].child[b];
     if (next < 0) return false;
     idx = static_cast<std::size_t>(next);
+    path[static_cast<std::size_t>(depth) + 1] = next;
   }
   if (!nodes_[idx].terminal) return false;
   nodes_[idx].terminal = false;
   --entries_;
+  // Prune the dead tail of the path: a node that is neither terminal nor a
+  // parent serves no lookup, so unlink it bottom-up and park the slot on
+  // the free list for insert() to reuse. Without this, attach/detach
+  // cycles grow the trie without bound.
+  for (int depth = prefix.length(); depth > 0; --depth) {
+    const std::int32_t slot = path[static_cast<std::size_t>(depth)];
+    Node& node = nodes_[static_cast<std::size_t>(slot)];
+    if (node.terminal || node.child[0] >= 0 || node.child[1] >= 0) break;
+    Node& parent = nodes_[static_cast<std::size_t>(path[depth - 1])];
+    const int b = bit(prefix.network().value(), depth - 1) ? 1 : 0;
+    parent.child[b] = -1;
+    node = Node{};
+    free_.push_back(slot);
+  }
   return true;
+}
+
+void RoutingTable::lookup_batch(const std::uint32_t* addrs, std::size_t n,
+                                std::uint32_t* out, std::uint32_t miss) const {
+  // Up to kLanes dependent pointer-chase chains run interleaved: while one
+  // lane's node load is in flight the other lanes issue theirs, and each
+  // child is prefetched a full round before it is visited.
+  constexpr std::size_t kLanes = 8;
+  const Node* nodes = nodes_.data();
+  std::size_t base = 0;
+  while (base < n) {
+    const std::size_t lanes = std::min(kLanes, n - base);
+    std::int32_t cur[kLanes];  // node each lane visits this round; -1 = done
+    std::uint32_t best[kLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      cur[l] = 0;
+      best[l] = miss;
+    }
+    std::size_t active = lanes;
+    for (int depth = 0; depth <= 32 && active > 0; ++depth) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::int32_t idx = cur[l];
+        if (idx < 0) continue;
+        const Node& node = nodes[idx];
+        if (node.terminal) best[l] = node.route_id;
+        if (depth == 32) {  // /32 leaf: no further bit to branch on
+          cur[l] = -1;
+          --active;
+          continue;
+        }
+        const std::int32_t next =
+            node.child[bit(addrs[base + l], depth) ? 1 : 0];
+        cur[l] = next;
+        if (next < 0) {
+          --active;
+          continue;
+        }
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&nodes[next]);
+#endif
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) out[base + l] = best[l];
+    base += lanes;
+  }
 }
 
 std::vector<RoutingTable::Entry> RoutingTable::entries() const {

@@ -31,14 +31,30 @@ class RoutingTable {
   /// default route unless one was inserted as /0).
   [[nodiscard]] std::optional<std::uint32_t> lookup(Ipv4Address addr) const;
 
+  /// Batched longest-prefix match over raw address values: out[i] gets the
+  /// route id for addrs[i], or `miss` for addresses no entry covers. Walks
+  /// several tries strides in parallel lanes with node prefetch, so the
+  /// dependent-load chain of one lookup overlaps the others — same results
+  /// as calling lookup() per address, measurably faster on large tables.
+  void lookup_batch(const std::uint32_t* addrs, std::size_t n,
+                    std::uint32_t* out, std::uint32_t miss) const;
+
   /// The matching prefix itself (for flow keying).
   [[nodiscard]] std::optional<Prefix> lookup_prefix(Ipv4Address addr) const;
 
-  /// Removes the exact prefix; returns false if absent.
+  /// Removes the exact prefix; returns false if absent. Interior nodes left
+  /// childless and non-terminal by the removal are pruned onto a free list
+  /// that insert() reuses, so attach/detach cycles do not grow the trie.
   bool erase(const Prefix& prefix);
 
   [[nodiscard]] std::size_t size() const { return entries_; }
   [[nodiscard]] bool empty() const { return entries_ == 0; }
+
+  /// Live trie nodes (allocated minus free-listed), for bounding growth in
+  /// tests; at most 1 + sum over entries of prefix length.
+  [[nodiscard]] std::size_t node_count() const {
+    return nodes_.size() - free_.size();
+  }
 
   /// All installed entries in ascending (network, length) order.
   struct Entry {
@@ -60,6 +76,7 @@ class RoutingTable {
   }
 
   std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_;  ///< pruned slots, reused by insert()
   std::size_t entries_ = 0;
 };
 

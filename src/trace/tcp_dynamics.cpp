@@ -19,12 +19,19 @@ double jittered(double x, double j, stats::Rng& rng) {
 std::vector<PacketEmission> packetize_tcp(std::uint64_t size_bytes,
                                           const TcpParams& params,
                                           stats::Rng& rng) {
+  std::vector<PacketEmission> out;
+  packetize_tcp_into(size_bytes, params, rng, out);
+  return out;
+}
+
+void packetize_tcp_into(std::uint64_t size_bytes, const TcpParams& params,
+                        stats::Rng& rng, std::vector<PacketEmission>& out) {
   if (params.rtt <= 0.0) throw std::invalid_argument("packetize_tcp: rtt<=0");
   if (params.mss == 0) throw std::invalid_argument("packetize_tcp: mss==0");
   if (params.peak_rate_bps <= 0.0) {
     throw std::invalid_argument("packetize_tcp: peak_rate<=0");
   }
-  std::vector<PacketEmission> out;
+  out.clear();
   if (size_bytes == 0) size_bytes = 1;
 
   // Window cap from the path's bandwidth-delay product, at least 1 segment.
@@ -69,18 +76,25 @@ std::vector<PacketEmission> packetize_tcp(std::uint64_t size_bytes,
     const double base = out.front().offset;
     for (auto& e : out) e.offset -= base;
   }
-  return out;
 }
 
 std::vector<PacketEmission> packetize_cbr(std::uint64_t size_bytes,
                                           double rate_bps,
                                           std::uint32_t packet_bytes,
                                           double jitter, stats::Rng& rng) {
+  std::vector<PacketEmission> out;
+  packetize_cbr_into(size_bytes, rate_bps, packet_bytes, jitter, rng, out);
+  return out;
+}
+
+void packetize_cbr_into(std::uint64_t size_bytes, double rate_bps,
+                        std::uint32_t packet_bytes, double jitter,
+                        stats::Rng& rng, std::vector<PacketEmission>& out) {
   if (rate_bps <= 0.0) throw std::invalid_argument("packetize_cbr: rate<=0");
   if (packet_bytes == 0) {
     throw std::invalid_argument("packetize_cbr: packet_bytes==0");
   }
-  std::vector<PacketEmission> out;
+  out.clear();
   if (size_bytes == 0) size_bytes = 1;
   const double gap = static_cast<double>(packet_bytes) * 8.0 / rate_bps;
   std::uint64_t remaining = size_bytes;
@@ -92,7 +106,6 @@ std::vector<PacketEmission> packetize_cbr(std::uint64_t size_bytes,
     remaining -= bytes;
     t += jittered(gap, jitter, rng);
   }
-  return out;
 }
 
 double emission_duration(const std::vector<PacketEmission>& es) {

@@ -41,11 +41,23 @@ struct TcpParams {
 [[nodiscard]] std::vector<PacketEmission> packetize_tcp(
     std::uint64_t size_bytes, const TcpParams& params, stats::Rng& rng);
 
+/// packetize_tcp into a caller-owned buffer (replaced, not appended): the
+/// trace generator emits millions of short flows, so reusing one buffer
+/// instead of allocating a vector per flow keeps packetization
+/// allocation-free. Same emissions, same RNG consumption.
+void packetize_tcp_into(std::uint64_t size_bytes, const TcpParams& params,
+                        stats::Rng& rng, std::vector<PacketEmission>& out);
+
 /// Constant-bit-rate (UDP-like) emission at `rate_bps` with per-packet
 /// `packet_bytes`, plus jitter. Rectangular shot (b=0).
 [[nodiscard]] std::vector<PacketEmission> packetize_cbr(
     std::uint64_t size_bytes, double rate_bps, std::uint32_t packet_bytes,
     double jitter, stats::Rng& rng);
+
+/// packetize_cbr into a caller-owned buffer (see packetize_tcp_into).
+void packetize_cbr_into(std::uint64_t size_bytes, double rate_bps,
+                        std::uint32_t packet_bytes, double jitter,
+                        stats::Rng& rng, std::vector<PacketEmission>& out);
 
 /// Total duration of an emission schedule (offset of the last packet).
 [[nodiscard]] double emission_duration(const std::vector<PacketEmission>& es);

@@ -51,9 +51,7 @@ void encode_record(std::array<char, kRecordSize>& buf,
   put_raw(&size, 4);
 }
 
-[[nodiscard]] net::PacketRecord decode_record(
-    const std::array<char, kRecordSize>& buf) {
-  const char* p = buf.data();
+[[nodiscard]] net::PacketRecord decode_record(const char* p) {
   const auto get_raw = [&p](void* dst, std::size_t n) {
     std::memcpy(dst, p, n);
     p += n;
@@ -170,7 +168,7 @@ std::optional<net::PacketRecord> TraceReader::next() {
                              path_.string());
   }
   ++read_;
-  return decode_record(buf);
+  return decode_record(buf.data());
 }
 
 std::optional<net::PacketRecord> TraceReader::poll() {
@@ -186,7 +184,27 @@ std::optional<net::PacketRecord> TraceReader::poll() {
     return std::nullopt;
   }
   ++read_;
-  return decode_record(buf);
+  return decode_record(buf.data());
+}
+
+std::size_t TraceReader::next_batch(net::PacketBatch& out, std::size_t max_n) {
+  out.clear();
+  if (max_n == 0) return 0;
+  bulk_.resize(max_n * kRecordSize);
+  in_.read(bulk_.data(), static_cast<std::streamsize>(bulk_.size()));
+  const std::size_t got = static_cast<std::size_t>(in_.gcount());
+  if (got == 0) return 0;
+  if (got % kRecordSize != 0) {
+    throw std::runtime_error("TraceReader: truncated record in " +
+                             path_.string());
+  }
+  const std::size_t n = got / kRecordSize;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(decode_record(bulk_.data() + i * kRecordSize));
+  }
+  read_ += n;
+  return n;
 }
 
 void write_trace(const std::filesystem::path& path,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 
 namespace fbm::trace {
 
@@ -72,6 +73,12 @@ class TraceReader {
   /// still being appended to (fbm_live --follow).
   [[nodiscard]] std::optional<net::PacketRecord> poll();
 
+  /// Reads up to `max_n` records into `out` (cleared first) with a single
+  /// bulk read instead of one ifstream::read per record; returns the count,
+  /// 0 at end of file. Throws std::runtime_error on a truncated record,
+  /// like next().
+  std::size_t next_batch(net::PacketBatch& out, std::size_t max_n);
+
   /// Record count from the header; kUnknownCount for unclosed files.
   [[nodiscard]] std::uint64_t header_count() const { return header_count_; }
   [[nodiscard]] std::uint64_t read_so_far() const { return read_; }
@@ -79,6 +86,7 @@ class TraceReader {
  private:
   std::ifstream in_;
   std::filesystem::path path_;  ///< for diagnostics — every error names it
+  std::vector<char> bulk_;      ///< next_batch read buffer, reused
   std::uint64_t header_count_ = kUnknownCount;
   std::uint64_t read_ = 0;
 };

@@ -113,6 +113,101 @@ TEST(Classifier, IntervalBoundarySplitsAndFlags) {
   EXPECT_EQ(c.counters().boundary_splits, 1u);
 }
 
+TEST(Classifier, NegativeTimestampsUseFlooredIntervalIndex) {
+  // Truncation toward zero would lump [-10, 10) into one interval index 0;
+  // floor puts -5 into index -1, so crossing zero splits the flow.
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(-5.0));
+  c.add(packet(-1.0));
+  c.add(packet(1.0));  // index -1 -> 0: boundary split
+  c.add(packet(5.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.flows()[0].start, -5.0);
+  EXPECT_DOUBLE_EQ(c.flows()[0].end, -1.0);
+  EXPECT_FALSE(c.flows()[0].continued);
+  EXPECT_TRUE(c.flows()[1].continued);
+  EXPECT_DOUBLE_EQ(c.flows()[1].start, 1.0);
+  EXPECT_EQ(c.counters().boundary_splits, 1u);
+}
+
+TEST(Classifier, NegativeBoundaryMultipleStartsItsOwnInterval) {
+  // floor(-10 / 10) = -1 exactly: a packet at the boundary belongs to the
+  // interval it opens, mirroring the non-negative convention.
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(-12.0));  // index -2
+  c.add(packet(-10.0));  // index -1: split exactly at the multiple
+  c.add(packet(-9.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.flows()[1].start, -10.0);
+  EXPECT_EQ(c.flows()[1].packets, 2u);
+}
+
+TEST(Classifier, ExactBoundaryMultipleStartsItsOwnInterval) {
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(9.0));
+  c.add(packet(9.5));
+  c.add(packet(10.0));  // exactly k * interval: the next interval
+  c.add(packet(10.5));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.flows()[1].start, 10.0);
+  EXPECT_EQ(c.counters().boundary_splits, 1u);
+}
+
+TEST(Classifier, SinglePacketContinuationPieceKept) {
+  // The paper discards single-packet *flows*; a one-packet continuation
+  // piece belongs to a multi-packet flow, so it must survive.
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(8.0));
+  c.add(packet(9.0));
+  c.add(packet(11.0));  // lone packet of piece 2
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_TRUE(c.flows()[1].continued);
+  EXPECT_EQ(c.flows()[1].packets, 1u);
+  EXPECT_EQ(c.counters().single_packet_discards, 0u);
+}
+
+TEST(Classifier, SinglePacketLeadPieceKeptWhenFlowContinues) {
+  // Two-packet flow straddling the boundary: both one-packet pieces belong
+  // to a two-packet flow and are kept.
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(9.0));
+  c.add(packet(11.0));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 2u);
+  EXPECT_FALSE(c.flows()[0].continued);
+  EXPECT_TRUE(c.flows()[1].continued);
+  EXPECT_EQ(c.counters().single_packet_discards, 0u);
+}
+
+TEST(Classifier, TrueSinglePacketFlowStillDiscardedAcrossIntervals) {
+  // An isolated packet with no continuation on either side stays a
+  // single-packet flow and is discarded as before.
+  ClassifierOptions opt;
+  opt.interval = 10.0;
+  opt.timeout = 5.0;
+  FiveTupleClassifier c(opt);
+  c.add(packet(9.0));
+  c.add(packet(19.0));  // gap 10 > timeout: NOT a continuation
+  c.add(packet(19.5));
+  c.flush();
+  ASSERT_EQ(c.flows().size(), 1u);  // the {19.0, 19.5} flow
+  EXPECT_EQ(c.counters().single_packet_discards, 1u);
+}
+
 TEST(Classifier, TimeoutAcrossBoundaryIsNotContinuation) {
   ClassifierOptions opt;
   opt.interval = 10.0;

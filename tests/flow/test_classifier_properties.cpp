@@ -85,7 +85,17 @@ TEST_P(ClassifierInvariants, EveryFlowIsWellFormed) {
   const auto [timeout, interval, prefix] = GetParam();
   for (const auto& f : r.flows) {
     EXPECT_GE(f.duration(), 0.0);
-    EXPECT_GE(f.packets, 2u);  // singles are discarded
+    // Single-packet *flows* are discarded; single-packet *pieces* of a
+    // boundary-split flow are kept. A surviving single must therefore be a
+    // continuation piece, or a lead piece whose flow resumes across the
+    // next boundary (its last packet within `timeout` of that boundary).
+    if (f.packets < 2u && !f.continued) {
+      ASSERT_TRUE(std::isfinite(interval));
+      const auto start_idx = std::floor(f.start / interval);
+      const double next_boundary = (start_idx + 1.0) * interval;
+      EXPECT_LT(next_boundary - f.end, timeout)
+          << "isolated single-packet flow survived: " << f.start;
+    }
     EXPECT_GT(f.size_bytes, 0u);
     // A flow piece never spans more than one analysis interval.
     if (std::isfinite(interval)) {

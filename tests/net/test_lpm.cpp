@@ -194,6 +194,73 @@ TEST(RoutingTable, AgreesWithLinearScanOnRandomWorkload) {
   }
 }
 
+TEST(RoutingTable, EraseReclaimsInteriorNodes) {
+  // An insert/erase cycle must not leak interior trie nodes: erase prunes
+  // childless non-terminal paths onto a free list that insert() reuses, so
+  // repeated attach/detach keeps node_count() bounded.
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);  // a resident entry erase must not touch
+  const std::size_t resident_nodes = t.node_count();
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ASSERT_FALSE(t.insert(pfx("172.16.0.0", 12), 7).has_value());
+    ASSERT_FALSE(t.insert(pfx("192.168.31.0", 24), 8).has_value());
+    EXPECT_EQ(t.size(), 3u);
+    ASSERT_TRUE(t.erase(pfx("172.16.0.0", 12)));
+    ASSERT_TRUE(t.erase(pfx("192.168.31.0", 24)));
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.node_count(), resident_nodes);
+  }
+  // The resident entry is untouched throughout.
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 2, 3)).value(), 1u);
+  const auto entries = t.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].prefix, pfx("10.0.0.0", 8));
+  EXPECT_EQ(entries[0].route_id, 1u);
+}
+
+TEST(RoutingTable, ErasePrunesOnlyUpToSharedAncestor) {
+  // Erasing a /24 under a live /16 must keep the /16's path intact and
+  // reclaim exactly the nodes below it.
+  RoutingTable t;
+  t.insert(pfx("10.1.0.0", 16), 1);
+  const std::size_t before = t.node_count();
+  t.insert(pfx("10.1.2.0", 24), 2);
+  ASSERT_TRUE(t.erase(pfx("10.1.2.0", 24)));
+  EXPECT_EQ(t.node_count(), before);
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 2, 3)).value(), 1u);  // /16 intact
+  ASSERT_EQ(t.entries().size(), 1u);
+}
+
+TEST(RoutingTable, EraseKeepsTerminalInteriorNode) {
+  // A /8 that is itself an entry sits on the /24's path: erasing the /24
+  // prunes only below the /8, never the terminal node itself.
+  RoutingTable t;
+  t.insert(pfx("10.0.0.0", 8), 1);
+  t.insert(pfx("10.1.2.0", 24), 2);
+  ASSERT_TRUE(t.erase(pfx("10.1.2.0", 24)));
+  EXPECT_EQ(t.lookup(Ipv4Address(10, 1, 2, 3)).value(), 1u);
+  ASSERT_TRUE(t.erase(pfx("10.0.0.0", 8)));
+  EXPECT_TRUE(t.empty());
+  // Only the root remains live.
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(RoutingTable, LookupBatchMatchesScalarLookup) {
+  const auto fib = make_synthetic_fib(512, 99);
+  stats::Rng rng(1234);
+  constexpr std::uint32_t kMiss = 0xffffffffu;
+  std::vector<std::uint32_t> addrs;
+  for (int i = 0; i < 4096; ++i) {
+    addrs.push_back(static_cast<std::uint32_t>(rng.uniform_int(0, 1u << 31)));
+  }
+  std::vector<std::uint32_t> out(addrs.size(), 0);
+  fib.lookup_batch(addrs.data(), addrs.size(), out.data(), kMiss);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const auto scalar = fib.lookup(Ipv4Address(addrs[i]));
+    EXPECT_EQ(out[i], scalar.value_or(kMiss)) << Ipv4Address(addrs[i]).to_string();
+  }
+}
+
 TEST(SyntheticFib, HasRequestedSizeAndMix) {
   const auto fib = make_synthetic_fib(1000, 42);
   EXPECT_EQ(fib.size(), 1000u);

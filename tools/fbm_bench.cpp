@@ -5,12 +5,18 @@
 //   fbm_bench --filter fig08 --json out/
 //   fbm_bench --quick --json bench-out/ --baseline bench/baseline.json
 //   fbm_bench --quick --write-baseline bench/baseline.json
+//   fbm_bench --compare bench/baseline.json bench-out/current.json
 //
 // Every selected bench produces out/BENCH_<name>.json (schema in
 // perf/bench_report.hpp) plus an aggregate out/BENCH_summary.json. With
 // --baseline, any bench whose packets_per_s falls more than
 // --max-regression (default 0.25) below the checked-in value fails the run
 // — the CI bench-smoke job is exactly this invocation.
+//
+// --compare runs no benches: it reads two baseline-format files (A = the
+// reference, B = the candidate) and prints a per-bench packets_per_s delta
+// table in Markdown — the CI job pipes it into the step summary so every PR
+// shows its bench movement.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +38,8 @@ struct Options {
   std::string json_dir;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string compare_a;
+  std::string compare_b;
   double max_regression = 0.25;
   bool quick = false;
   bool list = false;
@@ -42,8 +50,9 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--list] [--filter SUBSTR] [--quick] [--json DIR]\n"
       "          [--baseline FILE] [--max-regression FRAC]\n"
-      "          [--write-baseline FILE]\n",
-      argv0);
+      "          [--write-baseline FILE]\n"
+      "       %s --compare A.json B.json\n",
+      argv0, argv0);
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -72,6 +81,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.write_baseline_path = v;
+    } else if (std::strcmp(arg, "--compare") == 0) {
+      const char* a = value();
+      const char* b = value();
+      if (a == nullptr || b == nullptr) return false;
+      opt.compare_a = a;
+      opt.compare_b = b;
     } else if (std::strcmp(arg, "--max-regression") == 0) {
       const char* v = value();
       if (v == nullptr) return false;
@@ -114,6 +129,74 @@ bool write_baseline(const std::string& path,
   return static_cast<bool>(out);
 }
 
+/// Parses a baseline-format file (flat "name": number object) into ordered
+/// (bench, packets_per_s) pairs; the "schema"/"quick" bookkeeping keys are
+/// skipped. Returns false when the file cannot be read.
+bool read_baseline_entries(
+    const std::string& path,
+    std::vector<std::pair<std::string, double>>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  std::size_t pos = 0;
+  while ((pos = content.find('"', pos)) != std::string::npos) {
+    const std::size_t end = content.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = content.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    if (key == "schema" || key == "quick") continue;
+    const std::size_t colon = content.find(':', pos);
+    if (colon == std::string::npos) break;
+    out.emplace_back(key,
+                     std::strtod(content.c_str() + colon + 1, nullptr));
+  }
+  return true;
+}
+
+/// --compare mode: a Markdown delta table of B (candidate) over A
+/// (reference), one row per bench in either file.
+int run_compare(const std::string& a_path, const std::string& b_path) {
+  std::vector<std::pair<std::string, double>> a;
+  std::vector<std::pair<std::string, double>> b;
+  if (!read_baseline_entries(a_path, a) ||
+      !read_baseline_entries(b_path, b)) {
+    return 2;
+  }
+  const auto find = [](const std::vector<std::pair<std::string, double>>& v,
+                       const std::string& key) -> const double* {
+    for (const auto& [k, val] : v) {
+      if (k == key) return &val;
+    }
+    return nullptr;
+  };
+
+  std::printf("| bench | %s | %s | delta |\n", a_path.c_str(),
+              b_path.c_str());
+  std::printf("|---|---:|---:|---:|\n");
+  for (const auto& [name, base] : a) {
+    const double* cand = find(b, name);
+    if (cand == nullptr) {
+      std::printf("| %s | %.0f | - | removed |\n", name.c_str(), base);
+    } else if (base > 0.0) {
+      std::printf("| %s | %.0f | %.0f | %+.1f%% |\n", name.c_str(), base,
+                  *cand, (*cand / base - 1.0) * 100.0);
+    } else {
+      std::printf("| %s | %.0f | %.0f | - |\n", name.c_str(), base, *cand);
+    }
+  }
+  for (const auto& [name, cand] : b) {
+    if (find(a, name) == nullptr) {
+      std::printf("| %s | - | %.0f | new |\n", name.c_str(), cand);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +204,10 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     usage(argv[0]);
     return 2;
+  }
+
+  if (!opt.compare_a.empty()) {
+    return run_compare(opt.compare_a, opt.compare_b);
   }
 
   auto benches = fbm::bench::registered_benches();
