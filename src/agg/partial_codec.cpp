@@ -1,9 +1,7 @@
 #include "agg/partial_codec.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -11,83 +9,18 @@ namespace fbm::agg {
 
 namespace {
 
-static_assert(std::endian::native == std::endian::little,
-              "partial format assumes a little-endian host");
+using core::ByteBuffer;
+using core::ByteCursor;
 
 constexpr std::uint32_t kFrameMeta = 1;
 constexpr std::uint32_t kFrameWindow = 2;
 constexpr std::uint32_t kFrameEnd = 3;
 
-[[nodiscard]] std::uint64_t fnv1a64(const char* data, std::size_t n) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 // ------------------------------------------------------------- serializing ---
 
-struct Buffer {
-  std::vector<char> bytes;
-
-  template <typename T>
-  void put(T v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::size_t at = bytes.size();
-    bytes.resize(at + sizeof(v));
-    std::memcpy(bytes.data() + at, &v, sizeof(v));
-  }
-  void put_string(const std::string& s) {
-    put(static_cast<std::uint32_t>(s.size()));
-    bytes.insert(bytes.end(), s.begin(), s.end());
-  }
-};
-
-void write_frame(std::ofstream& out, std::uint32_t type, const Buffer& body) {
-  const auto put = [&out](auto v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  put(type);
-  put(std::uint32_t{0});
-  put(static_cast<std::uint64_t>(body.bytes.size()));
-  out.write(body.bytes.data(),
-            static_cast<std::streamsize>(body.bytes.size()));
-  put(fnv1a64(body.bytes.data(), body.bytes.size()));
-}
-
-[[nodiscard]] Buffer encode_meta(const PartialMeta& m) {
-  Buffer b;
-  b.put(static_cast<std::uint32_t>(m.kind));
-  b.put(static_cast<std::uint32_t>(m.flow_def));
-  b.put(m.timeout_s);
-  b.put(m.interval_s);
-  b.put(m.delta_s);
-  b.put(m.eps);
-  b.put(m.min_flows);
-  b.put(m.fixed_b);
-  b.put(m.fallback_b);
-  b.put(m.window_s);
-  b.put(m.stride_s);
-  b.put(m.forecast_max_order);
-  b.put(m.forecast_history);
-  b.put(m.band_k_sigma);
-  b.put(m.alert_min_consecutive);
-  b.put(m.bin_k_sigma);
-  b.put(m.bin_min_consecutive);
-  b.put(static_cast<std::uint32_t>(m.engine ? 1 : 0));
-  b.put(static_cast<std::uint32_t>(m.links.size()));
-  for (const auto& link : m.links) {
-    b.put(link.id);
-    b.put_string(link.name);
-  }
-  return b;
-}
-
-[[nodiscard]] Buffer encode_window(std::uint32_t link_id,
-                                   const live::WindowPartial& w) {
-  Buffer b;
+[[nodiscard]] ByteBuffer encode_window(std::uint32_t link_id,
+                                       const live::WindowPartial& w) {
+  ByteBuffer b;
   b.put(link_id);
   b.put(std::uint32_t{0});
   b.put(w.index);
@@ -113,9 +46,9 @@ void write_frame(std::ofstream& out, std::uint32_t type, const Buffer& body) {
   return b;
 }
 
-[[nodiscard]] Buffer encode_end(std::uint64_t windows,
-                                const PartialTotals& t) {
-  Buffer b;
+[[nodiscard]] ByteBuffer encode_end(std::uint64_t windows,
+                                    const PartialTotals& t) {
+  ByteBuffer b;
   b.put(windows);
   b.put(t.summary.packets);
   b.put(t.summary.total_bytes);
@@ -134,87 +67,7 @@ void write_frame(std::ofstream& out, std::uint32_t type, const Buffer& body) {
 
 // --------------------------------------------------------------- deserializing
 
-/// Bounds-checked cursor over one verified frame payload. Every overrun is
-/// a corruption diagnostic, never UB.
-struct Cursor {
-  const char* data;
-  std::size_t size;
-  std::size_t at = 0;
-  const std::string& where;  ///< "partial file <path>" prefix for errors
-
-  template <typename T>
-  [[nodiscard]] T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (size - at < sizeof(T)) {
-      throw std::runtime_error(where + ": malformed frame payload");
-    }
-    T v;
-    std::memcpy(&v, data + at, sizeof(v));
-    at += sizeof(v);
-    return v;
-  }
-  [[nodiscard]] std::string get_string() {
-    const auto n = get<std::uint32_t>();
-    if (size - at < n) {
-      throw std::runtime_error(where + ": malformed frame payload");
-    }
-    std::string s(data + at, n);
-    at += n;
-    return s;
-  }
-  void expect_done() const {
-    if (at != size) {
-      throw std::runtime_error(where + ": malformed frame payload");
-    }
-  }
-};
-
-[[nodiscard]] PartialMeta decode_meta(Cursor& c) {
-  PartialMeta m;
-  const auto kind = c.get<std::uint32_t>();
-  if (kind != static_cast<std::uint32_t>(PartialKind::batch) &&
-      kind != static_cast<std::uint32_t>(PartialKind::live)) {
-    throw std::runtime_error(c.where + ": unknown partial kind");
-  }
-  m.kind = static_cast<PartialKind>(kind);
-  const auto def = c.get<std::uint32_t>();
-  if (def > 1) {
-    throw std::runtime_error(c.where + ": unknown flow definition");
-  }
-  m.flow_def = def == 0 ? api::FlowDefinition::five_tuple
-                        : api::FlowDefinition::prefix24;
-  m.timeout_s = c.get<double>();
-  m.interval_s = c.get<double>();
-  m.delta_s = c.get<double>();
-  m.eps = c.get<double>();
-  m.min_flows = c.get<std::uint64_t>();
-  m.fixed_b = c.get<double>();
-  m.fallback_b = c.get<double>();
-  m.window_s = c.get<double>();
-  m.stride_s = c.get<double>();
-  m.forecast_max_order = c.get<std::uint64_t>();
-  m.forecast_history = c.get<std::uint64_t>();
-  m.band_k_sigma = c.get<double>();
-  m.alert_min_consecutive = c.get<std::uint64_t>();
-  m.bin_k_sigma = c.get<double>();
-  m.bin_min_consecutive = c.get<std::uint64_t>();
-  m.engine = c.get<std::uint32_t>() != 0;
-  const auto nlinks = c.get<std::uint32_t>();
-  m.links.reserve(nlinks);
-  for (std::uint32_t i = 0; i < nlinks; ++i) {
-    LinkDecl link;
-    link.id = c.get<std::uint32_t>();
-    link.name = c.get_string();
-    m.links.push_back(std::move(link));
-  }
-  c.expect_done();
-  if (m.engine != !m.links.empty()) {
-    throw std::runtime_error(c.where + ": inconsistent link declarations");
-  }
-  return m;
-}
-
-[[nodiscard]] PartialWindow decode_window(Cursor& c) {
+[[nodiscard]] PartialWindow decode_window(ByteCursor& c) {
   const auto link_id = c.get<std::uint32_t>();
   (void)c.get<std::uint32_t>();  // reserved
   const auto index = c.get<std::int64_t>();
@@ -265,7 +118,8 @@ struct Cursor {
                                    std::move(flows), std::move(binner)}};
 }
 
-[[nodiscard]] std::pair<std::uint64_t, PartialTotals> decode_end(Cursor& c) {
+[[nodiscard]] std::pair<std::uint64_t, PartialTotals> decode_end(
+    ByteCursor& c) {
   const auto windows = c.get<std::uint64_t>();
   PartialTotals t;
   t.summary.packets = c.get<std::uint64_t>();
@@ -288,6 +142,78 @@ struct Cursor {
 }
 
 }  // namespace
+
+// ----------------------------------------------------------- meta codec ---
+
+void encode_meta(core::ByteBuffer& b, const PartialMeta& m) {
+  b.put(static_cast<std::uint32_t>(m.kind));
+  b.put(static_cast<std::uint32_t>(m.flow_def));
+  b.put(m.timeout_s);
+  b.put(m.interval_s);
+  b.put(m.delta_s);
+  b.put(m.eps);
+  b.put(m.min_flows);
+  b.put(m.fixed_b);
+  b.put(m.fallback_b);
+  b.put(m.window_s);
+  b.put(m.stride_s);
+  b.put(m.forecast_max_order);
+  b.put(m.forecast_history);
+  b.put(m.band_k_sigma);
+  b.put(m.alert_min_consecutive);
+  b.put(m.bin_k_sigma);
+  b.put(m.bin_min_consecutive);
+  b.put(static_cast<std::uint32_t>(m.engine ? 1 : 0));
+  b.put(static_cast<std::uint32_t>(m.links.size()));
+  for (const auto& link : m.links) {
+    b.put(link.id);
+    b.put_string(link.name);
+  }
+}
+
+PartialMeta decode_meta(core::ByteCursor& c) {
+  PartialMeta m;
+  const auto kind = c.get<std::uint32_t>();
+  if (kind != static_cast<std::uint32_t>(PartialKind::batch) &&
+      kind != static_cast<std::uint32_t>(PartialKind::live)) {
+    throw std::runtime_error(c.where + ": unknown partial kind");
+  }
+  m.kind = static_cast<PartialKind>(kind);
+  const auto def = c.get<std::uint32_t>();
+  if (def > 1) {
+    throw std::runtime_error(c.where + ": unknown flow definition");
+  }
+  m.flow_def = def == 0 ? api::FlowDefinition::five_tuple
+                        : api::FlowDefinition::prefix24;
+  m.timeout_s = c.get<double>();
+  m.interval_s = c.get<double>();
+  m.delta_s = c.get<double>();
+  m.eps = c.get<double>();
+  m.min_flows = c.get<std::uint64_t>();
+  m.fixed_b = c.get<double>();
+  m.fallback_b = c.get<double>();
+  m.window_s = c.get<double>();
+  m.stride_s = c.get<double>();
+  m.forecast_max_order = c.get<std::uint64_t>();
+  m.forecast_history = c.get<std::uint64_t>();
+  m.band_k_sigma = c.get<double>();
+  m.alert_min_consecutive = c.get<std::uint64_t>();
+  m.bin_k_sigma = c.get<double>();
+  m.bin_min_consecutive = c.get<std::uint64_t>();
+  m.engine = c.get<std::uint32_t>() != 0;
+  const auto nlinks = c.get<std::uint32_t>();
+  m.links.reserve(nlinks);
+  for (std::uint32_t i = 0; i < nlinks; ++i) {
+    LinkDecl link;
+    link.id = c.get<std::uint32_t>();
+    link.name = c.get_string();
+    m.links.push_back(std::move(link));
+  }
+  if (m.engine != !m.links.empty()) {
+    throw std::runtime_error(c.where + ": inconsistent link declarations");
+  }
+  return m;
+}
 
 // ------------------------------------------------------------ PartialMeta ---
 
@@ -388,17 +314,10 @@ void check_compatible(const PartialMeta& a, const PartialMeta& b) {
 
 PartialWriter::PartialWriter(const std::filesystem::path& path,
                              PartialMeta meta)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) {
-    throw std::runtime_error("PartialWriter: cannot open " + path.string());
-  }
-  const auto put = [this](auto v) {
-    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  put(kPartialMagic);
-  put(kPartialVersion);
-  put(std::uint64_t{0});  // reserved
-  write_frame(out_, kFrameMeta, encode_meta(meta));
+    : out_(path, kPartialMagic, kPartialVersion, "PartialWriter") {
+  ByteBuffer b;
+  encode_meta(b, meta);
+  out_.write_frame(kFrameMeta, b);
 }
 
 PartialWriter::~PartialWriter() = default;
@@ -408,19 +327,14 @@ void PartialWriter::add(std::uint32_t link_id,
   if (finished_) {
     throw std::logic_error("PartialWriter: add after finish");
   }
-  write_frame(out_, kFrameWindow, encode_window(link_id, window));
+  out_.write_frame(kFrameWindow, encode_window(link_id, window));
   ++windows_;
 }
 
 void PartialWriter::finish(const PartialTotals& totals) {
   if (finished_) return;
   finished_ = true;
-  write_frame(out_, kFrameEnd, encode_end(windows_, totals));
-  out_.flush();
-  if (!out_) {
-    throw std::runtime_error("PartialWriter: write failed for " +
-                             path_.string());
-  }
+  out_.write_frame(kFrameEnd, encode_end(windows_, totals));
   out_.close();
 }
 
@@ -428,79 +342,31 @@ void PartialWriter::finish(const PartialTotals& totals) {
 
 PartialFile read_partial_file(const std::filesystem::path& path) {
   const std::string where = "partial file " + path.string();
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    throw std::runtime_error(where + ": cannot open");
-  }
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0);
-  std::uint64_t remaining = file_size;
-
-  const auto read_raw = [&](void* dst, std::size_t n, const char* what) {
-    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
-    if (static_cast<std::size_t>(in.gcount()) != n) {
-      throw std::runtime_error(where + ": truncated " + what);
-    }
-    remaining -= n;
-  };
-
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint64_t reserved = 0;
-  if (file_size < 16) throw std::runtime_error(where + ": truncated header");
-  read_raw(&magic, sizeof(magic), "header");
-  read_raw(&version, sizeof(version), "header");
-  read_raw(&reserved, sizeof(reserved), "header");
-  if (magic != kPartialMagic) {
-    throw std::runtime_error(where + ": not a partial report (bad magic)");
-  }
-  if (version != kPartialVersion) {
-    throw std::runtime_error(
-        where + ": unsupported version " + std::to_string(version) +
-        " (written by a newer fbm?)");
-  }
+  core::FrameReader reader(
+      path, {kPartialMagic, kPartialVersion, "a partial report", where,
+             /*tolerate_torn_tail=*/false});
 
   PartialFile file;
   bool have_meta = false;
   bool have_end = false;
   std::uint64_t declared_windows = 0;
-  std::vector<char> payload;
 
   while (!have_end) {
-    if (remaining == 0) {
-      throw std::runtime_error(where +
-                               ": truncated (missing end frame)");
+    auto frame = reader.next();
+    if (!frame) {
+      throw std::runtime_error(where + ": truncated (missing end frame)");
     }
-    std::uint32_t type = 0;
-    std::uint32_t frame_reserved = 0;
-    std::uint64_t len = 0;
-    if (remaining < 16) {
-      throw std::runtime_error(where + ": truncated frame header");
-    }
-    read_raw(&type, sizeof(type), "frame header");
-    read_raw(&frame_reserved, sizeof(frame_reserved), "frame header");
-    read_raw(&len, sizeof(len), "frame header");
-    if (len + 8 > remaining) {  // payload + checksum must fit in the file
-      throw std::runtime_error(where + ": truncated frame payload");
-    }
-    payload.resize(static_cast<std::size_t>(len));
-    if (len > 0) read_raw(payload.data(), payload.size(), "frame payload");
-    std::uint64_t checksum = 0;
-    read_raw(&checksum, sizeof(checksum), "frame checksum");
-    if (checksum != fnv1a64(payload.data(), payload.size())) {
-      throw std::runtime_error(where + ": checksum mismatch (corrupt frame)");
-    }
-
-    Cursor c{payload.data(), payload.size(), 0, where};
+    ByteCursor c{frame->payload.data(), frame->payload.size(), 0, where};
     if (!have_meta) {
-      if (type != kFrameMeta) {
+      if (frame->type != kFrameMeta) {
         throw std::runtime_error(where + ": first frame is not a meta frame");
       }
       file.meta = decode_meta(c);
+      c.expect_done();
       have_meta = true;
       continue;
     }
-    switch (type) {
+    switch (frame->type) {
       case kFrameMeta:
         throw std::runtime_error(where + ": duplicate meta frame");
       case kFrameWindow:
@@ -515,10 +381,10 @@ PartialFile read_partial_file(const std::filesystem::path& path) {
       }
       default:
         throw std::runtime_error(where + ": unknown frame type " +
-                                 std::to_string(type));
+                                 std::to_string(frame->type));
     }
   }
-  if (remaining != 0) {
+  if (reader.remaining() != 0) {
     throw std::runtime_error(where + ": trailing data after end frame");
   }
   if (declared_windows != file.windows.size()) {

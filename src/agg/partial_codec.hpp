@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "api/pipeline.hpp"
+#include "core/framed_file.hpp"
 #include "live/live_config.hpp"
 #include "live/windowed_estimator.hpp"
 #include "trace/trace_stats.hpp"
@@ -94,6 +94,13 @@ struct PartialMeta {
 /// metas cannot fold (different kind, flow definition, knob, or link set).
 void check_compatible(const PartialMeta& a, const PartialMeta& b);
 
+/// Serializes / parses a PartialMeta as a frame payload. Shared with the
+/// checkpoint codec (ckpt::), which reuses the meta frame as its config
+/// identity so restore can refuse a checkpoint taken under different knobs
+/// with the same field-naming diagnostics as a partial merge.
+void encode_meta(core::ByteBuffer& out, const PartialMeta& m);
+[[nodiscard]] PartialMeta decode_meta(core::ByteCursor& c);
+
 /// Per-link packet/byte totals of an engine-mode producer (for the merged
 /// "packets routed" counters; summed across files).
 struct LinkTotals {
@@ -146,8 +153,7 @@ class PartialWriter {
   [[nodiscard]] std::uint64_t windows_written() const { return windows_; }
 
  private:
-  std::ofstream out_;
-  std::filesystem::path path_;
+  core::FrameWriter out_;
   std::uint64_t windows_ = 0;
   bool finished_ = false;
 };

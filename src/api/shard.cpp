@@ -16,6 +16,28 @@ namespace fbm::api {
 
 namespace {
 
+// Canonical-key conversions for ClassifierState (see shard.hpp): a prefix
+// key travels as a FiveTuple with the network address in dst and the prefix
+// length in src_port.
+[[nodiscard]] net::FiveTuple canonical_key(const net::FiveTuple& key) {
+  return key;
+}
+[[nodiscard]] net::FiveTuple canonical_key(const net::Prefix& key) {
+  net::FiveTuple t;
+  t.dst = key.network();
+  t.src_port = static_cast<std::uint16_t>(key.length());
+  return t;
+}
+void key_from_canonical(const net::FiveTuple& t, net::FiveTuple& out) {
+  out = t;
+}
+void key_from_canonical(const net::FiveTuple& t, net::Prefix& out) {
+  if (t.src_port > 32) {
+    throw std::invalid_argument("ClassifierState: invalid prefix length");
+  }
+  out = net::Prefix(t.dst, static_cast<int>(t.src_port));
+}
+
 template <typename Key>
 class ClassifierImpl final : public FlowClassifierHandle {
  public:
@@ -42,6 +64,36 @@ class ClassifierImpl final : public FlowClassifierHandle {
   }
   [[nodiscard]] std::size_t active_flows() const override {
     return classifier_.active_flows();
+  }
+
+  [[nodiscard]] ClassifierState save_state() const override {
+    ClassifierState st;
+    st.capacity = classifier_.active_capacity();
+    st.active.reserve(classifier_.active_flows());
+    classifier_.visit_active([&](std::size_t slot, const auto& key,
+                                 const flow::FlowRecord& record,
+                                 std::int64_t start_index) {
+      st.active.push_back(
+          {slot, canonical_key(key), record, start_index});
+    });
+    st.flows = classifier_.flows();
+    st.discards = classifier_.discards();
+    st.counters = classifier_.counters();
+    st.last_ts = classifier_.stream_clock();
+    return st;
+  }
+
+  void restore_state(const ClassifierState& state) override {
+    classifier_.begin_restore_active(
+        static_cast<std::size_t>(state.capacity));
+    for (const auto& a : state.active) {
+      typename Key::key_type key;
+      key_from_canonical(a.key, key);
+      classifier_.restore_active_flow(static_cast<std::size_t>(a.slot), key,
+                                      a.record, a.start_index);
+    }
+    classifier_.restore_streams(state.flows, state.discards, state.counters,
+                                state.last_ts);
   }
 
  private:

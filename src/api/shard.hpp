@@ -32,6 +32,28 @@
 
 namespace fbm::api {
 
+/// A type-erased snapshot of one classifier's complete mid-stream state,
+/// for the checkpoint codec (ckpt::). Keys are canonicalized to a FiveTuple
+/// regardless of flow definition: a prefix key stores its network address
+/// in `dst` and its prefix length in `src_port`, all other fields zero.
+/// Slot indices capture the active table's exact layout — restoring them
+/// reproduces iteration order, and with it the bit-exact order of every
+/// downstream floating-point accumulation.
+struct ClassifierState {
+  struct ActiveFlow {
+    std::uint64_t slot = 0;
+    net::FiveTuple key;
+    flow::FlowRecord record;
+    std::int64_t start_index = 0;
+  };
+  std::uint64_t capacity = 0;           ///< active-table slots allocated
+  std::vector<ActiveFlow> active;       ///< slot order
+  std::vector<flow::FlowRecord> flows;  ///< completed, not yet taken
+  std::vector<flow::DiscardedPacket> discards;
+  flow::ClassifierCounters counters;
+  double last_ts = 0.0;  ///< stream clock (-inf before any packet)
+};
+
 /// Type erasure over flow::FlowClassifier<Key>: the flow definition is a
 /// runtime choice, the classifier a compile-time template.
 class FlowClassifierHandle {
@@ -51,6 +73,12 @@ class FlowClassifierHandle {
   [[nodiscard]] virtual std::vector<flow::DiscardedPacket> take_discards() = 0;
   [[nodiscard]] virtual const flow::ClassifierCounters& counters() const = 0;
   [[nodiscard]] virtual std::size_t active_flows() const = 0;
+  /// Complete mid-stream state, canonical-keyed (see ClassifierState).
+  [[nodiscard]] virtual ClassifierState save_state() const = 0;
+  /// Rebuilds the exact saved state (active-table layout included) in a
+  /// classifier created with the same options. Throws std::invalid_argument
+  /// on an inconsistent snapshot.
+  virtual void restore_state(const ClassifierState& state) = 0;
 };
 
 /// Classifier for the configured flow definition, timeout and interval.

@@ -1,0 +1,158 @@
+#include "core/framed_file.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fbm::core {
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------- FrameWriter ---
+
+FrameWriter::FrameWriter(const std::filesystem::path& path,
+                         std::uint32_t magic, std::uint32_t version,
+                         std::string context, bool append)
+    : path_(path), context_(std::move(context)) {
+  std::error_code ec;
+  const bool fresh =
+      !append || !std::filesystem::exists(path, ec) ||
+      std::filesystem::file_size(path, ec) == 0;
+  out_.open(path, append ? (std::ios::binary | std::ios::app)
+                         : (std::ios::binary | std::ios::trunc));
+  if (!out_) {
+    throw std::runtime_error(context_ + ": cannot open " + path.string());
+  }
+  if (fresh) {
+    const auto put = [this](auto v) {
+      out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put(magic);
+    put(version);
+    put(std::uint64_t{0});  // reserved
+  }
+}
+
+void FrameWriter::write_frame(std::uint32_t type, const ByteBuffer& body) {
+  const auto put = [this](auto v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(type);
+  put(std::uint32_t{0});
+  put(static_cast<std::uint64_t>(body.bytes.size()));
+  out_.write(body.bytes.data(),
+             static_cast<std::streamsize>(body.bytes.size()));
+  put(fnv1a64(body.bytes.data(), body.bytes.size()));
+}
+
+void FrameWriter::flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error(context_ + ": write failed for " +
+                             path_.string());
+  }
+}
+
+void FrameWriter::close() {
+  flush();
+  out_.close();
+}
+
+// ------------------------------------------------------------- FrameReader ---
+
+FrameReader::FrameReader(const std::filesystem::path& path, Options opt)
+    : opt_(std::move(opt)) {
+  in_.open(path, std::ios::binary | std::ios::ate);
+  if (!in_) {
+    throw std::runtime_error(opt_.where + ": cannot open");
+  }
+  const auto file_size = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0);
+  remaining_ = file_size;
+
+  if (file_size < 16) {
+    throw std::runtime_error(opt_.where + ": truncated header");
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t reserved = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in_.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in_.read(reinterpret_cast<char*>(&reserved), sizeof(reserved));
+  if (!in_) {
+    throw std::runtime_error(opt_.where + ": truncated header");
+  }
+  pos_ = 16;
+  remaining_ -= 16;
+  if (magic != opt_.magic) {
+    throw std::runtime_error(opt_.where + ": not " + opt_.format_name +
+                             " (bad magic)");
+  }
+  if (version != opt_.version) {
+    throw std::runtime_error(opt_.where + ": unsupported version " +
+                             std::to_string(version) +
+                             " (written by a newer fbm?)");
+  }
+}
+
+std::optional<FrameReader::Frame> FrameReader::next() {
+  if (torn_tail_ || remaining_ == 0) return std::nullopt;
+  const std::uint64_t frame_start = pos_;
+  const auto torn_or_throw = [&](const char* what) {
+    if (opt_.tolerate_torn_tail) {
+      torn_tail_ = true;
+      torn_offset_ = frame_start;
+      return;
+    }
+    throw std::runtime_error(opt_.where + ": " + what);
+  };
+
+  if (remaining_ < 16) {
+    torn_or_throw("truncated frame header");
+    return std::nullopt;
+  }
+  const auto read_raw = [&](void* dst, std::size_t n, const char* what) {
+    in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n) {
+      throw std::runtime_error(opt_.where + ": truncated " +
+                               std::string(what));
+    }
+    pos_ += n;
+    remaining_ -= n;
+  };
+
+  Frame f;
+  f.offset = frame_start;
+  std::uint32_t frame_reserved = 0;
+  std::uint64_t len = 0;
+  read_raw(&f.type, sizeof(f.type), "frame header");
+  read_raw(&frame_reserved, sizeof(frame_reserved), "frame header");
+  read_raw(&len, sizeof(len), "frame header");
+  if (len + 8 > remaining_) {  // payload + checksum must fit in the file
+    torn_or_throw("truncated frame payload");
+    return std::nullopt;
+  }
+  f.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) read_raw(f.payload.data(), f.payload.size(), "frame payload");
+  std::uint64_t checksum = 0;
+  read_raw(&checksum, sizeof(checksum), "frame checksum");
+  if (checksum != fnv1a64(f.payload.data(), f.payload.size())) {
+    // A checksum failure on the very last frame of the file is how a crash
+    // mid-append looks when the length field made it to disk but the
+    // payload bytes did not; recover it like any other torn tail.
+    if (opt_.tolerate_torn_tail && remaining_ == 0) {
+      torn_or_throw("checksum mismatch (corrupt frame)");
+      return std::nullopt;
+    }
+    throw std::runtime_error(opt_.where + ": checksum mismatch (corrupt frame)");
+  }
+  return f;
+}
+
+}  // namespace fbm::core

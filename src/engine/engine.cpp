@@ -49,10 +49,20 @@ struct Engine::Worker {
   std::mutex mu;
   std::condition_variable work_cv;   ///< worker waits for commands
   std::condition_variable space_cv;  ///< demux waits for queue space
+  std::condition_variable idle_cv;   ///< snapshot waits for the drain
   std::deque<Command> queue;
+  bool busy = false;         ///< a popped command is being processed (mu)
   std::exception_ptr error;  ///< guarded by mu
   std::atomic<bool> failed{false};
   std::thread thread;
+
+  void set_idle() {
+    {
+      std::lock_guard lock(mu);
+      busy = false;
+    }
+    idle_cv.notify_all();
+  }
 
   void run() {
     for (;;) {
@@ -62,9 +72,13 @@ struct Engine::Worker {
         work_cv.wait(lock, [&] { return !queue.empty(); });
         cmd = std::move(queue.front());
         queue.pop_front();
+        busy = true;
       }
       space_cv.notify_one();
-      if (cmd.kind == Command::Kind::stop) return;
+      if (cmd.kind == Command::Kind::stop) {
+        set_idle();
+        return;
+      }
       try {
         Session& s = *cmd.session;
         if (cmd.kind == Command::Kind::batch) {
@@ -91,11 +105,24 @@ struct Engine::Worker {
           std::lock_guard lock(mu);
           error = std::current_exception();
           failed.store(true, std::memory_order_release);
+          busy = false;
         }
         space_cv.notify_all();
+        idle_cv.notify_all();
         return;
       }
+      set_idle();
     }
+  }
+
+  /// Blocks until this worker has processed everything enqueued so far (or
+  /// died on an error — the caller rethrows via rethrow_worker_error()).
+  void wait_idle() {
+    std::unique_lock lock(mu);
+    idle_cv.wait(lock, [&] {
+      return (queue.empty() && !busy) ||
+             failed.load(std::memory_order_acquire);
+    });
   }
 
   void enqueue(Command cmd) {
@@ -543,6 +570,94 @@ std::size_t Engine::link_count() const {
   std::size_t n = 0;
   for (const auto& s : sessions_) n += s->attached ? 1 : 0;
   return n;
+}
+
+EngineState Engine::save_state() {
+  if (finished_) throw std::logic_error("Engine: save_state after finish");
+  if (config_.mode != EngineMode::live) {
+    throw std::logic_error("Engine: save_state requires live mode");
+  }
+  if (partial_sink_) {
+    throw std::logic_error("Engine: save_state with a partial sink");
+  }
+  // Quiesce: hand every demux-buffered packet to its worker, wait for the
+  // queues to drain, then surface any worker failure. After this every
+  // routed packet is inside its session and every closed window has been
+  // emitted — the per-session states are a consistent cut of the stream.
+  flush_all_pending(last_ts_);
+  for (auto& w : workers_) w->wait_idle();
+  if (!workers_.empty()) rethrow_worker_error();
+  {
+    std::lock_guard lock(emit_mu_);
+    if (!ready_.empty()) {
+      throw std::logic_error(
+          "Engine: take queued reports before save_state");
+    }
+  }
+  EngineState st;
+  st.summary = summary_;
+  st.last_ts = last_ts_;
+  st.sessions.reserve(sessions_.size());
+  // emit_mu_ also orders the workers' counters.reports writes before our
+  // reads; packets/bytes are demux-thread-owned and need no lock.
+  std::lock_guard lock(emit_mu_);
+  for (const auto& s : sessions_) {
+    EngineSessionState ss;
+    ss.name = s->name;
+    ss.attached = s->attached;
+    ss.counters = s->counters;
+    if (s->live) {
+      ss.has_live = true;
+      ss.live = s->live->save_state();
+    }
+    st.sessions.push_back(std::move(ss));
+  }
+  return st;
+}
+
+void Engine::restore_state(const EngineState& state) {
+  if (finished_) throw std::logic_error("Engine: restore_state after finish");
+  if (config_.mode != EngineMode::live) {
+    throw std::logic_error("Engine: restore_state requires live mode");
+  }
+  if (summary_.packets != 0) {
+    throw std::logic_error("Engine: restore_state needs a fresh engine");
+  }
+  if (sessions_.size() != state.sessions.size()) {
+    throw std::runtime_error(
+        "Engine: restore link set mismatch (checkpoint has " +
+        std::to_string(state.sessions.size()) + " links, engine has " +
+        std::to_string(sessions_.size()) +
+        " — attach the checkpoint's links first, in order)");
+  }
+  // Two passes: validate the whole link set before mutating anything, so a
+  // mismatch leaves the engine untouched (strong guarantee).
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const Session& s = *sessions_[i];
+    const EngineSessionState& ss = state.sessions[i];
+    if (s.name != ss.name) {
+      throw std::runtime_error("Engine: restore link mismatch at position " +
+                               std::to_string(i) + " (checkpoint says \"" +
+                               ss.name + "\", engine has \"" + s.name +
+                               "\")");
+    }
+    if (s.attached != ss.attached) {
+      throw std::runtime_error("Engine: restore attach-state mismatch for \"" +
+                               ss.name + "\"");
+    }
+    if (ss.attached && static_cast<bool>(s.live) != ss.has_live) {
+      throw std::runtime_error("Engine: restore session-state mismatch for \"" +
+                               ss.name + "\"");
+    }
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = *sessions_[i];
+    const EngineSessionState& ss = state.sessions[i];
+    s.counters = ss.counters;
+    if (s.live && ss.has_live) s.live->restore_state(ss.live);
+  }
+  summary_ = state.summary;
+  last_ts_ = state.last_ts;
 }
 
 }  // namespace fbm::engine

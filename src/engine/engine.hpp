@@ -116,6 +116,29 @@ struct LinkInfo {
   LinkCounters counters;
 };
 
+/// One session's slice of an engine snapshot: identity (for restore-time
+/// validation against the re-attached link set), counters, and — for a
+/// still-running live session — the full estimator state.
+struct EngineSessionState {
+  std::string name;
+  bool attached = true;
+  LinkCounters counters;
+  bool has_live = false;  ///< false for detached (already finished) sessions
+  live::EstimatorState live;
+};
+
+/// Complete serializable state of a live-mode Engine mid-stream: stream
+/// totals plus every session in attach order (session ids are assigned
+/// sequentially, so attach order alone reproduces them). The LPM claims and
+/// match rules are NOT serialized — restore validates the caller re-attached
+/// the same links (names, order, attach state) and refuses otherwise, so
+/// the routing state is rebuilt through the ordinary attach path.
+struct EngineState {
+  trace::TraceSummary summary;
+  double last_ts = -std::numeric_limits<double>::infinity();
+  std::vector<EngineSessionState> sessions;  ///< attach order
+};
+
 class Engine {
  public:
   /// Throws std::invalid_argument on bad engine knobs (batch_packets == 0,
@@ -196,6 +219,20 @@ class Engine {
   /// Attached links (detached ones included, flagged), in attach order.
   [[nodiscard]] std::vector<LinkInfo> links() const;
   [[nodiscard]] std::size_t link_count() const;  ///< attached only
+
+  /// Snapshot of the complete mid-stream state (live mode only). Flushes
+  /// demux buffers and quiesces the worker pool first, so the captured
+  /// per-session states are exactly "every routed packet processed, every
+  /// closed window emitted". Call between pushes; throws std::logic_error
+  /// after finish(), in batch mode, with a partial sink, or while reports
+  /// sit undrained in the queue.
+  [[nodiscard]] EngineState save_state();
+
+  /// Rebuilds a saved state. The caller must first attach the checkpoint's
+  /// links (same names, same order, same attach flags — ids then match by
+  /// construction) on a fresh engine of the same config; throws
+  /// std::runtime_error naming the first mismatch otherwise.
+  void restore_state(const EngineState& state);
 
  private:
   struct Session;

@@ -33,6 +33,17 @@ class AnomalyMonitor {
     return consecutive_;
   }
 
+  // --- checkpoint hooks ------------------------------------------------
+
+  /// Direction of the current out-of-band run (none when inside).
+  [[nodiscard]] AlertKind last_kind() const { return last_kind_; }
+
+  /// Restores the hysteresis state (the monitor's only mutable state).
+  void restore_hysteresis(std::size_t consecutive, AlertKind kind) {
+    consecutive_ = consecutive;
+    last_kind_ = kind;
+  }
+
  private:
   double band_k_sigma_;
   std::size_t alert_min_consecutive_;

@@ -15,6 +15,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "live/window_report.hpp"
@@ -38,6 +40,24 @@ class RollingForecaster {
   void observe(double mean_bps);
 
   [[nodiscard]] std::size_t history_size() const { return history_.size(); }
+
+  // --- checkpoint hooks ------------------------------------------------
+
+  /// The rolling history, oldest first (forecast() is a pure function of
+  /// it, so serializing it captures the forecaster completely).
+  [[nodiscard]] const std::vector<double>& history() const {
+    return history_;
+  }
+
+  /// Replaces the history (restore). Throws std::invalid_argument when the
+  /// snapshot holds more samples than this forecaster's capacity.
+  void restore_history(std::vector<double> history) {
+    if (history.size() > capacity_) {
+      throw std::invalid_argument(
+          "RollingForecaster: restored history exceeds capacity");
+    }
+    history_ = std::move(history);
+  }
 
  private:
   std::size_t max_order_;

@@ -388,4 +388,96 @@ std::vector<WindowReport> WindowedEstimator::take_reports() {
   return out;
 }
 
+// ------------------------------------------------------- snapshot/restore ---
+
+EstimatorState WindowedEstimator::save_state() const {
+  if (finished_) {
+    throw std::logic_error("WindowedEstimator: snapshot after finish");
+  }
+  if (!ready_.empty()) {
+    throw std::logic_error(
+        "WindowedEstimator: drain pending reports before snapshot");
+  }
+  EstimatorState st;
+  st.counters = counters_;
+  st.last_ts = last_ts_;
+  st.next_expire = next_expire_;
+  st.next_close = next_close_;
+  st.max_window = max_window_;
+  st.cur_kmax = cur_kmax_;
+  st.forecast_history = forecaster_.history();
+  st.monitor_consecutive =
+      static_cast<std::uint64_t>(monitor_.consecutive_outside());
+  st.monitor_last_kind = static_cast<std::uint32_t>(monitor_.last_kind());
+  st.open.reserve(open_.size());
+  for (const auto& slot : open_) {
+    EstimatorState::OpenWindow ow;
+    if (slot) {
+      ow.present = true;
+      ow.classifier = slot->classifier->save_state();
+      ow.flows = slot->flows;
+      const auto bins = slot->bins.bin_bytes();
+      ow.bin_bytes.assign(bins.begin(), bins.end());
+      ow.bin_dropped = static_cast<std::uint64_t>(slot->bins.dropped());
+      ow.bin_total_bytes = slot->bins.total_bytes();
+      ow.packets = slot->packets;
+      ow.bytes = slot->bytes;
+      ow.discards = slot->discards;
+    }
+    st.open.push_back(std::move(ow));
+  }
+  return st;
+}
+
+void WindowedEstimator::restore_state(const EstimatorState& state) {
+  if (finished_ || counters_.packets != 0 || counters_.windows != 0 ||
+      next_close_ != 0 || !open_.empty() || !ready_.empty()) {
+    throw std::logic_error(
+        "WindowedEstimator: restore needs a fresh estimator");
+  }
+  if (state.monitor_last_kind >
+      static_cast<std::uint32_t>(AlertKind::drop)) {
+    throw std::invalid_argument("EstimatorState: unknown alert kind");
+  }
+  forecaster_.restore_history(state.forecast_history);
+  monitor_.restore_hysteresis(
+      static_cast<std::size_t>(state.monitor_consecutive),
+      static_cast<AlertKind>(state.monitor_last_kind));
+
+  counters_ = state.counters;
+  last_ts_ = state.last_ts;
+  next_expire_ = state.next_expire;
+  next_close_ = state.next_close;
+  max_window_ = state.max_window;
+  cur_kmax_ = state.cur_kmax;
+  kmax_boundary_ = window_start(cur_kmax_ + 1);
+  next_close_end_ = window_end(next_close_);
+
+  for (std::size_t i = 0; i < state.open.size(); ++i) {
+    const auto& ow = state.open[i];
+    if (!ow.present) {
+      open_.emplace_back(nullptr);
+      continue;
+    }
+    const std::int64_t k = state.next_close + static_cast<std::int64_t>(i);
+    stats::RateBinner bins = [&] {
+      try {
+        return stats::RateBinner(
+            window_start(k), window_end(k), config_.analysis.delta_s(),
+            ow.bin_bytes, static_cast<std::size_t>(ow.bin_dropped),
+            ow.bin_total_bytes);
+      } catch (const std::invalid_argument&) {
+        throw std::invalid_argument(
+            "EstimatorState: window bins do not match the configured grid");
+      }
+    }();
+    auto ws = std::make_unique<WindowState>(WindowState{
+        api::make_flow_classifier(config_.analysis.flow_definition(),
+                                  classifier_options_),
+        ow.flows, std::move(bins), ow.packets, ow.bytes, ow.discards});
+    ws->classifier->restore_state(ow.classifier);
+    open_.push_back(std::move(ws));
+  }
+}
+
 }  // namespace fbm::live

@@ -81,6 +81,38 @@ using WindowPartialSink = std::function<void(WindowPartial&&)>;
                                              RollingForecaster& forecaster,
                                              AnomalyMonitor& monitor);
 
+/// Complete serializable state of a WindowedEstimator mid-stream: every
+/// member push() reads or writes, including each open window's classifier
+/// at exact-table-layout fidelity (api::ClassifierState). Restoring it into
+/// a fresh estimator of the same config and resuming the stream reproduces
+/// the uninterrupted run's remaining reports bit for bit — the checkpoint
+/// codec (ckpt::) is a pure serialization of this struct.
+struct EstimatorState {
+  LiveCounters counters;
+  double last_ts = -std::numeric_limits<double>::infinity();
+  double next_expire = 0.0;
+  std::int64_t next_close = 0;
+  std::int64_t max_window = -1;
+  std::int64_t cur_kmax = -1;
+  std::vector<double> forecast_history;  ///< oldest first
+  std::uint64_t monitor_consecutive = 0;
+  std::uint32_t monitor_last_kind = 0;  ///< AlertKind as wire integer
+
+  /// Open windows, indices state.next_close .. next_close + open.size() - 1.
+  struct OpenWindow {
+    bool present = false;  ///< false: no packet touched this window yet
+    api::ClassifierState classifier;
+    std::vector<flow::FlowRecord> flows;
+    std::vector<double> bin_bytes;  ///< grid derivable from index + config
+    std::uint64_t bin_dropped = 0;
+    double bin_total_bytes = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t discards = 0;
+  };
+  std::vector<OpenWindow> open;
+};
+
 class WindowedEstimator {
  public:
   /// Throws std::invalid_argument on bad configuration (LiveConfig rules).
@@ -131,6 +163,17 @@ class WindowedEstimator {
   /// Observability for the bounded-memory story.
   [[nodiscard]] std::size_t open_windows() const { return open_.size(); }
   [[nodiscard]] std::size_t active_flows() const;
+
+  /// Snapshot of the complete mid-stream state. Call between pushes —
+  /// throws std::logic_error after finish() or while reports sit undrained
+  /// (a sink-less caller must pop them first; the snapshot counts them as
+  /// already delivered).
+  [[nodiscard]] EstimatorState save_state() const;
+
+  /// Rebuilds a saved state in this estimator. Only valid on a fresh
+  /// instance (same config, nothing pushed); throws std::logic_error
+  /// otherwise and std::invalid_argument on an inconsistent snapshot.
+  void restore_state(const EstimatorState& state);
 
  private:
   /// Per-open-window accumulation. nullptr in open_ marks a window no

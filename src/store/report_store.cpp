@@ -1,0 +1,273 @@
+#include "store/report_store.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace fbm::store {
+
+namespace {
+
+using core::ByteBuffer;
+using core::ByteCursor;
+
+constexpr std::uint32_t kFrameRecord = 1;
+constexpr std::uint32_t kFlagLinkTagged = 1u << 0;
+
+[[nodiscard]] ByteBuffer encode_record(const StoredReport& r) {
+  ByteBuffer b;
+  b.put(r.link_id);
+  b.put(std::uint32_t{r.link_tagged ? kFlagLinkTagged : 0u});
+  b.put_string(r.link_name);
+  const live::WindowReport& w = r.report;
+  b.put(static_cast<std::uint64_t>(w.window_index));
+  b.put(w.start_s);
+  b.put(w.width_s);
+  b.put(w.stride_s);
+  b.put(w.packets);
+  b.put(w.bytes);
+  b.put(w.discards);
+  b.put(w.inputs.lambda);
+  b.put(w.inputs.mean_size_bits);
+  b.put(w.inputs.mean_s2_over_d);
+  b.put(static_cast<std::uint64_t>(w.inputs.flows));
+  b.put(w.flow_moments.mean_duration_s);
+  b.put(w.flow_moments.stddev_size_bits);
+  b.put(w.flow_moments.stddev_duration_s);
+  b.put(w.flow_moments.mean_rate_bps);
+  b.put(w.measured.mean_bps);
+  b.put(w.measured.variance_bps2);
+  b.put(w.measured.cov);
+  b.put(static_cast<std::uint64_t>(w.measured.samples));
+  b.put(static_cast<std::uint32_t>(w.shot_b.has_value() ? 1 : 0));
+  b.put(std::uint32_t{0});  // reserved
+  b.put(w.shot_b.value_or(0.0));
+  b.put(w.shot_b_used);
+  b.put(w.model_cov);
+  b.put(w.plan.mean_bps);
+  b.put(w.plan.stddev_bps);
+  b.put(w.plan.cov);
+  b.put(w.plan.capacity_bps);
+  b.put(w.plan.headroom);
+  b.put(w.plan.eps);
+  b.put(static_cast<std::uint32_t>(w.forecast.available ? 1 : 0));
+  b.put(std::uint32_t{0});  // reserved
+  b.put(w.forecast.predicted_mean_bps);
+  b.put(w.forecast.band_low_bps);
+  b.put(w.forecast.band_high_bps);
+  b.put(w.forecast.sigma_bps);
+  b.put(static_cast<std::uint64_t>(w.forecast.order));
+  b.put(static_cast<std::uint32_t>(w.anomaly.alert ? 1 : 0));
+  b.put(static_cast<std::uint32_t>(w.anomaly.kind));
+  b.put(w.anomaly.deviation_sigma);
+  b.put(static_cast<std::uint64_t>(w.anomaly.consecutive));
+  b.put(static_cast<std::uint64_t>(w.anomaly.bin_events));
+  b.put(w.anomaly.bin_peak_sigma);
+  return b;
+}
+
+[[nodiscard]] StoredReport decode_record(ByteCursor& c) {
+  StoredReport r;
+  r.link_id = c.get<std::uint32_t>();
+  const auto flags = c.get<std::uint32_t>();
+  r.link_tagged = (flags & kFlagLinkTagged) != 0;
+  r.link_name = c.get_string();
+  live::WindowReport& w = r.report;
+  w.window_index = static_cast<std::size_t>(c.get<std::uint64_t>());
+  w.start_s = c.get<double>();
+  w.width_s = c.get<double>();
+  w.stride_s = c.get<double>();
+  w.packets = c.get<std::uint64_t>();
+  w.bytes = c.get<std::uint64_t>();
+  w.discards = c.get<std::uint64_t>();
+  w.inputs.lambda = c.get<double>();
+  w.inputs.mean_size_bits = c.get<double>();
+  w.inputs.mean_s2_over_d = c.get<double>();
+  w.inputs.flows = static_cast<std::size_t>(c.get<std::uint64_t>());
+  w.flow_moments.mean_duration_s = c.get<double>();
+  w.flow_moments.stddev_size_bits = c.get<double>();
+  w.flow_moments.stddev_duration_s = c.get<double>();
+  w.flow_moments.mean_rate_bps = c.get<double>();
+  w.measured.mean_bps = c.get<double>();
+  w.measured.variance_bps2 = c.get<double>();
+  w.measured.cov = c.get<double>();
+  w.measured.samples = static_cast<std::size_t>(c.get<std::uint64_t>());
+  const bool has_b = c.get<std::uint32_t>() != 0;
+  (void)c.get<std::uint32_t>();  // reserved
+  const double b_val = c.get<double>();
+  if (has_b) w.shot_b = b_val;
+  w.shot_b_used = c.get<double>();
+  w.model_cov = c.get<double>();
+  w.plan.mean_bps = c.get<double>();
+  w.plan.stddev_bps = c.get<double>();
+  w.plan.cov = c.get<double>();
+  w.plan.capacity_bps = c.get<double>();
+  w.plan.headroom = c.get<double>();
+  w.plan.eps = c.get<double>();
+  w.forecast.available = c.get<std::uint32_t>() != 0;
+  (void)c.get<std::uint32_t>();  // reserved
+  w.forecast.predicted_mean_bps = c.get<double>();
+  w.forecast.band_low_bps = c.get<double>();
+  w.forecast.band_high_bps = c.get<double>();
+  w.forecast.sigma_bps = c.get<double>();
+  w.forecast.order = static_cast<std::size_t>(c.get<std::uint64_t>());
+  w.anomaly.alert = c.get<std::uint32_t>() != 0;
+  const auto kind = c.get<std::uint32_t>();
+  if (kind > static_cast<std::uint32_t>(live::AlertKind::drop)) {
+    throw std::runtime_error(c.where + ": malformed frame payload");
+  }
+  w.anomaly.kind = static_cast<live::AlertKind>(kind);
+  w.anomaly.deviation_sigma = c.get<double>();
+  w.anomaly.consecutive = static_cast<std::size_t>(c.get<std::uint64_t>());
+  w.anomaly.bin_events = static_cast<std::size_t>(c.get<std::uint64_t>());
+  w.anomaly.bin_peak_sigma = c.get<double>();
+  c.expect_done();
+  return r;
+}
+
+/// One tolerant pass over the valid prefix: decoded records, torn flag, and
+/// the byte offset the valid prefix ends at (for truncation).
+struct LoadResult {
+  std::vector<StoredReport> records;
+  bool torn = false;
+  std::uint64_t torn_offset = 0;
+};
+
+[[nodiscard]] LoadResult load(const std::filesystem::path& path) {
+  const std::string where = "report store " + path.string();
+  core::FrameReader reader(path, {kStoreMagic, kStoreVersion,
+                                  "a report store", where,
+                                  /*tolerate_torn_tail=*/true});
+  LoadResult out;
+  while (auto frame = reader.next()) {
+    if (frame->type != kFrameRecord) {
+      throw std::runtime_error(where + ": unknown frame type " +
+                               std::to_string(frame->type));
+    }
+    ByteCursor c{frame->payload.data(), frame->payload.size(), 0, where};
+    out.records.push_back(decode_record(c));
+  }
+  out.torn = reader.torn_tail();
+  out.torn_offset = reader.torn_offset();
+  return out;
+}
+
+}  // namespace
+
+StoredReport from_analysis(const api::AnalysisReport& report,
+                           double interval_s) {
+  StoredReport r;
+  live::WindowReport& w = r.report;
+  w.window_index = report.interval_index;
+  w.start_s = report.start_s;
+  w.width_s = report.length_s > 0.0 ? report.length_s : interval_s;
+  w.stride_s = w.width_s;  // batch intervals tile
+  w.inputs = report.inputs;
+  w.measured = report.measured;
+  w.shot_b = report.shot_b;
+  w.shot_b_used = report.shot_b_used;
+  w.model_cov = report.model_cov;
+  w.plan = report.plan;
+  return r;
+}
+
+StoreWriter::StoreWriter(const std::filesystem::path& path) {
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec) &&
+                      std::filesystem::file_size(path, ec) > 0;
+  if (exists) {
+    // Crash recovery: find where the valid prefix ends, truncate any torn
+    // final frame, then append after it. A store corrupted mid-file (not a
+    // crash signature) throws here rather than being silently extended.
+    const LoadResult prior = load(path);
+    if (prior.torn) {
+      std::filesystem::resize_file(path, prior.torn_offset, ec);
+      if (ec) {
+        throw std::runtime_error("report store " + path.string() +
+                                 ": cannot truncate torn tail: " +
+                                 ec.message());
+      }
+      recovered_ = true;
+    }
+  }
+  out_.emplace(path, kStoreMagic, kStoreVersion, "report store",
+               /*append=*/true);
+}
+
+void StoreWriter::append(const StoredReport& record) {
+  out_->write_frame(kFrameRecord, encode_record(record));
+  out_->flush();
+  ++appended_;
+}
+
+StoreReader::StoreReader(const std::filesystem::path& path) {
+  LoadResult loaded = load(path);
+  records_ = std::move(loaded.records);
+  torn_tail_ = loaded.torn;
+}
+
+std::vector<StoredReport> StoreReader::scan(const ScanOptions& opts) const {
+  // Last-wins dedup in append order, then (link, start) ordering: a store
+  // holding a killed run's prefix plus the resumed run's re-appends scans
+  // byte-identically to an uninterrupted run's store.
+  std::vector<const StoredReport*> picked;
+  if (opts.dedup) {
+    std::map<std::pair<std::uint32_t, std::size_t>, const StoredReport*> last;
+    for (const auto& r : records_) {
+      last[{r.link_id, r.report.window_index}] = &r;
+    }
+    picked.reserve(last.size());
+    for (const auto& [key, r] : last) picked.push_back(r);
+  } else {
+    picked.reserve(records_.size());
+    for (const auto& r : records_) picked.push_back(&r);
+  }
+
+  std::vector<StoredReport> out;
+  for (const StoredReport* r : picked) {
+    if (opts.link && r->link_name != *opts.link) continue;
+    if (!(r->report.start_s >= opts.from_s)) continue;
+    if (!(r->report.start_s < opts.to_s)) continue;
+    out.push_back(*r);
+  }
+  // Chronological, links in attach-id order within a timestamp — exactly
+  // the order a live multi-link stream printed these windows, so a
+  // whole-store scan cmp's clean against the stream's captured stdout.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StoredReport& a, const StoredReport& b) {
+                     if (a.report.start_s != b.report.start_s) {
+                       return a.report.start_s < b.report.start_s;
+                     }
+                     return a.link_id < b.link_id;
+                   });
+  return out;
+}
+
+std::uint64_t trim_store(const std::filesystem::path& path, double before_s) {
+  const LoadResult loaded = load(path);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::uint64_t dropped = 0;
+  {
+    core::FrameWriter out(tmp, kStoreMagic, kStoreVersion, "report store");
+    for (const auto& r : loaded.records) {
+      if (r.report.start_s < before_s) {
+        ++dropped;
+        continue;
+      }
+      out.write_frame(kFrameRecord, encode_record(r));
+    }
+    out.flush();
+    out.close();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("report store: cannot rename " + tmp.string() +
+                             " to " + path.string() + ": " + ec.message());
+  }
+  return dropped;
+}
+
+}  // namespace fbm::store

@@ -1,0 +1,131 @@
+// On-disk WindowReport store (fbm::store) — the queryable operational log.
+//
+// An append-only file of finished reports, indexed by link and window start,
+// so a long-running monitor's output survives the process and stays
+// queryable (fbm_query): range scans by time and link, downsampling,
+// retention trimming. Batch analysis intervals persist through the same
+// format (api::AnalysisReport converted to the WindowReport carrier), so
+// one query tool reads every mode's output.
+//
+// File layout reuses the shared framing discipline (core/framed_file.hpp):
+//
+//   header  : u32 magic "FBMS" | u32 version | u64 reserved
+//   frames  : u32 type=1 | u32 reserved | u64 payload_len
+//             | payload | u64 fnv1a64(payload)
+//
+// Unlike the partial/checkpoint codecs there is deliberately NO end frame:
+// the store is crash-cut by design. A record is durable the moment its
+// frame is flushed; a SIGKILL mid-append leaves at most one torn final
+// frame, which StoreWriter truncates away on the next open (torn-tail
+// recovery, core::FrameReader tolerant mode) and StoreReader skips with a
+// diagnostic hook. Mid-file corruption — a flipped bit in a checksummed
+// frame that is not the tail — still fails loudly.
+//
+// Resumed runs re-append windows they already wrote before the kill; scans
+// dedup by (link, window index) keeping the *last* record, so a
+// crash-resume store queries identically to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "core/framed_file.hpp"
+#include "live/live_config.hpp"
+#include "live/window_report.hpp"
+
+namespace fbm::store {
+
+inline constexpr std::uint32_t kStoreMagic = 0x534D4246;  // "FBMS"
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/// One persisted report: the WindowReport plus its producer link. Untagged
+/// records (link_tagged == false) come from single-link runs and scan as
+/// link id 0 with an empty name.
+struct StoredReport {
+  std::uint32_t link_id = 0;
+  bool link_tagged = false;
+  std::string link_name;
+  live::WindowReport report;
+
+  /// The exact line fbm_live would have printed for this report — tagged
+  /// records render with the engine-mode "link" field. Byte-identical to
+  /// the live stream's stdout, which is what the durability CI gate cmp's.
+  [[nodiscard]] std::string jsonl() const {
+    return link_tagged ? live::to_jsonl(report, link_name)
+                       : live::to_jsonl(report);
+  }
+};
+
+/// Batch analysis interval -> the store's WindowReport carrier. Live-only
+/// fields (stride, packet/byte/discard counters, forecast, anomaly) stay
+/// zero / unavailable; everything the batch report knows is preserved.
+[[nodiscard]] StoredReport from_analysis(const api::AnalysisReport& report,
+                                         double interval_s);
+
+/// Append-only writer. Opening an existing store first truncates any torn
+/// final frame (crash recovery), then appends after the valid prefix.
+/// Throws std::runtime_error on I/O failure.
+class StoreWriter {
+ public:
+  explicit StoreWriter(const std::filesystem::path& path);
+
+  /// Appends and flushes one record — it is durable when this returns.
+  void append(const StoredReport& record);
+
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+  /// True when opening found (and truncated) a torn final frame.
+  [[nodiscard]] bool recovered_torn_tail() const { return recovered_; }
+
+ private:
+  std::optional<core::FrameWriter> out_;
+  bool recovered_ = false;
+  std::uint64_t appended_ = 0;
+};
+
+/// Range-scan filter. Handles a missing store (no records) gracefully only
+/// via StoreReader's constructor throwing — callers check existence.
+struct ScanOptions {
+  /// Keep records of this link name only (matches untagged records when
+  /// empty string is passed); nullopt keeps every link.
+  std::optional<std::string> link;
+  double from_s = -std::numeric_limits<double>::infinity();  ///< start >= from
+  double to_s = std::numeric_limits<double>::infinity();     ///< start < to
+  /// Last-wins dedup by (link id, window index): a crash-resume store scans
+  /// identically to an uninterrupted one. Disable to audit raw appends.
+  bool dedup = true;
+};
+
+/// Reads and checksum-verifies a store file. The whole valid prefix is
+/// decoded at construction (one pass); scans filter in memory.
+class StoreReader {
+ public:
+  /// Throws std::runtime_error naming the file when it is unreadable, has a
+  /// bad magic / future version, or is corrupt anywhere but the tail.
+  explicit StoreReader(const std::filesystem::path& path);
+
+  /// Matching records in stream order — (window start, link id), stable —
+  /// deduped unless opts.dedup is off.
+  [[nodiscard]] std::vector<StoredReport> scan(const ScanOptions& opts) const;
+
+  [[nodiscard]] const std::vector<StoredReport>& records() const {
+    return records_;
+  }
+  /// True when the file ended in a torn frame (skipped, not an error).
+  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
+
+ private:
+  std::vector<StoredReport> records_;  ///< append order
+  bool torn_tail_ = false;
+};
+
+/// Retention: rewrites the store keeping only records with
+/// start_s >= before_s (temp file + atomic rename; a crash leaves the old
+/// store intact). Returns the number of records dropped.
+std::uint64_t trim_store(const std::filesystem::path& path, double before_s);
+
+}  // namespace fbm::store

@@ -61,9 +61,13 @@ std::vector<net::PacketRecord> shard_of(
   return out;
 }
 
+// Per-test-case filenames: ctest -j runs several cases of this suite as
+// concurrent processes sharing one TempDir, so a fixed name races.
 std::filesystem::path temp_partial(std::size_t i) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
   return std::filesystem::path(::testing::TempDir()) /
-         ("diff_partial_" + std::to_string(i) + ".fbmp");
+         ("diff_partial_" + std::string(info->name()) + "_" +
+          std::to_string(i) + ".fbmp");
 }
 
 api::AnalysisConfig batch_config(api::FlowDefinition def,

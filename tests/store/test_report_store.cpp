@@ -1,0 +1,354 @@
+// Report store: append → scan round-trips every field bit for bit
+// (rendered JSONL identity with the live stream), crash-cut semantics — a
+// torn final frame is recovered (reader skips it, writer truncates it and
+// appends cleanly), mid-file corruption still fails loudly with a
+// diagnostic naming the file — plus last-wins dedup, range scans and
+// retention trimming.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "store/report_store.hpp"
+
+namespace fbm::store {
+namespace {
+
+/// Per-test-case temp file, removed up front: leftovers from a previous run
+/// would otherwise feed StoreWriter's reopen-and-append path.
+std::filesystem::path temp_path(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  auto path = std::filesystem::path(::testing::TempDir()) /
+              ("store_" + std::string(info->name()) + "_" + tag + ".fbms");
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::vector<char> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const std::filesystem::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A deterministic fully-populated report — every field non-default so the
+/// round-trip test can miss nothing.
+StoredReport make_record(std::uint32_t link, std::size_t index,
+                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 1000 + index);
+  std::uniform_real_distribution<double> u(0.1, 100.0);
+  StoredReport r;
+  r.link_id = link;
+  r.link_tagged = link != 0;
+  r.link_name = r.link_tagged ? ("link" + std::to_string(link)) : "";
+  live::WindowReport& w = r.report;
+  w.window_index = index;
+  w.start_s = static_cast<double>(index) * 4.0;
+  w.width_s = 4.0;
+  w.stride_s = 4.0;
+  w.packets = seed * 11 + index;
+  w.bytes = seed * 1700 + index;
+  w.discards = index % 3;
+  w.inputs.lambda = u(rng);
+  w.inputs.mean_size_bits = u(rng) * 1e4;
+  w.inputs.mean_s2_over_d = u(rng) * 1e8;
+  w.inputs.flows = 40 + index;
+  w.flow_moments.mean_duration_s = u(rng);
+  w.flow_moments.stddev_size_bits = u(rng) * 1e3;
+  w.flow_moments.stddev_duration_s = u(rng);
+  w.flow_moments.mean_rate_bps = u(rng) * 1e5;
+  w.measured.mean_bps = u(rng) * 1e6;
+  w.measured.variance_bps2 = u(rng) * 1e10;
+  w.measured.cov = u(rng) / 100.0;
+  w.measured.samples = 20 * (index + 1);
+  if (index % 2 == 0) w.shot_b = u(rng);
+  w.shot_b_used = w.shot_b.value_or(1.0);
+  w.model_cov = u(rng) / 50.0;
+  w.plan.mean_bps = w.measured.mean_bps;
+  w.plan.stddev_bps = u(rng) * 1e5;
+  w.plan.cov = u(rng) / 100.0;
+  w.plan.capacity_bps = w.plan.mean_bps * 1.4;
+  w.plan.headroom = 1.4;
+  w.plan.eps = 0.01;
+  w.forecast.available = index > 2;
+  w.forecast.predicted_mean_bps = u(rng) * 1e6;
+  w.forecast.band_low_bps = w.forecast.predicted_mean_bps * 0.8;
+  w.forecast.band_high_bps = w.forecast.predicted_mean_bps * 1.2;
+  w.forecast.sigma_bps = u(rng) * 1e4;
+  w.forecast.order = 1 + index % 4;
+  w.anomaly.alert = index % 5 == 0;
+  w.anomaly.kind = w.anomaly.alert
+                       ? (index % 2 == 0 ? live::AlertKind::spike
+                                         : live::AlertKind::drop)
+                       : live::AlertKind::none;
+  w.anomaly.deviation_sigma = u(rng);
+  w.anomaly.consecutive = index % 4;
+  w.anomaly.bin_events = index % 7;
+  w.anomaly.bin_peak_sigma = u(rng);
+  return r;
+}
+
+void expect_same(const StoredReport& a, const StoredReport& b) {
+  EXPECT_EQ(a.link_id, b.link_id);
+  EXPECT_EQ(a.link_tagged, b.link_tagged);
+  EXPECT_EQ(a.link_name, b.link_name);
+  // jsonl() renders every schema field through the shared writer; byte
+  // equality there plus the binary fields below is full-field identity.
+  EXPECT_EQ(a.jsonl(), b.jsonl());
+  EXPECT_EQ(a.report.window_index, b.report.window_index);
+  EXPECT_EQ(a.report.measured.mean_bps, b.report.measured.mean_bps);
+  EXPECT_EQ(a.report.shot_b.has_value(), b.report.shot_b.has_value());
+  EXPECT_EQ(a.report.forecast.order, b.report.forecast.order);
+  EXPECT_EQ(a.report.anomaly.kind, b.report.anomaly.kind);
+}
+
+TEST(ReportStore, AppendScanRoundTripsEveryField) {
+  const auto path = temp_path("rt");
+  std::vector<StoredReport> written;
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 8; ++i) {
+      written.push_back(make_record(0, i, 5));
+      writer.append(written.back());
+    }
+    EXPECT_EQ(writer.appended(), 8u);
+    EXPECT_FALSE(writer.recovered_torn_tail());
+  }
+  StoreReader reader(path);
+  EXPECT_FALSE(reader.torn_tail());
+  const auto got = reader.scan({});
+  ASSERT_EQ(got.size(), written.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same(written[i], got[i]);
+  }
+}
+
+TEST(ReportStore, ReopenAppendsAfterValidPrefix) {
+  const auto path = temp_path("reopen");
+  {
+    StoreWriter writer(path);
+    writer.append(make_record(0, 0, 1));
+  }
+  {
+    StoreWriter writer(path);
+    EXPECT_FALSE(writer.recovered_torn_tail());
+    writer.append(make_record(0, 1, 1));
+  }
+  StoreReader reader(path);
+  EXPECT_EQ(reader.records().size(), 2u);
+}
+
+TEST(ReportStore, TornTailIsSkippedByReaderAndTruncatedByWriter) {
+  const auto path = temp_path("torn");
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 4; ++i) writer.append(make_record(0, i, 2));
+  }
+  // Simulate a SIGKILL mid-append: cut the last frame short.
+  auto bytes = slurp(path);
+  const auto full = bytes.size();
+  bytes.resize(full - 21);
+  spit(path, bytes);
+
+  {  // reader: valid prefix parses, tail flagged
+    StoreReader reader(path);
+    EXPECT_TRUE(reader.torn_tail());
+    EXPECT_EQ(reader.records().size(), 3u);
+  }
+  {  // writer: truncates the torn tail, appends cleanly
+    StoreWriter writer(path);
+    EXPECT_TRUE(writer.recovered_torn_tail());
+    writer.append(make_record(0, 3, 2));
+    writer.append(make_record(0, 4, 2));
+  }
+  StoreReader reader(path);
+  EXPECT_FALSE(reader.torn_tail());
+  ASSERT_EQ(reader.records().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(reader.records()[i].report.window_index, i);
+  }
+}
+
+TEST(ReportStore, TornAtEveryTailOffsetRecovers) {
+  const auto path = temp_path("sweep");
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 3; ++i) writer.append(make_record(0, i, 3));
+  }
+  const auto bytes = slurp(path);
+  // Find the last frame's start by walking the frame chain.
+  std::size_t pos = 16;
+  std::size_t last_frame = 16;
+  while (pos + 16 <= bytes.size()) {
+    last_frame = pos;
+    std::uint64_t len = 0;
+    std::memcpy(&len, bytes.data() + pos + 8, sizeof(len));
+    pos += 16 + len + 8;
+  }
+  const auto probe = temp_path("sweep_probe");
+  for (std::size_t cut = last_frame; cut < bytes.size(); ++cut) {
+    spit(probe, std::vector<char>(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut)));
+    StoreReader reader(probe);
+    EXPECT_EQ(reader.records().size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(reader.torn_tail(), cut != last_frame) << "cut at " << cut;
+  }
+}
+
+TEST(ReportStore, MidFileCorruptionStillThrows) {
+  const auto path = temp_path("corrupt");
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 4; ++i) writer.append(make_record(0, i, 4));
+  }
+  auto bytes = slurp(path);
+  // Flip a payload byte of the FIRST record: not the tail, so strictness
+  // applies even in tolerant mode.
+  bytes[40] ^= 0x20;
+  spit(path, bytes);
+  try {
+    StoreReader reader(path);
+    FAIL() << "mid-file corruption must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(path.filename().string()),
+              std::string::npos)
+        << "diagnostic must name the file: " << e.what();
+  }
+  // And the writer must refuse to extend a corrupt store.
+  EXPECT_THROW(StoreWriter writer(path), std::runtime_error);
+}
+
+TEST(ReportStore, RejectsBadMagicAndFutureVersion) {
+  const auto path = temp_path("magic");
+  {
+    StoreWriter writer(path);
+    writer.append(make_record(0, 0, 6));
+  }
+  auto good = slurp(path);
+  auto bad = good;
+  bad[1] ^= 0xff;
+  spit(path, bad);
+  EXPECT_THROW(StoreReader r(path), std::runtime_error);
+  bad = good;
+  bad[4] = 0x7e;
+  spit(path, bad);
+  try {
+    StoreReader r(path);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ReportStore, DedupKeepsLastPerLinkAndWindow) {
+  const auto path = temp_path("dedup");
+  {
+    StoreWriter writer(path);
+    // A killed run wrote windows 0..3, the resumed run re-appends 2..5
+    // (same content for the overlap in real use; different bytes here so
+    // last-wins is observable).
+    for (std::size_t i = 0; i < 4; ++i) writer.append(make_record(1, i, 10));
+    for (std::size_t i = 2; i < 6; ++i) writer.append(make_record(1, i, 20));
+  }
+  StoreReader reader(path);
+  ScanOptions raw;
+  raw.dedup = false;
+  const auto all = reader.scan(raw);
+  EXPECT_EQ(all.size(), 8u);
+  const auto deduped = reader.scan({});
+  ASSERT_EQ(deduped.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(deduped[i].report.window_index, i);
+    // Windows 2..5 must be the re-appended (seed 20) versions.
+    const auto want = make_record(1, i, i < 2 ? 10 : 20);
+    EXPECT_EQ(deduped[i].jsonl(), want.jsonl()) << "window " << i;
+  }
+}
+
+TEST(ReportStore, RangeScanByLinkAndTime) {
+  const auto path = temp_path("range");
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 6; ++i) {
+      writer.append(make_record(1, i, 30));
+      writer.append(make_record(2, i, 31));
+    }
+  }
+  StoreReader reader(path);
+  ScanOptions opts;
+  opts.link = "link1";
+  opts.from_s = 8.0;   // window 2 starts at 8.0
+  opts.to_s = 20.0;    // window 5 starts at 20.0 — excluded (half-open)
+  const auto got = reader.scan(opts);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].link_name, "link1");
+    EXPECT_EQ(got[i].report.window_index, i + 2);
+  }
+}
+
+TEST(ReportStore, ScanOrderIsChronologicalAcrossLinks) {
+  const auto path = temp_path("order");
+  {
+    StoreWriter writer(path);
+    // Append link-major; the scan must come back time-major (stream order).
+    for (std::uint32_t link = 1; link <= 2; ++link) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        writer.append(make_record(link, i, 40 + link));
+      }
+    }
+  }
+  StoreReader reader(path);
+  const auto got = reader.scan({});
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(got[i].report.window_index, i / 2);
+    EXPECT_EQ(got[i].link_id, 1 + i % 2);
+  }
+}
+
+TEST(ReportStore, TrimBeforeDropsOldRecords) {
+  const auto path = temp_path("trim");
+  {
+    StoreWriter writer(path);
+    for (std::size_t i = 0; i < 6; ++i) writer.append(make_record(0, i, 50));
+  }
+  EXPECT_EQ(trim_store(path, 8.0), 2u);  // windows 0 (0s) and 1 (4s)
+  StoreReader reader(path);
+  ASSERT_EQ(reader.records().size(), 4u);
+  EXPECT_EQ(reader.records().front().report.window_index, 2u);
+  // Trimmed store keeps appending normally.
+  StoreWriter writer(path);
+  writer.append(make_record(0, 6, 50));
+  EXPECT_EQ(StoreReader(path).records().size(), 5u);
+}
+
+TEST(ReportStore, EmptyStoreIsValid) {
+  const auto path = temp_path("empty");
+  { StoreWriter writer(path); }
+  StoreReader reader(path);
+  EXPECT_TRUE(reader.records().empty());
+  EXPECT_FALSE(reader.torn_tail());
+  EXPECT_TRUE(reader.scan({}).empty());
+}
+
+TEST(ReportStore, MissingFileThrows) {
+  EXPECT_THROW(StoreReader r(temp_path("nope")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fbm::store

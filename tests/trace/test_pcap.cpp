@@ -16,7 +16,13 @@ namespace fs = std::filesystem;
 class PcapTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "fbm_pcap_test";
+    // Per-test-case directory: gtest_discover_tests runs each case as its
+    // own process under ctest -j, and a shared directory would race with
+    // TearDown's remove_all in a sibling case.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("fbm_pcap_test_" + std::string(info->name()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

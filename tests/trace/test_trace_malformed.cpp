@@ -23,7 +23,13 @@ namespace {
 class TraceMalformedTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "fbm_malformed";
+    // Per-test-case directory: gtest_discover_tests runs each case as its
+    // own process under ctest -j, and a shared directory would race with
+    // TearDown's remove_all in a sibling case.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fbm_malformed_" + std::string(info->name()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

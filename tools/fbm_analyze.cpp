@@ -4,7 +4,7 @@
 //   fbm_analyze <trace> [--interval S] [--timeout S] [--delta S]
 //               [--prefix24] [--eps P] [--min-flows N] [--threads N]
 //               [--link NAME=PREFIX[,PREFIX...] ...]
-//               [--emit-partial FILE] [--shard I/K] [--json]
+//               [--emit-partial FILE] [--shard I/K] [--json] [--store FILE]
 //
 // <trace> may be .fbmt (native, streamed with window-bounded memory), .pcap,
 // or .csv. For each analysis interval the tool prints the three model
@@ -30,6 +30,12 @@
 // and their K partials merge into a byte-identical replica of the
 // single-process output. Requires an explicit --interval (the whole-trace
 // horizon of one shard would differ from the full trace's).
+//
+// --store FILE appends every fitted interval to the durable report store
+// (the same format fbm_live writes and fbm_query reads), so batch results
+// land in the queryable on-disk log alongside live-mode windows. Works in
+// both the single-link and --link pipelines; incompatible with
+// --emit-partial, which fits nothing.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +47,7 @@
 
 #include "agg/agg.hpp"
 #include "api/api.hpp"
+#include "store/report_store.hpp"
 
 namespace {
 
@@ -55,6 +62,7 @@ struct Options {
   std::size_t threads = 1;
   std::vector<std::string> links;  // empty = single-link pipeline
   std::string emit_partial;        // empty = fit locally
+  std::string store;               // empty = no durable persistence
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   bool json = false;
@@ -66,7 +74,7 @@ struct Options {
                "[--timeout S] [--delta S] [--prefix24] [--eps P] "
                "[--min-flows N] [--threads N] "
                "[--link NAME=PREFIX[,PREFIX...]] [--emit-partial FILE] "
-               "[--shard I/K] [--json]\n");
+               "[--shard I/K] [--json] [--store FILE]\n");
   std::exit(2);
 }
 
@@ -135,6 +143,12 @@ Options parse_args(int argc, char** argv) {
         usage();
       }
       opt.emit_partial = argv[++i];
+    } else if (arg == "--store") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --store\n");
+        usage();
+      }
+      opt.store = argv[++i];
     } else if (arg == "--shard") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for --shard\n");
@@ -163,6 +177,12 @@ Options parse_args(int argc, char** argv) {
     // Per-link overrides could change the flow definition the shard hash
     // must agree on; key-sharding and link demux do not compose.
     std::fprintf(stderr, "--shard cannot be combined with --link\n");
+    usage();
+  }
+  if (!opt.store.empty() && !opt.emit_partial.empty()) {
+    std::fprintf(stderr,
+                 "--store needs fitted reports; --emit-partial fits "
+                 "nothing\n");
     usage();
   }
   if (!opt.emit_partial.empty() && opt.interval <= 0.0) {
@@ -301,6 +321,21 @@ int main(int argc, char** argv) {
         results.push_back({std::move(link.name), link.counters,
                            std::move(by_link[link.id])});
       }
+      if (!opt.store.empty()) {
+        store::StoreWriter store_writer(opt.store);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          for (const auto& r : results[i].reports) {
+            auto record = store::from_analysis(r, interval_s);
+            record.link_id = static_cast<std::uint32_t>(i);
+            record.link_tagged = true;
+            record.link_name = results[i].name;
+            store_writer.append(record);
+          }
+        }
+        std::fprintf(stderr, "stored %llu interval reports in %s\n",
+                     static_cast<unsigned long long>(store_writer.appended()),
+                     opt.store.c_str());
+      }
       if (opt.json) {
         std::printf("%s\n", engine::to_json(eng.summary(), results).c_str());
         return 0;
@@ -405,6 +440,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(writer->windows_written()),
         opt.emit_partial.c_str());
     return 0;
+  }
+
+  if (!opt.store.empty()) {
+    try {
+      store::StoreWriter store_writer(opt.store);
+      for (const auto& r : reports) {
+        store_writer.append(store::from_analysis(r, interval_s));
+      }
+      std::fprintf(stderr, "stored %llu interval reports in %s\n",
+                   static_cast<unsigned long long>(store_writer.appended()),
+                   opt.store.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (opt.json) {

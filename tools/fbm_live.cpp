@@ -6,6 +6,8 @@
 //            [--consecutive N] [--follow] [--idle S] [--max-windows N]
 //            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N]
 //            [--emit-partial FILE] [--shard I/K] [--json]
+//            [--checkpoint FILE] [--checkpoint-every N] [--restore FILE]
+//            [--store FILE]
 //
 // Streams the trace through live::WindowedEstimator: per sliding window the
 // three model parameters, measured vs model rate, fitted shot, capacity
@@ -31,6 +33,22 @@
 // hashes to shard I of K, so K such runs partition the stream by flow.
 // Incompatible with --follow and --max-windows (a partial file is valid
 // only once the stream ends cleanly and the end frame is written).
+//
+// Durable operations (src/ckpt/, src/store/):
+//   --checkpoint FILE        snapshot the complete mid-stream state every
+//                            --checkpoint-every N closed windows (default 1),
+//                            atomically (tmp + rename). Works in both the
+//                            single-estimator and --link engine modes.
+//   --restore FILE           resume from a checkpoint: the config is
+//                            validated against the file's meta, the first
+//                            <checkpointed packets> records of the trace are
+//                            skipped, and the remaining output is
+//                            byte-identical to the uninterrupted run's
+//                            (stderr announces "resuming after N reports" —
+//                            keep the killed run's first N lines and append).
+//   --store FILE             append every finished window to a queryable
+//                            on-disk report store (fbm_query reads it; a
+//                            SIGKILL mid-append is recovered on reopen).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -44,7 +62,9 @@
 #include "agg/agg.hpp"
 #include "api/api.hpp"
 #include "api/shard.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "live/live.hpp"
+#include "store/report_store.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace {
@@ -69,6 +89,10 @@ struct Options {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   bool json = false;
+  std::string checkpoint;  // empty = no checkpointing
+  std::uint64_t checkpoint_every = 1;  // closed windows per checkpoint
+  std::string restore;     // empty = start fresh
+  std::string store;       // empty = no on-disk report store
 };
 
 [[noreturn]] void usage() {
@@ -78,7 +102,8 @@ struct Options {
       "[--timeout S] [--delta S] [--prefix24] [--eps P] [--k-sigma K] "
       "[--max-order M] [--consecutive N] [--follow] [--idle S] "
       "[--max-windows N] [--link NAME=PREFIX[,PREFIX...]] [--threads N] "
-      "[--emit-partial FILE] [--shard I/K] [--json]\n");
+      "[--emit-partial FILE] [--shard I/K] [--json] [--checkpoint FILE] "
+      "[--checkpoint-every N] [--restore FILE] [--store FILE]\n");
   std::exit(2);
 }
 
@@ -164,6 +189,31 @@ Options parse_args(int argc, char** argv) {
         usage();
       }
       parse_shard(argv[++i], opt);
+    } else if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --checkpoint\n");
+        usage();
+      }
+      opt.checkpoint = argv[++i];
+    } else if (arg == "--checkpoint-every") {
+      const double v = need_value("--checkpoint-every");
+      if (!(v >= 1.0)) {
+        std::fprintf(stderr, "--checkpoint-every wants N >= 1\n");
+        usage();
+      }
+      opt.checkpoint_every = static_cast<std::uint64_t>(v);
+    } else if (arg == "--restore") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --restore\n");
+        usage();
+      }
+      opt.restore = argv[++i];
+    } else if (arg == "--store") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --store\n");
+        usage();
+      }
+      opt.store = argv[++i];
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--follow") {
@@ -207,6 +257,14 @@ Options parse_args(int argc, char** argv) {
   if (!opt.emit_partial.empty() && opt.max_windows > 0) {
     std::fprintf(stderr,
                  "--emit-partial streams every window; drop --max-windows\n");
+    usage();
+  }
+  if (!opt.emit_partial.empty() &&
+      (!opt.checkpoint.empty() || !opt.restore.empty() ||
+       !opt.store.empty())) {
+    std::fprintf(stderr,
+                 "--checkpoint/--restore/--store snapshot fitted state; "
+                 "--emit-partial defers fitting — they cannot combine\n");
     usage();
   }
   return opt;
@@ -325,6 +383,31 @@ int run_single(const Options& opt) {
     return 0;
   }
 
+  // Durable operations: the report store persists each finished window the
+  // moment it is printed; restore rebuilds the estimator from a checkpoint
+  // and skips the packets it had already consumed.
+  std::unique_ptr<store::StoreWriter> store_writer;
+  if (!opt.store.empty()) {
+    store_writer = std::make_unique<store::StoreWriter>(opt.store);
+  }
+  std::uint64_t skip = 0;
+  if (!opt.restore.empty()) {
+    const ckpt::Checkpoint ck = ckpt::read_checkpoint(opt.restore);
+    if (ck.kind != ckpt::CheckpointKind::estimator) {
+      std::fprintf(stderr,
+                   "error: %s is an engine checkpoint; pass its --link "
+                   "set to resume it\n",
+                   opt.restore.c_str());
+      return 1;
+    }
+    agg::check_compatible(ck.meta, agg::PartialMeta::from_live(config));
+    estimator.restore_state(ck.estimator);
+    skip = ck.packets_consumed();
+    std::fprintf(stderr, "resuming after %llu reports (%llu packets) from %s\n",
+                 static_cast<unsigned long long>(ck.reports_emitted()),
+                 static_cast<unsigned long long>(skip), opt.restore.c_str());
+  }
+
   std::atomic<bool> done{false};
   estimator.set_window_sink([&](live::WindowReport&& r) {
     // One push() can close many windows at once (a quiet gap in the
@@ -337,19 +420,42 @@ int run_single(const Options& opt) {
       print_human(r, nullptr);
     }
     std::fflush(stdout);
+    if (store_writer) store_writer->append({0, false, "", std::move(r)});
     if (opt.max_windows > 0 &&
         estimator.counters().windows >= opt.max_windows) {
       done = true;
     }
   });
 
+  // Checkpoints are cut between pushes (never inside the sink — the
+  // estimator is mid-mutation there), after the sink has printed and
+  // flushed every window the snapshot counts as delivered.
+  std::uint64_t last_ckpt = estimator.counters().windows;
+  const auto maybe_checkpoint = [&] {
+    if (opt.checkpoint.empty() || done) return;
+    const std::uint64_t w = estimator.counters().windows;
+    if (w - last_ckpt < opt.checkpoint_every) return;
+    ckpt::write_checkpoint(opt.checkpoint, agg::PartialMeta::from_live(config),
+                           estimator.save_state());
+    last_ckpt = w;
+  };
+
   if (!opt.json) {
     std::printf("%6s %8s %8s %9s | %s\n", "window", "t0", "flows",
                 "lambda", "measured Mbps vs forecast band");
   }
+  std::uint64_t skipped = 0;
   drain(
       *source, opt, done,
-      [&](const net::PacketRecord& p) { estimator.push(p); }, [] {});
+      [&](const net::PacketRecord& p) {
+        if (skipped < skip) {
+          ++skipped;
+          return;
+        }
+        estimator.push(p);
+        maybe_checkpoint();
+      },
+      [] {});
   if (!done) estimator.finish();
 
   if (estimator.counters().packets == 0) {
@@ -379,7 +485,9 @@ int run_engine(const Options& opt) {
   // joins them — so the state it captures is declared before the engine
   // (destroyed after it). The drain loop polls `done` from the caller.
   std::atomic<bool> done{false};
-  std::uint64_t windows = 0;
+  // Atomic: pool workers bump it in the report sink while the demux thread
+  // reads it for the --max-windows cap and the checkpoint trigger.
+  std::atomic<std::uint64_t> windows{0};
 
   std::unique_ptr<agg::PartialWriter> writer;
   engine::Engine eng(config);
@@ -424,9 +532,43 @@ int run_engine(const Options& opt) {
                  opt.links.size(), opt.emit_partial.c_str());
     return 0;
   }
+  // The engine's config identity for checkpoints: the live knobs plus the
+  // link set, so a restore under different links or knobs is refused with a
+  // field-naming diagnostic.
+  std::vector<engine::LinkSpec> specs;
+  specs.reserve(opt.links.size());
   for (const auto& text : opt.links) {
-    (void)eng.attach(engine::parse_link_spec(text));
+    specs.push_back(engine::parse_link_spec(text));
   }
+  agg::PartialMeta ckpt_meta = agg::PartialMeta::from_live(config.live);
+  ckpt_meta.engine = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ckpt_meta.links.push_back({static_cast<std::uint32_t>(i), specs[i].name});
+  }
+  for (auto& spec : specs) (void)eng.attach(std::move(spec));
+
+  std::unique_ptr<store::StoreWriter> store_writer;
+  if (!opt.store.empty()) {
+    store_writer = std::make_unique<store::StoreWriter>(opt.store);
+  }
+  std::uint64_t skip = 0;
+  if (!opt.restore.empty()) {
+    const ckpt::Checkpoint ck = ckpt::read_checkpoint(opt.restore);
+    if (ck.kind != ckpt::CheckpointKind::engine) {
+      std::fprintf(stderr,
+                   "error: %s is a single-estimator checkpoint; drop the "
+                   "--link flags to resume it\n",
+                   opt.restore.c_str());
+      return 1;
+    }
+    agg::check_compatible(ck.meta, ckpt_meta);
+    eng.restore_state(ck.engine);
+    skip = ck.packets_consumed();
+    std::fprintf(stderr, "resuming after %llu reports (%llu packets) from %s\n",
+                 static_cast<unsigned long long>(ck.reports_emitted()),
+                 static_cast<unsigned long long>(skip), opt.restore.c_str());
+  }
+
   eng.set_report_sink([&](engine::LinkReport&& r) {
     if (done) return;
     if (opt.json) {
@@ -435,16 +577,41 @@ int run_engine(const Options& opt) {
       print_human(*r.window, r.name.c_str());
     }
     std::fflush(stdout);
+    if (store_writer) {
+      store_writer->append({static_cast<std::uint32_t>(r.link), true, r.name,
+                            std::move(*r.window)});
+    }
     ++windows;
     if (opt.max_windows > 0 && windows >= opt.max_windows) done = true;
   });
+
+  // Between-push checkpoint trigger; `windows` is atomic because pool
+  // workers bump it in the sink while the demux thread reads it here.
+  // save_state() quiesces the pool, so the snapshot is a consistent cut.
+  std::uint64_t last_ckpt = windows.load();
+  const auto maybe_checkpoint = [&] {
+    if (opt.checkpoint.empty() || done) return;
+    const std::uint64_t w = windows.load();
+    if (w - last_ckpt < opt.checkpoint_every) return;
+    ckpt::write_checkpoint(opt.checkpoint, ckpt_meta, eng.save_state());
+    last_ckpt = w;
+  };
 
   if (!opt.json) {
     std::printf("%-10s %6s %8s %8s %9s | %s\n", "link", "window", "t0",
                 "flows", "lambda", "measured Mbps vs forecast band");
   }
+  std::uint64_t skipped = 0;
   drain(
-      *source, opt, done, [&](const net::PacketRecord& p) { eng.push(p); },
+      *source, opt, done,
+      [&](const net::PacketRecord& p) {
+        if (skipped < skip) {
+          ++skipped;
+          return;
+        }
+        eng.push(p);
+        maybe_checkpoint();
+      },
       [&] { eng.flush(); });
   // Unconditional: when --max-windows tripped, finish() joins the pool
   // workers (the sink drops further reports via `done`) so the footer below
