@@ -9,6 +9,8 @@
 #include <system_error>
 
 #include "api/api.hpp"
+#include "obs/catalog.hpp"
+#include "obs/export.hpp"
 #include "trace/synthetic.hpp"
 
 namespace fbm::bench {
@@ -52,6 +54,14 @@ trace::ScaleOptions default_scale() {
 
 namespace {
 
+/// Classify + fit stage-histogram seconds so far — the analyze-only clock.
+/// CPU seconds, strictly: with FBM_BENCH_THREADS > 1 shard spans overlap.
+double analyze_stage_seconds() {
+  static obs::Histogram& classify_h = obs::stage_seconds(obs::kStageClassify);
+  static obs::Histogram& fit_h = obs::stage_seconds(obs::kStageFit);
+  return classify_h.sum() + fit_h.sum();
+}
+
 std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
                                     const std::vector<net::PacketRecord>& packets,
                                     double interval_s, double timeout_s) {
@@ -64,6 +74,7 @@ std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
       .keep_flows(true)
       .threads(bench_threads());
 
+  const double analyze_before = analyze_stage_seconds();
   std::vector<IntervalResult> out;
   for (auto& report : api::analyze(packets, config)) {
     IntervalResult r;
@@ -74,6 +85,9 @@ std::vector<IntervalResult> analyse(api::FlowDefinition flow_def,
   }
 
   if (g_active_context != nullptr) {
+    g_active_context->count_analyze(
+        flow_def == api::FlowDefinition::prefix24 ? "prefix24" : "five_tuple",
+        packets.size(), analyze_stage_seconds() - analyze_before);
     g_active_context->count_packets(packets.size());
     std::uint64_t bytes = 0;
     for (const auto& p : packets) bytes += p.size_bytes;
@@ -157,6 +171,13 @@ int run_registered(const BenchInfo& info, bool quick,
   report.set_config("rate_scale", scale.rate_scale);
   report.set_config("max_length_s", scale.max_length_s);
 
+  // The obs registry delta of this run rides along in the report's "obs"
+  // section, and the classify+fit stage timers give the analyze-only
+  // throughput (generation and reporting excluded) — the number the
+  // "<bench>.analyze" baseline entries gate.
+  const obs::Snapshot obs_before = obs::Registry::global().snapshot();
+  const double analyze_before = analyze_stage_seconds();
+
   perf::Stopwatch watch;
   int rc = 1;
   try {
@@ -169,6 +190,22 @@ int run_registered(const BenchInfo& info, bool quick,
       report.wall_s > 0.0
           ? static_cast<double>(report.counters.packets) / report.wall_s
           : 0.0;
+  const double analyze_s = analyze_stage_seconds() - analyze_before;
+  report.analyze_packets_per_s =
+      analyze_s > 0.0
+          ? static_cast<double>(report.counters.packets) / analyze_s
+          : 0.0;
+  for (const auto& [def, cell] : context.analyze_by_def()) {
+    if (cell.second > 0.0) {
+      report.set_metric("analyze_packets_per_s_" + def,
+                        static_cast<double>(cell.first) / cell.second);
+    }
+  }
+  const obs::Snapshot obs_after = obs::Registry::global().snapshot();
+  const obs::Snapshot obs_delta = obs::delta(obs_before, obs_after);
+  if (!obs_delta.metrics.empty()) {
+    report.obs_json = obs::to_json_metrics(obs_delta);
+  }
   report.peak_rss_kb = perf::peak_rss_kb();
 
   g_active_context = nullptr;

@@ -22,7 +22,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flow/classifier.hpp"
@@ -97,9 +99,26 @@ class Context {
     report_.counters.bytes_classified += n;
   }
 
+  /// Analyze-only accounting per flow definition ("five_tuple"/"prefix24"):
+  /// packets pushed and classify+fit stage seconds spent on them. Filled by
+  /// analyse() from the obs stage timers; run_registered turns each entry
+  /// into an "analyze_packets_per_s_<def>" metric.
+  void count_analyze(const std::string& flow_def, std::uint64_t packets,
+                     double seconds) {
+    auto& cell = analyze_by_def_[flow_def];
+    cell.first += packets;
+    cell.second += seconds;
+  }
+  [[nodiscard]] const std::map<std::string,
+                               std::pair<std::uint64_t, double>>&
+  analyze_by_def() const {
+    return analyze_by_def_;
+  }
+
  private:
   perf::BenchReport& report_;
   bool quick_;
+  std::map<std::string, std::pair<std::uint64_t, double>> analyze_by_def_;
 };
 
 using BenchFn = int (*)(Context&);

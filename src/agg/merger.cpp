@@ -7,6 +7,7 @@
 #include "api/shard.hpp"
 #include "engine/report.hpp"
 #include "live/window_report.hpp"
+#include "obs/catalog.hpp"
 
 namespace fbm::agg {
 
@@ -21,6 +22,7 @@ void Merger::add(PartialFile&& file) {
     check_compatible(meta_, file.meta);
   }
   ++files_;
+  if (obs::enabled()) obs::agg_partials_read().add(1);
 
   // Trace totals: u64 sums are exact; first/last only count producers that
   // actually saw packets (an idle shard's zeroed timestamps must not win
@@ -48,6 +50,7 @@ void Merger::add(PartialFile&& file) {
 }
 
 void Merger::fold_window(PartialWindow&& w) {
+  if (obs::enabled()) obs::agg_windows_merged().add(1);
   auto& cell = by_link_[w.link_id];
   auto it = cell.find(w.window.index);
   if (it == cell.end()) {

@@ -54,6 +54,11 @@ struct ParallelAnalysisPipeline::Worker {
   std::atomic<bool> failed{false};
   std::thread thread;
 
+  // obs: this worker's queue-depth gauge and the pool's backpressure
+  // counter, resolved once at spawn (null until then).
+  obs::Gauge* queue_gauge = nullptr;
+  obs::Counter* bp_counter = nullptr;
+
   void run() {
     for (;;) {
       Command cmd;
@@ -62,6 +67,9 @@ struct ParallelAnalysisPipeline::Worker {
         queue_cv.wait(lock, [&] { return !queue.empty(); });
         cmd = std::move(queue.front());
         queue.pop_front();
+        if (queue_gauge != nullptr && obs::enabled()) {
+          queue_gauge->set(static_cast<double>(queue.size()));
+        }
       }
       space_cv.notify_one();
       if (cmd.kind == Command::Kind::stop) return;
@@ -108,13 +116,20 @@ struct ParallelAnalysisPipeline::Worker {
   void enqueue(Command cmd) {
     {
       std::unique_lock lock(queue_mu);
-      // A dead worker stops draining; don't block forever on its queue
-      // (the caller notices `failed` and rethrows at the next sweep).
-      space_cv.wait(lock, [&] {
+      const auto has_space = [&] {
         return queue.size() < kMaxQueuedCommands ||
                failed.load(std::memory_order_acquire) || !thread.joinable();
-      });
+      };
+      if (!has_space() && bp_counter != nullptr && obs::enabled()) {
+        bp_counter->add(1);  // the producer is about to block
+      }
+      // A dead worker stops draining; don't block forever on its queue
+      // (the caller notices `failed` and rethrows at the next sweep).
+      space_cv.wait(lock, has_space);
       queue.push_back(std::move(cmd));
+      if (queue_gauge != nullptr && obs::enabled()) {
+        queue_gauge->set(static_cast<double>(queue.size()));
+      }
     }
     queue_cv.notify_one();
   }
@@ -131,6 +146,8 @@ ParallelAnalysisPipeline::ParallelAnalysisPipeline(AnalysisConfig config)
   pending_.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
     workers_.push_back(std::make_unique<Worker>(config_));
+    workers_[s]->queue_gauge = &obs::worker_queue_depth("pipeline", s);
+    workers_[s]->bp_counter = &obs::backpressure_waits("pipeline");
   }
   // Spawn after the vector is fully built so a throwing allocation never
   // leaves a thread pointing at a moved-from Worker.
@@ -358,7 +375,21 @@ void ParallelAnalysisPipeline::consume(TraceSource& source) {
   net::PacketBatch batch;
   const std::size_t cap = config_.batch_packets();
   batch.reserve(cap);
-  while (source.next_batch(batch, cap) > 0) push_batch(batch);
+  obs::Histogram& read_seconds =
+      obs::stage_seconds(obs::kStageSourceRead);
+  for (;;) {
+    std::size_t n;
+    {
+      obs::StageSpan span(read_seconds);
+      n = source.next_batch(batch, cap);
+    }
+    if (n == 0) break;
+    if (obs::enabled()) {
+      obs::source_packets().add(n);
+      obs::source_batches().add(1);
+    }
+    push_batch(batch);
+  }
   finish();
 }
 

@@ -128,7 +128,21 @@ void AnalysisPipeline::consume(TraceSource& source) {
   net::PacketBatch batch;
   const std::size_t cap = config_.batch_packets();
   batch.reserve(cap);
-  while (source.next_batch(batch, cap) > 0) push_batch(batch);
+  obs::Histogram& read_seconds =
+      obs::stage_seconds(obs::kStageSourceRead);
+  for (;;) {
+    std::size_t n;
+    {
+      obs::StageSpan span(read_seconds);
+      n = source.next_batch(batch, cap);
+    }
+    if (n == 0) break;
+    if (obs::enabled()) {
+      obs::source_packets().add(n);
+      obs::source_batches().add(1);
+    }
+    push_batch(batch);
+  }
   finish();
 }
 

@@ -65,6 +65,12 @@ class ClassifierImpl final : public FlowClassifierHandle {
   [[nodiscard]] std::size_t active_flows() const override {
     return classifier_.active_flows();
   }
+  [[nodiscard]] double table_load_factor() const override {
+    return classifier_.table_load_factor();
+  }
+  [[nodiscard]] double table_mean_probe() const override {
+    return classifier_.table_mean_probe();
+  }
 
   [[nodiscard]] ClassifierState save_state() const override {
     ClassifierState st;
@@ -180,6 +186,13 @@ std::size_t flow_shard_of(const net::FiveTuple& tuple, FlowDefinition def,
 PipelineShard::PipelineShard(const AnalysisConfig& config) : config_(config) {
   validate_config(config_);
   classifier_ = make_flow_classifier(config_);
+  // Resolve the obs instruments once (mutex-guarded registry lookups);
+  // after this the shard only ever does relaxed adds on its own cells.
+  obs_packets_ = obs::classify_packets().local();
+  obs_flows_ = obs::flows_emitted().local();
+  obs_discards_ = obs::flows_discarded().local();
+  obs_splits_ = obs::flow_boundary_splits().local();
+  obs_classify_seconds_ = &obs::stage_seconds(obs::kStageClassify);
 }
 
 stats::RateBinner PipelineShard::make_bins(std::int64_t index) const {
@@ -232,6 +245,7 @@ std::size_t interval_run_end(const double* ts, std::size_t i, std::size_t end,
 
 void PipelineShard::add_batch(const net::PacketBatch& batch) {
   if (batch.empty()) return;
+  obs::StageSpan span(*obs_classify_seconds_);  // batch granularity
   classifier_->add_batch(batch);  // validates timestamp ordering
   const double interval_s = config_.interval_s();
   const double* ts = batch.timestamps.data();
@@ -248,6 +262,35 @@ void PipelineShard::add_batch(const net::PacketBatch& batch) {
     i = run;
   }
   drain_classifier();
+  sync_obs(/*sample_table=*/false);
+}
+
+void PipelineShard::sync_obs(bool sample_table) {
+  if (!obs::enabled()) return;
+  const flow::ClassifierCounters& c = classifier_->counters();
+  // Deltas saturate at 0: a restored classifier can rewind the counters
+  // below what was already folded in (checkpoint restore), and a huge
+  // unsigned wrap must never reach the registry.
+  const auto fold = [](obs::ShardedCounter::Local& local, std::uint64_t cur,
+                       std::uint64_t prev) {
+    if (cur > prev) local.add(cur - prev);
+  };
+  fold(obs_packets_, c.packets, obs_synced_.packets);
+  fold(obs_flows_, c.flows_emitted, obs_synced_.flows_emitted);
+  fold(obs_discards_, c.single_packet_discards,
+       obs_synced_.single_packet_discards);
+  fold(obs_splits_, c.boundary_splits, obs_synced_.boundary_splits);
+  obs_synced_ = c;
+  if (sample_table) {
+    // Sampled, last-writer-wins across shards: keys hash uniformly, so any
+    // shard's table geometry is representative of all of them.
+    obs::flow_table_active("pipeline")
+        .set(static_cast<double>(classifier_->active_flows()));
+    obs::flow_table_load_factor("pipeline")
+        .set(classifier_->table_load_factor());
+    obs::flow_table_avg_probe("pipeline")
+        .set(classifier_->table_mean_probe());
+  }
 }
 
 void PipelineShard::drain_classifier() {
@@ -281,6 +324,7 @@ void PipelineShard::close_through(double now, std::int64_t last_index,
                                   std::vector<ShardInterval>& out) {
   classifier_->expire_idle(now);
   drain_classifier();
+  sync_obs(/*sample_table=*/true);  // sweep cadence: sample table geometry
   emit_through(last_index, out);
 }
 
@@ -288,6 +332,7 @@ void PipelineShard::finish(std::int64_t last_index,
                            std::vector<ShardInterval>& out) {
   classifier_->flush();
   drain_classifier();
+  sync_obs(/*sample_table=*/true);
   emit_through(last_index, out);
 }
 
@@ -296,6 +341,9 @@ void PipelineShard::finish(std::int64_t last_index,
 WindowFit fit_window(const AnalysisConfig& config, double start_s,
                      double length_s, std::vector<flow::FlowRecord> flows,
                      const stats::RateBinner& bins) {
+  static obs::Histogram& fit_seconds = obs::stage_seconds(obs::kStageFit);
+  obs::StageSpan span(fit_seconds);
+  if (obs::enabled()) obs::windows_fitted().add(1);
   WindowFit fit;
 
   // Flows sorted by start time: flow::ByStart compares every field, so the

@@ -28,6 +28,7 @@
 #include "flow/interval.hpp"
 #include "measure/rate_meter.hpp"
 #include "net/packet.hpp"
+#include "obs/catalog.hpp"
 #include "stats/timeseries.hpp"
 
 namespace fbm::api {
@@ -73,6 +74,10 @@ class FlowClassifierHandle {
   [[nodiscard]] virtual std::vector<flow::DiscardedPacket> take_discards() = 0;
   [[nodiscard]] virtual const flow::ClassifierCounters& counters() const = 0;
   [[nodiscard]] virtual std::size_t active_flows() const = 0;
+  /// Flow-table geometry for telemetry (occupancy / capacity; mean
+  /// robin-hood probe distance). O(capacity) — scrape cadence only.
+  [[nodiscard]] virtual double table_load_factor() const = 0;
+  [[nodiscard]] virtual double table_mean_probe() const = 0;
   /// Complete mid-stream state, canonical-keyed (see ClassifierState).
   [[nodiscard]] virtual ClassifierState save_state() const = 0;
   /// Rebuilds the exact saved state (active-table layout included) in a
@@ -182,11 +187,23 @@ class PipelineShard {
   [[nodiscard]] Open& open_at(std::int64_t index);
   void drain_classifier();
   void emit_through(std::int64_t last_index, std::vector<ShardInterval>& out);
+  /// Folds classifier-counter deltas into the obs locals and samples the
+  /// flow-table gauges. Batch/sweep cadence, no-op when obs is disabled.
+  void sync_obs(bool sample_table);
 
   AnalysisConfig config_;
   std::unique_ptr<FlowClassifierHandle> classifier_;
   std::map<std::int64_t, Open> open_;
   std::int64_t next_close_ = 0;
+
+  // obs: this shard's private counter cells (one relaxed add each at sync
+  // time) and the classifier-counter values already folded in.
+  obs::ShardedCounter::Local obs_packets_;
+  obs::ShardedCounter::Local obs_flows_;
+  obs::ShardedCounter::Local obs_discards_;
+  obs::ShardedCounter::Local obs_splits_;
+  flow::ClassifierCounters obs_synced_{};
+  obs::Histogram* obs_classify_seconds_ = nullptr;
 };
 
 /// One fitted window of trace time: everything the paper derives from a set

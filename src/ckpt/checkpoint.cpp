@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/catalog.hpp"
+
 namespace fbm::ckpt {
 
 namespace {
@@ -224,6 +226,9 @@ void check_count(const ByteCursor& c, std::uint64_t count,
 void write_frames(const std::filesystem::path& path, CheckpointKind kind,
                   const agg::PartialMeta& meta, std::uint64_t packets,
                   const std::vector<ByteBuffer>& body) {
+  static obs::Histogram& ckpt_seconds =
+      obs::stage_seconds(obs::kStageCheckpoint);
+  obs::StageSpan span(ckpt_seconds);  // encode + write + fsync + rename
   const std::filesystem::path tmp = path.string() + ".tmp";
   {
     core::FrameWriter out(tmp, kCheckpointMagic, kCheckpointVersion,
@@ -247,6 +252,14 @@ void write_frames(const std::filesystem::path& path, CheckpointKind kind,
   if (ec) {
     throw std::runtime_error("checkpoint: cannot rename " + tmp.string() +
                              " to " + path.string() + ": " + ec.message());
+  }
+  if (obs::enabled()) {
+    obs::checkpoint_writes().add(1);
+    std::error_code size_ec;
+    const auto bytes = std::filesystem::file_size(path, size_ec);
+    if (!size_ec) {
+      obs::checkpoint_last_bytes().set(static_cast<double>(bytes));
+    }
   }
 }
 

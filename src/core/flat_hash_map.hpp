@@ -117,6 +117,16 @@ class FlatHashMap {
   /// Slots allocated (power of two); 0 before the first insert.
   [[nodiscard]] size_type capacity() const { return dist_.size(); }
 
+  /// Mean robin-hood probe distance over occupied slots (1.0 = every key in
+  /// its home slot); 0 when empty. O(capacity) scan — telemetry cadence
+  /// only, never the per-packet path.
+  [[nodiscard]] double mean_probe_distance() const {
+    if (size_ == 0) return 0.0;
+    std::uint64_t total = 0;
+    for (const std::uint32_t d : dist_) total += d;  // 0 for empty slots
+    return static_cast<double>(total) / static_cast<double>(size_);
+  }
+
   [[nodiscard]] iterator begin() { return iterator(this, 0); }
   [[nodiscard]] iterator end() { return iterator(this, dist_.size()); }
   [[nodiscard]] const_iterator begin() const {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/shard.hpp"
+#include "obs/catalog.hpp"
 
 namespace fbm::engine {
 
@@ -34,6 +35,10 @@ struct Engine::Session {
 
   net::PacketBatch pending;  ///< demux buffer (pool mode)
   LinkCounters counters;  ///< packets/bytes: demux thread; reports: emit_mu_
+
+  // obs: this link's exported gauges, resolved once at attach.
+  obs::Gauge* g_packets = nullptr;
+  obs::Gauge* g_reports = nullptr;
 };
 
 struct Engine::Worker {
@@ -56,6 +61,10 @@ struct Engine::Worker {
   std::atomic<bool> failed{false};
   std::thread thread;
 
+  // obs: queue-depth gauge and pool backpressure counter, set at spawn.
+  obs::Gauge* queue_gauge = nullptr;
+  obs::Counter* bp_counter = nullptr;
+
   void set_idle() {
     {
       std::lock_guard lock(mu);
@@ -73,6 +82,9 @@ struct Engine::Worker {
         cmd = std::move(queue.front());
         queue.pop_front();
         busy = true;
+        if (queue_gauge != nullptr && obs::enabled()) {
+          queue_gauge->set(static_cast<double>(queue.size()));
+        }
       }
       space_cv.notify_one();
       if (cmd.kind == Command::Kind::stop) {
@@ -128,11 +140,18 @@ struct Engine::Worker {
   void enqueue(Command cmd) {
     {
       std::unique_lock lock(mu);
-      space_cv.wait(lock, [&] {
+      const auto has_space = [&] {
         return queue.size() < kMaxQueuedCommands ||
                failed.load(std::memory_order_acquire) || !thread.joinable();
-      });
+      };
+      if (!has_space() && bp_counter != nullptr && obs::enabled()) {
+        bp_counter->add(1);  // the demux thread is about to block
+      }
+      space_cv.wait(lock, has_space);
       queue.push_back(std::move(cmd));
+      if (queue_gauge != nullptr && obs::enabled()) {
+        queue_gauge->set(static_cast<double>(queue.size()));
+      }
     }
     work_cv.notify_one();
   }
@@ -151,6 +170,8 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     workers_.reserve(config_.threads);
     for (std::size_t i = 0; i < config_.threads; ++i) {
       workers_.push_back(std::make_unique<Worker>());
+      workers_[i]->queue_gauge = &obs::worker_queue_depth("engine", i);
+      workers_[i]->bp_counter = &obs::backpressure_waits("engine");
     }
     for (auto& w : workers_) {
       w->thread = std::thread([worker = w.get()] { worker->run(); });
@@ -258,6 +279,8 @@ LinkId Engine::attach(LinkSpec spec) {
   }
 
   if (!workers_.empty()) session->worker = next_worker_++ % workers_.size();
+  session->g_packets = &obs::link_packets(session->name);
+  session->g_reports = &obs::link_reports(session->name);
   routing_.push_back(session.get());
   sessions_.push_back(std::move(session));
   return next_id_++;
@@ -336,6 +359,10 @@ void Engine::push_batch(const net::PacketBatch& batch) {
 
 void Engine::route_batch(const net::PacketBatch& batch) {
   const std::size_t n = batch.size();
+  static obs::Histogram& demux_seconds =
+      obs::stage_seconds(obs::kStageDemux);
+  obs::StageSpan span(demux_seconds);  // whole-batch demux span
+  if (obs::enabled()) obs::demux_packets().add(n);
   // One batched LPM pass over the whole batch's destinations: the lane
   // interleaving in lookup_batch overlaps the trie walks' dependent loads,
   // and every prefix link below reuses the same results.
@@ -452,6 +479,20 @@ void Engine::flush_session(Session& s) {
 
 void Engine::flush_all_pending(double /*now*/) {
   for (auto& s : sessions_) flush_session(*s);
+  if (obs::enabled()) {
+    // Refresh the per-link exported gauges at flush cadence. reports is
+    // written by pool workers under emit_mu_, so read it under the same
+    // lock; packets/bytes are demux-thread-owned.
+    std::lock_guard lock(emit_mu_);
+    for (const auto& s : sessions_) {
+      if (s->g_packets != nullptr) {
+        s->g_packets->set(static_cast<double>(s->counters.packets));
+      }
+      if (s->g_reports != nullptr) {
+        s->g_reports->set(static_cast<double>(s->counters.reports));
+      }
+    }
+  }
   flush_deadline_ = std::numeric_limits<double>::infinity();
 }
 
@@ -503,7 +544,19 @@ std::uint64_t Engine::consume(api::TraceSource& source) {
   const std::size_t cap = std::max<std::size_t>(1, config_.batch_packets);
   batch.reserve(cap);
   std::uint64_t n = 0;
-  while (source.next_batch(batch, cap) > 0) {
+  obs::Histogram& read_seconds =
+      obs::stage_seconds(obs::kStageSourceRead);
+  for (;;) {
+    std::size_t got;
+    {
+      obs::StageSpan span(read_seconds);
+      got = source.next_batch(batch, cap);
+    }
+    if (got == 0) break;
+    if (obs::enabled()) {
+      obs::source_packets().add(got);
+      obs::source_batches().add(1);
+    }
     n += batch.size();
     push_batch(batch);
   }

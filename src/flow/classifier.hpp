@@ -270,6 +270,23 @@ class FlowClassifier {
     }
   }
 
+  /// Active-table occupancy / capacity (0 before the first insert).
+  [[nodiscard]] double table_load_factor() const {
+    const std::size_t cap = active_capacity();
+    if (cap == 0) return 0.0;
+    return static_cast<double>(active_.size()) / static_cast<double>(cap);
+  }
+
+  /// Mean probe distance of the active table (telemetry; 0 when the map
+  /// implementation doesn't expose probe geometry).
+  [[nodiscard]] double table_mean_probe() const {
+    if constexpr (requires(const map_type& m) { m.mean_probe_distance(); }) {
+      return active_.mean_probe_distance();
+    } else {
+      return 0.0;
+    }
+  }
+
   /// Calls fn(slot, key, record, start_index) for every active flow in
   /// iteration (slot) order.
   template <typename Fn>

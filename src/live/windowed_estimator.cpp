@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/catalog.hpp"
 #include "stats/descriptive.hpp"
 
 namespace fbm::live {
@@ -190,6 +191,19 @@ void WindowedEstimator::expire_all(double now) {
     s->classifier->expire_idle(now);
     drain(*s);
   }
+  if (obs::enabled()) {
+    obs::live_open_windows().set(static_cast<double>(open_.size()));
+    obs::flow_table_active("live")
+        .set(static_cast<double>(active_flows()));
+    for (const auto& s : open_) {  // sample the oldest touched window
+      if (!s) continue;
+      obs::flow_table_load_factor("live")
+          .set(s->classifier->table_load_factor());
+      obs::flow_table_avg_probe("live")
+          .set(s->classifier->table_mean_probe());
+      break;
+    }
+  }
   while (next_expire_ <= now) {
     next_expire_ += config_.analysis.expire_every_s();
   }
@@ -274,6 +288,9 @@ void WindowedEstimator::push_batch(const net::PacketBatch& batch) {
     }
 
     WindowState& state = state_at(cur_kmax_);
+    static obs::Histogram& classify_seconds =
+        obs::stage_seconds(obs::kStageClassify);
+    obs::StageSpan span(classify_seconds);  // run (sub-batch) granularity
     state.classifier->add_batch(batch, i, j);
     std::uint64_t run_bytes = 0;
     for (std::size_t k = i; k < j; ++k) {
@@ -322,6 +339,10 @@ void WindowedEstimator::finalize_window(std::int64_t k, WindowState* state) {
 
   ++counters_.windows;
   counters_.flows += raw.flows.size();
+  if (obs::enabled()) {
+    obs::live_windows_closed().add(1);
+    obs::live_open_windows().set(static_cast<double>(open_.size()));
+  }
 
   if (partial_sink_) {
     // Distributed mode: the raw material leaves for agg::Merger, which
@@ -336,6 +357,11 @@ void WindowedEstimator::finalize_window(std::int64_t k, WindowState* state) {
 }
 
 void WindowedEstimator::emit(WindowReport&& report) {
+  if (obs::enabled() && report.anomaly.alert) {
+    obs::live_alerts(report.anomaly.kind == AlertKind::spike ? "spike"
+                                                             : "drop")
+        .add(1);
+  }
   if (sink_) {
     sink_(std::move(report));
   } else {
@@ -364,7 +390,19 @@ std::uint64_t WindowedEstimator::consume(api::TraceSource& source) {
       std::max<std::size_t>(1, config_.analysis.batch_packets());
   batch.reserve(cap);
   std::uint64_t n = 0;
-  while (source.next_batch(batch, cap) > 0) {
+  obs::Histogram& read_seconds =
+      obs::stage_seconds(obs::kStageSourceRead);
+  for (;;) {
+    std::size_t got;
+    {
+      obs::StageSpan span(read_seconds);
+      got = source.next_batch(batch, cap);
+    }
+    if (got == 0) break;
+    if (obs::enabled()) {
+      obs::source_packets().add(got);
+      obs::source_batches().add(1);
+    }
     n += batch.size();
     push_batch(batch);
   }

@@ -1,0 +1,54 @@
+// Snapshot rendering (fbm::obs): the two wire formats for metrics.
+//
+//   to_jsonl       one self-describing JSON line per scrape — the format
+//                  behind `--metrics FILE --metrics-every N` on all four
+//                  tools, and the "obs" section of perf::BenchReport.
+//                  Rendered through core::JsonWriter, the tree's single
+//                  JSON emitter.
+//   to_prometheus  Prometheus text exposition (HELP/TYPE, cumulative
+//                  le-buckets) for scrape-based collection; written
+//                  atomically to a file (tmp + rename) so a collector
+//                  never reads a torn page.
+//
+// Both render a Snapshot (registry.hpp), never live instruments, so the
+// formats are trivially testable against golden strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace fbm::obs {
+
+/// Schema tag stamped into every JSONL snapshot line.
+inline constexpr const char* kMetricsSchema = "fbm.metrics.v1";
+
+/// One compact JSON line (no trailing newline):
+///   {"schema":"fbm.metrics.v1","seq":N,"uptime_s":S,"metrics":[...]}
+/// Each metric object carries name/type/unit/stage/labels plus its value
+/// ("value" for counters and gauges; "bounds"/"counts"/"count"/"sum" for
+/// histograms, overflow bucket last).
+[[nodiscard]] std::string to_jsonl(const Snapshot& snap, std::uint64_t seq,
+                                   double uptime_s);
+
+/// The bare compact "metrics" array ("[...]", no envelope) — the payload
+/// to_jsonl wraps, also embedded raw as the "obs" section of a
+/// perf::BenchReport so bench telemetry reuses this emitter.
+[[nodiscard]] std::string to_json_metrics(const Snapshot& snap);
+
+/// Prometheus text-format exposition, trailing newline included. Histogram
+/// buckets are cumulative with the final le="+Inf" sample equal to _count.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+/// Write `content` to `path` via a sibling ".tmp" file + rename, so readers
+/// only ever see a complete document. Returns false (and fills *err when
+/// given) on I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* err = nullptr);
+
+/// Human-readable type tag used by both formats ("counter" for sharded
+/// counters too — the distinction is an implementation detail).
+[[nodiscard]] const char* type_name(MetricType t);
+
+}  // namespace fbm::obs

@@ -1,0 +1,80 @@
+#include "obs/exporter.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace fbm::obs {
+
+namespace {
+
+volatile std::sig_atomic_t g_sigusr1_pending = 0;
+
+void sigusr1_handler(int) { g_sigusr1_pending = 1; }
+
+}  // namespace
+
+void install_sigusr1() {
+#ifdef SIGUSR1
+  static bool installed = [] {
+    std::signal(SIGUSR1, sigusr1_handler);
+    return true;
+  }();
+  (void)installed;
+#endif
+}
+
+bool consume_sigusr1() {
+  if (g_sigusr1_pending == 0) return false;
+  g_sigusr1_pending = 0;
+  return true;
+}
+
+MetricsExporter::MetricsExporter(ExporterConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.registry == nullptr) cfg_.registry = &Registry::global();
+  if (!cfg_.jsonl_path.empty()) {
+    jsonl_.open(cfg_.jsonl_path, std::ios::binary | std::ios::trunc);
+    if (!jsonl_) {
+      std::fprintf(stderr, "fbm: cannot open metrics file %s\n",
+                   cfg_.jsonl_path.c_str());
+      cfg_.jsonl_path.clear();
+    }
+  }
+  if (active()) install_sigusr1();
+}
+
+void MetricsExporter::tick() {
+  if (!active()) return;
+  const bool forced = consume_sigusr1();
+  if (!forced && last_emit_s_ >= 0.0 &&
+      uptime_.elapsed_s() - last_emit_s_ < cfg_.every_s) {
+    return;
+  }
+  emit();
+}
+
+void MetricsExporter::finish() {
+  if (!active()) return;
+  emit();
+  if (jsonl_.is_open()) jsonl_.close();
+}
+
+void MetricsExporter::emit() {
+  const Snapshot snap = cfg_.registry->snapshot();
+  last_emit_s_ = uptime_.elapsed_s();
+  if (!cfg_.jsonl_path.empty() && jsonl_.is_open()) {
+    jsonl_ << to_jsonl(snap, seq_, last_emit_s_) << '\n';
+    jsonl_.flush();
+  }
+  if (!cfg_.prom_path.empty()) {
+    std::string err;
+    if (!write_file_atomic(cfg_.prom_path, to_prometheus(snap), &err)) {
+      std::fprintf(stderr, "fbm: metrics exposition: %s\n", err.c_str());
+    }
+  }
+  ++seq_;
+}
+
+}  // namespace fbm::obs

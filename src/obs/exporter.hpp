@@ -1,0 +1,66 @@
+// MetricsExporter (fbm::obs): the tool-facing end of the metrics pipe.
+//
+// Tools construct one from their --metrics / --metrics-every /
+// --metrics-prom flags and call tick() at their natural cadence points
+// (batch drain, live sweep, store scan loop). tick() is a no-op until the
+// configured interval has elapsed — or a SIGUSR1 arrived — then appends one
+// JSONL snapshot line and atomically rewrites the Prometheus exposition
+// file. finish() forces a final snapshot so short runs still emit one.
+//
+// SIGUSR1 is delivered through a sig_atomic_t flag polled from tick(): the
+// handler itself does nothing but set it, so it is async-signal-safe, and
+// an operator can `kill -USR1 <pid>` a long-lived monitor for an immediate
+// dump without waiting out the cadence.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "perf/stopwatch.hpp"
+
+namespace fbm::obs {
+
+struct ExporterConfig {
+  std::string jsonl_path;  ///< --metrics FILE; empty = no JSONL stream
+  double every_s = 1.0;    ///< --metrics-every N (seconds between snapshots)
+  std::string prom_path;   ///< --metrics-prom FILE; empty = no exposition
+  Registry* registry = nullptr;  ///< nullptr = Registry::global()
+};
+
+/// Installs the process SIGUSR1 handler (idempotent). Called by
+/// MetricsExporter's constructor when any output is configured.
+void install_sigusr1();
+
+/// True once per delivered SIGUSR1 (clears the pending flag).
+[[nodiscard]] bool consume_sigusr1();
+
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  explicit MetricsExporter(ExporterConfig cfg);
+
+  /// Any output configured?
+  [[nodiscard]] bool active() const {
+    return !cfg_.jsonl_path.empty() || !cfg_.prom_path.empty();
+  }
+
+  /// Emit if the cadence interval elapsed or a SIGUSR1 is pending.
+  void tick();
+  /// Unconditional final snapshot (end of run).
+  void finish();
+
+  [[nodiscard]] std::uint64_t snapshots_written() const { return seq_; }
+
+ private:
+  void emit();
+
+  ExporterConfig cfg_;
+  std::ofstream jsonl_;
+  perf::Stopwatch uptime_;
+  double last_emit_s_ = -1.0;  ///< uptime at last emit; <0 = never
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace fbm::obs

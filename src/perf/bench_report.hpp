@@ -10,9 +10,12 @@
 //     "metrics": {
 //       "wall_s": <double>,
 //       "packets_per_s": <double>,      // 0 when the bench counts none
+//       "analyze_packets_per_s": <double>,  // classify+fit stage time only
 //       "peak_rss_kb": <uint64>,
 //       ... work counters and bench-specific extras ...
 //     },
+//     "obs": [ ... ],   // registry delta of the run (obs::to_json_metrics
+//                       // objects); omitted when no metrics moved
 //     "git_sha": "<sha or \"unknown\">"
 //   }
 #pragma once
@@ -36,10 +39,18 @@ struct BenchReport {
 
   double wall_s = 0.0;
   double packets_per_s = 0.0;
+  /// Packets / (classify + fit stage-histogram seconds): throughput of the
+  /// analysis work alone, with trace generation and reporting excluded.
+  /// 0 when the run moved no stage timers (or obs is disabled).
+  double analyze_packets_per_s = 0.0;
   std::uint64_t peak_rss_kb = 0;
   Counters counters;
   /// Bench-specific metrics emitted inside "metrics", in insertion order.
   std::vector<std::pair<std::string, double>> extra_metrics;
+  /// Raw JSON array of the run's obs registry delta (obs::to_json_metrics);
+  /// empty = the "obs" key is omitted. A raw token, so perf stays free of
+  /// obs types while reusing its single emitter.
+  std::string obs_json;
 
   std::string git_sha = "unknown";
 

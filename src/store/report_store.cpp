@@ -6,6 +6,8 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/catalog.hpp"
+
 namespace fbm::store {
 
 namespace {
@@ -197,9 +199,13 @@ StoreWriter::StoreWriter(const std::filesystem::path& path) {
 }
 
 void StoreWriter::append(const StoredReport& record) {
+  static obs::Histogram& append_seconds =
+      obs::stage_seconds(obs::kStageStoreAppend);
+  obs::StageSpan span(append_seconds);  // flush-bound: the interesting span
   out_->write_frame(kFrameRecord, encode_record(record));
   out_->flush();
   ++appended_;
+  if (obs::enabled()) obs::store_appends().add(1);
 }
 
 StoreReader::StoreReader(const std::filesystem::path& path) {
@@ -209,6 +215,7 @@ StoreReader::StoreReader(const std::filesystem::path& path) {
 }
 
 std::vector<StoredReport> StoreReader::scan(const ScanOptions& opts) const {
+  if (obs::enabled()) obs::store_scanned().add(records_.size());
   // Last-wins dedup in append order, then (link, start) ordering: a store
   // holding a killed run's prefix plus the resumed run's re-appends scans
   // byte-identically to an uninterrupted run's store.

@@ -1,0 +1,251 @@
+// Golden tests for the two metrics wire formats (src/obs/export.hpp).
+// Both render from a Snapshot of a *local* registry, so the goldens are
+// exact strings — no global metrics leak in, and any schema drift in the
+// JSONL lines or the Prometheus exposition shows up as a byte diff here.
+//
+// The tail of the file holds the capture-validation hooks CI uses: when
+// FBM_METRICS_JSONL / FBM_METRICS_PROM point at files produced by a real
+// tool run (fbm_live --metrics ...), the tests re-validate them against the
+// schema; without the env vars they skip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/exporter.hpp"
+#include "obs/registry.hpp"
+#include "../support/json_fields.hpp"
+
+namespace fbm {
+namespace {
+
+using testsupport::Field;
+using testsupport::parse_fields;
+
+/// MetricMeta builder (field assignment, not designated init, so omitted
+/// descriptor fields don't trip -Wmissing-field-initializers).
+obs::MetricMeta meta(
+    std::string name, std::string help = {}, std::string unit = {},
+    std::string stage = {},
+    std::vector<std::pair<std::string, std::string>> labels = {}) {
+  obs::MetricMeta m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.unit = std::move(unit);
+  m.stage = std::move(stage);
+  m.labels = std::move(labels);
+  return m;
+}
+
+/// One of each instrument with hand-picked values, so every branch of both
+/// renderers appears in the goldens.
+obs::Registry& sample_registry() {
+  static obs::Registry* reg = [] {
+    auto* r = new obs::Registry();
+    obs::Counter& c = r->counter(meta("fbm_test_packets_total",
+                                      "test packets", "packets", "classify",
+                                      {{"shard", "0"}}));
+    c.add(3);
+    obs::Gauge& g = r->gauge(
+        meta("fbm_test_queue_depth", "queued items", "items", "demux"));
+    g.set(2.5);
+    obs::Histogram& h = r->histogram(
+        meta("fbm_test_seconds", "stage seconds", "seconds", "fit"),
+        {0.5, 2.0});
+    h.observe(0.25);
+    h.observe(1.0);
+    h.observe(5.0);  // overflow bucket
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(ObsExportGolden, JsonlEnvelopeAndMetricObjects) {
+  const std::string line =
+      obs::to_jsonl(sample_registry().snapshot(), /*seq=*/7,
+                    /*uptime_s=*/1.25);
+  EXPECT_EQ(
+      line,
+      "{\"schema\": \"fbm.metrics.v1\", \"seq\": 7, \"uptime_s\": 1.25, "
+      "\"metrics\": ["
+      "{\"name\": \"fbm_test_packets_total\", \"type\": \"counter\", "
+      "\"unit\": \"packets\", \"stage\": \"classify\", "
+      "\"labels\": {\"shard\": \"0\"}, \"value\": 3}, "
+      "{\"name\": \"fbm_test_queue_depth\", \"type\": \"gauge\", "
+      "\"unit\": \"items\", \"stage\": \"demux\", \"labels\": {}, "
+      "\"value\": 2.5}, "
+      "{\"name\": \"fbm_test_seconds\", \"type\": \"histogram\", "
+      "\"unit\": \"seconds\", \"stage\": \"fit\", \"labels\": {}, "
+      "\"bounds\": [0.5, 2], \"counts\": [1, 1, 1], \"count\": 3, "
+      "\"sum\": 6.25}"
+      "]}");
+  // The embedded array is exactly what BenchReport's "obs" section reuses.
+  const std::string bare =
+      obs::to_json_metrics(sample_registry().snapshot());
+  EXPECT_NE(line.find(bare), std::string::npos);
+}
+
+TEST(ObsExportGolden, PrometheusExposition) {
+  const std::string text =
+      obs::to_prometheus(sample_registry().snapshot());
+  EXPECT_EQ(text,
+            "# HELP fbm_test_packets_total test packets\n"
+            "# TYPE fbm_test_packets_total counter\n"
+            "fbm_test_packets_total{shard=\"0\"} 3\n"
+            "# HELP fbm_test_queue_depth queued items\n"
+            "# TYPE fbm_test_queue_depth gauge\n"
+            "fbm_test_queue_depth 2.5\n"
+            "# HELP fbm_test_seconds stage seconds\n"
+            "# TYPE fbm_test_seconds histogram\n"
+            "fbm_test_seconds_bucket{le=\"0.5\"} 1\n"
+            "fbm_test_seconds_bucket{le=\"2\"} 2\n"
+            "fbm_test_seconds_bucket{le=\"+Inf\"} 3\n"
+            "fbm_test_seconds_sum 6.25\n"
+            "fbm_test_seconds_count 3\n");
+}
+
+TEST(ObsExportGolden, PrometheusEscapesHelpAndLabels) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge(meta("fbm_esc", "line one\nline two", "", "",
+                                 {{"path", "a\\b \"q\""}}));
+  g.set(std::nan(""));
+  const std::string text = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# HELP fbm_esc line one\\nline two\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fbm_esc{path=\"a\\\\b \\\"q\\\"\"} NaN\n"),
+            std::string::npos);
+}
+
+TEST(ObsExportGolden, WriteFileAtomicLeavesNoTmp) {
+  const std::string path =
+      ::testing::TempDir() + "obs_atomic_golden.prom";
+  ASSERT_TRUE(obs::write_file_atomic(path, "payload\n"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "payload\n");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+/// Validates one JSONL snapshot line: envelope keys in order, schema tag,
+/// and every metric object self-describing (name/type/unit/stage/labels
+/// plus a value or the histogram quadruple).
+void validate_jsonl_line(const std::string& line, std::uint64_t expect_seq) {
+  const auto fields = parse_fields(line);
+  ASSERT_GE(fields.size(), 4u) << line;
+  EXPECT_EQ(fields[0].key, "schema");
+  EXPECT_EQ(fields[0].value, "\"fbm.metrics.v1\"");
+  EXPECT_EQ(fields[1].key, "seq");
+  EXPECT_EQ(fields[1].value, std::to_string(expect_seq));
+  EXPECT_EQ(fields[2].key, "uptime_s");
+  EXPECT_GE(std::strtod(fields[2].value.c_str(), nullptr), 0.0);
+  EXPECT_EQ(fields[3].key, "metrics");
+  EXPECT_EQ(fields[3].value, "[");
+  // Each metric object opens with its descriptor keys in schema order.
+  for (std::size_t i = 4; i < fields.size(); ++i) {
+    if (fields[i].key != "name") continue;
+    ASSERT_GE(fields.size(), i + 4) << line;
+    EXPECT_EQ(fields[i + 1].key, "type");
+    EXPECT_EQ(fields[i + 2].key, "unit");
+    EXPECT_EQ(fields[i + 3].key, "stage");
+    EXPECT_EQ(fields[i + 4].key, "labels");
+    const std::string& type = fields[i + 1].value;
+    EXPECT_TRUE(type == "\"counter\"" || type == "\"gauge\"" ||
+                type == "\"histogram\"")
+        << type;
+  }
+}
+
+TEST(ObsExporter, FinishEmitsFinalSnapshotToBothSinks) {
+  obs::Registry reg;
+  reg.counter(meta("fbm_test_total")).add(42);
+  obs::ExporterConfig cfg;
+  cfg.jsonl_path = ::testing::TempDir() + "obs_exporter_test.jsonl";
+  cfg.prom_path = ::testing::TempDir() + "obs_exporter_test.prom";
+  cfg.every_s = 3600.0;  // cadence never fires; only finish() emits
+  cfg.registry = &reg;
+  {
+    obs::MetricsExporter exporter(std::move(cfg));
+    ASSERT_TRUE(exporter.active());
+    exporter.tick();    // first tick always emits (never emitted before)
+    exporter.tick();    // cadence not elapsed: no-op
+    exporter.finish();  // forced final snapshot
+    EXPECT_EQ(exporter.snapshots_written(), 2u);
+  }
+  std::ifstream jsonl(::testing::TempDir() + "obs_exporter_test.jsonl");
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    if (!line.empty()) validate_jsonl_line(line, lines++);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::ifstream prom(::testing::TempDir() + "obs_exporter_test.prom");
+  std::stringstream buf;
+  buf << prom.rdbuf();
+  EXPECT_NE(buf.str().find("fbm_test_total 42\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------- CI capture hooks ---
+
+TEST(MetricsJsonl, ValidatesCapturedFile) {
+  const char* path = std::getenv("FBM_METRICS_JSONL");
+  if (path == nullptr) GTEST_SKIP() << "FBM_METRICS_JSONL not set";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::string line;
+  std::uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    validate_jsonl_line(line, seq++);
+  }
+  EXPECT_GT(seq, 0u) << "no snapshot lines in " << path;
+}
+
+TEST(MetricsProm, ValidatesCapturedFile) {
+  const char* path = std::getenv("FBM_METRICS_PROM");
+  if (path == nullptr) GTEST_SKIP() << "FBM_METRICS_PROM not set";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::string line;
+  std::string last_typed_family;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream tokens(line.substr(7));
+      std::string type;
+      tokens >> last_typed_family >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      continue;
+    }
+    // A sample: "name[{labels}] value" where name extends the last TYPE'd
+    // family and the value parses as a Prometheus number.
+    ASSERT_FALSE(last_typed_family.empty()) << "sample before TYPE: " << line;
+    EXPECT_EQ(line.rfind(last_typed_family, 0), 0u) << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      EXPECT_EQ(*end, '\0') << line;
+    }
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u) << "no samples in " << path;
+}
+
+}  // namespace
+}  // namespace fbm

@@ -16,19 +16,25 @@
 // Corrupt, truncated or incompatible partials are rejected with a one-line
 // diagnostic and a nonzero exit — never silently merged. --json is accepted
 // for symmetry with the producing tools; JSON is the only output format.
+//
+// --metrics FILE / --metrics-every S / --metrics-prom FILE emit the obs
+// registry (partials read, windows merged, fit stage timings) like every
+// other fbm tool.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "agg/agg.hpp"
+#include "metrics_cli.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fbm_aggregate <partial.fbmp> [<partial.fbmp> ...] "
-               "[--json]\n");
+               "[--json] [--metrics FILE] [--metrics-every S] "
+               "[--metrics-prom FILE]\n");
   std::exit(2);
 }
 
@@ -36,10 +42,14 @@ namespace {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  fbm::tools::MetricsOptions metrics_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       continue;  // JSON is the only output format
+    }
+    if (fbm::tools::parse_metrics_flag(argc, argv, i, metrics_opt, usage)) {
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
@@ -49,9 +59,15 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) usage();
 
+  fbm::obs::MetricsExporter metrics =
+      fbm::tools::make_metrics_exporter(metrics_opt);
+  fbm::tools::MetricsFinishGuard metrics_guard(metrics);
   try {
     fbm::agg::Merger merger;
-    for (const auto& path : paths) merger.add_file(path);
+    for (const auto& path : paths) {
+      merger.add_file(path);
+      metrics.tick();
+    }
     fbm::agg::MergeResult merged = merger.finish();
     if (merged.kind == fbm::agg::PartialKind::batch) {
       std::printf("%s\n", merged.document.c_str());

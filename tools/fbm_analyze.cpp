@@ -47,6 +47,7 @@
 
 #include "agg/agg.hpp"
 #include "api/api.hpp"
+#include "metrics_cli.hpp"
 #include "store/report_store.hpp"
 
 namespace {
@@ -66,6 +67,7 @@ struct Options {
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   bool json = false;
+  fbm::tools::MetricsOptions metrics;
 };
 
 [[noreturn]] void usage() {
@@ -74,7 +76,8 @@ struct Options {
                "[--timeout S] [--delta S] [--prefix24] [--eps P] "
                "[--min-flows N] [--threads N] "
                "[--link NAME=PREFIX[,PREFIX...]] [--emit-partial FILE] "
-               "[--shard I/K] [--json] [--store FILE]\n");
+               "[--shard I/K] [--json] [--store FILE] [--metrics FILE] "
+               "[--metrics-every S] [--metrics-prom FILE]\n");
   std::exit(2);
 }
 
@@ -155,6 +158,9 @@ Options parse_args(int argc, char** argv) {
         usage();
       }
       parse_shard(argv[++i], opt);
+    } else if (fbm::tools::parse_metrics_flag(argc, argv, i, opt.metrics,
+                                              usage)) {
+      // consumed --metrics / --metrics-every / --metrics-prom
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--json") {
@@ -212,6 +218,8 @@ Options parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace fbm;
   const Options opt = parse_args(argc, argv);
+  obs::MetricsExporter metrics = tools::make_metrics_exporter(opt.metrics);
+  tools::MetricsFinishGuard metrics_guard(metrics);
 
   // Whole-trace mode needs the horizon before the pipeline is configured.
   // Since a single interval spans the entire capture anyway (the pipeline
@@ -281,11 +289,13 @@ int main(int argc, char** argv) {
         eng.set_partial_sink([&](engine::LinkId link, const std::string&,
                                  live::WindowPartial&& partial) {
           writer->add(static_cast<std::uint32_t>(link), partial);
+          metrics.tick();
         });
         for (auto& spec : specs) (void)eng.attach(std::move(spec));
       } else {
         eng.set_report_sink([&](engine::LinkReport&& r) {
           by_link[r.link].push_back(std::move(*r.interval));
+          metrics.tick();
         });
         for (const auto& text : opt.links) {
           (void)eng.attach(engine::parse_link_spec(text));
@@ -388,13 +398,16 @@ int main(int argc, char** argv) {
         writer->add(0, live::WindowPartial{iv.index, 0, 0, 0,
                                            std::move(iv.flows),
                                            std::move(iv.bins)});
+        metrics.tick();
       });
     } else {
       // Reports stream out through the per-window flush hook as intervals
       // close; memory stays window-bounded (interval mode reads the file
       // directly, nothing buffered).
-      pipeline.set_report_sink(
-          [&](api::AnalysisReport&& r) { reports.push_back(std::move(r)); });
+      pipeline.set_report_sink([&](api::AnalysisReport&& r) {
+        reports.push_back(std::move(r));
+        metrics.tick();
+      });
     }
     if (opt.shard_count > 1) {
       source->for_each([&](const net::PacketRecord& p) {

@@ -124,6 +124,13 @@ bool write_baseline(const std::string& path,
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.1f", r.packets_per_s);
     out << ",\n  \"" << r.bench << "\": " << buf;
+    // Analyze-only throughput (classify+fit stage time, generation
+    // excluded) gates what PRs actually change; benches that move no
+    // stage timers get no ".analyze" entry and stay wall-gated only.
+    if (r.analyze_packets_per_s > 0.0) {
+      std::snprintf(buf, sizeof buf, "%.1f", r.analyze_packets_per_s);
+      out << ",\n  \"" << r.bench << ".analyze\": " << buf;
+    }
   }
   out << "\n}\n";
   return static_cast<bool>(out);
@@ -276,26 +283,36 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string content = buf.str();
-    for (const auto& r : reports) {
-      const double base = baseline_value(content, r.bench);
+    const auto gate_one = [&](const std::string& key, double measured,
+                              const char* missing_reason) {
+      const double base = baseline_value(content, key);
       // Benches without a baseline entry or without packet telemetry are
       // not gated — but say so, so a bench silently dropping out of the
       // gate (renamed, or its counting broke) is visible in the log.
-      if (base <= 0.0 || r.packets_per_s <= 0.0) {
+      if (base <= 0.0 || measured <= 0.0) {
         std::fprintf(stderr, "[fbm_bench] gate %-28s UNGATED (%s)\n",
-                     r.bench.c_str(),
-                     base <= 0.0 ? "no baseline entry"
-                                 : "no packets counted");
-        continue;
+                     key.c_str(),
+                     base <= 0.0 ? "no baseline entry" : missing_reason);
+        return;
       }
       const double floor = base * (1.0 - opt.max_regression);
-      const bool regressed = r.packets_per_s < floor;
+      const bool regressed = measured < floor;
       std::fprintf(stderr,
                    "[fbm_bench] gate %-28s %12.0f vs baseline %12.0f "
                    "(floor %12.0f) %s\n",
-                   r.bench.c_str(), r.packets_per_s, base, floor,
+                   key.c_str(), measured, base, floor,
                    regressed ? "REGRESSED" : "ok");
-      if (regressed) failed.push_back(r.bench + std::string(" (regression)"));
+      if (regressed) failed.push_back(key + std::string(" (regression)"));
+    };
+    for (const auto& r : reports) {
+      gate_one(r.bench, r.packets_per_s, "no packets counted");
+      // The ".analyze" companion gates classify+fit throughput alone, so
+      // a regression in the analysis path can't hide behind the
+      // generator's share of the wall time.
+      if (baseline_value(content, r.bench + ".analyze") > 0.0) {
+        gate_one(r.bench + ".analyze", r.analyze_packets_per_s,
+                 "no stage time recorded");
+      }
     }
   }
 

@@ -7,7 +7,8 @@
 //            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N]
 //            [--emit-partial FILE] [--shard I/K] [--json]
 //            [--checkpoint FILE] [--checkpoint-every N] [--restore FILE]
-//            [--store FILE]
+//            [--store FILE] [--metrics FILE] [--metrics-every S]
+//            [--metrics-prom FILE]
 //
 // Streams the trace through live::WindowedEstimator: per sliding window the
 // three model parameters, measured vs model rate, fitted shot, capacity
@@ -64,6 +65,8 @@
 #include "api/shard.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "live/live.hpp"
+#include "metrics_cli.hpp"
+#include "obs/catalog.hpp"
 #include "store/report_store.hpp"
 #include "trace/trace_stats.hpp"
 
@@ -93,6 +96,7 @@ struct Options {
   std::uint64_t checkpoint_every = 1;  // closed windows per checkpoint
   std::string restore;     // empty = start fresh
   std::string store;       // empty = no on-disk report store
+  fbm::tools::MetricsOptions metrics;
 };
 
 [[noreturn]] void usage() {
@@ -103,7 +107,8 @@ struct Options {
       "[--max-order M] [--consecutive N] [--follow] [--idle S] "
       "[--max-windows N] [--link NAME=PREFIX[,PREFIX...]] [--threads N] "
       "[--emit-partial FILE] [--shard I/K] [--json] [--checkpoint FILE] "
-      "[--checkpoint-every N] [--restore FILE] [--store FILE]\n");
+      "[--checkpoint-every N] [--restore FILE] [--store FILE] "
+      "[--metrics FILE] [--metrics-every S] [--metrics-prom FILE]\n");
   std::exit(2);
 }
 
@@ -214,6 +219,9 @@ Options parse_args(int argc, char** argv) {
         usage();
       }
       opt.store = argv[++i];
+    } else if (fbm::tools::parse_metrics_flag(argc, argv, i, opt.metrics,
+                                              usage)) {
+      // consumed --metrics / --metrics-every / --metrics-prom
     } else if (arg == "--prefix24") {
       opt.prefix24 = true;
     } else if (arg == "--follow") {
@@ -322,21 +330,40 @@ fbm::live::LiveConfig make_live_config(const Options& opt) {
 /// Drains the source into `push`, with --follow/--idle polling; `done`
 /// flips when --max-windows is reached. `idle_tick` runs before each quiet
 /// sleep (the engine flushes its demux buffers there, so a stalled stream
-/// still delivers buffered windows).
+/// still delivers buffered windows). `metrics` is ticked every few thousand
+/// packets and on every idle poll; in --follow mode each tick also refreshes
+/// the window-lag gauge (wall clock minus the newest packet timestamp).
 template <typename Push, typename IdleTick>
 void drain(fbm::api::TraceSource& source, const Options& opt,
-           const std::atomic<bool>& done, Push&& push, IdleTick&& idle_tick) {
+           const std::atomic<bool>& done, fbm::obs::MetricsExporter& metrics,
+           Push&& push, IdleTick&& idle_tick) {
   const auto poll = std::chrono::milliseconds(50);
   double idle_s = 0.0;
+  std::uint64_t seen = 0;
+  double newest_ts = 0.0;
+  const auto metrics_tick = [&] {
+    if (!metrics.active()) return;
+    if (opt.follow && seen > 0 && fbm::obs::enabled()) {
+      const double wall_s =
+          std::chrono::duration<double>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      fbm::obs::live_window_lag_s().set(wall_s - newest_ts);
+    }
+    metrics.tick();
+  };
   while (!done) {
     if (auto p = source.next()) {
+      newest_ts = p->timestamp;
       push(*p);
       idle_s = 0.0;
+      if ((++seen & 0x0FFFu) == 0) metrics_tick();
       continue;
     }
     if (!opt.follow) break;
     if (opt.idle > 0.0 && idle_s >= opt.idle) break;
     idle_tick();
+    metrics_tick();
     std::this_thread::sleep_for(poll);
     idle_s += 0.05;
   }
@@ -347,6 +374,8 @@ int run_single(const Options& opt) {
   auto source = api::open_trace(opt.path, opt.follow);
   const live::LiveConfig config = make_live_config(opt);
   live::WindowedEstimator estimator(config);
+  obs::MetricsExporter metrics = tools::make_metrics_exporter(opt.metrics);
+  tools::MetricsFinishGuard metrics_guard(metrics);
 
   // Distributed mode: raw window partials stream to the writer instead of
   // being fitted; the shard's trace totals accumulate at the push site
@@ -361,7 +390,7 @@ int run_single(const Options& opt) {
 
     std::atomic<bool> done{false};
     drain(
-        *source, opt, done,
+        *source, opt, done, metrics,
         [&](const net::PacketRecord& p) {
           if (!shard_keeps(opt, config, p)) return;
           if (shard_summary.packets == 0) shard_summary.first_ts = p.timestamp;
@@ -446,7 +475,7 @@ int run_single(const Options& opt) {
   }
   std::uint64_t skipped = 0;
   drain(
-      *source, opt, done,
+      *source, opt, done, metrics,
       [&](const net::PacketRecord& p) {
         if (skipped < skip) {
           ++skipped;
@@ -475,6 +504,8 @@ int run_single(const Options& opt) {
 int run_engine(const Options& opt) {
   using namespace fbm;
   auto source = api::open_trace(opt.path, opt.follow);
+  obs::MetricsExporter metrics = tools::make_metrics_exporter(opt.metrics);
+  tools::MetricsFinishGuard metrics_guard(metrics);
 
   engine::EngineConfig config;
   config.mode = engine::EngineMode::live;
@@ -513,7 +544,8 @@ int run_engine(const Options& opt) {
     for (auto& spec : specs) (void)eng.attach(std::move(spec));
 
     drain(
-        *source, opt, done, [&](const net::PacketRecord& p) { eng.push(p); },
+        *source, opt, done, metrics,
+        [&](const net::PacketRecord& p) { eng.push(p); },
         [&] { eng.flush(); });
     eng.finish();
     if (eng.summary().packets == 0) {
@@ -603,7 +635,7 @@ int run_engine(const Options& opt) {
   }
   std::uint64_t skipped = 0;
   drain(
-      *source, opt, done,
+      *source, opt, done, metrics,
       [&](const net::PacketRecord& p) {
         if (skipped < skip) {
           ++skipped;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/json_writer.hpp"
+#include "metrics_cli.hpp"
 #include "store/report_store.hpp"
 
 namespace {
@@ -46,13 +47,15 @@ struct Options {
   bool agg_max = false;     // false = mean
   double trim_before = std::numeric_limits<double>::quiet_NaN();
   bool stats = false;
+  fbm::tools::MetricsOptions metrics;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fbm_query <store.fbms> [--link NAME] [--from S] "
                "[--to S] [--no-dedup] [--downsample S] [--agg mean|max] "
-               "[--trim-before S] [--stats]\n");
+               "[--trim-before S] [--stats] [--metrics FILE] "
+               "[--metrics-every S] [--metrics-prom FILE]\n");
   std::exit(2);
 }
 
@@ -94,6 +97,9 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (arg == "--trim-before") {
       opt.trim_before = std::atof(need_value("--trim-before"));
+    } else if (fbm::tools::parse_metrics_flag(argc, argv, i, opt.metrics,
+                                              usage)) {
+      // consumed --metrics / --metrics-every / --metrics-prom
     } else if (arg == "--stats") {
       opt.stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -191,6 +197,9 @@ void print_downsampled(const std::vector<fbm::store::StoredReport>& records,
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
+  fbm::obs::MetricsExporter metrics =
+      fbm::tools::make_metrics_exporter(opt.metrics);
+  fbm::tools::MetricsFinishGuard metrics_guard(metrics);
   try {
     if (!std::isnan(opt.trim_before)) {
       const std::uint64_t dropped =

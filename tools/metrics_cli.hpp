@@ -1,0 +1,81 @@
+// Shared --metrics plumbing for the fbm_* tools.
+//
+// Every tool accepts the same three flags:
+//   --metrics FILE        append self-describing JSONL snapshots to FILE
+//   --metrics-every N     seconds between snapshots (default 1)
+//   --metrics-prom FILE   atomically rewrite a Prometheus exposition file
+//                         each snapshot (also dumped on SIGUSR1)
+//
+// parse_metrics_flag() drops into each tool's existing argv loop;
+// make_metrics_exporter() builds the obs::MetricsExporter the tool ticks at
+// its natural cadence points and finishes before exit.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/exporter.hpp"
+
+namespace fbm::tools {
+
+struct MetricsOptions {
+  std::string jsonl;     ///< --metrics FILE
+  double every_s = 1.0;  ///< --metrics-every N
+  std::string prom;      ///< --metrics-prom FILE
+};
+
+/// Consumes one of the --metrics flags at argv[i] if that is what it is,
+/// advancing i past the value. Returns false for any other flag. `usage`
+/// is the tool's [[noreturn]] usage printer, invoked on a missing value.
+inline bool parse_metrics_flag(int argc, char** argv, int& i,
+                               MetricsOptions& opt, void (*usage)()) {
+  const std::string arg = argv[i];
+  if (arg != "--metrics" && arg != "--metrics-every" &&
+      arg != "--metrics-prom") {
+    return false;
+  }
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+    usage();
+  }
+  const char* value = argv[++i];
+  if (arg == "--metrics") {
+    opt.jsonl = value;
+  } else if (arg == "--metrics-prom") {
+    opt.prom = value;
+  } else {
+    const double v = std::atof(value);
+    if (!(v > 0.0)) {
+      std::fprintf(stderr, "--metrics-every wants seconds > 0, got \"%s\"\n",
+                   value);
+      usage();
+    }
+    opt.every_s = v;
+  }
+  return true;
+}
+
+[[nodiscard]] inline obs::MetricsExporter make_metrics_exporter(
+    const MetricsOptions& opt) {
+  return obs::MetricsExporter({.jsonl_path = opt.jsonl,
+                               .every_s = opt.every_s,
+                               .prom_path = opt.prom});
+}
+
+/// Forces the final snapshot on scope exit, so tools with many return
+/// paths (and exception unwinds) still emit end-of-run totals. Declare it
+/// immediately after the exporter, before the pipeline/engine it observes:
+/// the pipeline then destructs (and folds its counters) first.
+class MetricsFinishGuard {
+ public:
+  explicit MetricsFinishGuard(obs::MetricsExporter& m) : m_(m) {}
+  MetricsFinishGuard(const MetricsFinishGuard&) = delete;
+  MetricsFinishGuard& operator=(const MetricsFinishGuard&) = delete;
+  ~MetricsFinishGuard() { m_.finish(); }
+
+ private:
+  obs::MetricsExporter& m_;
+};
+
+}  // namespace fbm::tools
