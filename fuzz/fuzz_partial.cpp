@@ -1,0 +1,16 @@
+// Fuzz target: the distributed-aggregation partial-report codec (.fbmp).
+#include <exception>
+
+#include "agg/partial_codec.hpp"
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto& path = fbm::fuzz::write_temp_input(data, size, "fbmp");
+  try {
+    (void)fbm::agg::read_partial_file(path);
+  } catch (const std::exception&) {
+    // Malformed input rejected with a typed error: exactly the contract.
+  }
+  return 0;
+}

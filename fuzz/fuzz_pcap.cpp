@@ -1,0 +1,18 @@
+// Fuzz target: the pcap importer, including the 802.1Q/QinQ decap walk.
+#include <exception>
+
+#include "fuzz_driver.hpp"
+#include "trace/pcap.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto& path = fbm::fuzz::write_temp_input(data, size, "pcap");
+  try {
+    fbm::trace::PcapReader reader(path);
+    while (reader.next()) {
+    }
+  } catch (const std::exception&) {
+    // Malformed input rejected with a typed error: exactly the contract.
+  }
+  return 0;
+}

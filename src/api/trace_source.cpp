@@ -198,7 +198,8 @@ bool ModelTraceSource::reset() {
   return true;
 }
 
-std::optional<net::PacketRecord> ModelTraceSource::next() {
+bool ModelTraceSource::step(double& ts, net::FiveTuple& tuple,
+                            std::uint32_t& size) {
   while (true) {
     // Admit every arrival up to the next pending packet so the merged
     // stream leaves in global timestamp order.
@@ -212,7 +213,7 @@ std::optional<net::PacketRecord> ModelTraceSource::next() {
       next_arrival_ += rng_.exponential(config_.lambda);
       start_flow(t0);
     }
-    if (active_.empty()) return std::nullopt;
+    if (active_.empty()) return false;
 
     ActiveFlow f = active_.top();
     active_.pop();
@@ -220,17 +221,36 @@ std::optional<net::PacketRecord> ModelTraceSource::next() {
       // The capture stops at the horizon: the flow's tail is dropped.
       continue;
     }
-    const auto size = static_cast<std::uint32_t>(
+    size = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(f.bytes_left, config_.packet_bytes));
-    net::PacketRecord out{f.next_packet_ts, f.tuple, size};
+    ts = f.next_packet_ts;
+    tuple = f.tuple;
     f.bytes_left -= size;
     ++f.packets_sent;
     if (f.bytes_left > 0) {
       schedule_next_packet(f);
       active_.push(std::move(f));
     }
-    return out;
+    return true;
   }
+}
+
+std::optional<net::PacketRecord> ModelTraceSource::next() {
+  net::PacketRecord out;
+  if (!step(out.timestamp, out.tuple, out.size_bytes)) return std::nullopt;
+  return out;
+}
+
+std::size_t ModelTraceSource::next_batch(net::PacketBatch& out,
+                                         std::size_t max_n) {
+  out.clear();
+  double ts = 0.0;
+  net::FiveTuple tuple;
+  std::uint32_t size = 0;
+  while (out.size() < max_n && step(ts, tuple, size)) {
+    out.emplace_back(ts, tuple, size);
+  }
+  return out.size();
 }
 
 // -------------------------------------------------------------- factories ---

@@ -219,6 +219,11 @@ class ModelTraceSource final : public TraceSource {
                    double shot_b);
 
   [[nodiscard]] std::optional<net::PacketRecord> next() override;
+  /// Native SoA fill: the same sequence as next() (bit-pinned by
+  /// tests/api/test_batch_differential.cpp) without the per-packet virtual
+  /// dispatch and optional<> shuffle of the default path.
+  [[nodiscard]] std::size_t next_batch(net::PacketBatch& out,
+                                       std::size_t max_n) override;
   /// Restarts the simulation from its seed: the replay is identical.
   [[nodiscard]] bool reset() override;
 
@@ -241,6 +246,9 @@ class ModelTraceSource final : public TraceSource {
     }
   };
 
+  /// Core generator behind next()/next_batch(): the next packet into
+  /// (ts, tuple, size); false at end of stream.
+  bool step(double& ts, net::FiveTuple& tuple, std::uint32_t& size);
   void start_flow(double t0);
   void schedule_next_packet(ActiveFlow& f) const;
 

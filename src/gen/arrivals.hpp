@@ -1,0 +1,68 @@
+// Nonstationary Poisson arrival sampling (fbm::gen).
+//
+// Ogata thinning: candidate arrivals are drawn from a homogeneous Poisson
+// process at an envelope rate lambda_max >= lambda(t) everywhere, and each
+// candidate at time t is accepted with probability lambda(t)/lambda_max.
+// The accepted points are an exact draw from the inhomogeneous process —
+// no discretization, and (given a seeded Rng) fully deterministic: every
+// candidate costs exactly two Rng draws (one exponential, one uniform)
+// whether accepted or not, so the stream of accepted arrivals does not
+// depend on how the caller interleaves other randomness between calls.
+//
+// gen::generate's two-state MMPP modulation is a special case (a
+// two-level lambda(t)); the scenario engine uses this for its
+// regime-switching lambda profile.
+#pragma once
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace fbm::gen {
+
+class ThinningArrivals {
+ public:
+  /// `lambda_max` must dominate every rate the intensity function will
+  /// return; throws std::invalid_argument otherwise (<= 0).
+  explicit ThinningArrivals(double lambda_max) : lambda_max_(lambda_max) {
+    if (!(lambda_max > 0.0)) {
+      throw std::invalid_argument("ThinningArrivals: lambda_max <= 0");
+    }
+  }
+
+  /// Next accepted arrival at or after the current position, or a time
+  /// >= `horizon_s` when the process leaves the horizon first (the
+  /// returned overshoot time is NOT an arrival; callers stop there).
+  /// `intensity(t)` returns lambda(t) and may be called once per
+  /// candidate; values above lambda_max throw std::logic_error — a
+  /// violated envelope would silently distort the process.
+  template <typename Intensity>
+  [[nodiscard]] double next(stats::Rng& rng, double horizon_s,
+                            Intensity&& intensity) {
+    while (t_ < horizon_s) {
+      t_ += rng.exponential(lambda_max_);
+      const double u = rng.uniform();
+      if (t_ >= horizon_s) break;
+      const double rate = intensity(t_);
+      if (rate > lambda_max_ * (1.0 + 1e-12)) {
+        throw std::logic_error(
+            "ThinningArrivals: intensity exceeds the lambda_max envelope");
+      }
+      if (u * lambda_max_ < rate) return t_;
+    }
+    return t_;
+  }
+
+  /// Current position of the candidate clock (the last candidate time).
+  [[nodiscard]] double position() const { return t_; }
+  [[nodiscard]] double lambda_max() const { return lambda_max_; }
+
+  /// Rewind to time zero (the caller re-seeds its Rng separately).
+  void reset() { t_ = 0.0; }
+
+ private:
+  double lambda_max_;
+  double t_ = 0.0;
+};
+
+}  // namespace fbm::gen

@@ -7,7 +7,8 @@ namespace fbm::live {
 
 AnomalyMonitor::AnomalyMonitor(const LiveConfig& config)
     : band_k_sigma_(config.band_k_sigma),
-      alert_min_consecutive_(config.alert_min_consecutive) {
+      alert_min_consecutive_(config.alert_min_consecutive),
+      alert_warmup_windows_(config.alert_warmup_windows) {
   bin_options_.k_sigma = config.bin_k_sigma;
   bin_options_.min_consecutive = config.bin_min_consecutive;
 }
@@ -37,7 +38,10 @@ void AnomalyMonitor::evaluate(WindowReport& report,
     } else {
       consecutive_ = kind == last_kind_ ? consecutive_ + 1 : 1;
       last_kind_ = kind;
-      if (consecutive_ >= alert_min_consecutive_) {
+      // Hysteresis still accumulates through the warmup, so an excursion
+      // already in progress alerts on the first eligible window.
+      if (consecutive_ >= alert_min_consecutive_ &&
+          report.window_index >= alert_warmup_windows_) {
         a.alert = true;
         a.kind = kind;
       }

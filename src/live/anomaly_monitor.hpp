@@ -47,6 +47,7 @@ class AnomalyMonitor {
  private:
   double band_k_sigma_;
   std::size_t alert_min_consecutive_;
+  std::size_t alert_warmup_windows_;
   dimension::AnomalyOptions bin_options_;
   std::size_t consecutive_ = 0;
   AlertKind last_kind_ = AlertKind::none;

@@ -36,6 +36,10 @@ struct LiveConfig {
 
   // Window-level anomaly alerting (live::AnomalyMonitor).
   std::size_t alert_min_consecutive = 1;  ///< windows outside the band
+  /// Band alerts are suppressed for windows with index below this: the
+  /// first forecasts come from a near-empty history and routinely land a
+  /// settled stream outside the band. 0 keeps every judged window eligible.
+  std::size_t alert_warmup_windows = 0;
   double bin_k_sigma = 4.0;               ///< within-window envelope width
   std::size_t bin_min_consecutive = 3;    ///< Delta bins outside before event
 

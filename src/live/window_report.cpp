@@ -1,10 +1,28 @@
 #include "live/window_report.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "core/json_writer.hpp"
 
 namespace fbm::live {
+
+std::string_view to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::none: return "none";
+    case AlertKind::spike: return "spike";
+    case AlertKind::drop: return "drop";
+  }
+  return "none";
+}
+
+AlertKind alert_kind_from_string(std::string_view name) {
+  if (name == "none") return AlertKind::none;
+  if (name == "spike") return AlertKind::spike;
+  if (name == "drop") return AlertKind::drop;
+  throw std::invalid_argument("unknown alert kind \"" + std::string(name) +
+                              "\"");
+}
 
 namespace {
 
@@ -75,7 +93,7 @@ void write_report(core::JsonWriter& w, const WindowReport& r) {
   if (a.kind == AlertKind::none) {
     w.null_field("kind");
   } else {
-    w.field("kind", a.kind == AlertKind::spike ? "spike" : "drop");
+    w.field("kind", to_string(a.kind));
   }
   w.field("deviation_sigma", a.deviation_sigma);
   w.field("consecutive", static_cast<std::uint64_t>(a.consecutive));

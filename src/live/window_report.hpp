@@ -61,6 +61,13 @@ struct WindowForecast {
 
 enum class AlertKind { none, spike, drop };
 
+/// Canonical wire names ("none" / "spike" / "drop") — the JSONL schema's
+/// `anomaly.kind` values and the scenario truth-log event kinds share this
+/// single mapping.
+[[nodiscard]] std::string_view to_string(AlertKind kind);
+/// Throws std::invalid_argument for anything but the three names above.
+[[nodiscard]] AlertKind alert_kind_from_string(std::string_view name);
+
 /// Verdict of live::AnomalyMonitor for this window.
 struct WindowAnomaly {
   bool alert = false;

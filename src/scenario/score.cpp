@@ -1,0 +1,154 @@
+#include "scenario/score.hpp"
+
+#include <algorithm>
+
+#include "core/json_writer.hpp"
+
+namespace fbm::scenario {
+
+namespace {
+
+[[nodiscard]] bool overlaps(double a0, double a1, double b0, double b1) {
+  return a0 < b1 && a1 > b0;
+}
+
+}  // namespace
+
+ObservedWindow observe(const live::WindowReport& report, std::string link) {
+  ObservedWindow w;
+  w.link = std::move(link);
+  w.start_s = report.start_s;
+  w.end_s = report.end_s();
+  w.alert = report.anomaly.alert;
+  w.kind = report.anomaly.kind;
+  return w;
+}
+
+ScoreReport score(const TruthLog& truth,
+                  const std::vector<ObservedWindow>& windows) {
+  ScoreReport out;
+  out.scenario = truth.scenario;
+  out.seed = truth.seed;
+  out.duration_s = truth.duration_s;
+  out.windows = windows.size();
+
+  out.events.reserve(truth.events.size());
+  for (const auto& e : truth.events) out.events.push_back({e, false, 0, {}});
+
+  for (const auto& w : windows) {
+    if (!w.alert) continue;
+    ++out.alerts;
+
+    EventScore* match = nullptr;
+    bool in_extended_span = false;
+    for (auto& es : out.events) {
+      const auto& e = es.event;
+      if (e.link != w.link) continue;
+      if (overlaps(w.start_s, w.end_s, e.start_s,
+                   e.end_s + truth.grace_s + truth.cooldown_s)) {
+        in_extended_span = true;
+        if (w.kind == e.kind &&
+            overlaps(w.start_s, w.end_s, e.start_s,
+                     e.end_s + truth.grace_s) &&
+            match == nullptr) {
+          match = &es;
+        }
+      }
+    }
+
+    if (match != nullptr) {
+      ++out.true_positives;
+      ++match->matched_alerts;
+      if (!match->detected) {
+        match->detected = true;
+        match->detection_latency_s =
+            std::max(0.0, w.end_s - match->event.start_s);
+      }
+    } else if (in_extended_span) {
+      ++out.ignored_alerts;
+    } else {
+      ++out.false_positives;
+    }
+  }
+
+  double latency_sum = 0.0;
+  for (const auto& es : out.events) {
+    if (es.detected) {
+      ++out.detected_events;
+      latency_sum += *es.detection_latency_s;
+      const double l = *es.detection_latency_s;
+      if (!out.max_detection_latency_s || l > *out.max_detection_latency_s) {
+        out.max_detection_latency_s = l;
+      }
+    } else {
+      ++out.false_negatives;
+    }
+  }
+  if (out.detected_events > 0) {
+    out.mean_detection_latency_s =
+        latency_sum / static_cast<double>(out.detected_events);
+  }
+
+  const std::size_t judged = out.true_positives + out.false_positives;
+  out.precision = judged == 0 ? 1.0
+                              : static_cast<double>(out.true_positives) /
+                                    static_cast<double>(judged);
+  out.recall = out.events.empty()
+                   ? 1.0
+                   : static_cast<double>(out.detected_events) /
+                         static_cast<double>(out.events.size());
+  return out;
+}
+
+std::string to_json(const ScoreReport& r, int indent) {
+  core::JsonWriter w(core::JsonWriter::Style::pretty, indent);
+  w.begin_object();
+  w.field("fbm_scenario_score", std::uint64_t{1});
+  w.field("scenario", r.scenario);
+  w.field("seed", r.seed);
+  w.field("duration_s", r.duration_s);
+  w.field("windows", static_cast<std::uint64_t>(r.windows));
+  w.field("alerts", static_cast<std::uint64_t>(r.alerts));
+  w.field("true_positives", static_cast<std::uint64_t>(r.true_positives));
+  w.field("false_positives",
+          static_cast<std::uint64_t>(r.false_positives));
+  w.field("ignored_alerts", static_cast<std::uint64_t>(r.ignored_alerts));
+  w.field("false_negatives",
+          static_cast<std::uint64_t>(r.false_negatives));
+  w.field("precision", r.precision);
+  w.field("recall", r.recall);
+  w.field("detected_events",
+          static_cast<std::uint64_t>(r.detected_events));
+  if (r.mean_detection_latency_s) {
+    w.field("mean_detection_latency_s", *r.mean_detection_latency_s);
+  } else {
+    w.null_field("mean_detection_latency_s");
+  }
+  if (r.max_detection_latency_s) {
+    w.field("max_detection_latency_s", *r.max_detection_latency_s);
+  } else {
+    w.null_field("max_detection_latency_s");
+  }
+  w.begin_array("events");
+  for (const auto& es : r.events) {
+    w.begin_object();
+    w.field("kind", live::to_string(es.event.kind));
+    w.field("link", es.event.link);
+    w.field("start_s", es.event.start_s);
+    w.field("end_s", es.event.end_s);
+    w.field("detected", es.detected);
+    w.field("matched_alerts",
+            static_cast<std::uint64_t>(es.matched_alerts));
+    if (es.detection_latency_s) {
+      w.field("detection_latency_s", *es.detection_latency_s);
+    } else {
+      w.null_field("detection_latency_s");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace fbm::scenario

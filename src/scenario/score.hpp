@@ -1,0 +1,104 @@
+// Alert acceptance scoring (fbm::scenario).
+//
+// scenario::score matches the live anomaly monitor's alerts against a
+// scenario's injected ground truth and reduces them to the operator's
+// quality numbers: precision, recall and detection latency.
+//
+// Matching semantics (per observed window, [start_s, end_s)):
+//   true positive   the window alerts, overlaps an event interval
+//                   [t0, t1 + grace) on the same link, and the alert kind
+//                   matches the event's.
+//   ignored         the window alerts inside an event's extended span
+//                   [t0, t1 + grace + cooldown) on the same link but the
+//                   kind differs or only the cooldown overlaps. The band
+//                   forecaster adapts during an event and rebounds after
+//                   it (the return to baseline can read as the opposite
+//                   kind), so these alerts are counted but judged neither
+//                   true nor false.
+//   false positive  the window alerts anywhere else.
+//   detected event  an event with at least one matching alert; its
+//                   detection latency is first_alert.end_s - t0, clamped
+//                   at 0 (a window can only alert once it closes).
+//
+// precision = TP / (TP + FP)   (1 when no alert was judged)
+// recall    = detected / events (1 when the truth has no events)
+//
+// to_json renders the report through core::JsonWriter. Stable schema —
+// the scenario-smoke CI job and external tooling parse it, so keys are
+// append-only (additions fine, never rename or reorder):
+//
+//   {"fbm_scenario_score": 1, "scenario": s, "seed": u, "duration_s": d,
+//    "windows": u, "alerts": u,
+//    "true_positives": u, "false_positives": u, "ignored_alerts": u,
+//    "false_negatives": u, "precision": d, "recall": d,
+//    "detected_events": u,
+//    "mean_detection_latency_s": d|null, "max_detection_latency_s": d|null,
+//    "events": [{"kind": "spike"|"drop", "link": s, "start_s": d,
+//                "end_s": d, "detected": bool, "matched_alerts": u,
+//                "detection_latency_s": d|null}, ...]}
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "live/window_report.hpp"
+#include "scenario/truth.hpp"
+
+namespace fbm::scenario {
+
+/// One analyzed window as the scorer sees it: where it sat on the stream
+/// clock, which link produced it (empty = aggregate/single stream), and
+/// the monitor's verdict.
+struct ObservedWindow {
+  std::string link;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool alert = false;
+  live::AlertKind kind = live::AlertKind::none;
+};
+
+/// Convenience projection from a live report (+ optional link name).
+[[nodiscard]] ObservedWindow observe(const live::WindowReport& report,
+                                     std::string link = {});
+
+struct EventScore {
+  TruthEvent event;
+  bool detected = false;
+  std::size_t matched_alerts = 0;
+  std::optional<double> detection_latency_s;
+};
+
+struct ScoreReport {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double duration_s = 0.0;
+
+  std::size_t windows = 0;  ///< observed windows, alerting or not
+  std::size_t alerts = 0;   ///< windows with alert == true
+
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t ignored_alerts = 0;
+  std::size_t false_negatives = 0;  ///< undetected events
+
+  double precision = 1.0;
+  double recall = 1.0;
+
+  std::size_t detected_events = 0;
+  std::optional<double> mean_detection_latency_s;
+  std::optional<double> max_detection_latency_s;
+
+  std::vector<EventScore> events;
+};
+
+/// Scores `windows` against `truth` under the semantics above.
+[[nodiscard]] ScoreReport score(const TruthLog& truth,
+                                const std::vector<ObservedWindow>& windows);
+
+/// Pretty JSON document (schema above), rendered at `indent` spaces.
+[[nodiscard]] std::string to_json(const ScoreReport& report,
+                                  int indent = 0);
+
+}  // namespace fbm::scenario

@@ -1,0 +1,79 @@
+// Ground truth for scenario runs (fbm::scenario).
+//
+// A TruthLog is the machine-checkable record of what a scenario injected:
+// every segment boundary and every interval where the live anomaly monitor
+// is *expected* to alert. It is derived purely from the spec (no
+// generation involved), so the same spec always yields byte-identical
+// truth, and it round-trips through a small line-based text file written
+// next to generated traces:
+//
+//   # fbm-scenario-truth v1
+//   scenario ddos-flood
+//   seed 42
+//   duration 180
+//   grace 10
+//   cooldown 60
+//   segment 0 baseline 0 60
+//   segment 1 ddos 60 90
+//   segment 2 baseline 90 180
+//   event spike 60 90 link -
+//
+// `link -` marks an aggregate (single-stream) event; a named link scopes
+// the expectation to that engine link's reports (reroute scenarios emit a
+// drop on the failed link and a spike on the backup). scenario::score
+// matches alerts against these events under the grace/cooldown policy.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "live/window_report.hpp"
+#include "scenario/spec.hpp"
+
+namespace fbm::scenario {
+
+/// One expected-alert interval [start_s, end_s), optionally scoped to an
+/// engine link by name (empty = the aggregate/single stream).
+struct TruthEvent {
+  live::AlertKind kind = live::AlertKind::spike;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::string link;
+};
+
+/// One segment's boundaries, for replay tooling and dashboards.
+struct TruthSegment {
+  SegmentKind kind = SegmentKind::baseline;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct TruthLog {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double duration_s = 0.0;
+  double grace_s = 0.0;
+  double cooldown_s = 0.0;
+  std::vector<TruthSegment> segments;
+  std::vector<TruthEvent> events;
+};
+
+/// Derives the truth purely from the spec: segment boundaries from the
+/// durations; one event per segment whose (resolved) expectation is spike
+/// or drop, spanning the segment; plus per-link events from
+/// expect-spike/expect-drop segment options.
+[[nodiscard]] TruthLog derive_truth(const ScenarioSpec& spec);
+
+/// Text round trip. write_truth output is byte-stable for a given log.
+[[nodiscard]] std::string write_truth(const TruthLog& log);
+void write_truth_file(const std::filesystem::path& path,
+                      const TruthLog& log);
+/// Throws std::invalid_argument on malformed input (line numbers named).
+[[nodiscard]] TruthLog parse_truth(std::istream& in);
+[[nodiscard]] TruthLog parse_truth_text(const std::string& text);
+[[nodiscard]] TruthLog load_truth(const std::filesystem::path& path);
+
+}  // namespace fbm::scenario

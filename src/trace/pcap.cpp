@@ -14,6 +14,7 @@ constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond resolution
 constexpr std::uint32_t kLinktypeEthernet = 1;
 constexpr std::size_t kEthernetLen = 14;
 constexpr std::size_t kIpv4Len = 20;
+constexpr std::size_t kMaxVlanTags = 4;  ///< QinQ is 2; leave headroom
 constexpr std::size_t kTcpLen = 20;
 constexpr std::size_t kUdpLen = 8;
 
@@ -174,12 +175,31 @@ std::optional<net::PacketRecord> PcapReader::next() {
       return std::nullopt;
     }
 
-    if (incl < kEthernetLen + kIpv4Len ||
-        get_u16be(payload_.data() + 12) != 0x0800) {
+    if (incl < kEthernetLen) {
       ++skipped_;
       continue;
     }
-    const unsigned char* ip = payload_.data() + kEthernetLen;
+    // Walk 802.1Q tags: the ethertype slot holds a TPID (0x8100 single
+    // tag, 0x88a8/0x9100 QinQ outer) followed by a 2-byte TCI, then the
+    // next ethertype 4 bytes on. Bounded so a crafted chain cannot loop.
+    std::size_t ethertype_off = 12;
+    std::uint16_t ethertype = get_u16be(payload_.data() + ethertype_off);
+    std::size_t vlan_tags = 0;
+    while ((ethertype == 0x8100 || ethertype == 0x88a8 ||
+            ethertype == 0x9100) &&
+           vlan_tags < kMaxVlanTags &&
+           incl >= ethertype_off + 4 + 2) {
+      ethertype_off += 4;
+      ethertype = get_u16be(payload_.data() + ethertype_off);
+      ++vlan_tags;
+    }
+    const std::size_t l3_off = ethertype_off + 2;
+    if (ethertype != 0x0800 || incl < l3_off + kIpv4Len) {
+      ++skipped_;
+      continue;
+    }
+    if (vlan_tags > 0) ++vlan_decapped_;
+    const unsigned char* ip = payload_.data() + l3_off;
     if ((ip[0] >> 4) != 4) {
       ++skipped_;
       continue;
@@ -187,7 +207,7 @@ std::optional<net::PacketRecord> PcapReader::next() {
     const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
     const std::uint8_t proto = ip[9];
     if ((proto != 6 && proto != 17) ||
-        incl < kEthernetLen + ihl + (proto == 6 ? kTcpLen : kUdpLen)) {
+        incl < l3_off + ihl + (proto == 6 ? kTcpLen : kUdpLen)) {
       ++skipped_;
       continue;
     }
@@ -201,8 +221,10 @@ std::optional<net::PacketRecord> PcapReader::next() {
     rec.tuple.src_port = get_u16be(l4);
     rec.tuple.dst_port = get_u16be(l4 + 2);
     rec.tuple.protocol = proto;
-    rec.size_bytes = orig >= kEthernetLen
-                         ? orig - static_cast<std::uint32_t>(kEthernetLen)
+    // size_bytes is the IP datagram length: on-wire size minus the
+    // Ethernet header and any VLAN tags.
+    rec.size_bytes = orig >= l3_off
+                         ? orig - static_cast<std::uint32_t>(l3_off)
                          : get_u16be(ip + 2);
     ++read_;
     return rec;

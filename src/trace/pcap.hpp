@@ -33,9 +33,11 @@ void export_pcap(const std::filesystem::path& path,
 
 /// Streaming pcap reader: one record per next() call, O(1) memory no matter
 /// how large the capture. Accepts anything export_pcap writes, or any
-/// Ethernet/IPv4 capture whose packets carry TCP or UDP; other packets are
-/// skipped and counted in skipped(). Timestamps are absolute pcap seconds
-/// minus `epoch`.
+/// Ethernet/IPv4 capture whose packets carry TCP or UDP; 802.1Q VLAN tags
+/// (single-tagged 0x8100 and QinQ 0x88a8/0x9100 outer) are decapsulated
+/// transparently (counted in vlan_decapped(); size_bytes excludes the tag
+/// overhead). Other packets are skipped and counted in skipped().
+/// Timestamps are absolute pcap seconds minus `epoch`.
 ///
 /// In `follow` mode a truncated record at end of file is treated as
 /// "not written yet": the reader seeks back to the record start, clears the
@@ -54,6 +56,10 @@ class PcapReader {
 
   [[nodiscard]] std::size_t skipped() const { return skipped_; }
   [[nodiscard]] std::uint64_t read_so_far() const { return read_; }
+  /// Delivered packets that carried 802.1Q tags (single or QinQ).
+  [[nodiscard]] std::uint64_t vlan_decapped() const {
+    return vlan_decapped_;
+  }
 
  private:
   std::ifstream in_;
@@ -63,6 +69,7 @@ class PcapReader {
   bool follow_;
   std::size_t skipped_ = 0;
   std::uint64_t read_ = 0;
+  std::uint64_t vlan_decapped_ = 0;
 };
 
 /// Reads a whole pcap file through PcapReader (kept for batch call sites;

@@ -169,7 +169,8 @@ TEST(BatchDifferential, BoundaryAndTimeoutEdgePackets) {
 // ------------------------------------------------------- source batching ---
 
 /// next_batch must yield exactly the packets next() yields, in order, for
-/// every max_n — including the default implementation (ModelTraceSource).
+/// every max_n — every source overrides it natively now, so each override
+/// is pinned against its own scalar path.
 void expect_source_batches_match(api::TraceSource& batched,
                                  api::TraceSource& scalar,
                                  std::size_t batch_size) {
@@ -224,7 +225,9 @@ TEST(BatchDifferential, PcapSourceBatches) {
   std::filesystem::remove(path);
 }
 
-TEST(BatchDifferential, ModelSourceBatchesViaDefaultPath) {
+// Bit-pins the native ModelTraceSource::next_batch override (shared step()
+// core) against the scalar next() stream.
+TEST(BatchDifferential, ModelSourceBatchesNatively) {
   api::ModelSourceConfig cfg;
   cfg.duration_s = 15.0;
   cfg.lambda = 40.0;

@@ -1,0 +1,163 @@
+// Alert-acceptance scorer: hand-built truth + windows with known verdicts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/score.hpp"
+
+namespace fbm::scenario {
+namespace {
+
+using live::AlertKind;
+
+TruthLog simple_truth() {
+  TruthLog t;
+  t.scenario = "hand";
+  t.seed = 7;
+  t.duration_s = 300.0;
+  t.grace_s = 10.0;
+  t.cooldown_s = 60.0;
+  t.events.push_back({AlertKind::spike, 100.0, 160.0, ""});
+  return t;
+}
+
+ObservedWindow window(double start, double end, bool alert,
+                      AlertKind kind = AlertKind::none,
+                      std::string link = {}) {
+  return {std::move(link), start, end, alert, kind};
+}
+
+TEST(ScenarioScore, PerfectDetection) {
+  std::vector<ObservedWindow> ws;
+  for (double t = 0; t < 300; t += 5) {
+    const bool in_event = t >= 100 && t < 160;
+    ws.push_back(window(t, t + 5, in_event,
+                        in_event ? AlertKind::spike : AlertKind::none));
+  }
+  const ScoreReport r = score(simple_truth(), ws);
+  EXPECT_EQ(r.windows, 60u);
+  EXPECT_EQ(r.alerts, 12u);
+  EXPECT_EQ(r.true_positives, 12u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_EQ(r.detected_events, 1u);
+  ASSERT_TRUE(r.events[0].detection_latency_s.has_value());
+  // First alerting window [100, 105): latency = 105 - 100.
+  EXPECT_DOUBLE_EQ(*r.events[0].detection_latency_s, 5.0);
+  EXPECT_DOUBLE_EQ(*r.mean_detection_latency_s, 5.0);
+  EXPECT_DOUBLE_EQ(*r.max_detection_latency_s, 5.0);
+}
+
+TEST(ScenarioScore, FalsePositiveOutsideAnyEvent) {
+  const ScoreReport r = score(
+      simple_truth(), {window(20, 25, true, AlertKind::spike),
+                       window(110, 115, true, AlertKind::spike)});
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(ScenarioScore, GraceExtendsTheMatchWindow) {
+  // Event ends at 160, grace 10: window [165, 170) still matches...
+  ScoreReport r = score(simple_truth(),
+                        {window(165, 170, true, AlertKind::spike)});
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.detected_events, 1u);
+  // ...and latency is clamped to the window end minus the event start.
+  EXPECT_DOUBLE_EQ(*r.events[0].detection_latency_s, 70.0);
+
+  // Past the grace but inside the cooldown: ignored, not false.
+  r = score(simple_truth(), {window(175, 180, true, AlertKind::spike)});
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_EQ(r.ignored_alerts, 1u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);  // nothing was judged
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+
+  // Past the cooldown too (event end 160 + 10 + 60 = 230): false positive.
+  r = score(simple_truth(), {window(235, 240, true, AlertKind::spike)});
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(ScenarioScore, WrongKindInsideEventIsIgnored) {
+  // The forecaster rebound after an event often reads as the opposite
+  // kind; inside the extended span that is neither true nor false.
+  const ScoreReport r = score(simple_truth(),
+                              {window(120, 125, true, AlertKind::drop)});
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_EQ(r.false_positives, 0u);
+  EXPECT_EQ(r.ignored_alerts, 1u);
+}
+
+TEST(ScenarioScore, LinksAreScoredIndependently) {
+  TruthLog t = simple_truth();
+  t.events.clear();
+  t.events.push_back({AlertKind::drop, 100.0, 160.0, "west"});
+  t.events.push_back({AlertKind::spike, 100.0, 160.0, "east"});
+
+  const ScoreReport r = score(
+      t, {window(110, 115, true, AlertKind::drop, "west"),
+          window(110, 115, true, AlertKind::spike, "east"),
+          // Aggregate alert matches no link-scoped event: false positive.
+          window(110, 115, true, AlertKind::spike),
+          // Wrong link entirely.
+          window(110, 115, true, AlertKind::spike, "north")});
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 2u);
+  EXPECT_EQ(r.detected_events, 2u);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+}
+
+TEST(ScenarioScore, UndetectedEventIsAFalseNegative) {
+  const ScoreReport r = score(simple_truth(), {window(0, 5, false)});
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_EQ(r.detected_events, 0u);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_FALSE(r.mean_detection_latency_s.has_value());
+  EXPECT_FALSE(r.events[0].detection_latency_s.has_value());
+}
+
+TEST(ScenarioScore, EmptyTruthAndQuietStreamScorePerfect) {
+  TruthLog t = simple_truth();
+  t.events.clear();
+  const ScoreReport r = score(t, {window(0, 5, false), window(5, 10, false)});
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_EQ(r.windows, 2u);
+  EXPECT_EQ(r.alerts, 0u);
+}
+
+TEST(ScenarioScore, LatencyUsesTheFirstMatchingAlert) {
+  const ScoreReport r = score(
+      simple_truth(), {window(130, 135, true, AlertKind::spike),
+                       window(150, 155, true, AlertKind::spike)});
+  EXPECT_EQ(r.events[0].matched_alerts, 2u);
+  EXPECT_DOUBLE_EQ(*r.events[0].detection_latency_s, 35.0);
+  EXPECT_DOUBLE_EQ(*r.max_detection_latency_s, 35.0);
+}
+
+TEST(ScenarioScore, JsonCarriesTheSchema) {
+  const ScoreReport r = score(simple_truth(),
+                              {window(110, 115, true, AlertKind::spike)});
+  const std::string json = to_json(r);
+  for (const char* key :
+       {"\"fbm_scenario_score\": 1", "\"scenario\": \"hand\"",
+        "\"seed\": 7", "\"windows\": 1", "\"alerts\": 1",
+        "\"true_positives\": 1", "\"false_positives\": 0",
+        "\"ignored_alerts\": 0", "\"false_negatives\": 0",
+        "\"precision\": 1", "\"recall\": 1", "\"detected_events\": 1",
+        "\"mean_detection_latency_s\": ", "\"events\": [",
+        "\"kind\": \"spike\"", "\"detected\": true",
+        "\"matched_alerts\": 1"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+}
+
+}  // namespace
+}  // namespace fbm::scenario

@@ -1,0 +1,227 @@
+// 802.1Q decapsulation in PcapReader: single-tagged frames, QinQ
+// (0x88a8 / 0x9100 outer TPIDs), non-IPv4 under a VLAN tag, tag-chain
+// bounds, and size accounting. Frames are crafted byte by byte so every
+// offset is explicit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "trace/pcap.hpp"
+
+namespace fbm::trace {
+namespace {
+
+class PcapBuilder {
+ public:
+  PcapBuilder() {
+    u32(0xa1b2c3d4);  // magic, microseconds
+    u16(2);
+    u16(4);           // version
+    u32(0);           // thiszone
+    u32(0);           // sigfigs
+    u32(96);          // snaplen
+    u32(1);           // LINKTYPE_ETHERNET
+  }
+
+  /// Appends one record wrapping `frame`; orig_len defaults to incl_len.
+  void record(const std::vector<std::uint8_t>& frame, double ts = 1.0,
+              std::uint32_t orig_len = 0) {
+    u32(static_cast<std::uint32_t>(ts));
+    u32(static_cast<std::uint32_t>((ts - static_cast<std::uint32_t>(ts)) *
+                                   1e6));
+    u32(static_cast<std::uint32_t>(frame.size()));
+    u32(orig_len != 0 ? orig_len
+                      : static_cast<std::uint32_t>(frame.size()));
+    bytes_.insert(bytes_.end(), frame.begin(), frame.end());
+  }
+
+  std::filesystem::path write(const char* name) const {
+    const auto path = std::filesystem::temp_directory_path() / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes_.data()),
+              static_cast<std::streamsize>(bytes_.size()));
+    return path;
+  }
+
+ private:
+  void u16(std::uint16_t v) {  // host order, like the reader's memcpy
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+void be16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+/// Ethernet frame with `tags` VLAN tags (first TPID from `outer_tpid`,
+/// inner ones 0x8100), an IPv4/UDP header underneath, total_len in the
+/// IP header. Returns raw frame bytes.
+std::vector<std::uint8_t> vlan_udp_frame(std::size_t tags,
+                                         std::uint16_t outer_tpid = 0x8100,
+                                         std::uint16_t ethertype = 0x0800) {
+  std::vector<std::uint8_t> f(12, 0);  // MACs
+  for (std::size_t i = 0; i < tags; ++i) {
+    be16(f, i == 0 ? outer_tpid : 0x8100);
+    be16(f, 0x0123);  // TCI: priority/VID, ignored by the reader
+  }
+  be16(f, ethertype);
+  // IPv4 header (20 bytes).
+  const std::size_t ip_off = f.size();
+  f.resize(f.size() + 20, 0);
+  f[ip_off] = 0x45;
+  f[ip_off + 2] = 0x00;
+  f[ip_off + 3] = 28;        // total length: 20 IP + 8 UDP
+  f[ip_off + 8] = 64;        // TTL
+  f[ip_off + 9] = 17;        // UDP
+  f[ip_off + 12] = 10;       // src 10.1.2.3
+  f[ip_off + 13] = 1;
+  f[ip_off + 14] = 2;
+  f[ip_off + 15] = 3;
+  f[ip_off + 16] = 10;       // dst 10.9.8.7
+  f[ip_off + 17] = 9;
+  f[ip_off + 18] = 8;
+  f[ip_off + 19] = 7;
+  // UDP header (8 bytes): ports 4000 -> 53.
+  const std::size_t udp_off = f.size();
+  f.resize(f.size() + 8, 0);
+  f[udp_off] = 0x0f;
+  f[udp_off + 1] = 0xa0;
+  f[udp_off + 3] = 53;
+  f[udp_off + 5] = 8;
+  return f;
+}
+
+void expect_decoded(const net::PacketRecord& rec) {
+  EXPECT_EQ(rec.tuple.src, net::Ipv4Address(10, 1, 2, 3));
+  EXPECT_EQ(rec.tuple.dst, net::Ipv4Address(10, 9, 8, 7));
+  EXPECT_EQ(rec.tuple.src_port, 4000);
+  EXPECT_EQ(rec.tuple.dst_port, 53);
+  EXPECT_EQ(rec.tuple.protocol, 17);
+}
+
+TEST(PcapVlan, SingleTagDecapsulates) {
+  PcapBuilder b;
+  b.record(vlan_udp_frame(1));
+  const auto path = b.write("fbm_vlan_single.pcap");
+  PcapReader reader(path, 0.0);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  expect_decoded(*rec);
+  // orig_len = frame size = 14 eth + 4 tag + 28 ip; size_bytes must
+  // exclude the Ethernet header AND the tag.
+  EXPECT_EQ(rec->size_bytes, 28u);
+  EXPECT_EQ(reader.vlan_decapped(), 1u);
+  EXPECT_EQ(reader.skipped(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(PcapVlan, QinQOuterTpidsDecapsulate) {
+  for (const std::uint16_t outer : {std::uint16_t{0x88a8},
+                                    std::uint16_t{0x9100},
+                                    std::uint16_t{0x8100}}) {
+    SCOPED_TRACE(outer);
+    PcapBuilder b;
+    b.record(vlan_udp_frame(2, outer));
+    const auto path = b.write("fbm_vlan_qinq.pcap");
+    PcapReader reader(path, 0.0);
+    const auto rec = reader.next();
+    ASSERT_TRUE(rec.has_value());
+    expect_decoded(*rec);
+    EXPECT_EQ(rec->size_bytes, 28u);  // both tags excluded
+    EXPECT_EQ(reader.vlan_decapped(), 1u);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(PcapVlan, UntaggedFramesDoNotCountAsDecapped) {
+  PcapBuilder b;
+  b.record(vlan_udp_frame(0));
+  const auto path = b.write("fbm_vlan_none.pcap");
+  PcapReader reader(path, 0.0);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  expect_decoded(*rec);
+  EXPECT_EQ(rec->size_bytes, 28u);
+  EXPECT_EQ(reader.vlan_decapped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapVlan, NonIpv4UnderVlanIsSkipped) {
+  PcapBuilder b;
+  b.record(vlan_udp_frame(1, 0x8100, 0x86dd));  // IPv6 under the tag
+  b.record(vlan_udp_frame(1));                  // then a good packet
+  const auto path = b.write("fbm_vlan_v6.pcap");
+  PcapReader reader(path, 0.0);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  expect_decoded(*rec);
+  EXPECT_EQ(reader.skipped(), 1u);
+  EXPECT_EQ(reader.vlan_decapped(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapVlan, TagChainIsBounded) {
+  // Five stacked tags exceed the 4-tag bound: the walk stops and the
+  // frame is skipped (the ethertype slot still holds a TPID), instead of
+  // walking an attacker-controlled chain.
+  PcapBuilder b;
+  b.record(vlan_udp_frame(5));
+  const auto path = b.write("fbm_vlan_deep.pcap");
+  PcapReader reader(path, 0.0);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 1u);
+  EXPECT_EQ(reader.vlan_decapped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapVlan, TruncatedTagFallsBackToSkip) {
+  // Frame ends in the middle of the VLAN tag: no room for the inner
+  // ethertype, so the packet is skipped, not over-read.
+  auto frame = vlan_udp_frame(1);
+  frame.resize(16);  // 12 MAC + TPID + first TCI byte... cut short
+  PcapBuilder b;
+  b.record(frame);
+  const auto path = b.write("fbm_vlan_trunc.pcap");
+  PcapReader reader(path, 0.0);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(PcapVlan, RoundTripThroughExportStaysUntagged) {
+  // export_pcap writes untagged frames; the reader must keep treating
+  // them exactly as before the VLAN support (regression guard).
+  net::PacketRecord rec;
+  rec.timestamp = 2.5;
+  rec.tuple.src = net::Ipv4Address(10, 0, 0, 1);
+  rec.tuple.dst = net::Ipv4Address(10, 2, 0, 9);
+  rec.tuple.src_port = 1234;
+  rec.tuple.dst_port = 80;
+  rec.tuple.protocol = 6;
+  rec.size_bytes = 1500;
+  const auto path =
+      std::filesystem::temp_directory_path() / "fbm_vlan_roundtrip.pcap";
+  export_pcap(path, {&rec, 1}, 0.0);
+  PcapReader reader(path, 0.0);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tuple, rec.tuple);
+  EXPECT_EQ(got->size_bytes, rec.size_bytes);
+  EXPECT_EQ(reader.vlan_decapped(), 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fbm::trace

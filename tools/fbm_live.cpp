@@ -3,7 +3,8 @@
 // Usage:
 //   fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] [--timeout S]
 //            [--delta S] [--prefix24] [--eps P] [--k-sigma K] [--max-order M]
-//            [--consecutive N] [--follow] [--idle S] [--max-windows N]
+//            [--consecutive N] [--warmup N] [--follow] [--idle S]
+//            [--max-windows N]
 //            [--link NAME=PREFIX[,PREFIX...] ...] [--threads N]
 //            [--emit-partial FILE] [--shard I/K] [--json]
 //            [--checkpoint FILE] [--checkpoint-every N] [--restore FILE]
@@ -83,6 +84,7 @@ struct Options {
   double k_sigma = 3.0;
   std::size_t max_order = 8;
   std::size_t consecutive = 1;
+  std::size_t warmup = 0;  ///< windows unjudged while the forecaster settles
   bool follow = false;
   double idle = 0.0;  // 0 = wait forever
   std::uint64_t max_windows = 0;  // 0 = unlimited
@@ -104,7 +106,7 @@ struct Options {
       stderr,
       "usage: fbm_live <trace.fbmt|.pcap|.csv> [--window S] [--stride S] "
       "[--timeout S] [--delta S] [--prefix24] [--eps P] [--k-sigma K] "
-      "[--max-order M] [--consecutive N] [--follow] [--idle S] "
+      "[--max-order M] [--consecutive N] [--warmup N] [--follow] [--idle S] "
       "[--max-windows N] [--link NAME=PREFIX[,PREFIX...]] [--threads N] "
       "[--emit-partial FILE] [--shard I/K] [--json] [--checkpoint FILE] "
       "[--checkpoint-every N] [--restore FILE] [--store FILE] "
@@ -164,6 +166,8 @@ Options parse_args(int argc, char** argv) {
       opt.max_order = static_cast<std::size_t>(need_value("--max-order"));
     } else if (arg == "--consecutive") {
       opt.consecutive = static_cast<std::size_t>(need_value("--consecutive"));
+    } else if (arg == "--warmup") {
+      opt.warmup = static_cast<std::size_t>(need_value("--warmup"));
     } else if (arg == "--idle") {
       opt.idle = need_value("--idle");
     } else if (arg == "--max-windows") {
@@ -318,6 +322,7 @@ fbm::live::LiveConfig make_live_config(const Options& opt) {
   config.band_k_sigma = opt.k_sigma;
   config.forecast_max_order = opt.max_order;
   config.alert_min_consecutive = opt.consecutive;
+  config.alert_warmup_windows = opt.warmup;
   config.analysis
       .flow_definition(opt.prefix24 ? api::FlowDefinition::prefix24
                                     : api::FlowDefinition::five_tuple)

@@ -3,15 +3,27 @@
 // Usage:
 //   fbm_trace_gen <out.fbmt|out.pcap|out.csv> [--duration S] [--mbps M]
 //                 [--lambda F] [--tcp-fraction P] [--seed N] [--profile I]
+//   fbm_trace_gen <out.fbmt|out.pcap|out.csv> --scenario FILE
+//                 [--truth FILE] [--seed N]
 //
 // Either pick a Table-I profile (--profile 0..6, scaled) or set the target
 // utilization / flow rate directly. The output format follows the file
 // extension.
+//
+// With --scenario the packets come from the regime-switching scenario
+// engine instead: the spec's segments drive a seeded, replayable stream
+// (scenario::ScenarioTraceSource), written alongside its ground-truth
+// event log (--truth FILE, default <out>.truth) so the capture can be
+// re-analyzed and scored offline with fbm_scenario / fbm_live. --seed
+// overrides the spec's seed; the other generator flags do not apply.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "scenario/source.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/truth.hpp"
 #include "trace/pcap.hpp"
 #include "trace/sprint_profiles.hpp"
 #include "trace/synthetic.hpp"
@@ -23,7 +35,7 @@ namespace {
   std::fprintf(stderr,
                "usage: fbm_trace_gen <out.fbmt|.pcap|.csv> [--duration S] "
                "[--mbps M] [--lambda F] [--tcp-fraction P] [--seed N] "
-               "[--profile 0..6]\n");
+               "[--profile 0..6] [--scenario FILE [--truth FILE]]\n");
   std::exit(2);
 }
 
@@ -38,7 +50,10 @@ int main(int argc, char** argv) {
   double lambda = 0.0;
   double tcp_fraction = -1.0;
   std::uint64_t seed = stats::Rng::default_seed;
+  bool seed_set = false;
   int profile = -1;
+  std::string scenario_path;
+  std::string truth_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,8 +71,13 @@ int main(int argc, char** argv) {
       tcp_fraction = std::atof(value());
     } else if (arg == "--seed") {
       seed = std::strtoull(value(), nullptr, 10);
+      seed_set = true;
     } else if (arg == "--profile") {
       profile = std::atoi(value());
+    } else if (arg == "--scenario") {
+      scenario_path = value();
+    } else if (arg == "--truth") {
+      truth_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       usage();
@@ -68,6 +88,59 @@ int main(int argc, char** argv) {
     }
   }
   if (out_path.empty()) usage();
+
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return out_path.size() >= n &&
+           out_path.compare(out_path.size() - n, n, suffix) == 0;
+  };
+
+  if (!scenario_path.empty()) {
+    try {
+      scenario::ScenarioSpec spec = scenario::load_scenario(scenario_path);
+      if (seed_set) spec.seed = seed;
+      const scenario::TruthLog truth = scenario::derive_truth(spec);
+      if (truth_path.empty()) truth_path = out_path + ".truth";
+      scenario::write_truth_file(truth_path, truth);
+
+      scenario::ScenarioTraceSource source(spec);
+      std::uint64_t packets = 0;
+      if (ends_with(".pcap") || ends_with(".csv")) {
+        // The interop exporters are batch; materialize, then convert.
+        std::vector<net::PacketRecord> recs;
+        while (auto p = source.next()) recs.push_back(*p);
+        packets = recs.size();
+        if (ends_with(".pcap")) {
+          trace::export_pcap(out_path, recs);
+        } else {
+          trace::export_csv(out_path, recs);
+        }
+      } else {
+        trace::TraceWriter writer(out_path);
+        net::PacketBatch batch;
+        while (source.next_batch(batch, 4096) > 0) {
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            writer.append(batch.record(i));
+          }
+        }
+        writer.close();
+        packets = writer.written();
+      }
+      std::printf("%s: scenario %s, %llu packets, %llu flows "
+                  "(%llu attack) over %.1f s (seed %llu); truth -> %s\n",
+                  out_path.c_str(), spec.name.c_str(),
+                  static_cast<unsigned long long>(packets),
+                  static_cast<unsigned long long>(source.flows_started()),
+                  static_cast<unsigned long long>(source.attack_flows()),
+                  spec.total_duration_s(),
+                  static_cast<unsigned long long>(spec.seed),
+                  truth_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
 
   trace::SyntheticConfig cfg;
   if (profile >= 0) {
@@ -89,11 +162,6 @@ int main(int argc, char** argv) {
   try {
     trace::GenerationReport rep;
     const auto packets = trace::generate_packets(cfg, &rep);
-    const auto ends_with = [&](const char* suffix) {
-      const std::size_t n = std::strlen(suffix);
-      return out_path.size() >= n &&
-             out_path.compare(out_path.size() - n, n, suffix) == 0;
-    };
     if (ends_with(".pcap")) {
       trace::export_pcap(out_path, packets);
     } else if (ends_with(".csv")) {
